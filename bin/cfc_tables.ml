@@ -1,0 +1,280 @@
+(* cfc-tables: command-line front end to the reproduction.
+
+   Subcommands:
+     mutex      print Table M (symbolic + numeric at given n, l)
+     naming     print Table N (symbolic + numeric at given n)
+     sweep      the Theorem 1-3 sweep over n and l grids
+     detect     the §2.6 contention-detection table
+     unbounded  the worst-case-unbounded demonstration
+     backoff    the §4 workload experiment
+     mcheck     bounded-exhaustive verification of an algorithm
+     cf         contention-free complexity of one algorithm *)
+
+open Cmdliner
+open Cfc_base
+open Cfc_mutex
+
+let n_arg =
+  Arg.(value & opt int 64 & info [ "n" ] ~docv:"N" ~doc:"Number of processes.")
+
+let l_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "l" ] ~docv:"L" ~doc:"Atomicity (register width in bits).")
+
+let mutex_cmd =
+  let run n l =
+    Texttab.print (Cfc_core.Report.mutex_table_symbolic ());
+    print_newline ();
+    Texttab.print (Cfc_core.Report.mutex_table ~n ~l)
+  in
+  Cmd.v
+    (Cmd.info "mutex" ~doc:"The paper's mutual exclusion bounds table.")
+    Term.(const run $ n_arg $ l_arg)
+
+let naming_cmd =
+  let run n =
+    if not (Ixmath.is_pow2 n) then
+      Printf.eprintf "warning: tree algorithms need n a power of two\n";
+    Texttab.print (Cfc_core.Report.naming_table_symbolic ());
+    print_newline ();
+    Texttab.print (Cfc_core.Report.naming_table ~n)
+  in
+  Cmd.v
+    (Cmd.info "naming" ~doc:"The paper's naming bounds table.")
+    Term.(const run $ n_arg)
+
+let sweep_cmd =
+  let ns_arg =
+    Arg.(
+      value
+      & opt (list int) [ 16; 256; 4096 ]
+      & info [ "ns" ] ~docv:"N,N,..." ~doc:"Process counts.")
+  in
+  let ls_arg =
+    Arg.(
+      value
+      & opt (list int) [ 2; 4; 8 ]
+      & info [ "ls" ] ~docv:"L,L,..." ~doc:"Atomicities.")
+  in
+  let run ns ls = Texttab.print (Cfc_core.Report.thm_sweep ~ns ~ls) in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Theorem 1-3: lower/measured/upper sweep.")
+    Term.(const run $ ns_arg $ ls_arg)
+
+let detect_cmd =
+  let run n l =
+    Texttab.print (Cfc_core.Report.detection_table ~ns:[ n ] ~ls:[ l ])
+  in
+  Cmd.v
+    (Cmd.info "detect" ~doc:"Contention detection (§2.6) table.")
+    Term.(const run $ n_arg $ l_arg)
+
+let unbounded_cmd =
+  let run () =
+    Texttab.print
+      (Cfc_core.Report.unbounded_table ~spins:[ 10; 100; 1000; 10000 ])
+  in
+  Cmd.v
+    (Cmd.info "unbounded"
+       ~doc:"Demonstrate the unbounded worst-case entry cost [AT92].")
+    Term.(const run $ const ())
+
+let alg_arg =
+  let names =
+    String.concat ", "
+      (List.map (fun (module A : Mutex_intf.ALG) -> A.name) Registry.all)
+  in
+  Arg.(
+    value & opt string "lamport-fast"
+    & info [ "algorithm"; "a" ] ~docv:"NAME"
+        ~doc:(Printf.sprintf "Mutex algorithm: one of %s." names))
+
+let find_alg name =
+  match Registry.find name with
+  | Some alg -> alg
+  | None ->
+    Printf.eprintf "unknown algorithm %s\n" name;
+    exit 2
+
+(* Every subcommand that instantiates an algorithm must reject unsupported
+   parameters with a clean message, not an OCaml backtrace. *)
+let find_supported_alg name p =
+  let ((module A : Mutex_intf.ALG) as alg) = find_alg name in
+  if not (A.supports p) then begin
+    Printf.eprintf "%s does not support n=%d l=%d\n" A.name p.Mutex_intf.n
+      p.Mutex_intf.l;
+    exit 2
+  end;
+  alg
+
+let cf_cmd =
+  let run name n l =
+    let p = { Mutex_intf.n; l } in
+    let ((module A : Mutex_intf.ALG) as alg) = find_supported_alg name p in
+    let r = Cfc_core.Mutex_harness.contention_free alg p in
+    Format.printf "%s n=%d l=%d (atomicity %d): contention-free %a@."
+      A.name n l r.Cfc_core.Mutex_harness.atomicity_observed
+      Cfc_core.Measures.pp_sample r.Cfc_core.Mutex_harness.max
+  in
+  Cmd.v
+    (Cmd.info "cf" ~doc:"Contention-free complexity of one algorithm.")
+    Term.(const run $ alg_arg $ n_arg $ l_arg)
+
+let mcheck_cmd =
+  let depth_arg =
+    Arg.(
+      value & opt int 60
+      & info [ "depth" ] ~docv:"D" ~doc:"Max scheduler steps per run.")
+  in
+  let run name n l depth =
+    let alg = find_supported_alg name { Mutex_intf.n; l } in
+    let config =
+      { Cfc_mcheck.Explore.max_depth = depth; max_steps_per_proc = depth;
+        max_states = 2_000_000 }
+    in
+    match Cfc_mcheck.Props.check_mutex ~config alg { Mutex_intf.n; l } with
+    | Cfc_mcheck.Explore.Ok stats ->
+      Printf.printf
+        "OK: no violation within bounds (%d maximal runs, %d states \
+         explored, %d pruned%s)\n"
+        stats.Cfc_mcheck.Explore.runs stats.Cfc_mcheck.Explore.states
+        stats.Cfc_mcheck.Explore.pruned
+        (if stats.Cfc_mcheck.Explore.truncated then ", some branches truncated"
+         else "")
+    | Cfc_mcheck.Explore.Violation { schedule; violation; _ } ->
+      Format.printf "VIOLATION: %a@.schedule: %s@." Cfc_core.Spec.pp_violation
+        violation
+        (String.concat "," (List.map string_of_int schedule));
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "mcheck"
+       ~doc:"Bounded-exhaustive mutual exclusion verification.")
+    Term.(const run $ alg_arg $ n_arg $ l_arg $ depth_arg)
+
+let trace_cmd =
+  let seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Random schedule seed.")
+  in
+  let limit_arg =
+    Arg.(
+      value & opt int 60
+      & info [ "limit" ] ~docv:"K" ~doc:"Print at most K events.")
+  in
+  let run name n l seed limit =
+    let alg = find_supported_alg name { Mutex_intf.n; l } in
+    let out =
+      Cfc_core.Mutex_harness.run
+        ~pick:(Cfc_runtime.Schedule.random ~seed)
+        alg { Mutex_intf.n; l }
+    in
+    let printed = ref 0 in
+    Cfc_runtime.Trace.iter
+      (fun e ->
+        if !printed < limit then begin
+          incr printed;
+          Format.printf "%a@." Cfc_runtime.Event.pp e
+        end)
+      out.Cfc_runtime.Runner.trace;
+    Printf.printf "... (%d events total, %d shared accesses)\n"
+      (Cfc_runtime.Trace.length out.Cfc_runtime.Runner.trace)
+      out.Cfc_runtime.Runner.total_steps
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Dump the event trace of a contended run.")
+    Term.(const run $ alg_arg $ n_arg $ l_arg $ seed_arg $ limit_arg)
+
+let backoff_cmd =
+  let run n =
+    Texttab.print
+      (Cfc_workload.Workload_report.backoff_table ~n ~rounds:50
+         ~thinks:[ 0; 10; 100 ] ~seed:11
+         ~algs:[ Registry.lamport_fast; Registry.backoff; Registry.bakery ])
+  in
+  Cmd.v
+    (Cmd.info "backoff" ~doc:"The §4 backoff workload experiment.")
+    Term.(const run $ n_arg)
+
+let models_cmd =
+  let all_arg =
+    Arg.(
+      value & flag
+      & info [ "all" ]
+          ~doc:"List every one of the 256 models instead of the summary.")
+  in
+  let run all =
+    let atlas = Cfc_naming.Model_atlas.all () in
+    if all then begin
+      let t =
+        Texttab.create
+          ~header:[ "model"; "c-f reg"; "c-f step"; "w-c reg"; "w-c step";
+                    "witness" ]
+      in
+      List.iter
+        (fun (m, c) ->
+          match c with
+          | Cfc_naming.Model_atlas.Unsolvable ->
+            Texttab.add_row t
+              [ Model.to_string m; "unsolvable"; ""; ""; ""; "§3.1 symmetry" ]
+          | Cfc_naming.Model_atlas.Bounds b ->
+            let cell c = Format.asprintf "%a" Cfc_naming.Model_atlas.pp_cell c in
+            Texttab.add_row t
+              [ Model.to_string m; cell b.cf_register; cell b.cf_step;
+                cell b.wc_register; cell b.wc_step; b.witness ])
+        atlas;
+      Texttab.print t
+    end
+    else begin
+      Printf.printf
+        "model atlas (the §3.3 exercise): %d of 256 models solvable\n\
+         (the 32 breaker-free models — every op either never modifies or\n\
+         never returns — cannot break symmetry).\n\n\
+         equivalence classes of the solvable models:\n"
+        (Cfc_naming.Model_atlas.solvable_count ());
+      let classes = Hashtbl.create 8 in
+      List.iter
+        (fun (_, c) ->
+          match c with
+          | Cfc_naming.Model_atlas.Unsolvable -> ()
+          | Cfc_naming.Model_atlas.Bounds b ->
+            let key =
+              (b.cf_register, b.cf_step, b.wc_register, b.wc_step)
+            in
+            Hashtbl.replace classes key
+              (1 + Option.value ~default:0 (Hashtbl.find_opt classes key)))
+        atlas;
+      let t =
+        Texttab.create
+          ~header:[ "c-f reg"; "c-f step"; "w-c reg"; "w-c step"; "#models" ]
+      in
+      Hashtbl.iter
+        (fun (a, b, c, d) count ->
+          let cell x =
+            Format.asprintf "%a" Cfc_naming.Model_atlas.pp_cell x
+          in
+          Texttab.add_row t
+            [ cell a; cell b; cell c; cell d; string_of_int count ])
+        classes;
+      Texttab.print t;
+      print_string "use --all for the full 256-row table.\n"
+    end
+  in
+  Cmd.v
+    (Cmd.info "models"
+       ~doc:"Classify all 256 operation models (the §3.3 exercise).")
+    Term.(const run $ all_arg)
+
+let () =
+  let doc =
+    "Reproduction of Alur & Taubenfeld, 'Contention-Free Complexity of \
+     Shared Memory Algorithms' (PODC 1994)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "cfc-tables" ~version:"1.0.0" ~doc)
+          [ mutex_cmd; naming_cmd; sweep_cmd; detect_cmd; unbounded_cmd;
+            cf_cmd; mcheck_cmd; backoff_cmd; trace_cmd; models_cmd ]))

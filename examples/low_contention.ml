@@ -1,0 +1,50 @@
+(* The introduction's motivation, as a workload simulation: "contention
+   for a critical section is rare in a well designed system" [Lam87], so
+   an algorithm with constant contention-free cost (Lamport's fast mutex,
+   or the Theorem-3 tree for small registers) beats a classic O(n)
+   algorithm (the bakery) precisely in the common, uncontended regime —
+   and §4's backoff keeps the winner near that cost even under load.
+
+     dune exec examples/low_contention.exe *)
+
+open Cfc_base
+open Cfc_mutex
+open Cfc_workload
+
+let () =
+  let n = 8 in
+  let t =
+    Texttab.create
+      ~header:[ "algorithm"; "think time"; "contention level";
+                "winner entry (mean)"; "winner entry (max)";
+                "solo cost"; "total traffic" ]
+  in
+  List.iter
+    (fun alg ->
+      let (module A : Mutex_intf.ALG) = alg in
+      List.iter
+        (fun think ->
+          let r =
+            Workload.run_mutex alg
+              { Workload.n; rounds = 40; mean_think = think; cs_len = 3;
+                seed = 5 }
+          in
+          Texttab.add_row t
+            [ A.name; string_of_int think;
+              Printf.sprintf "%.2f" r.Workload.observed_contention;
+              Printf.sprintf "%.2f" r.Workload.entry_steps_mean;
+              string_of_int r.Workload.entry_steps_max;
+              string_of_int r.Workload.cf_steps;
+              string_of_int r.Workload.total_steps ])
+        [ 0; 20; 300 ];
+      Texttab.add_sep t)
+    [ Registry.lamport_fast; Registry.backoff;
+      Registry.kessels_tournament; Registry.bakery ];
+  Texttab.print t;
+  print_string
+    "\nreading guide:\n\
+     - think time dials contention: 0 = saturation, 300 = rare.\n\
+     - at think=300 (the realistic regime) the fast algorithms' winner\n\
+    \  cost approaches their solo cost (7), the bakery pays ~3n.\n\
+     - backoff keeps total traffic down under saturation without\n\
+    \  hurting the winner (§4 / MS93).\n"

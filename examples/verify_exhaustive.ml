@@ -1,0 +1,113 @@
+(* Exhaustive (bounded) verification with the model checker: every
+   interleaving class of small configurations is explored by
+   deterministic replay.  Also demonstrates bug-finding: the flat
+   "chunked splitter" looks plausible and survives n=2, but the checker
+   digs out a 16-step two-winner counterexample at n=3 — the exact bug
+   class the splitter-tree in this library avoids.
+
+     dune exec examples/verify_exhaustive.exe *)
+
+open Cfc_mutex
+open Cfc_mcheck
+
+let report name = function
+  | Explore.Ok stats ->
+    Printf.printf
+      "  %-28s OK  (%6d runs, %7d states, %6d pruned%s)\n%!" name
+      stats.Explore.runs stats.Explore.states stats.Explore.pruned
+      (if stats.Explore.truncated then ", truncated" else "")
+  | Explore.Violation { schedule; violation; _ } ->
+    Format.printf "  %-28s VIOLATION %a@.    schedule: %s@.%!" name
+      Cfc_core.Spec.pp_violation violation
+      (String.concat "," (List.map string_of_int schedule))
+
+let () =
+  print_endline "mutual exclusion, n=2, all algorithms:";
+  List.iter
+    (fun alg ->
+      let (module A : Mutex_intf.ALG) = alg in
+      let p = Mutex_intf.params 2 in
+      if A.supports p then report A.name (Props.check_mutex alg p))
+    Registry.all;
+
+  print_endline "\ncontention detection, n=3:";
+  List.iter
+    (fun det ->
+      let (module D : Mutex_intf.DETECTOR) = det in
+      let p = { Mutex_intf.n = 3; l = 1 } in
+      if D.supports p then report D.name (Props.check_detector det p))
+    Registry.detectors;
+
+  print_endline "\nnaming, n=4, all algorithms:";
+  List.iter
+    (fun alg ->
+      let (module A : Cfc_naming.Naming_intf.ALG) = alg in
+      if A.supports ~n:4 then report A.name (Props.check_naming alg ~n:4))
+    Cfc_naming.Registry.all;
+
+  print_endline "\nconsensus, n=2, all inputs:";
+  List.iter
+    (fun alg ->
+      let (module C : Cfc_consensus.Consensus_intf.ALG) = alg in
+      List.iter
+        (fun (a, b) ->
+          report
+            (Printf.sprintf "%s inputs=%d,%d" C.name a b)
+            (Props.check_consensus alg ~n:2 ~inputs:[| a; b |]))
+        [ (0, 0); (0, 1); (1, 0); (1, 1) ])
+    Cfc_consensus.Registry.all;
+  print_endline
+    "\nconsensus limits, demonstrated (read/write registers cannot agree;\n\
+     one TAS bit stops at two processes):";
+  report "broken-rw-consensus"
+    (Props.check_consensus Cfc_consensus.Registry.broken_rw ~n:2
+       ~inputs:[| 0; 1 |]);
+  report "broken-3p-tas-consensus"
+    (Props.check_consensus Cfc_consensus.Registry.broken_three ~n:3
+       ~inputs:[| 0; 1; 1 |]);
+
+  print_endline
+    "\nbug-finding: a plausible-but-wrong flat chunked splitter (the\n\
+     pairwise argument holds, so n=2 verifies; a third process breaks it):";
+  let module Broken : Mutex_intf.DETECTOR = struct
+    let name = "flat-chunked-splitter"
+    let supports (p : Mutex_intf.params) = p.Mutex_intf.n >= 1 && p.Mutex_intf.l >= 1
+    let atomicity (p : Mutex_intf.params) =
+      min p.Mutex_intf.l (Cfc_base.Ixmath.bits_needed p.Mutex_intf.n)
+    let predicted_cf_steps (_ : Mutex_intf.params) = None
+    let predicted_wc_steps (_ : Mutex_intf.params) = None
+
+    module Make (M : Cfc_base.Mem_intf.MEM) = struct
+      type t = { l : int; x : M.reg array; y : M.reg }
+
+      let create (p : Mutex_intf.params) =
+        let open Cfc_base in
+        let n = p.Mutex_intf.n and l = p.Mutex_intf.l in
+        let m = Ixmath.ceil_div (Ixmath.bits_needed n) l in
+        { l;
+          x = M.alloc_array ~width:(min l (Ixmath.bits_needed n)) ~init:0 m;
+          y = M.alloc ~width:1 ~init:0 () }
+
+      let chunk t id j =
+        (id lsr (j * t.l)) land (Cfc_base.Ixmath.pow2 t.l - 1)
+
+      let detect t ~me =
+        let id = me + 1 in
+        for j = 0 to Array.length t.x - 1 do
+          M.write t.x.(j) (chunk t id j)
+        done;
+        if M.read t.y = 1 then false
+        else begin
+          M.write t.y 1;
+          let ok = ref true in
+          for j = 0 to Array.length t.x - 1 do
+            if M.read t.x.(j) <> chunk t id j then ok := false
+          done;
+          !ok
+        end
+    end
+  end in
+  report "flat-chunked n=2 (sound)"
+    (Props.check_detector (module Broken) { Mutex_intf.n = 2; l = 1 });
+  report "flat-chunked n=3 (broken)"
+    (Props.check_detector (module Broken) { Mutex_intf.n = 3; l = 1 })

@@ -1,0 +1,35 @@
+let pow2 k =
+  assert (k >= 0 && k < 62);
+  1 lsl k
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let floor_log2 n =
+  assert (n >= 1);
+  let rec loop k v = if v > n then k - 1 else loop (k + 1) (v * 2) in
+  loop 0 1
+
+let ceil_log2 n =
+  assert (n >= 1);
+  let f = floor_log2 n in
+  if is_pow2 n then f else f + 1
+
+let bits_needed v =
+  assert (v >= 0);
+  max 1 (ceil_log2 (v + 1))
+
+let ceil_div a b =
+  assert (b > 0 && a >= 0);
+  (a + b - 1) / b
+
+let ceil_log ~base n =
+  assert (base >= 2 && n >= 1);
+  let rec loop d cap = if cap >= n then d else loop (d + 1) (cap * base) in
+  loop 1 base
+
+let log2f x = log x /. log 2.0
+
+let ipow b e =
+  assert (e >= 0);
+  let rec loop acc e = if e = 0 then acc else loop (acc * b) (e - 1) in
+  loop 1 e

@@ -1,0 +1,38 @@
+(** Small integer/float math helpers used throughout the library.
+
+    All logarithms are base 2 unless stated otherwise.  The complexity
+    bounds of the paper are expressed with [log n] and [log log n]; the
+    helpers here centralize the exact conventions (ceilings, domains) so
+    that every module computes them identically. *)
+
+val pow2 : int -> int
+(** [pow2 k] is [2{^k}].  Requires [0 <= k < 62]. *)
+
+val is_pow2 : int -> bool
+(** [is_pow2 n] holds iff [n] is a positive power of two. *)
+
+val floor_log2 : int -> int
+(** [floor_log2 n] is the greatest [k] with [2{^k} <= n].
+    Requires [n >= 1]. *)
+
+val ceil_log2 : int -> int
+(** [ceil_log2 n] is the least [k] with [2{^k} >= n].
+    Requires [n >= 1]; [ceil_log2 1 = 0]. *)
+
+val bits_needed : int -> int
+(** [bits_needed v] is the number of bits needed to store any value in
+    [0..v], i.e. [ceil_log2 (v + 1)] but at least 1.  Requires [v >= 0]. *)
+
+val ceil_div : int -> int -> int
+(** [ceil_div a b] is [⌈a / b⌉] for positive [b] and nonnegative [a]. *)
+
+val ceil_log : base:int -> int -> int
+(** [ceil_log ~base n] is the least [d >= 1] with [base{^d} >= n]; by
+    convention it returns [1] when [n <= base] (a single tree level).
+    Requires [base >= 2] and [n >= 1]. *)
+
+val log2f : float -> float
+(** Base-2 logarithm on floats. *)
+
+val ipow : int -> int -> int
+(** [ipow b e] is [b{^e}] for [e >= 0] (no overflow check). *)

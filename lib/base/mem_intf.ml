@@ -1,0 +1,80 @@
+(** The shared-memory interface every algorithm is written against.
+
+    An algorithm is a functor over [MEM].  The simulated backend
+    ({!Cfc_runtime.Sim_mem}) turns each access into an effect handled by a
+    deterministic scheduler and records it in a trace; the native backend
+    ({!Cfc_native.Native_mem}) maps registers to [Atomic.t] cells so the very
+    same algorithm code runs on real domains.
+
+    Conventions:
+    - a register holds a nonnegative integer smaller than [2^width];
+    - [width] is the register's size in bits — the "atomicity" parameter [l]
+      of the paper is the maximum width an algorithm ever accesses;
+    - single-bit registers may restrict the allowed operations to a
+      {!Model.t} (the naming models of §3.1); wider registers always allow
+      plain [read]/[write]. *)
+
+module type MEM = sig
+  type reg
+  (** A shared register. *)
+
+  val alloc : ?name:string -> width:int -> init:int -> unit -> reg
+  (** Allocate a fresh register of [width] bits initialized to [init].
+      [name] is used in traces and error messages.
+      Raises [Invalid_argument] if [init] does not fit in [width] bits. *)
+
+  val alloc_bit : ?name:string -> model:Model.t -> init:int -> unit -> reg
+  (** Allocate a single-bit register that supports exactly the operations of
+      [model] (plus nothing else).  [init] ∈ {0,1}. *)
+
+  val alloc_array :
+    ?name:string -> width:int -> init:int -> int -> reg array
+  (** [alloc_array ~width ~init k] allocates [k] registers; element [i] is
+      named ["name[i]"]. *)
+
+  val alloc_bit_array :
+    ?name:string -> model:Model.t -> init:int -> int -> reg array
+
+  val read : reg -> int
+  (** One atomic read access.  On a model-restricted bit register this
+      requires [Read] ∈ model. *)
+
+  val write : reg -> int -> unit
+  (** One atomic write access.  On a model-restricted bit register this
+      requires the corresponding [Write_0]/[Write_1] ∈ model. *)
+
+  val bit_op : reg -> Ops.t -> int option
+  (** Apply one of the eight single-bit operations atomically; returns the
+      old value for the value-returning operations.  Requires a 1-bit
+      register whose model allows the operation. *)
+
+  val write_field : reg -> index:int -> width:int -> int -> unit
+  (** Multi-grain atomic access (the Michael–Scott packing the paper's
+      §1.3 points to: "several registers of smaller size can be packed
+      into one word of memory, enabling reads or writes to all or a
+      subset of them in one atomic step").  [write_field r ~index ~width v]
+      atomically replaces bits [index*width .. (index+1)*width - 1] of [r]
+      with [v] — one step, the rest of the word untouched; a plain [read]
+      of [r] then observes all packed sub-registers in one step.  Only on
+      model-unrestricted registers; [v] must fit in [width] bits and the
+      field must lie within the register. *)
+
+  val fetch_and_store : reg -> int -> int
+  (** Atomic exchange: write the value, return the old one — the classic
+      word-level read-modify-write of contemporary multiprocessors
+      (used by the local-spin queue lock that makes the §1.2 remote-
+      access discussion concrete).  Model-unrestricted registers only. *)
+
+  val compare_and_set : reg -> expected:int -> int -> bool
+  (** Atomic compare-and-swap; true iff the register held [expected] and
+      was replaced.  Model-unrestricted registers only. *)
+
+  val pause : unit -> unit
+  (** A local no-op scheduling hint inside busy-wait loops.  Costs no shared
+      access.  The native backend maps it to [Domain.cpu_relax]. *)
+end
+
+(** A memory backend paired with the ability to run processes; algorithms
+    only need [MEM], harnesses need the full backend (see the runtime and
+    native libraries). *)
+type mem = (module MEM)

@@ -1,0 +1,36 @@
+type t = int (* bitmask over Ops.to_index *)
+
+let empty = 0
+let bit op = 1 lsl Ops.to_index op
+let mem op m = m land bit op <> 0
+let add op m = m lor bit op
+let of_list l = List.fold_left (fun m op -> add op m) empty l
+let to_list m = List.filter (fun op -> mem op m) Ops.all
+let union a b = a lor b
+let subset a b = a land b = a
+let equal (a : t) b = a = b
+let cardinal m = List.length (to_list m)
+let dual m = of_list (List.map Ops.dual (to_list m))
+let is_self_dual m = equal m (dual m)
+
+let tas_only = of_list [ Ops.Test_and_set ]
+let tas_read = of_list [ Ops.Read; Ops.Test_and_set ]
+let tas_tar_read = of_list [ Ops.Read; Ops.Test_and_set; Ops.Test_and_reset ]
+let taf = of_list [ Ops.Test_and_flip ]
+let rmw = of_list Ops.all
+let read_write = of_list [ Ops.Read; Ops.Write_0; Ops.Write_1 ]
+
+let named_columns =
+  [ ("tas", tas_only);
+    ("read+tas", tas_read);
+    ("read+tas+tar", tas_tar_read);
+    ("taf", taf);
+    ("rmw", rmw) ]
+
+let to_string m =
+  match List.find_opt (fun (_, m') -> equal m m') named_columns with
+  | Some (name, _) -> name
+  | None ->
+    "{" ^ String.concat "," (List.map Ops.to_string (to_list m)) ^ "}"
+
+let pp ppf m = Format.pp_print_string ppf (to_string m)

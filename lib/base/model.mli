@@ -1,0 +1,51 @@
+(** Models of Section 3.1: a model is the subset of the eight single-bit
+    operations that the shared memory supports.  There are [2^8] models; the
+    paper's naming table singles out five of them, predefined below. *)
+
+type t
+(** A set of {!Ops.t}, represented as a bitmask.  Immutable. *)
+
+val empty : t
+val of_list : Ops.t list -> t
+val to_list : t -> Ops.t list
+val mem : Ops.t -> t -> bool
+val add : Ops.t -> t -> t
+val union : t -> t -> t
+val subset : t -> t -> bool
+val equal : t -> t -> bool
+val cardinal : t -> int
+
+val dual : t -> t
+(** The dual model: each operation replaced by its dual (§3.2).  A bound
+    holding for a model holds for its dual. *)
+
+val is_self_dual : t -> bool
+
+(** {1 The five models of the paper's naming table} *)
+
+val tas_only : t
+(** [{test-and-set}] — column 1: all four measures are [n-1]. *)
+
+val tas_read : t
+(** [{read, test-and-set}] — column 2: contention-free measures drop to
+    [log n]. *)
+
+val tas_tar_read : t
+(** [{read, test-and-set, test-and-reset}] — column 3: worst-case register
+    complexity drops to [log n], worst-case step remains [n-1]. *)
+
+val taf : t
+(** [{test-and-flip}] — column 4: [log n] on all four measures. *)
+
+val rmw : t
+(** All eight operations (the read–modify–write model) — column 5. *)
+
+val read_write : t
+(** [{read, write-0, write-1}]: naming is deterministically unsolvable here
+    (symmetry cannot be broken); used in tests of that fact. *)
+
+val named_columns : (string * t) list
+(** The five table columns in paper order, with display names. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

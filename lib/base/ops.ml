@@ -1,0 +1,79 @@
+type t =
+  | Skip
+  | Read
+  | Write_0
+  | Test_and_reset
+  | Write_1
+  | Test_and_set
+  | Flip
+  | Test_and_flip
+
+let all =
+  [ Skip; Read; Write_0; Test_and_reset; Write_1; Test_and_set; Flip;
+    Test_and_flip ]
+
+let apply op v =
+  assert (v = 0 || v = 1);
+  match op with
+  | Skip -> (v, None)
+  | Read -> (v, Some v)
+  | Write_0 -> (0, None)
+  | Test_and_reset -> (0, Some v)
+  | Write_1 -> (1, None)
+  | Test_and_set -> (1, Some v)
+  | Flip -> (1 - v, None)
+  | Test_and_flip -> (1 - v, Some v)
+
+let returns_value = function
+  | Read | Test_and_reset | Test_and_set | Test_and_flip -> true
+  | Skip | Write_0 | Write_1 | Flip -> false
+
+let writes = function
+  | Skip | Read -> false
+  | Write_0 | Test_and_reset | Write_1 | Test_and_set | Flip | Test_and_flip
+    -> true
+
+let dual = function
+  | Skip -> Skip
+  | Read -> Read
+  | Write_0 -> Write_1
+  | Write_1 -> Write_0
+  | Test_and_reset -> Test_and_set
+  | Test_and_set -> Test_and_reset
+  | Flip -> Flip
+  | Test_and_flip -> Test_and_flip
+
+let to_string = function
+  | Skip -> "skip"
+  | Read -> "read"
+  | Write_0 -> "write-0"
+  | Test_and_reset -> "test-and-reset"
+  | Write_1 -> "write-1"
+  | Test_and_set -> "test-and-set"
+  | Flip -> "flip"
+  | Test_and_flip -> "test-and-flip"
+
+let of_string = function
+  | "skip" -> Some Skip
+  | "read" -> Some Read
+  | "write-0" -> Some Write_0
+  | "test-and-reset" | "tar" -> Some Test_and_reset
+  | "write-1" -> Some Write_1
+  | "test-and-set" | "tas" -> Some Test_and_set
+  | "flip" -> Some Flip
+  | "test-and-flip" | "taf" -> Some Test_and_flip
+  | _ -> None
+
+let pp ppf op = Format.pp_print_string ppf (to_string op)
+let equal (a : t) b = a = b
+let compare (a : t) b = Stdlib.compare a b
+
+let to_index = function
+  | Skip -> 0
+  | Read -> 1
+  | Write_0 -> 2
+  | Test_and_reset -> 3
+  | Write_1 -> 4
+  | Test_and_set -> 5
+  | Flip -> 6
+  | Test_and_flip -> 7

@@ -1,0 +1,44 @@
+(** The eight single-bit operations of Section 3.1 of the paper.
+
+    Each operation is defined by how it transforms the bit and whether it
+    returns the old value.  The paper's naming models are subsets of these
+    operations (see {!Model}).  [read] and [write-0]/[write-1] are also the
+    primitives of the atomic-register model of Section 2 (there generalized
+    to [l]-bit values; see {!Mem_intf}). *)
+
+type t =
+  | Skip            (** no effect, no return value *)
+  | Read            (** no effect, returns current value *)
+  | Write_0         (** sets the bit to 0, no return value *)
+  | Test_and_reset  (** sets the bit to 0, returns the old value *)
+  | Write_1         (** sets the bit to 1, no return value *)
+  | Test_and_set    (** sets the bit to 1, returns the old value *)
+  | Flip            (** complements the bit, no return value *)
+  | Test_and_flip   (** complements the bit, returns the old value *)
+
+val all : t list
+(** The eight operations, in the paper's order. *)
+
+val apply : t -> int -> int * int option
+(** [apply op v] is [(v', ret)] where [v'] is the new bit value and [ret]
+    the returned old value (if the operation returns one).
+    Requires [v] ∈ {0,1}. *)
+
+val returns_value : t -> bool
+(** Whether the operation returns the old bit value. *)
+
+val writes : t -> bool
+(** Whether the operation can change the bit ([Skip] and [Read] do not). *)
+
+val dual : t -> t
+(** The dual operation (§3.2): exchanges the roles of 0 and 1.
+    [Write_0 ↔ Write_1], [Test_and_reset ↔ Test_and_set]; the other four
+    operations are self-dual.  [dual] is an involution. *)
+
+val to_string : t -> string
+val of_string : string -> t option
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val to_index : t -> int
+(** Stable index in [0..7], following the paper's numbering (skip = 0). *)

@@ -1,0 +1,69 @@
+type line = Row of string list | Sep
+
+(* Column sizing counts code points, not bytes, so UTF-8 cells align
+   (continuation bytes 0x80..0xBF are not new characters). *)
+let display_length s =
+  let n = ref 0 in
+  String.iter
+    (fun c ->
+      if Char.code c land 0xC0 <> 0x80 then incr n)
+    s;
+  !n
+
+type t = { header : string list; mutable lines : line list (* reversed *) }
+
+let create ~header = { header; lines = [] }
+
+let add_row t row =
+  let ncols = List.length t.header in
+  let len = List.length row in
+  if len > ncols then invalid_arg "Texttab.add_row: too many cells";
+  let row =
+    if len = ncols then row
+    else row @ List.init (ncols - len) (fun _ -> "")
+  in
+  t.lines <- Row row :: t.lines
+
+let add_sep t = t.lines <- Sep :: t.lines
+
+let render t =
+  let lines = List.rev t.lines in
+  let rows = t.header :: List.filter_map (function Row r -> Some r | Sep -> None) lines in
+  let ncols = List.length t.header in
+  let widths = Array.make ncols 0 in
+  let measure row =
+    List.iteri
+      (fun i cell -> widths.(i) <- max widths.(i) (display_length cell))
+      row
+  in
+  List.iter measure rows;
+  let buf = Buffer.create 1024 in
+  let sep () =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) '-');
+        Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  let row cells =
+    Buffer.add_char buf '|';
+    List.iteri
+      (fun i cell ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf cell;
+        Buffer.add_string buf
+          (String.make (max 0 (widths.(i) - display_length cell)) ' ');
+        Buffer.add_string buf " |")
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  sep ();
+  row t.header;
+  sep ();
+  List.iter (function Row r -> row r | Sep -> sep ()) lines;
+  sep ();
+  Buffer.contents buf
+
+let print t = print_string (render t)

@@ -1,0 +1,21 @@
+(** Minimal fixed-width ASCII table rendering for benchmark and example
+    output.  Kept dependency-free so every layer can print tables. *)
+
+type t
+
+val create : header:string list -> t
+(** A table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Append a row.  Rows shorter than the header are padded with [""];
+    longer rows raise [Invalid_argument]. *)
+
+val add_sep : t -> unit
+(** Append a horizontal separator line. *)
+
+val render : t -> string
+(** Render with box-drawing in plain ASCII ([+-|]).  Columns are sized to
+    the widest cell.  Ends with a newline. *)
+
+val print : t -> unit
+(** [print t] writes [render t] to stdout. *)

@@ -1,0 +1,52 @@
+(** Interfaces for wait-free binary consensus.
+
+    The paper uses consensus as its running example when {e defining} the
+    complexity measures (§1.2: "the contention-free register complexity
+    of a consensus algorithm is the maximum number of different registers
+    accessed by a process along runs in which, while this process is
+    executing, all other processes have either decided, or failed, or not
+    started").  This library makes those definitional examples
+    executable: consensus algorithms over the same bit models, measured
+    by the same harness machinery.
+
+    A consensus algorithm must satisfy, in every run:
+    - {e agreement}: no two processes decide differently;
+    - {e validity}: the decision is some process's input;
+    - {e wait-freedom}: every process decides in a bounded number of its
+      own steps regardless of the others (including crashes).
+
+    Single-bit read–modify–write objects have consensus number 2
+    (Herlihy [Her91]), so the algorithms here are for two processes; the
+    3-process impossibility is demonstrated — not just cited — by the
+    bounded model checker driving every interleaving of the natural
+    (incorrect) 3-process extension in the test suite. *)
+
+open Cfc_base
+
+module type ALG = sig
+  val name : string
+
+  val model : Model.t
+  (** The bit operations required (plus plain read/write registers for
+      the proposal values). *)
+
+  val n_max : int
+  (** Maximum number of processes the algorithm is correct for (2 for
+      everything built from single-bit RMW, per its consensus number). *)
+
+  val predicted_cf_steps : int option
+  (** Exact solo-run step count, when known. *)
+
+  val predicted_cf_registers : int option
+
+  module Make (M : Mem_intf.MEM) : sig
+    type t
+
+    val create : n:int -> t
+    (** Raises [Invalid_argument] if [n > n_max]. *)
+
+    val propose : t -> me:int -> value:int -> int
+    (** Run the protocol with input [value] ∈ {0, 1}; returns the decided
+        value.  Call once per process. *)
+  end
+end

@@ -1,0 +1,80 @@
+(** Registry of consensus algorithms, plus deliberately broken
+    constructions used by the test suite to demonstrate (rather than
+    cite) the classical limits: read/write registers cannot solve
+    consensus, and one single-bit RMW object cannot take three processes
+    past its consensus number of 2. *)
+
+open Cfc_base
+
+type alg = (module Consensus_intf.ALG)
+
+let tas_consensus : alg = (module Tas_consensus)
+let taf_consensus : alg = (module Taf_consensus)
+let all : alg list = [ tas_consensus; taf_consensus ]
+
+(** A plausible-but-wrong read/write "consensus": publish, then adopt the
+    lexicographically first published proposal.  The bounded model checker
+    exhibits a disagreeing interleaving — the executable face of the FLP /
+    Herlihy consensus-number-1 limit for plain registers. *)
+module Broken_rw : Consensus_intf.ALG = struct
+  let name = "broken-rw-consensus"
+  let model = Model.read_write
+  let n_max = 2
+  let predicted_cf_steps = None
+  let predicted_cf_registers = None
+
+  module Make (M : Mem_intf.MEM) = struct
+    type t = { written : M.reg array; proposal : M.reg array }
+
+    let create ~n =
+      if n < 1 || n > 2 then invalid_arg "Broken_rw.create: n";
+      {
+        written = M.alloc_array ~name:"brw.w" ~width:1 ~init:0 2;
+        proposal = M.alloc_array ~name:"brw.p" ~width:1 ~init:0 2;
+      }
+
+    let propose t ~me ~value =
+      M.write t.proposal.(me) value;
+      M.write t.written.(me) 1;
+      if M.read t.written.(0) = 1 then M.read t.proposal.(0)
+      else M.read t.proposal.(me)
+  end
+end
+
+(** The naive 3-process extension of the test-and-set race: losers cannot
+    tell {e who} won, so "adopt the other announced proposal" picks
+    inconsistently.  The model checker finds the disagreement — the
+    executable face of consensus number 2. *)
+module Broken_three : Consensus_intf.ALG = struct
+  let name = "broken-3p-tas-consensus"
+  let model = Model.of_list [ Ops.Test_and_set; Ops.Read ]
+  let n_max = 3
+  let predicted_cf_steps = None
+  let predicted_cf_registers = None
+
+  module Make (M : Mem_intf.MEM) = struct
+    type t = { race : M.reg; written : M.reg array; proposal : M.reg array }
+
+    let create ~n =
+      if n < 1 || n > 3 then invalid_arg "Broken_three.create: n";
+      {
+        race = M.alloc_bit ~name:"b3.race" ~model:Model.tas_only ~init:0 ();
+        written = M.alloc_array ~name:"b3.w" ~width:1 ~init:0 3;
+        proposal = M.alloc_array ~name:"b3.p" ~width:1 ~init:0 3;
+      }
+
+    let propose t ~me ~value =
+      M.write t.proposal.(me) value;
+      M.write t.written.(me) 1;
+      if M.bit_op t.race Ops.Test_and_set = Some 0 then value
+      else begin
+        (* Guess the winner: first other process that has announced. *)
+        let a = (me + 1) mod 3 and b = (me + 2) mod 3 in
+        if M.read t.written.(a) = 1 then M.read t.proposal.(a)
+        else M.read t.proposal.(b)
+      end
+  end
+end
+
+let broken_rw : alg = (module Broken_rw)
+let broken_three : alg = (module Broken_three)

@@ -1,0 +1,17 @@
+(** Registry of consensus algorithms, plus deliberately broken
+    constructions used to demonstrate the classical limits (see the
+    implementation header). *)
+
+type alg = (module Consensus_intf.ALG)
+
+val tas_consensus : alg
+val taf_consensus : alg
+val all : alg list
+
+val broken_rw : alg
+(** A plausible-but-wrong read/write "consensus": the model checker
+    exhibits a disagreeing interleaving (consensus number 1). *)
+
+val broken_three : alg
+(** The naive 3-process extension of the test-and-set race: losers
+    cannot tell who won (consensus number 2). *)

@@ -1,0 +1,34 @@
+(** Two-process binary consensus from one test-and-flip bit — the same
+    race as {!Tas_consensus} with the §3.1 fetch-and-complement
+    primitive: the first flipper observes 0 and wins.  Included to show
+    the §3.3 model refinements carry over to consensus: any
+    old-value-returning bit operation supports the race, while the
+    non-returning operations cannot (see the model checker tests).
+
+    Contention-free cost: 2 steps over 2 registers. *)
+
+open Cfc_base
+
+let name = "taf-consensus"
+let model = Model.taf
+let n_max = 2
+let predicted_cf_steps = Some 2
+let predicted_cf_registers = Some 2
+
+module Make (M : Mem_intf.MEM) = struct
+  type t = { race : M.reg; proposal : M.reg array }
+
+  let create ~n =
+    if n < 1 || n > n_max then invalid_arg "Taf_consensus.create: n";
+    {
+      race = M.alloc_bit ~name:"cons.race" ~model ~init:0 ();
+      proposal = M.alloc_array ~name:"cons.prop" ~width:1 ~init:0 2;
+    }
+
+  let propose t ~me ~value =
+    assert (me = 0 || me = 1);
+    assert (value = 0 || value = 1);
+    M.write t.proposal.(me) value;
+    if M.bit_op t.race Ops.Test_and_flip = Some 0 then value
+    else M.read t.proposal.(1 - me)
+end

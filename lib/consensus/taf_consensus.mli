@@ -1,0 +1,4 @@
+(** Two-process binary consensus from one test-and-flip bit; see the
+    implementation header. *)
+
+include Consensus_intf.ALG

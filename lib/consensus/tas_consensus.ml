@@ -1,0 +1,36 @@
+(** Two-process binary consensus from one test-and-set bit (the classic
+    consensus-number-2 construction [Her91]).
+
+    Each process publishes its proposal in its own register, then races
+    on the bit: the test-and-set winner (old value 0) decides its own
+    proposal; the loser reads the winner's register and adopts it.
+
+    Contention-free cost: write own proposal, test-and-set (win), decide
+    own value — 2 steps over 2 registers.  A loser pays one extra read.
+    Wait-free and straight-line. *)
+
+open Cfc_base
+
+let name = "tas-consensus"
+let model = Model.tas_only
+let n_max = 2
+let predicted_cf_steps = Some 2
+let predicted_cf_registers = Some 2
+
+module Make (M : Mem_intf.MEM) = struct
+  type t = { race : M.reg; proposal : M.reg array }
+
+  let create ~n =
+    if n < 1 || n > n_max then invalid_arg "Tas_consensus.create: n";
+    {
+      race = M.alloc_bit ~name:"cons.race" ~model ~init:0 ();
+      proposal = M.alloc_array ~name:"cons.prop" ~width:1 ~init:0 2;
+    }
+
+  let propose t ~me ~value =
+    assert (me = 0 || me = 1);
+    assert (value = 0 || value = 1);
+    M.write t.proposal.(me) value;
+    if M.bit_op t.race Ops.Test_and_set = Some 0 then value
+    else M.read t.proposal.(1 - me)
+end

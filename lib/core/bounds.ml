@@ -1,0 +1,73 @@
+open Cfc_base
+
+let log2 = Ixmath.log2f
+let logn n = log2 (float_of_int n)
+
+(* log log n, guarded: meaningful for n >= 3 (log n > 1); for smaller n the
+   theorems are vacuous and callers get a degenerate bound. *)
+let loglog n = if n >= 3 then log2 (logn n) else 0.
+
+let mutex_cf_step_lower ~n ~l =
+  if n < 2 then 0.
+  else begin
+    let denom = float_of_int l -. 2. +. (3. *. loglog n) in
+    if denom <= 0. then 0. else logn n /. denom
+  end
+
+let mutex_cf_register_lower ~n ~l =
+  if n < 2 then 0.
+  else begin
+    let denom = float_of_int l +. loglog n in
+    if denom <= 0. then 0. else sqrt (logn n /. denom)
+  end
+
+let mutex_cf_step_upper ~n ~l =
+  7 * Ixmath.ceil_div (Ixmath.ceil_log2 (max 2 n)) l
+
+let mutex_cf_register_upper ~n ~l =
+  3 * Ixmath.ceil_div (Ixmath.ceil_log2 (max 2 n)) l
+
+let mutex_wc_register_upper ~n = 4 * Ixmath.ceil_log2 (max 2 n)
+
+let bits_accessed_lower ~n ~l =
+  float_of_int (l - 1) +. mutex_cf_step_lower ~n ~l
+
+let lemma3_holds ~n ~l ~r ~w =
+  let r = float_of_int r and w = float_of_int w in
+  let inner = (w *. w *. r) +. (w *. r *. r) in
+  if inner < 1. then w *. float_of_int l >= logn n
+  else (w *. float_of_int l) +. (w *. log2 inner) >= logn n
+
+let lemma6_holds ~n ~l ~c ~w =
+  (* Work in logs to avoid overflow: log n < log 2 + log w! + c·log(4c·w!)
+     + w·(log w + l·w). *)
+  let log_fact m =
+    let rec go acc i = if i > m then acc else go (acc +. log2 (float_of_int i)) (i + 1) in
+    go 0. 1
+  in
+  let c' = float_of_int c and w' = float_of_int w in
+  let rhs =
+    1. +. log_fact w
+    +. (c' *. (2. +. log2 (max 1. c') +. log_fact w))
+    +. (w' *. (log2 (max 1. w') +. (float_of_int l *. w')))
+  in
+  logn n < rhs
+
+let naming_lower_cf_registers ~n = if n < 2 then 0. else logn n
+let naming_wc_steps_no_taf ~n = max 0 (n - 1)
+let naming_tas_only_cf_registers ~n = max 0 (n - 1)
+
+type cell = Linear | Log
+
+let cell_value cell ~n =
+  match cell with Linear -> max 1 (n - 1) | Log -> Ixmath.ceil_log2 (max 2 n)
+
+let cell_to_string = function Linear -> "n-1" | Log -> "log n"
+
+(* Columns: c-f register, c-f step, w-c register, w-c step. *)
+let naming_table =
+  [ ("tas", Linear, Linear, Linear, Linear);
+    ("read+tas", Log, Log, Linear, Linear);
+    ("read+tas+tar", Log, Log, Log, Linear);
+    ("taf", Log, Log, Log, Log);
+    ("rmw", Log, Log, Log, Log) ]

@@ -1,0 +1,72 @@
+(** The closed-form bounds of Theorems 1–7, exactly as stated in the
+    paper, plus the Lemma 3 / Lemma 6 inequalities they are derived from.
+
+    All logarithms are base 2.  Lower-bound functions return floats (the
+    theorems assert strict inequalities over reals); upper bounds are the
+    integer costs of the explicit algorithms.  Functions are total: where
+    a formula's denominator is nonpositive (tiny [n]) the lower bound
+    degenerates and we return [0.], matching the theorem's vacuous truth
+    there. *)
+
+val mutex_cf_step_lower : n:int -> l:int -> float
+(** Theorem 1: every (weak) deadlock-free mutual exclusion algorithm has
+    contention-free step complexity [c > log n / (l - 2 + 3 log log n)]. *)
+
+val mutex_cf_register_lower : n:int -> l:int -> float
+(** Theorem 2: contention-free register complexity
+    [c >= sqrt (log n / (l + log log n))]. *)
+
+val mutex_cf_step_upper : n:int -> l:int -> int
+(** Theorem 3, as stated: [7 ⌈log n / l⌉]. *)
+
+val mutex_cf_register_upper : n:int -> l:int -> int
+(** Theorem 3, as stated: [3 ⌈log n / l⌉]. *)
+
+val mutex_wc_register_upper : n:int -> int
+(** The [Kes82] entry of the mutex table: O(log n) worst-case register
+    complexity with atomicity 1; we return our Kessels-tournament's exact
+    register count [4 ⌈log n⌉] as the concrete witness constant. *)
+
+val bits_accessed_lower : n:int -> l:int -> float
+(** The §2.4 corollary: in every algorithm with atomicity [l] and
+    contention-free step complexity [c], some process accesses at least
+    [l + c - 1] shared bits without contention; with [c] at its Theorem 1
+    minimum this is [l - 1 + log n / (l - 2 + 3 log log n)]. *)
+
+val lemma3_holds : n:int -> l:int -> r:int -> w:int -> bool
+(** The Lemma 3 inequality [w·l + w·log(w²r + wr²) >= log n] that every
+    correct contention detector's contention-free read-register
+    complexity [r] and write-step complexity [w] must satisfy.  Returns
+    whether the inequality holds for the given measured values (measured
+    values from a correct algorithm must satisfy it). *)
+
+val lemma6_holds : n:int -> l:int -> c:int -> w:int -> bool
+(** The Lemma 6 inequality [n < 2w!·(4c·w!)^c·(w·2^(lw))^w] relating the
+    contention-free register complexity [c] and write-register complexity
+    [w] of contention detection.  Computed in floating point with
+    saturation (large arguments trivially satisfy it). *)
+
+(** {1 Naming bounds (Theorems 4–7 and the naming table)} *)
+
+val naming_lower_cf_registers : n:int -> float
+(** Theorem 5: in every model, contention-free register complexity of
+    naming is at least [log n]. *)
+
+val naming_wc_steps_no_taf : n:int -> int
+(** Theorem 6: without test-and-flip, worst-case step complexity is at
+    least [n - 1]. *)
+
+val naming_tas_only_cf_registers : n:int -> int
+(** Theorem 7: with test-and-set only, contention-free register
+    complexity is at least [n - 1]. *)
+
+(** One cell of the paper's naming table. *)
+type cell = Linear  (** the [n - 1] entry *) | Log  (** the [log n] entry *)
+
+val cell_value : cell -> n:int -> int
+val cell_to_string : cell -> string
+
+val naming_table : (string * cell * cell * cell * cell) list
+(** The paper's "tight bounds for naming" table: for each model column,
+    (contention-free register, contention-free step, worst-case register,
+    worst-case step). *)

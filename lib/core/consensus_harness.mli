@@ -1,0 +1,38 @@
+(** Harness for consensus — the §1.2 definitional example made
+    executable.  Contention-free complexity is measured on solo runs
+    exactly as the paper's sentence prescribes ("all other processes have
+    either decided, or failed, or not started"); agreement and validity
+    are checked on the trace decisions against the inputs. *)
+
+open Cfc_runtime
+
+type cf_result = {
+  max : Measures.sample;
+  per_process : Measures.sample array;
+}
+
+val contention_free :
+  Cfc_consensus.Registry.alg -> n:int -> inputs:int array -> cf_result
+(** Solo run per process (fresh shared state each time); verifies that a
+    solo process decides its own input (validity in the absence of other
+    participants). *)
+
+val run :
+  ?max_steps:int ->
+  ?crash_at:(int * int) list ->
+  pick:Schedule.picker ->
+  Cfc_consensus.Registry.alg ->
+  n:int ->
+  inputs:int array ->
+  Runner.outcome
+(** All [n] processes propose [inputs.(pid)] under the schedule. *)
+
+val check :
+  Runner.outcome -> n:int -> inputs:int array -> Spec.violation option
+(** Agreement + validity + (on completed runs) termination of every
+    non-crashed process. *)
+
+val system :
+  Cfc_consensus.Registry.alg -> n:int -> inputs:int array ->
+  unit -> Memory.t * (unit -> unit) array
+(** Deterministic system builder for the model checker. *)

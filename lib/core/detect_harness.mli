@@ -1,0 +1,38 @@
+(** Harness for the contention detection problem (§2.3): solo runs (the
+    winner obligation and the contention-free measures) and contended runs
+    (the at-most-one-winner obligation, worst-case measures — detectors
+    are wait-free so the worst case is bounded, unlike mutex). *)
+
+open Cfc_runtime
+open Cfc_mutex
+
+type cf_result = {
+  max : Measures.sample;
+  per_process : Measures.sample array;
+  atomicity_declared : int;
+  atomicity_observed : int;
+}
+
+val contention_free : Registry.detector -> Mutex_intf.params -> cf_result
+(** Solo run per process; raises [Invalid_argument] if some solo process
+    fails to decide 1 (a correctness violation, per the problem spec). *)
+
+val run :
+  ?max_steps:int ->
+  ?crash_at:(int * int) list ->
+  pick:Schedule.picker ->
+  Registry.detector ->
+  Mutex_intf.params ->
+  Runner.outcome
+(** All [n] processes run the detector once; each decides 0 or 1. *)
+
+val system :
+  Registry.detector -> Mutex_intf.params ->
+  unit -> Memory.t * (unit -> unit) array
+(** Deterministic system builder for the model checker's replay. *)
+
+val wc_estimate :
+  seeds:int list -> Registry.detector -> Mutex_intf.params ->
+  Measures.sample
+(** Max per-process sample over round-robin and seeded random schedules
+    with all processes competing. *)

@@ -1,0 +1,200 @@
+open Cfc_runtime
+
+type sample = {
+  steps : int;
+  registers : int;
+  read_steps : int;
+  write_steps : int;
+  read_registers : int;
+  write_registers : int;
+}
+
+let zero =
+  { steps = 0; registers = 0; read_steps = 0; write_steps = 0;
+    read_registers = 0; write_registers = 0 }
+
+let max_sample a b =
+  {
+    steps = max a.steps b.steps;
+    registers = max a.registers b.registers;
+    read_steps = max a.read_steps b.read_steps;
+    write_steps = max a.write_steps b.write_steps;
+    read_registers = max a.read_registers b.read_registers;
+    write_registers = max a.write_registers b.write_registers;
+  }
+
+let pp_sample ppf s =
+  Format.fprintf ppf "steps=%d regs=%d (r/w steps %d/%d, r/w regs %d/%d)"
+    s.steps s.registers s.read_steps s.write_steps s.read_registers
+    s.write_registers
+
+(* Accumulate a sample from a list of (register, kind) accesses. *)
+let of_accesses accesses =
+  let seen = Hashtbl.create 16 in
+  let seen_r = Hashtbl.create 16 in
+  let seen_w = Hashtbl.create 16 in
+  let steps = ref 0 and reads = ref 0 and writes = ref 0 in
+  List.iter
+    (fun (reg, kind) ->
+      incr steps;
+      Hashtbl.replace seen reg.Register.id ();
+      if Event.is_write kind then begin
+        incr writes;
+        Hashtbl.replace seen_w reg.Register.id ()
+      end
+      else begin
+        incr reads;
+        Hashtbl.replace seen_r reg.Register.id ()
+      end)
+    accesses;
+  {
+    steps = !steps;
+    registers = Hashtbl.length seen;
+    read_steps = !reads;
+    write_steps = !writes;
+    read_registers = Hashtbl.length seen_r;
+    write_registers = Hashtbl.length seen_w;
+  }
+
+let in_regions trace ~nprocs ~pid ~in_region =
+  let accesses =
+    Trace.fold_states ~nprocs
+      (fun acc regions e ->
+        match e.Event.body with
+        | Event.Access (r, k) when e.Event.pid = pid && in_region regions.(pid)
+          -> (r, k) :: acc
+        | Event.Access _ | Event.Region_change _ | Event.Crash -> acc)
+      [] trace
+  in
+  of_accesses (List.rev accesses)
+
+let mutex_contention_free trace ~nprocs ~pid =
+  in_regions trace ~nprocs ~pid ~in_region:(function
+    | Event.Trying | Event.Exiting -> true
+    | Event.Remainder | Event.Critical | Event.Decided _ | Event.Halted ->
+      false)
+
+(* Worst-case entry fragments.  Scan once; for each pid track the sequence
+   number after which it (re-)entered Trying, and globally the last state
+   in which some process occupied its critical section or exit code.  When
+   pid moves Trying -> Critical at event j, the valid window starts after
+   both. *)
+let mutex_wc_entry trace ~nprocs =
+  let entered = Array.make nprocs (-1) in
+  let last_occupied = ref (-1) in
+  let out = ref [] in
+  let occupied regions =
+    Array.exists
+      (function Event.Critical | Event.Exiting -> true | _ -> false)
+      regions
+  in
+  let (_ : unit) =
+    Trace.fold_states ~nprocs
+      (fun () regions e ->
+        if occupied regions then last_occupied := e.Event.seq;
+        match e.Event.body with
+        | Event.Region_change Event.Trying -> entered.(e.Event.pid) <- e.Event.seq
+        | Event.Region_change Event.Critical
+          when Event.region_equal regions.(e.Event.pid) Event.Trying ->
+          let pid = e.Event.pid in
+          let from = max (entered.(pid) + 1) (!last_occupied + 1) in
+          let accesses = Trace.accesses_of ~from ~until:e.Event.seq ~pid trace in
+          out := (pid, of_accesses accesses) :: !out
+        | Event.Region_change _ | Event.Access _ | Event.Crash -> ())
+      () trace
+  in
+  List.rev !out
+
+let mutex_wc_exit trace ~nprocs =
+  let entered_exit = Array.make nprocs (-1) in
+  let out = ref [] in
+  let (_ : unit) =
+    Trace.fold_states ~nprocs
+      (fun () regions e ->
+        match e.Event.body with
+        | Event.Region_change Event.Exiting ->
+          entered_exit.(e.Event.pid) <- e.Event.seq
+        | Event.Region_change _
+          when Event.region_equal regions.(e.Event.pid) Event.Exiting ->
+          let pid = e.Event.pid in
+          let from = entered_exit.(pid) + 1 in
+          let accesses = Trace.accesses_of ~from ~until:e.Event.seq ~pid trace in
+          out := (pid, of_accesses accesses) :: !out
+        | Event.Region_change _ | Event.Access _ | Event.Crash -> ())
+      () trace
+  in
+  List.rev !out
+
+let per_process_samples trace ~nprocs =
+  let steps = Array.make nprocs 0
+  and reads = Array.make nprocs 0
+  and writes = Array.make nprocs 0 in
+  let seen = Array.init nprocs (fun _ -> Hashtbl.create 8) in
+  let seen_r = Array.init nprocs (fun _ -> Hashtbl.create 8) in
+  let seen_w = Array.init nprocs (fun _ -> Hashtbl.create 8) in
+  Trace.iter
+    (fun e ->
+      match e.Event.body with
+      | Event.Access (r, k) ->
+        let pid = e.Event.pid in
+        steps.(pid) <- steps.(pid) + 1;
+        Hashtbl.replace seen.(pid) r.Register.id ();
+        if Event.is_write k then begin
+          writes.(pid) <- writes.(pid) + 1;
+          Hashtbl.replace seen_w.(pid) r.Register.id ()
+        end
+        else begin
+          reads.(pid) <- reads.(pid) + 1;
+          Hashtbl.replace seen_r.(pid) r.Register.id ()
+        end
+      | Event.Region_change _ | Event.Crash -> ())
+    trace;
+  Array.init nprocs (fun pid ->
+      {
+        steps = steps.(pid);
+        registers = Hashtbl.length seen.(pid);
+        read_steps = reads.(pid);
+        write_steps = writes.(pid);
+        read_registers = Hashtbl.length seen_r.(pid);
+        write_registers = Hashtbl.length seen_w.(pid);
+      })
+
+let naming_process trace ~nprocs ~pid =
+  ignore nprocs;
+  of_accesses (Trace.accesses_of ~pid trace)
+
+let remote_accesses trace ~nprocs =
+  let remote = Array.make nprocs 0 in
+  (* valid.(register id) = set of pids holding a valid copy, as a bitmask
+     (nprocs <= 62 gets the fast path; beyond that a hashtable of pairs
+     would be needed — the harnesses only use this for small n). *)
+  if nprocs > 62 then invalid_arg "remote_accesses: nprocs > 62";
+  let valid = Hashtbl.create 64 in
+  Trace.iter
+    (fun e ->
+      match e.Event.body with
+      | Event.Access (r, k) ->
+        let pid = e.Event.pid in
+        let holders =
+          Option.value ~default:0 (Hashtbl.find_opt valid r.Register.id)
+        in
+        if holders land (1 lsl pid) = 0 then
+          remote.(pid) <- remote.(pid) + 1;
+        let holders' =
+          if Event.is_write k then 1 lsl pid
+          else holders lor (1 lsl pid)
+        in
+        Hashtbl.replace valid r.Register.id holders'
+      | Event.Region_change _ | Event.Crash -> ())
+    trace;
+  remote
+
+let decisions trace ~nprocs =
+  ignore nprocs;
+  Trace.fold
+    (fun acc e ->
+      match e.Event.body with
+      | Event.Region_change (Event.Decided v) -> (e.Event.pid, v) :: acc
+      | Event.Region_change _ | Event.Access _ | Event.Crash -> acc)
+    [] trace
+  |> List.rev

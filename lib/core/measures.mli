@@ -1,0 +1,79 @@
+(** The paper's complexity measures (§2.2, §3.2), computed from traces.
+
+    Every function is a pure query over a recorded {!Cfc_runtime.Trace.t};
+    the harnesses produce the right runs (solo/sequential for
+    contention-free, scheduler families for worst-case estimates) and
+    these functions extract the numbers. *)
+
+open Cfc_runtime
+
+(** All six counting measures of one process over one run fragment:
+    step/register complexity and their read/write refinements (the [r] and
+    [w] of Lemma 3). *)
+type sample = {
+  steps : int;
+  registers : int;
+  read_steps : int;
+  write_steps : int;
+  read_registers : int;
+  write_registers : int;
+}
+
+val zero : sample
+
+val max_sample : sample -> sample -> sample
+(** Componentwise maximum — the paper takes the max over processes/runs
+    separately per measure. *)
+
+val pp_sample : Format.formatter -> sample -> unit
+
+val in_regions :
+  Trace.t -> nprocs:int -> pid:int -> in_region:(Event.region -> bool) ->
+  sample
+(** Measures of [pid] over exactly its accesses performed while its own
+    region satisfies [in_region]. *)
+
+val mutex_contention_free : Trace.t -> nprocs:int -> pid:int -> sample
+(** The §2.2 contention-free measure of [pid]: its accesses in entry
+    ([Trying]) and exit ([Exiting]) code.  Meaningful on runs where all
+    other processes stay in their remainder (the harness's solo runs);
+    this function does not itself verify that. *)
+
+val mutex_wc_entry : Trace.t -> nprocs:int -> (int * sample) list
+(** The §2.2 worst-case entry-code fragments: for every transition of some
+    [p] from [Trying] to [Critical] at event [j], the measures of [p] over
+    the largest window [(i, j)] in which [p] is in its entry code and no
+    process is in its critical section or exit code — "start counting only
+    after the processes previously in the critical section have finished
+    their exit code".  Returns one [(pid, sample)] per completed entry. *)
+
+val mutex_wc_exit : Trace.t -> nprocs:int -> (int * sample) list
+(** Worst-case exit-code fragments: measures of [p] over each of its
+    [Exiting] stretches. *)
+
+val per_process_samples : Trace.t -> nprocs:int -> sample array
+(** Whole-run samples of every process, computed in one pass over the
+    trace (use this instead of n calls to {!naming_process} when
+    measuring contended runs). *)
+
+val naming_process : Trace.t -> nprocs:int -> pid:int -> sample
+(** §3.2 measure of one naming process: all its accesses from start to
+    decision (its whole execution). *)
+
+val decisions : Trace.t -> nprocs:int -> (int * int) list
+(** [(pid, value)] for every process that reached [Decided v]. *)
+
+val remote_accesses : Trace.t -> nprocs:int -> int array
+(** Per-process {e remote memory references} under the write-invalidate
+    coherent-cache model the paper's §1.2 appeals to (after [YA93]): a
+    process's access to a register is remote iff it does not hold a valid
+    cached copy — i.e. it never accessed the register before, or another
+    process wrote (or won a compare-and-swap on) it since the process's
+    last access.  A write leaves only the writer's copy valid; a read
+    joins the set of valid holders.
+
+    In a contention-free run this equals the register complexity (the
+    §1.2 claim "the number of different registers accessed accurately
+    reflects the number of remote accesses" — asserted by a qcheck
+    property), and under contention it separates local-spin algorithms
+    (MCS: bounded remotes per acquisition) from spin-on-shared ones. *)

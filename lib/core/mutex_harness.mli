@@ -1,0 +1,68 @@
+(** Measurement harness for mutual exclusion algorithms: builds the runs
+    the paper's definitions quantify over and extracts the measures.
+
+    Contention-free complexity is measured exactly: for each process a
+    fresh instance is driven solo through one entry/critical/exit cycle
+    (the unique contention-free run of a deterministic algorithm) and the
+    maximum over processes is returned.  Worst-case complexity is
+    estimated as a maximum over schedule families, with the provably
+    unbounded entry cost demonstrated constructively by
+    {!lamport_unbounded_entry}. *)
+
+open Cfc_runtime
+open Cfc_mutex
+
+type cf_result = {
+  max : Measures.sample;  (** componentwise max over processes *)
+  per_process : Measures.sample array;
+  atomicity_declared : int;  (** the algorithm's [atomicity params] *)
+  atomicity_observed : int;  (** widest register actually allocated *)
+}
+
+val contention_free : Registry.alg -> Mutex_intf.params -> cf_result
+(** Raises [Invalid_argument] if the algorithm does not support the
+    parameters. *)
+
+val run :
+  ?rounds:int ->
+  ?max_steps:int ->
+  ?crash_at:(int * int) list ->
+  pick:Schedule.picker ->
+  Registry.alg ->
+  Mutex_intf.params ->
+  Runner.outcome
+(** All [n] processes perform [rounds] (default 1) lock/unlock cycles
+    under the given schedule; region annotations are added around entry,
+    critical section and exit so traces support the §2.2 measures and the
+    {!Spec} checkers. *)
+
+val wc_estimate :
+  ?rounds:int -> seeds:int list -> Registry.alg -> Mutex_intf.params ->
+  entry:bool -> Measures.sample
+(** Max over a schedule family (round-robin plus one random schedule per
+    seed) of the §2.2 worst-case entry ([entry:true]) or exit fragments. *)
+
+val system :
+  ?rounds:int -> Registry.alg -> Mutex_intf.params ->
+  unit -> Memory.t * (unit -> unit) array
+(** A deterministic system builder (fresh memory + fresh region-annotated
+    process closures on each call) — the input shape the model checker's
+    replay needs. *)
+
+val lamport_unbounded_entry : spin:int -> Measures.sample
+(** The EXP-WC∞ construction: a 2-process run of Lamport's fast algorithm
+    in which the winning process takes at least [spin] entry steps within
+    a window where no process is in its critical section or exit code —
+    evidence (growing without bound in [spin]) that the worst-case step
+    complexity of mutual exclusion is infinite [AT92]. *)
+
+val sample_pids : int -> int list
+(** The processes {!contention_free} measures: all of them for [n <= 64],
+    a deterministic spread (ends, powers of two and neighbours) beyond —
+    the per-pid cost equality of the symmetric algorithms is asserted
+    exhaustively at small [n] by the test suite. *)
+
+val reset_touched : Memory.t -> Trace.t option -> unit
+(** Restore initial values of the registers accessed in the given trace
+    ([None]: reset the whole arena) — the cheap between-solo-runs reset
+    shared with the other harnesses. *)

@@ -1,0 +1,38 @@
+(** Harness for one-shot renaming: contention-free measurement (solo
+    runs), participation-bounded runs (only [k] of [n] processes take
+    steps — the adaptivity the name-space bound quantifies over), crash
+    injection, and uniqueness checking. *)
+
+open Cfc_runtime
+
+type cf_result = {
+  max : Measures.sample;
+  per_process : Measures.sample array;
+  names : int array;  (** name obtained by each process in its solo run *)
+}
+
+val contention_free : Cfc_renaming.Registry.alg -> n:int -> cf_result
+(** Solo run per process on fresh shared state. *)
+
+val run :
+  ?max_steps:int ->
+  ?crash_at:(int * int) list ->
+  ?participants:int list ->
+  pick:Schedule.picker ->
+  Cfc_renaming.Registry.alg ->
+  n:int ->
+  Runner.outcome
+(** Run renaming with the given participants (default: everyone);
+    non-participants never start — they are simply never scheduled,
+    which the solo/sequential/random-over-participants picker realizes
+    via an explicit participant filter. *)
+
+val check :
+  Runner.outcome -> n:int -> k:int ->
+  bound:(n:int -> k:int -> int) -> Spec.violation option
+(** Names of decided processes are distinct and within [1..bound ~n ~k]. *)
+
+val system :
+  Cfc_renaming.Registry.alg -> n:int ->
+  unit -> Memory.t * (unit -> unit) array
+(** Deterministic system builder for the model checker. *)

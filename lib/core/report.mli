@@ -1,0 +1,38 @@
+(** Reproduction of the paper's tables: every function renders an ASCII
+    table pairing the paper's bound (theory) with the value measured on
+    our implementations.  Shared by the benchmark executable and the
+    [cfc-tables] CLI. *)
+
+val mutex_table_symbolic : unit -> Cfc_base.Texttab.t
+(** The "Bounds for mutual exclusion" table of §2.6, verbatim. *)
+
+val mutex_table : n:int -> l:int -> Cfc_base.Texttab.t
+(** Table M instantiated at [(n, l)]: per measure the Theorem 1/2 lower
+    bound, the measured value of the witness algorithm, and the Theorem
+    3 / Kes82 upper bound. *)
+
+val thm_sweep : ns:int list -> ls:int list -> Cfc_base.Texttab.t
+(** EXP-T1/T2/T3: for each (n, l) the lower bounds, the tree's measured
+    contention-free complexities, and the paper's stated upper bounds
+    (7·⌈log n / l⌉ with node capacity 2^l; our nodes hold 2^l - 1, so the
+    measured depth may exceed the stated bound by one level for small l —
+    both are printed). *)
+
+val naming_table_symbolic : unit -> Cfc_base.Texttab.t
+(** The "Tight bounds for naming" table of §3.3, verbatim. *)
+
+val naming_table : n:int -> Cfc_base.Texttab.t
+(** Table N instantiated at [n]: for each model column and measure, the
+    tight bound's value and the best measured value among that column's
+    algorithms (contention-free: exact; worst-case: max over the
+    lockstep adversary and seeded random schedules). *)
+
+val naming_sweep : ns:int list -> Cfc_base.Texttab.t
+(** Per-algorithm contention-free step/register measurements across n. *)
+
+val detection_table : ns:int list -> ls:int list -> Cfc_base.Texttab.t
+(** EXP-CD: splitter-tree worst-case steps vs the §2.6 ⌈log n / l⌉ claim. *)
+
+val unbounded_table : spins:int list -> Cfc_base.Texttab.t
+(** EXP-WC∞: winner's entry steps grow without bound with the adversary
+    parameter. *)

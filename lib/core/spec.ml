@@ -1,0 +1,138 @@
+open Cfc_runtime
+
+type violation = { at : int; pids : int list; what : string }
+
+let pp_violation ppf v =
+  Format.fprintf ppf "@[<h>at event %d, processes [%s]: %s@]" v.at
+    (String.concat "," (List.map string_of_int v.pids))
+    v.what
+
+let mutual_exclusion trace ~nprocs =
+  Trace.fold_states ~nprocs
+    (fun acc regions e ->
+      match acc with
+      | Some _ -> acc
+      | None -> (
+        match e.Event.body with
+        | Event.Region_change Event.Critical ->
+          let others =
+            List.filter
+              (fun q ->
+                q <> e.Event.pid
+                && Event.region_equal regions.(q) Event.Critical)
+              (List.init nprocs Fun.id)
+          in
+          if others = [] then None
+          else
+            Some
+              { at = e.Event.seq;
+                pids = e.Event.pid :: others;
+                what = "two processes in the critical section" }
+        | Event.Region_change _ | Event.Access _ | Event.Crash -> None))
+    None trace
+
+let mutex_progress (out : Runner.outcome) =
+  let sched = out.Runner.scheduler in
+  let nprocs = Scheduler.nprocs sched in
+  if not out.Runner.completed then
+    Some { at = Trace.length out.Runner.trace; pids = []; what = "run did not complete" }
+  else begin
+    (* Count Critical entries per process. *)
+    let entries = Array.make nprocs 0 in
+    Trace.iter
+      (fun e ->
+        match e.Event.body with
+        | Event.Region_change Event.Critical ->
+          entries.(e.Event.pid) <- entries.(e.Event.pid) + 1
+        | Event.Region_change _ | Event.Access _ | Event.Crash -> ())
+      out.Runner.trace;
+    let stuck =
+      List.filter
+        (fun pid ->
+          match Scheduler.status sched pid with
+          | Scheduler.Halted -> entries.(pid) = 0
+          | Scheduler.Crashed -> false
+          | Scheduler.Runnable | Scheduler.Errored _ -> true)
+        (List.init nprocs Fun.id)
+    in
+    if stuck = [] then None
+    else
+      Some
+        { at = Trace.length out.Runner.trace;
+          pids = stuck;
+          what = "processes finished without entering the critical section" }
+  end
+
+let unique_names trace ~nprocs ~n =
+  let decided = Measures.decisions trace ~nprocs in
+  let bad_range =
+    List.filter (fun (_, v) -> v < 1 || v > n) decided
+  in
+  match bad_range with
+  | (pid, v) :: _ ->
+    Some
+      { at = Trace.length trace;
+        pids = [ pid ];
+        what = Printf.sprintf "name %d outside 1..%d" v n }
+  | [] -> (
+    let sorted = List.sort (fun (_, a) (_, b) -> compare a b) decided in
+    let rec dup = function
+      | (p1, v1) :: (p2, v2) :: _ when v1 = v2 -> Some (p1, p2, v1)
+      | _ :: rest -> dup rest
+      | [] -> None
+    in
+    match dup sorted with
+    | Some (p1, p2, v) ->
+      Some
+        { at = Trace.length trace;
+          pids = [ p1; p2 ];
+          what = Printf.sprintf "duplicate name %d" v }
+    | None -> None)
+
+let all_named trace ~nprocs =
+  let decided = Measures.decisions trace ~nprocs in
+  let crashed =
+    Trace.fold
+      (fun acc e ->
+        match e.Event.body with
+        | Event.Crash -> e.Event.pid :: acc
+        | Event.Region_change _ | Event.Access _ -> acc)
+      [] trace
+  in
+  let missing =
+    List.filter
+      (fun pid ->
+        (not (List.mem pid crashed))
+        && not (List.mem_assoc pid decided))
+      (List.init nprocs Fun.id)
+  in
+  if missing = [] then None
+  else
+    Some
+      { at = Trace.length trace;
+        pids = missing;
+        what = "non-crashed processes without a name" }
+
+let at_most_one_winner trace ~nprocs =
+  let winners =
+    List.filter (fun (_, v) -> v = 1) (Measures.decisions trace ~nprocs)
+  in
+  match winners with
+  | [] | [ _ ] -> None
+  | ws ->
+    Some
+      { at = Trace.length trace;
+        pids = List.map fst ws;
+        what = "more than one contention-detection winner" }
+
+let solo_wins trace ~nprocs ~pid =
+  match List.assoc_opt pid (Measures.decisions trace ~nprocs) with
+  | Some 1 -> None
+  | Some v ->
+    Some
+      { at = Trace.length trace;
+        pids = [ pid ];
+        what = Printf.sprintf "solo process decided %d, expected 1" v }
+  | None ->
+    Some
+      { at = Trace.length trace; pids = [ pid ]; what = "solo process undecided" }

@@ -1,0 +1,35 @@
+(** Safety and liveness checkers over traces — the correctness side of the
+    paper's problem statements.  Used by unit tests, qcheck properties and
+    the model checker alike. *)
+
+open Cfc_runtime
+
+type violation = {
+  at : int;  (** sequence number of the offending event *)
+  pids : int list;  (** processes involved *)
+  what : string;
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val mutual_exclusion : Trace.t -> nprocs:int -> violation option
+(** No two processes simultaneously in their critical sections. *)
+
+val mutex_progress : Runner.outcome -> violation option
+(** Deadlock-freedom evidence on a completed run: every process that
+    halted went through its critical section at least once, and no
+    process is stuck ([completed] implies all halted/crashed). *)
+
+val unique_names : Trace.t -> nprocs:int -> n:int -> violation option
+(** Naming safety: every decided value is in [1..n] and no two processes
+    decided the same value (crashed processes need not decide). *)
+
+val all_named : Trace.t -> nprocs:int -> violation option
+(** Wait-freedom evidence on a completed naming run: every non-crashed
+    process decided. *)
+
+val at_most_one_winner : Trace.t -> nprocs:int -> violation option
+(** Contention detection: at most one process decided 1. *)
+
+val solo_wins : Trace.t -> nprocs:int -> pid:int -> violation option
+(** Contention detection: in a solo run of [pid], it decided 1. *)

@@ -1,0 +1,181 @@
+open Cfc_runtime
+
+type config = { max_depth : int; max_steps_per_proc : int; max_states : int }
+
+let default_config =
+  { max_depth = 60; max_steps_per_proc = 25; max_states = 500_000 }
+
+type stats = { runs : int; states : int; pruned : int; truncated : bool }
+
+type result =
+  | Ok of stats
+  | Violation of {
+      schedule : int list;
+      violation : Cfc_core.Spec.violation;
+      stats : stats;
+    }
+
+(* Execute one schedule from scratch. *)
+let exec ~system schedule =
+  let memory, procs = system () in
+  let trace = Trace.create () in
+  let sched = Scheduler.create ~memory ~trace procs in
+  List.iter (fun pid -> ignore (Scheduler.step sched pid)) schedule;
+  (memory, sched, trace)
+
+let replay ~system ~schedule =
+  let memory, procs = system () in
+  let trace = Trace.create () in
+  let sched = Scheduler.create ~memory ~trace procs in
+  List.iter (fun pid -> ignore (Scheduler.step sched pid)) schedule;
+  let total_steps =
+    List.init (Scheduler.nprocs sched) (Scheduler.steps_taken sched)
+    |> List.fold_left ( + ) 0
+  in
+  {
+    Runner.memory;
+    trace;
+    scheduler = sched;
+    completed = Scheduler.all_quiescent sched;
+    total_steps;
+  }
+
+(* The state fingerprint: register values, plus per process its status,
+   region and full observation history (which, for a deterministic
+   process, determines its local state).  Structural equality — no hash
+   collisions can cause unsound pruning. *)
+type proc_key = {
+  k_status : int;
+  k_region : Event.region;
+  k_obs : (int * int * int) list;  (* (register id, kind, value) reversed *)
+}
+
+let status_tag = function
+  | Scheduler.Runnable -> 0
+  | Scheduler.Halted -> 1
+  | Scheduler.Crashed -> 2
+  | Scheduler.Errored _ -> 3
+
+let state_key memory sched trace =
+  let nprocs = Scheduler.nprocs sched in
+  let obs = Array.make nprocs [] in
+  Trace.iter
+    (fun e ->
+      match e.Event.body with
+      | Event.Access (r, k) ->
+        let cell =
+          match k with
+          | Event.A_read v -> (r.Register.id, 0, v)
+          | Event.A_write v -> (r.Register.id, 1, v)
+          | Event.A_field (index, width, v) ->
+            (r.Register.id, 10_000 + (index * 64) + width, v)
+          | Event.A_xchg (v, old) -> (r.Register.id, 20_000 + v, old)
+          | Event.A_cas (expected, v, success) ->
+            ( r.Register.id,
+              30_000 + (expected * 2) + Bool.to_int success,
+              v )
+          | Event.A_bit (op, ret) ->
+            ( r.Register.id,
+              2 + Cfc_base.Ops.to_index op,
+              match ret with None -> -1 | Some v -> v )
+        in
+        obs.(e.Event.pid) <- cell :: obs.(e.Event.pid)
+      | Event.Region_change _ | Event.Crash -> ())
+    trace;
+  let regvals =
+    List.map (fun r -> r.Register.value) (Memory.registers memory)
+  in
+  let procs =
+    Array.init nprocs (fun pid ->
+        {
+          k_status = status_tag (Scheduler.status sched pid);
+          k_region = Scheduler.region sched pid;
+          k_obs = obs.(pid);
+        })
+  in
+  (regvals, procs)
+
+exception Found of int list * Cfc_core.Spec.violation
+exception Budget
+
+let run ?(config = default_config) ?(symmetric = false) ~system ~check () =
+  let seen = Hashtbl.create 4096 in
+  let runs = ref 0 and states = ref 0 and pruned = ref 0 in
+  let truncated = ref false in
+  let rec expand schedule depth =
+    if !states >= config.max_states then begin
+      truncated := true;
+      raise Budget
+    end;
+    incr states;
+    (* [schedule] is kept reversed (most recent pid first). *)
+    let memory, sched, trace = exec ~system (List.rev schedule) in
+    let nprocs = Scheduler.nprocs sched in
+    (* Process errors (assertion failures inside algorithms, the critical
+       section witness, model violations) are violations in themselves. *)
+    List.iter
+      (fun pid ->
+        match Scheduler.status sched pid with
+        | Scheduler.Errored e ->
+          raise
+            (Found
+               ( List.rev schedule,
+                 {
+                   Cfc_core.Spec.at = Trace.length trace;
+                   pids = [ pid ];
+                   what = "process error: " ^ Printexc.to_string e;
+                 } ))
+        | Scheduler.Runnable | Scheduler.Halted | Scheduler.Crashed -> ())
+      (List.init nprocs Fun.id);
+    (match check trace ~nprocs with
+    | Some v -> raise (Found (List.rev schedule, v))
+    | None -> ());
+    let key = state_key memory sched trace in
+    if Hashtbl.mem seen key then incr pruned
+    else begin
+      Hashtbl.add seen key ();
+      if Scheduler.all_quiescent sched then incr runs
+      else if depth >= config.max_depth then begin
+        truncated := true;
+        incr runs
+      end
+      else begin
+        let candidates =
+          List.filter
+            (fun pid ->
+              Scheduler.steps_taken sched pid < config.max_steps_per_proc)
+            (Scheduler.runnable sched)
+        in
+        (* Symmetry reduction: when all processes run identical code,
+           schedules that differ only in which not-yet-started process
+           goes first are isomorphic under a pid permutation, so only the
+           lowest-numbered fresh process needs exploring. *)
+        let candidates =
+          if not symmetric then candidates
+          else begin
+            let started, fresh =
+              List.partition (Scheduler.started sched) candidates
+            in
+            match fresh with [] -> started | f :: _ -> started @ [ f ]
+          end
+        in
+        if candidates = [] then begin
+          truncated := true;
+          incr runs
+        end
+        else
+          List.iter
+            (fun pid -> expand (pid :: schedule) (depth + 1))
+            candidates
+      end
+    end
+  in
+  let stats () =
+    { runs = !runs; states = !states; pruned = !pruned;
+      truncated = !truncated }
+  in
+  match expand [] 0 with
+  | () -> Ok (stats ())
+  | exception Budget -> Ok (stats ())
+  | exception Found (schedule, violation) ->
+    Violation { schedule; violation; stats = stats () }

@@ -1,0 +1,65 @@
+(** Bounded exhaustive exploration of interleavings by deterministic
+    replay (dscheck-style: one-shot continuations cannot be cloned, so
+    each schedule prefix re-executes the system from its initial state).
+
+    The state space is pruned with a soundness-preserving memoization:
+    two schedule prefixes that reach the same fingerprint — register
+    values plus, per process, its protocol region and a hash of the value
+    sequence it has observed (which determines the local state of a
+    deterministic process) — have identical futures, so only the first is
+    expanded.  Spin loops therefore do not blow up the search: re-reading
+    an unchanged register leaves every other component equal, and the
+    observation hash folds in the same value, so the states eventually
+    repeat and are cut off by the [max_steps_per_proc] bound.
+
+    Guarantees: within the given bounds the search visits every reachable
+    interleaving class, so a reported [Ok] means no violation exists up to
+    the bounds (not absolute correctness); a reported violation comes with
+    its schedule and replays deterministically. *)
+
+type config = {
+  max_depth : int;  (** total scheduler steps per explored run *)
+  max_steps_per_proc : int;  (** per-process access budget *)
+  max_states : int;  (** abort threshold on explored prefixes *)
+}
+
+val default_config : config
+
+type stats = {
+  runs : int;  (** maximal schedules explored *)
+  states : int;  (** scheduler steps executed across all replays *)
+  pruned : int;  (** prefixes cut by the memoization *)
+  truncated : bool;  (** some branch hit a bound *)
+}
+
+type result =
+  | Ok of stats
+  | Violation of {
+      schedule : int list;  (** pids, in execution order *)
+      violation : Cfc_core.Spec.violation;
+      stats : stats;
+    }
+
+val run :
+  ?config:config ->
+  ?symmetric:bool ->
+  system:(unit -> Cfc_runtime.Memory.t * (unit -> unit) array) ->
+  check:(Cfc_runtime.Trace.t -> nprocs:int -> Cfc_core.Spec.violation option) ->
+  unit ->
+  result
+(** [run ~system ~check ()] re-creates the system from scratch for every
+    replay ([system] must be deterministic: fresh memory and fresh process
+    closures) and checks [check] on the trace after every step of every
+    explored schedule.
+
+    [symmetric] (default false) is only sound when every process runs
+    literally identical code (the naming problem's setting): among
+    processes that have not yet taken a step, only the lowest-numbered is
+    scheduled — any other choice reaches an isomorphic state under a pid
+    permutation, and the checked properties are pid-symmetric. *)
+
+val replay :
+  system:(unit -> Cfc_runtime.Memory.t * (unit -> unit) array) ->
+  schedule:int list ->
+  Cfc_runtime.Runner.outcome
+(** Re-execute one schedule (for counterexample inspection). *)

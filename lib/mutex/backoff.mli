@@ -1,0 +1,7 @@
+(** Lamport's fast mutex with exponential backoff (§4); see the
+    implementation header. *)
+
+val max_exponent : int
+(** Cap on the backoff doubling (delay ≤ 2^max_exponent pauses). *)
+
+include Mutex_intf.ALG

@@ -1,0 +1,62 @@
+(** Lamport's bakery algorithm (1974): the classic n-process mutual
+    exclusion baseline whose contention-free step complexity is Θ(n) —
+    exactly the cost profile the paper's fast algorithms improve on.
+
+    Contention-free cost: entry = write choosing, n ticket reads, write
+    ticket, write choosing, and per other process one choosing read and
+    one ticket read — [3n + 1] steps; exit = 1 step; total [3n + 2] steps
+    over [2n] registers.
+
+    Tickets grow without bound under sustained contention; the simulator's
+    registers are finite, so we allocate [ticket_width]-bit tickets
+    (default 30) and document this as the standard bounded-run
+    approximation of an unbounded register (see DESIGN.md).  Atomicity is
+    therefore [ticket_width], not a function of [n]. *)
+
+open Cfc_base
+
+let ticket_width = 30
+let name = "bakery"
+let supports (p : Mutex_intf.params) = p.Mutex_intf.n >= 1
+let atomicity (_ : Mutex_intf.params) = ticket_width
+
+let predicted_cf_steps (p : Mutex_intf.params) =
+  Some ((3 * p.Mutex_intf.n) + 2)
+
+let predicted_cf_registers (p : Mutex_intf.params) = Some (2 * p.Mutex_intf.n)
+
+module Make (M : Mem_intf.MEM) = struct
+  type t = { n : int; choosing : M.reg array; ticket : M.reg array }
+
+  let create (p : Mutex_intf.params) =
+    let n = p.Mutex_intf.n in
+    {
+      n;
+      choosing = M.alloc_array ~name:"choosing" ~width:1 ~init:0 n;
+      ticket = M.alloc_array ~name:"ticket" ~width:ticket_width ~init:0 n;
+    }
+
+  let lock t ~me =
+    M.write t.choosing.(me) 1;
+    let maxt = ref 0 in
+    for j = 0 to t.n - 1 do
+      let v = M.read t.ticket.(j) in
+      if v > !maxt then maxt := v
+    done;
+    M.write t.ticket.(me) (!maxt + 1);
+    M.write t.choosing.(me) 0;
+    let mine = !maxt + 1 in
+    for j = 0 to t.n - 1 do
+      if j <> me then begin
+        while M.read t.choosing.(j) = 1 do
+          M.pause ()
+        done;
+        let precedes v = v <> 0 && (v < mine || (v = mine && j < me)) in
+        while precedes (M.read t.ticket.(j)) do
+          M.pause ()
+        done
+      end
+    done
+
+  let unlock t ~me = M.write t.ticket.(me) 0
+end

@@ -1,0 +1,45 @@
+(** Dekker's algorithm: the first correct two-process mutual exclusion
+    algorithm (attributed by Dijkstra), using three shared bits — two
+    intent flags and a turn bit that only the critical-section leaver
+    writes.  Atomicity 1.  Included as a third tournament building block
+    beside {!Peterson} and {!Kessels}; with it the tournament gives yet
+    another bit-only O(log n) contention-free point in the mutex table.
+
+    Contention-free cost per lock+unlock: write flag, read other flag
+    (loop not entered), exit write turn, write flag — 4 steps over 3
+    registers. *)
+
+open Cfc_base
+
+let name = "dekker-2p"
+let atomicity = 1
+let cf_steps = 4
+let cf_registers = 3
+
+module Make (M : Mem_intf.MEM) = struct
+  type t = { flag : M.reg array; turn : M.reg }
+
+  let create ~name () =
+    {
+      flag = M.alloc_array ~name:(name ^ ".flag") ~width:1 ~init:0 2;
+      turn = M.alloc ~name:(name ^ ".turn") ~width:1 ~init:0 ();
+    }
+
+  let lock t ~side =
+    assert (side = 0 || side = 1);
+    M.write t.flag.(side) 1;
+    while M.read t.flag.(1 - side) = 1 do
+      if M.read t.turn <> side then begin
+        M.write t.flag.(side) 0;
+        while M.read t.turn <> side do
+          M.pause ()
+        done;
+        M.write t.flag.(side) 1
+      end
+      else M.pause ()
+    done
+
+  let unlock t ~side =
+    M.write t.turn (1 - side);
+    M.write t.flag.(side) 0
+end

@@ -1,0 +1,4 @@
+(** A two-process lock for tournament trees; see the implementation
+    header for the algorithm and its exact solo cost. *)
+
+include Mutex_intf.TWO

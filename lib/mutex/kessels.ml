@@ -1,0 +1,45 @@
+(** Kessels' two-process arbiter [Kes82]: mutual exclusion with four
+    single-writer shared bits (no register is written by both processes),
+    the building block of the paper's bit-only O(log n) worst-case
+    register complexity entry in the mutex table.  Atomicity 1.
+
+    The victim of Peterson's algorithm is encoded as the XOR of two
+    single-writer bits: victim = side 0 iff [turn0 = turn1].
+
+    Contention-free cost per lock+unlock: write req, read other turn,
+    write own turn, read other req (loop exits), exit write req —
+    5 steps over 4 registers. *)
+
+open Cfc_base
+
+let name = "kessels-2p"
+let atomicity = 1
+let cf_steps = 5
+let cf_registers = 4
+
+module Make (M : Mem_intf.MEM) = struct
+  type t = { req : M.reg array; turn : M.reg array }
+
+  let create ~name () =
+    {
+      req = M.alloc_array ~name:(name ^ ".req") ~width:1 ~init:0 2;
+      turn = M.alloc_array ~name:(name ^ ".turn") ~width:1 ~init:0 2;
+    }
+
+  let lock t ~side =
+    assert (side = 0 || side = 1);
+    M.write t.req.(side) 1;
+    let other_turn = M.read t.turn.(1 - side) in
+    (* Make self the victim: side 0 sets turns equal, side 1 unequal. *)
+    let mine = if side = 0 then other_turn else 1 - other_turn in
+    M.write t.turn.(side) mine;
+    let victim_is_me () =
+      let theirs = M.read t.turn.(1 - side) in
+      if side = 0 then theirs = mine else theirs <> mine
+    in
+    while M.read t.req.(1 - side) = 1 && victim_is_me () do
+      M.pause ()
+    done
+
+  let unlock t ~side = M.write t.req.(side) 0
+end

@@ -1,0 +1,137 @@
+(** Lamport's fast mutual exclusion algorithm [Lam87].
+
+    In the absence of contention a process performs exactly 7 accesses to 3
+    distinct registers: entry = announce presence; write x; read y; write
+    y; read x (5 steps), exit = clear y; clear presence (2 steps) — the
+    constant contention-free complexity that motivates the paper.  In the
+    presence of contention the entry code may busy-wait without bound (the
+    worst-case step complexity of mutual exclusion is infinite, [AT92]).
+
+    The algorithm is exposed three ways:
+    - {!Core}: the x/y gate logic over an abstract {e presence} structure
+      (the [b] array), so the packed multi-grain variant ({!Ms_packed})
+      reuses the identical control flow;
+    - {!Node}: presence = one 1-bit register per slot (the paper's
+      algorithm), reusable as a tree node with ids [1..capacity];
+    - the {!Cfc_mutex.Mutex_intf.ALG} interface for [n] processes
+      directly, where process [me] uses slot [me+1] and the gate registers
+      have width [bits_needed n] (the paper's atomicity-[log n] point). *)
+
+open Cfc_base
+
+module Core (M : Mem_intf.MEM) = struct
+  (** The [b] array abstraction: [set ~slot v] is one shared access
+      announcing (or retracting) the slot's presence; [await_clear] spins
+      until every slot is absent (only used on the slow path). *)
+  type presence = {
+    set : slot:int -> int -> unit;
+    await_clear : unit -> unit;
+  }
+
+  type t = {
+    capacity : int;
+    x : M.reg;  (** last announced slot; holds 1..capacity *)
+    y : M.reg;  (** gate: 0 = free, otherwise the slot that closed it *)
+    b : presence;
+    on_contention : attempt:int -> unit;
+        (** called before re-polling the gate on a failed attempt — the
+            backoff hook of the §4 discussion; must not access shared
+            memory other than via [M.pause] *)
+  }
+
+  (* Values stored in x and y range over 0..capacity (0 = "free" in y), so
+     width bits_needed capacity suffices for both. *)
+  let gate_width ~capacity = Ixmath.bits_needed capacity
+
+  let make ?(name = "lam") ?(on_contention = fun ~attempt:_ -> ())
+      ~capacity ~presence () =
+    if capacity < 1 then invalid_arg "Lamport_fast: capacity";
+    {
+      capacity;
+      x = M.alloc ~name:(name ^ ".x") ~width:(gate_width ~capacity) ~init:0 ();
+      y = M.alloc ~name:(name ^ ".y") ~width:(gate_width ~capacity) ~init:0 ();
+      b = presence;
+      on_contention;
+    }
+
+  (* One attempt at the fast path; returns true when the lock is won. *)
+  let rec attempt ?(tries = 0) t ~slot =
+    t.b.set ~slot 1;
+    M.write t.x slot;
+    if M.read t.y <> 0 then begin
+      t.b.set ~slot 0;
+      t.on_contention ~attempt:tries;
+      while M.read t.y <> 0 do
+        M.pause ()
+      done;
+      attempt ~tries:(tries + 1) t ~slot
+    end
+    else begin
+      M.write t.y slot;
+      if M.read t.x <> slot then begin
+        (* Slow path: someone else announced after us. *)
+        t.b.set ~slot 0;
+        t.b.await_clear ();
+        if M.read t.y = slot then true
+        else begin
+          t.on_contention ~attempt:tries;
+          while M.read t.y <> 0 do
+            M.pause ()
+          done;
+          attempt ~tries:(tries + 1) t ~slot
+        end
+      end
+      else true
+    end
+
+  let lock t ~slot =
+    if slot < 1 || slot > t.capacity then invalid_arg "Lamport_fast: slot";
+    ignore (attempt t ~slot : bool)
+
+  let unlock t ~slot =
+    M.write t.y 0;
+    t.b.set ~slot 0
+end
+
+module Node (M : Mem_intf.MEM) = struct
+  module C = Core (M)
+
+  type t = C.t
+
+  let create ?(name = "lam") ?on_contention ~capacity () =
+    let bits = M.alloc_array ~name:(name ^ ".b") ~width:1 ~init:0 capacity in
+    let presence =
+      {
+        C.set = (fun ~slot v -> M.write bits.(slot - 1) v);
+        await_clear =
+          (fun () ->
+            for j = 0 to capacity - 1 do
+              while M.read bits.(j) <> 0 do
+                M.pause ()
+              done
+            done);
+      }
+    in
+    C.make ~name ?on_contention ~capacity ~presence ()
+
+  let lock = C.lock
+  let unlock = C.unlock
+end
+
+let name = "lamport-fast"
+let supports (p : Mutex_intf.params) = p.Mutex_intf.n >= 1
+let atomicity (p : Mutex_intf.params) = Ixmath.bits_needed p.Mutex_intf.n
+
+(* Contention-free: 5 entry + 2 exit accesses over {b[me], x, y}. *)
+let predicted_cf_steps (_ : Mutex_intf.params) = Some 7
+let predicted_cf_registers (_ : Mutex_intf.params) = Some 3
+
+module Make (M : Mem_intf.MEM) = struct
+  module N = Node (M)
+
+  type t = N.t
+
+  let create (p : Mutex_intf.params) = N.create ~capacity:p.Mutex_intf.n ()
+  let lock t ~me = N.lock t ~slot:(me + 1)
+  let unlock t ~me = N.unlock t ~slot:(me + 1)
+end

@@ -1,0 +1,60 @@
+(** Lamport's fast mutual exclusion algorithm [Lam87]: exactly 7 accesses
+    to 3 distinct registers in the absence of contention (5 entry + 2
+    exit).  See the implementation header for the full account.
+
+    {!Core} exposes the x/y gate logic over an abstract presence
+    structure so the multi-grain packed variant ({!Ms_packed}) reuses the
+    identical control flow; {!Node} is the concrete
+    one-bit-per-slot arbiter used directly and as the {!Tree} node. *)
+
+open Cfc_base
+
+module Core (M : Mem_intf.MEM) : sig
+  (** The [b]-array abstraction: [set ~slot v] is one shared access
+      announcing/retracting a slot; [await_clear] spins until every slot
+      is absent (slow path only). *)
+  type presence = {
+    set : slot:int -> int -> unit;
+    await_clear : unit -> unit;
+  }
+
+  type t
+
+  val gate_width : capacity:int -> int
+  (** Width of the [x]/[y] gate registers: [bits_needed capacity]
+      (value 0 of [y] means "free"). *)
+
+  val make :
+    ?name:string ->
+    ?on_contention:(attempt:int -> unit) ->
+    capacity:int ->
+    presence:presence ->
+    unit ->
+    t
+  (** [on_contention] is the §4 backoff hook, called before re-polling
+      the gate after a failed attempt; it must not touch shared memory
+      except via [M.pause]. *)
+
+  val lock : t -> slot:int -> unit
+  (** [slot] ∈ [1..capacity]; at most one process may use a slot at a
+      time. *)
+
+  val unlock : t -> slot:int -> unit
+end
+
+module Node (M : Mem_intf.MEM) : sig
+  type t
+
+  val create :
+    ?name:string ->
+    ?on_contention:(attempt:int -> unit) ->
+    capacity:int ->
+    unit ->
+    t
+  (** The paper's algorithm: presence = one 1-bit register per slot. *)
+
+  val lock : t -> slot:int -> unit
+  val unlock : t -> slot:int -> unit
+end
+
+include Mutex_intf.ALG

@@ -1,0 +1,4 @@
+(** See the header comment in the implementation for the algorithm's
+    description and its exact contention-free cost. *)
+
+include Mutex_intf.ALG

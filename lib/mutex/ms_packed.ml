@@ -1,0 +1,74 @@
+(** The Michael–Scott multi-grain variant of Lamport's fast mutex
+    ([MS93], pointed to by the paper's §1.3: packing several small
+    registers into one word "enabling reads or writes to all or a subset
+    of them in one atomic step" improved [Lam87] by more than 25%).
+
+    The presence bits of the [b] array are packed [word_bits] to a word;
+    a process announces itself with a 1-bit sub-word store (one step,
+    neighbours untouched) and the slow-path scan reads [⌈n/word_bits⌉]
+    whole words instead of [n] individual bits.  The contention-free cost
+    is identical to Lamport's (7 steps, 3 registers) — the gain is the
+    contended slow path, visible in total-traffic workloads and wall
+    clock.  Atomicity is [max(bits_needed n, word_bits)] since a scan
+    reads a whole word in one step. *)
+
+open Cfc_base
+
+let word_bits = 32
+
+let name = "lamport-fast-packed"
+let supports (p : Mutex_intf.params) = p.Mutex_intf.n >= 1
+
+let atomicity (p : Mutex_intf.params) =
+  if p.Mutex_intf.n <= 1 then Ixmath.bits_needed p.Mutex_intf.n
+  else max (Ixmath.bits_needed p.Mutex_intf.n) (min word_bits p.Mutex_intf.n)
+
+let predicted_cf_steps (_ : Mutex_intf.params) = Some 7
+let predicted_cf_registers (_ : Mutex_intf.params) = Some 3
+
+module Make (M : Mem_intf.MEM) = struct
+  module C = Lamport_fast.Core (M)
+
+  type t = C.t
+
+  let create (p : Mutex_intf.params) =
+    let capacity = p.Mutex_intf.n in
+    let bits_per_word = min word_bits (max 1 capacity) in
+    let words = Ixmath.ceil_div capacity bits_per_word in
+    let b =
+      M.alloc_array ~name:"lamp.bw" ~width:bits_per_word ~init:0 words
+    in
+    let presence =
+      {
+        C.set =
+          (fun ~slot v ->
+            let bit = slot - 1 in
+            M.write_field b.(bit / bits_per_word)
+              ~index:(bit mod bits_per_word) ~width:1 v);
+        await_clear =
+          (fun () ->
+            (* Faithful to Lamport's per-bit scan: each presence bit must
+               be OBSERVED zero once, not all simultaneously — a word
+               snapshot confirms every bit that is zero in it, and we
+               re-read only until every bit of the word has been
+               confirmed by some snapshot.  One read per word when
+               uncontended. *)
+            for w = 0 to words - 1 do
+              let bits_here = min bits_per_word (capacity - (w * bits_per_word)) in
+              let full = Ixmath.pow2 bits_here - 1 in
+              let confirmed = ref 0 in
+              let continue = ref true in
+              while !continue do
+                let v = M.read b.(w) in
+                confirmed := !confirmed lor (lnot v land full);
+                if !confirmed = full then continue := false
+                else M.pause ()
+              done
+            done);
+      }
+    in
+    C.make ~name:"lamp" ~capacity ~presence ()
+
+  let lock t ~me = C.lock t ~slot:(me + 1)
+  let unlock t ~me = C.unlock t ~slot:(me + 1)
+end

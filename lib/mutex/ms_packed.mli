@@ -1,0 +1,7 @@
+(** The Michael–Scott multi-grain variant of Lamport's fast mutex (§1.3);
+    see the implementation header for the construction. *)
+
+val word_bits : int
+(** Presence bits packed per word (32). *)
+
+include Mutex_intf.ALG

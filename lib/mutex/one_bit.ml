@@ -1,0 +1,61 @@
+(** The one-bit mutual exclusion algorithm (Burns; Lamport's "one-bit
+    solution"): deadlock-free mutual exclusion with exactly one shared
+    bit per process — the matching upper bound for the Burns–Lynch space
+    theorem the paper cites ([BL93]: any deadlock-free mutex needs n
+    registers).  Space-optimal and bit-only (atomicity 1), but its
+    contention-free step complexity is Θ(n): the process must scan every
+    other bit — exactly the cost profile Theorem 3's tree removes.
+
+    Entry for process i: raise b[i]; if any lower-priority... rather,
+    any lower-INDEX bit is up, back off and retry (lower indices win
+    ties); once the prefix is clear with b[i] up, wait for all higher
+    indices to clear.  Exit: drop b[i].  Deadlock-free (the lowest
+    raised index always makes progress) but not starvation-free —
+    lockout of high indices is possible, which is fine for the paper's
+    (weak) deadlock-freedom requirement.
+
+    Contention-free: 1 raise + (n - 1) scans + 1 drop = n + 1 steps over
+    n registers, identical for every process. *)
+
+open Cfc_base
+
+let name = "one-bit"
+let supports (p : Mutex_intf.params) = p.Mutex_intf.n >= 1
+let atomicity (_ : Mutex_intf.params) = 1
+let predicted_cf_steps (p : Mutex_intf.params) = Some (p.Mutex_intf.n + 1)
+let predicted_cf_registers (p : Mutex_intf.params) = Some p.Mutex_intf.n
+
+module Make (M : Mem_intf.MEM) = struct
+  type t = { n : int; b : M.reg array }
+
+  let create (p : Mutex_intf.params) =
+    { n = p.Mutex_intf.n;
+      b = M.alloc_array ~name:"ob" ~width:1 ~init:0 p.Mutex_intf.n }
+
+  let lock t ~me =
+    let rec enter () =
+      M.write t.b.(me) 1;
+      let rec scan_lower j =
+        if j >= me then true
+        else if M.read t.b.(j) = 1 then begin
+          (* A lower index is competing: yield to it and retry. *)
+          M.write t.b.(me) 0;
+          while M.read t.b.(j) = 1 do
+            M.pause ()
+          done;
+          false
+        end
+        else scan_lower (j + 1)
+      in
+      if scan_lower 0 then
+        for j = me + 1 to t.n - 1 do
+          while M.read t.b.(j) = 1 do
+            M.pause ()
+          done
+        done
+      else enter ()
+    in
+    enter ()
+
+  let unlock t ~me = M.write t.b.(me) 0
+end

@@ -1,0 +1,34 @@
+(** Peterson's two-process mutual exclusion algorithm, using three shared
+    bits (two intent flags and one multi-writer victim bit).  Atomicity 1.
+
+    Contention-free cost per lock+unlock: write flag, write victim, read
+    other flag (loop exits immediately), exit write flag — 4 steps over 3
+    registers (the victim register is written but the other's flag decides;
+    the other flag read touches a 3rd register). *)
+
+open Cfc_base
+
+let name = "peterson-2p"
+let atomicity = 1
+let cf_steps = 4
+let cf_registers = 3
+
+module Make (M : Mem_intf.MEM) = struct
+  type t = { flag : M.reg array; victim : M.reg }
+
+  let create ~name () =
+    {
+      flag = M.alloc_array ~name:(name ^ ".flag") ~width:1 ~init:0 2;
+      victim = M.alloc ~name:(name ^ ".victim") ~width:1 ~init:0 ();
+    }
+
+  let lock t ~side =
+    assert (side = 0 || side = 1);
+    M.write t.flag.(side) 1;
+    M.write t.victim side;
+    while M.read t.flag.(1 - side) = 1 && M.read t.victim = side do
+      M.pause ()
+    done
+
+  let unlock t ~side = M.write t.flag.(side) 0
+end

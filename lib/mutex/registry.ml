@@ -1,0 +1,35 @@
+(** First-class-module registry of all mutual exclusion algorithms and
+    contention detectors, for harness sweeps and benches. *)
+
+type alg = (module Mutex_intf.ALG)
+type detector = (module Mutex_intf.DETECTOR)
+
+let lamport_fast : alg = (module Lamport_fast)
+let tree : alg = (module Tree)
+let peterson_tournament : alg = (module Tournament.Peterson_tournament)
+let kessels_tournament : alg = (module Tournament.Kessels_tournament)
+let dekker_tournament : alg = (module Tournament.Dekker_tournament)
+let bakery : alg = (module Bakery)
+let tas_lock : alg = (module Tas_lock)
+let backoff : alg = (module Backoff)
+let ms_packed : alg = (module Ms_packed)
+let mcs : alg = (module Mcs)
+let one_bit : alg = (module One_bit)
+
+let all : alg list =
+  [ lamport_fast; tree; peterson_tournament; kessels_tournament;
+    dekker_tournament; bakery; one_bit; tas_lock; backoff; ms_packed; mcs ]
+
+(** The algorithms within the paper's atomic-register model (excludes the
+    RMW-based {!Tas_lock}), i.e. those the Theorem 1/2 lower bounds
+    apply to. *)
+let register_model : alg list =
+  [ lamport_fast; tree; peterson_tournament; kessels_tournament;
+    dekker_tournament; bakery; one_bit; backoff; ms_packed ]
+
+let splitter : detector = (module Splitter)
+let splitter_tree : detector = (module Splitter_tree)
+let detectors : detector list = [ splitter; splitter_tree ]
+
+let find name_ : alg option =
+  List.find_opt (fun (module A : Mutex_intf.ALG) -> A.name = name_) all

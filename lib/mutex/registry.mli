@@ -1,0 +1,32 @@
+(** First-class-module registry of the mutual exclusion algorithms and
+    contention detectors, for harness sweeps and benches. *)
+
+type alg = (module Mutex_intf.ALG)
+type detector = (module Mutex_intf.DETECTOR)
+
+val lamport_fast : alg
+val tree : alg
+val peterson_tournament : alg
+val kessels_tournament : alg
+val dekker_tournament : alg
+val bakery : alg
+val one_bit : alg
+val tas_lock : alg
+val backoff : alg
+val ms_packed : alg
+val mcs : alg
+
+val all : alg list
+(** Every algorithm, for sweeps. *)
+
+val register_model : alg list
+(** The algorithms within the paper's atomic-register model (excludes
+    the RMW-based locks), i.e. those the Theorem 1/2 lower bounds apply
+    to. *)
+
+val splitter : detector
+val splitter_tree : detector
+val detectors : detector list
+
+val find : string -> alg option
+(** Look up an algorithm by its [name]. *)

@@ -1,0 +1,37 @@
+(** Lamport's splitter: the wait-free core of the fast-path and a direct
+    solution to the contention detection problem (§2.3) with atomicity
+    [⌈log(n+1)⌉].  At most one process returns [true] ("alone"); a process
+    running solo always does.
+
+    Cost (same solo and worst case — the code is straight-line):
+    write x, read y, write y, read x = 4 steps, 2 registers. *)
+
+open Cfc_base
+
+let name = "splitter"
+let supports (p : Mutex_intf.params) = p.Mutex_intf.n >= 1
+
+(* x holds ids 1..n (0 is the unused initial value), y is one bit. *)
+let atomicity (p : Mutex_intf.params) = Ixmath.bits_needed p.Mutex_intf.n
+let predicted_cf_steps (_ : Mutex_intf.params) = Some 4
+let predicted_wc_steps (_ : Mutex_intf.params) = Some 4
+
+module Make (M : Mem_intf.MEM) = struct
+  type t = { x : M.reg; y : M.reg }
+
+  let create (p : Mutex_intf.params) =
+    let w = Ixmath.bits_needed p.Mutex_intf.n in
+    {
+      x = M.alloc ~name:"sp.x" ~width:w ~init:0 ();
+      y = M.alloc ~name:"sp.y" ~width:1 ~init:0 ();
+    }
+
+  let detect t ~me =
+    let id = me + 1 in
+    M.write t.x id;
+    if M.read t.y = 1 then false
+    else begin
+      M.write t.y 1;
+      M.read t.x = id
+    end
+end

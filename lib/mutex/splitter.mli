@@ -1,0 +1,4 @@
+(** Lamport's splitter as a contention detector (§2.3); see the
+    implementation header. *)
+
+include Mutex_intf.DETECTOR

@@ -1,0 +1,8 @@
+(** The §2.6 contention detector: a [2^l]-ary tree of splitters with
+    worst-case step complexity [4⌈log n / l⌉]; see the implementation
+    header for the soundness argument and the model-checker history. *)
+
+val depth : n:int -> l:int -> int
+(** Tree depth [⌈log n / l⌉] (at least 1). *)
+
+include Mutex_intf.DETECTOR

@@ -1,0 +1,30 @@
+(** Test-and-set spin lock: one shared bit in the read–modify–write model.
+    Outside the paper's atomic-register model for mutex (§2 assumes
+    read/write registers only), included as the RMW baseline the naming
+    section's primitives suggest: constant contention-free complexity
+    with atomicity 1 — demonstrating that the Theorem 1 lower bound is a
+    fact about plain registers, not about shared memory per se.
+
+    Contention-free cost: 1 TAS + 1 write = 2 steps, 1 register. *)
+
+open Cfc_base
+
+let name = "tas-lock"
+let supports (p : Mutex_intf.params) = p.Mutex_intf.n >= 1
+let atomicity (_ : Mutex_intf.params) = 1
+let predicted_cf_steps (_ : Mutex_intf.params) = Some 2
+let predicted_cf_registers (_ : Mutex_intf.params) = Some 1
+
+module Make (M : Mem_intf.MEM) = struct
+  type t = { bit : M.reg }
+
+  let create (_ : Mutex_intf.params) =
+    { bit = M.alloc_bit ~name:"tas.lock" ~model:Cfc_base.Model.rmw ~init:0 () }
+
+  let lock t ~me:_ =
+    while M.bit_op t.bit Ops.Test_and_set = Some 1 do
+      M.pause ()
+    done
+
+  let unlock t ~me:_ = M.write t.bit 0
+end

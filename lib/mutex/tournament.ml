@@ -1,0 +1,64 @@
+(** Binary tournament tree over any two-process lock (Peterson–Fischer
+    [PF77]; with {!Kessels} nodes this is the bit-only algorithm whose
+    worst-case register complexity is O(log n) — the [Kes82] row of the
+    paper's mutex table).  Process [me] enters at its leaf and plays one
+    two-process match per level; release is top-down (see {!Tree} for why).
+
+    Contention-free complexity: [d · cf] where [d = ⌈log2 n⌉] and [cf] is
+    the node lock's solo cost — O(log n) steps and registers with
+    atomicity 1, matching the paper's claim that for [l = 1] the
+    contention-free step complexity Θ(log n) is achievable. *)
+
+open Cfc_base
+
+module Make (T : Mutex_intf.TWO) = struct
+  let name = T.name ^ "-tournament"
+  let supports (p : Mutex_intf.params) = p.Mutex_intf.n >= 1
+  let atomicity (_ : Mutex_intf.params) = T.atomicity
+  let depth n = if n <= 1 then 1 else Ixmath.ceil_log2 n
+
+  let predicted_cf_steps (p : Mutex_intf.params) =
+    Some (T.cf_steps * depth p.Mutex_intf.n)
+
+  let predicted_cf_registers (p : Mutex_intf.params) =
+    Some (T.cf_registers * depth p.Mutex_intf.n)
+
+  module Make (M : Mem_intf.MEM) = struct
+    module L = T.Make (M)
+
+    type t = { n : int; depth : int; levels : L.t array array }
+
+    let create (p : Mutex_intf.params) =
+      let n = p.Mutex_intf.n in
+      let depth = depth n in
+      let levels =
+        Array.init depth (fun j ->
+            let groups = Ixmath.ceil_div n (Ixmath.pow2 (j + 1)) in
+            Array.init groups (fun g ->
+                L.create ~name:(Printf.sprintf "%s.%d.%d" T.name j g) ()))
+      in
+      { n; depth; levels }
+
+    let node_and_side t ~me ~level =
+      let group = me / Ixmath.pow2 (level + 1) in
+      let side = me / Ixmath.pow2 level mod 2 in
+      (t.levels.(level).(group), side)
+
+    let lock t ~me =
+      assert (me >= 0 && me < t.n);
+      for j = 0 to t.depth - 1 do
+        let node, side = node_and_side t ~me ~level:j in
+        L.lock node ~side
+      done
+
+    let unlock t ~me =
+      for j = t.depth - 1 downto 0 do
+        let node, side = node_and_side t ~me ~level:j in
+        L.unlock node ~side
+      done
+  end
+end
+
+module Peterson_tournament = Make (Peterson)
+module Kessels_tournament = Make (Kessels)
+module Dekker_tournament = Make (Dekker)

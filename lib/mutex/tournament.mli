@@ -1,0 +1,12 @@
+(** Binary tournament trees over any two-process lock (Peterson–Fischer
+    [PF77]); with {!Kessels} nodes this is the bit-only O(log n)
+    worst-case-register algorithm of the paper's mutex table ([Kes82]).
+    See the implementation header. *)
+
+module Make (T : Mutex_intf.TWO) : Mutex_intf.ALG
+(** An n-process algorithm with contention-free cost
+    [⌈log n⌉ · T.cf_steps] / [⌈log n⌉ · T.cf_registers]. *)
+
+module Peterson_tournament : Mutex_intf.ALG
+module Kessels_tournament : Mutex_intf.ALG
+module Dekker_tournament : Mutex_intf.ALG

@@ -1,0 +1,78 @@
+(** The Theorem 3 construction: a tree of Lamport fast-mutex nodes.
+
+    For atomicity [l], each node is a copy of Lamport's algorithm with its
+    own registers of width [l], arbitrating among [c = 2^l - 1] slots
+    (an [l]-bit register distinguishes [2^l] values and the gate register
+    [y] must also encode "free", leaving [2^l - 1] usable slot ids; the
+    paper's prose says "2^l processes per node", glossing this encoding —
+    see DESIGN.md).  A process enters at its leaf and climbs to the root,
+    holding every node on its path; it releases top-down, which preserves
+    the invariant that at most one process uses any slot of any node at a
+    time (the paper releases bottom-up; both orders are safe for the same
+    counts, the top-down order makes the slot invariant immediate).
+
+    Contention-free complexity: exactly [7·d] steps and [3·d] registers
+    where [d = ⌈log_c n⌉] is the tree depth — the paper's
+    [O(⌈log n / l⌉)] upper bound (Theorem 3). *)
+
+open Cfc_base
+
+let capacity_of_l l =
+  if l < 2 then
+    invalid_arg "Tree: atomicity l must be >= 2 (use a bit-only tournament \
+                 algorithm for l = 1)"
+  else Ixmath.pow2 l - 1
+
+let depth ~n ~l = Ixmath.ceil_log ~base:(capacity_of_l l) n
+
+let name = "tree-lamport"
+let supports (p : Mutex_intf.params) = p.Mutex_intf.n >= 1 && p.Mutex_intf.l >= 2
+let atomicity (p : Mutex_intf.params) = p.Mutex_intf.l
+
+let predicted_cf_steps (p : Mutex_intf.params) =
+  Some (7 * depth ~n:p.Mutex_intf.n ~l:p.Mutex_intf.l)
+
+let predicted_cf_registers (p : Mutex_intf.params) =
+  Some (3 * depth ~n:p.Mutex_intf.n ~l:p.Mutex_intf.l)
+
+module Make (M : Mem_intf.MEM) = struct
+  module N = Lamport_fast.Node (M)
+
+  type t = {
+    n : int;
+    capacity : int;
+    depth : int;
+    levels : N.t array array;  (** [levels.(j).(g)]: node [g] at level [j] *)
+  }
+
+  let create (p : Mutex_intf.params) =
+    let n = p.Mutex_intf.n and l = p.Mutex_intf.l in
+    let capacity = capacity_of_l l in
+    let depth = depth ~n ~l in
+    let levels =
+      Array.init depth (fun j ->
+          let groups = Ixmath.ceil_div n (Ixmath.ipow capacity (j + 1)) in
+          Array.init groups (fun g ->
+              N.create ~name:(Printf.sprintf "t%d.%d" j g) ~capacity ()))
+    in
+    { n; capacity; depth; levels }
+
+  let node_and_slot t ~me ~level =
+    let c = t.capacity in
+    let group = me / Ixmath.ipow c (level + 1) in
+    let slot = (me / Ixmath.ipow c level) mod c + 1 in
+    (t.levels.(level).(group), slot)
+
+  let lock t ~me =
+    assert (me >= 0 && me < t.n);
+    for j = 0 to t.depth - 1 do
+      let node, slot = node_and_slot t ~me ~level:j in
+      N.lock node ~slot
+    done
+
+  let unlock t ~me =
+    for j = t.depth - 1 downto 0 do
+      let node, slot = node_and_slot t ~me ~level:j in
+      N.unlock node ~slot
+    done
+end

@@ -1,0 +1,14 @@
+(** The Theorem 3 construction: a tree of Lamport fast-mutex nodes with
+    [l]-bit registers — contention-free complexity exactly [7·d] steps
+    and [3·d] registers for tree depth [d].  See the implementation
+    header for the capacity-(2^l − 1) encoding note and the release-order
+    discussion. *)
+
+val capacity_of_l : int -> int
+(** Slots per node: [2^l - 1] (an [l]-bit gate must also encode "free").
+    Raises [Invalid_argument] for [l < 2]. *)
+
+val depth : n:int -> l:int -> int
+(** Tree depth [⌈log_(2^l - 1) n⌉], at least 1. *)
+
+include Mutex_intf.ALG

@@ -1,0 +1,16 @@
+(** Model duality (§3.2), executable: transform an algorithm for model M
+    into one for dual(M) with identical complexity on every measure, by
+    complementing bit values and mapping each operation to its dual. *)
+
+module Dual_mem (M : Cfc_base.Mem_intf.MEM) :
+  Cfc_base.Mem_intf.MEM with type reg = M.reg * bool
+(** The memory adapter: bit registers allocated through it live in the
+    dual world; wide registers pass through untouched. *)
+
+module Make (A : Naming_intf.ALG) : Naming_intf.ALG
+(** [Make (A)] names itself [A.name ^ "-dual"] and declares
+    [Model.dual A.model]. *)
+
+module Tar_scan : Naming_intf.ALG
+(** The dual of {!Tas_scan}: a test-and-reset scan over bits initially
+    1 — the [{test-and-reset}] model, same [n - 1] tight bounds. *)

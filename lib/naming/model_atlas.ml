@@ -1,0 +1,54 @@
+open Cfc_base
+
+type cell = Linear | Logarithmic
+
+type classification =
+  | Unsolvable
+  | Bounds of {
+      cf_register : cell;
+      cf_step : cell;
+      wc_register : cell;
+      wc_step : cell;
+      witness : string;
+    }
+
+let pp_cell ppf = function
+  | Linear -> Format.pp_print_string ppf "n-1"
+  | Logarithmic -> Format.pp_print_string ppf "log n"
+
+(* A symmetry breaker both modifies the bit and returns its old value. *)
+let breakers = [ Ops.Test_and_set; Ops.Test_and_reset; Ops.Test_and_flip ]
+
+let classify m =
+  let has op = Model.mem op m in
+  if not (List.exists has breakers) then Unsolvable
+  else begin
+    let taf = has Ops.Test_and_flip in
+    let set_and_reset = has Ops.Test_and_set && has Ops.Test_and_reset in
+    let read = has Ops.Read in
+    let wc_step = if taf then Logarithmic else Linear in
+    let wc_register = if taf || set_and_reset then Logarithmic else Linear in
+    let cf = if taf || set_and_reset || read then Logarithmic else Linear in
+    let witness =
+      if taf then "test-and-flip tree (Thm 4.1)"
+      else if set_and_reset then "set/reset alternation tree (Thm 4.2)"
+      else if read && has Ops.Test_and_set then
+        "read+test-and-set search (Thm 4.4) / scan (Thm 4.3)"
+      else if read then "dual of read+test-and-set search"
+      else if has Ops.Test_and_set then "test-and-set scan (Thm 4.3)"
+      else "dual of test-and-set scan"
+    in
+    Bounds { cf_register = cf; cf_step = cf; wc_register; wc_step; witness }
+  end
+
+let all () =
+  List.init 256 (fun mask ->
+      let m =
+        List.filteri (fun i _ -> mask land (1 lsl i) <> 0) Ops.all
+        |> Model.of_list
+      in
+      (m, classify m))
+
+let solvable_count () =
+  List.length
+    (List.filter (fun (_, c) -> c <> Unsolvable) (all ()))

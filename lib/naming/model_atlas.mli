@@ -1,0 +1,52 @@
+(** The §3.3 exercise, done: a classification of all [2^8] operation
+    models by the four naming complexity measures.
+
+    The paper proves bounds for five models and "leaves it as an exercise
+    for the reader to come up with bounds for the other models"; the
+    classification below follows from the paper's own results plus
+    duality:
+
+    - {e Unsolvable}: a model whose every operation either never modifies
+      the bit (skip, read) or never returns a value (write-0, write-1,
+      flip) cannot break symmetry deterministically (the §3.1
+      observation: identical processes stay identical under lockstep) —
+      32 of the 256 models.
+    - Otherwise the model contains a {e symmetry breaker} (test-and-set,
+      test-and-reset, or test-and-flip) and naming is solvable; each
+      measure is [n-1] or [Θ(log n)]:
+      - worst-case step: logarithmic iff test-and-flip is available
+        (Theorem 6 forces [n-1] without it, Theorem 4(1) achieves
+        [log n] with it);
+      - worst-case register: logarithmic iff test-and-flip, or both
+        test-and-set and test-and-reset (Theorem 4(2)'s alternation
+        tree); [n-1] otherwise (tight per the paper's table);
+      - contention-free step and register: logarithmic iff the model has
+        test-and-flip, both set+reset, or a breaker plus read (Theorems
+        4(1,2,4) and duals); with a lone breaker and no read they stay
+        [n-1] (Theorem 7 and its dual).
+
+    Every logarithmic cell is witnessed by an algorithm in this
+    repository (possibly through the {!Dualize} construction), which the
+    test suite cross-checks by measurement. *)
+
+open Cfc_base
+
+type cell = Linear | Logarithmic
+
+type classification =
+  | Unsolvable
+  | Bounds of {
+      cf_register : cell;
+      cf_step : cell;
+      wc_register : cell;
+      wc_step : cell;
+      witness : string;  (** construction achieving the upper bounds *)
+    }
+
+val classify : Model.t -> classification
+
+val all : unit -> (Model.t * classification) list
+(** All 256 models with their classification, in mask order. *)
+
+val solvable_count : unit -> int
+val pp_cell : Format.formatter -> cell -> unit

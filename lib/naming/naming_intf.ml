@@ -1,0 +1,42 @@
+(** Interface for naming algorithms (§3): wait-free assignment of unique
+    names from [1..n] to [n] initially identical processes communicating
+    through shared bits supporting the operations of a {!Cfc_base.Model.t}.
+
+    Processes are anonymous — [run] takes no process identity, so any two
+    processes execute literally the same code (the symmetry that makes the
+    problem non-trivial; the Theorem 5/6 lower-bound arguments rely on
+    it).  Wait-freedom is exercised by the harness through crash
+    injection: a run must assign unique names to all non-crashed
+    participants no matter which processes stop. *)
+
+open Cfc_base
+
+module type ALG = sig
+  val name : string
+
+  val model : Model.t
+  (** The operations the algorithm needs (its column in the paper's
+      table). *)
+
+  val supports : n:int -> bool
+  (** Tree-based algorithms require [n] to be a power of two. *)
+
+  (** Exact closed-form complexities where known ([n >= 2]); [None] when
+      the algorithm has no published closed form for that measure. *)
+
+  val predicted_cf_steps : n:int -> int option
+  val predicted_wc_steps : n:int -> int option
+  val predicted_cf_registers : n:int -> int option
+  val predicted_wc_registers : n:int -> int option
+
+  module Make (M : Mem_intf.MEM) : sig
+    type t
+
+    val create : n:int -> t
+    (** Allocate the shared bits (outside process execution). *)
+
+    val run : t -> int
+    (** Executed by each participating process; returns its name in
+        [1..n].  Identity-free by construction. *)
+  end
+end

@@ -1,0 +1,29 @@
+(** First-class-module registry of the naming algorithms, organized by the
+    paper's table columns. *)
+
+type alg = (module Naming_intf.ALG)
+
+let tas_scan : alg = (module Tas_scan)
+let tas_read_search : alg = (module Tas_read_search)
+let tas_tar_tree : alg = (module Tas_tar_tree)
+let taf_tree : alg = (module Taf_tree)
+let rmw_tree : alg = (module Rmw_tree)
+let tar_scan : alg = (module Dualize.Tar_scan)
+
+let all : alg list =
+  [ tas_scan; tas_read_search; tas_tar_tree; taf_tree; rmw_tree; tar_scan ]
+
+(** The algorithms realizing each column of the paper's naming table.  A
+    column may need different algorithms for different cells (e.g. the
+    read+tas+tar column gets its contention-free and worst-case-register
+    bounds from different constructions); the harness takes the best value
+    per cell. *)
+let columns : (string * alg list) list =
+  [ ("tas", [ tas_scan ]);
+    ("read+tas", [ tas_read_search; tas_scan ]);
+    ("read+tas+tar", [ tas_read_search; tas_tar_tree; tas_scan ]);
+    ("taf", [ taf_tree ]);
+    ("rmw", [ rmw_tree ]) ]
+
+let find name_ : alg option =
+  List.find_opt (fun (module A : Naming_intf.ALG) -> A.name = name_) all

@@ -1,0 +1,20 @@
+(** First-class-module registry of the naming algorithms, organized by
+    the paper's table columns. *)
+
+type alg = (module Naming_intf.ALG)
+
+val tas_scan : alg
+val tas_read_search : alg
+val tas_tar_tree : alg
+val taf_tree : alg
+val rmw_tree : alg
+val tar_scan : alg
+
+val all : alg list
+
+val columns : (string * alg list) list
+(** The algorithms realizing each column of the paper's naming table;
+    a column may need different algorithms for different cells, and the
+    harness takes the best value per cell. *)
+
+val find : string -> alg option

@@ -1,0 +1,8 @@
+(** The full read–modify–write column of the naming table: the
+    {!Taf_tree} walk over bits that support all eight operations —
+    [log n] tight on all four measures. *)
+
+include Taf_tree.MakeWith (struct
+  let name = "rmw-tree"
+  let model = Cfc_base.Model.rmw
+end)

@@ -1,0 +1,61 @@
+(** Theorem 4, part 1: naming with [test-and-flip] in worst-case [log n]
+    steps (tight on all four measures by Theorem 5).
+
+    [n - 1] shared bits arranged as a balanced binary tree of depth
+    [log n].  Each process walks root-to-leaf applying one test-and-flip
+    per node: returned 0 goes left, 1 goes right; at a leaf numbered [f]
+    the returned value picks between names [2f - 1] and [2f].
+
+    Uniqueness: test-and-flip makes the sequence of values returned at a
+    node alternate 0,1,0,1,…, so of the [k] processes that reach a node,
+    exactly [⌈k/2⌉] descend left and [⌊k/2⌋] right; inductively at most
+    two processes reach each leaf and they see different values there.
+
+    The same tree solves the full read–modify–write column (the rmw model
+    includes test-and-flip); {!Rmw_tree} instantiates it that way. *)
+
+open Cfc_base
+
+module MakeWith (Spec : sig
+  val name : string
+  val model : Model.t
+end) =
+struct
+  let name = Spec.name
+  let model = Spec.model
+  let supports ~n = n >= 1 && Ixmath.is_pow2 n
+  let predicted_cf_steps ~n = Some (Ixmath.ceil_log2 n)
+  let predicted_wc_steps ~n = Some (Ixmath.ceil_log2 n)
+  let predicted_cf_registers ~n = Some (Ixmath.ceil_log2 n)
+  let predicted_wc_registers ~n = Some (Ixmath.ceil_log2 n)
+
+  module Make (M : Mem_intf.MEM) = struct
+    type t = { n : int; bits : M.reg array (* heap layout, index 1..n-1 *) }
+
+    let create ~n =
+      if not (Ixmath.is_pow2 n) then
+        invalid_arg "Taf_tree.create: n must be a power of two";
+      (* bits.(0) unused so that node i has children 2i and 2i+1 *)
+      { n; bits = M.alloc_bit_array ~name:"taf" ~model:Spec.model ~init:0 n }
+
+    let run t =
+      if t.n = 1 then 1
+      else begin
+        let rec walk i =
+          let v = Option.get (M.bit_op t.bits.(i) Ops.Test_and_flip) in
+          if 2 * i >= t.n then begin
+            (* [i] is a leaf; leaves are n/2 .. n-1, numbered 1 .. n/2. *)
+            let f = i - (t.n / 2) + 1 in
+            (2 * f) - 1 + v
+          end
+          else walk ((2 * i) + v)
+        in
+        walk 1
+      end
+  end
+end
+
+include MakeWith (struct
+  let name = "taf-tree"
+  let model = Model.taf
+end)

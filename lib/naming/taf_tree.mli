@@ -1,0 +1,12 @@
+(** Theorem 4, part 1: naming with test-and-flip in worst-case [log n]
+    steps — tight on all four measures by Theorem 5.  See the
+    implementation header for the alternation argument. *)
+
+(** The tree walk parameterized by the register model, so the full
+    read–modify–write column ({!Rmw_tree}) reuses it verbatim. *)
+module MakeWith (_ : sig
+  val name : string
+  val model : Cfc_base.Model.t
+end) : Naming_intf.ALG
+
+include Naming_intf.ALG

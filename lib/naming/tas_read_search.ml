@@ -1,0 +1,77 @@
+(** Theorem 4, part 4: naming with [read] + [test-and-set] in
+    contention-free complexity Θ(log n).
+
+    [n - 1] bits, initially 0.  A process descends the complete binary
+    decision tree over positions 1..n-1 — [log n - 1] read probes at
+    positions n/2, n/2 ± n/4, … — and test-and-sets the odd position the
+    descent lands on as its [log n]-th step.  If that operation returns 1
+    it falls back to the linear scan from the next index (as in
+    {!Tas_scan}).
+
+    In a contention-free (sequential) run the descent lands exactly on the
+    least unclaimed index when that index is odd (the process finishes in
+    exactly [log n] steps) and one short of it when it is even (one extra
+    test-and-set; [log n + 1] steps, touching no new register because the
+    claimed bit was one of the read probes).  So the exact contention-free
+    complexity of this algorithm is [log n] registers and [log n + 1]
+    steps; the paper's table reports both as [log n] — the step entry is
+    asymptotic, and in fact no algorithm can do better: with read and
+    test-and-set, a group of processes with identical histories shrinks by
+    at most one terminating process per test-and-set probe, so at most
+    [2^(k-1) + 1] processes can finish within [k] steps, forcing some
+    contention-free run of length [≥ log n + 1] (see EXPERIMENTS.md).
+
+    Why the fallback never breaks uniqueness of name [n]: bits only go
+    0→1, and a process claims index [j] only having observed 1 at [j - 1]
+    (or [j = 1]), so by induction on claim times the claimed set is a
+    prefix at every moment; name [n] is taken only when all [n - 1] bits
+    are claimed by the other [n - 1] processes — at most once. *)
+
+open Cfc_base
+
+let name = "tas-read-search"
+let model = Model.tas_read
+let supports ~n = n >= 1 && Ixmath.is_pow2 n
+
+let predicted_cf_steps ~n =
+  if n = 1 then Some 0
+  else if n = 2 then Some 1
+  else Some (Ixmath.ceil_log2 n + 1)
+
+let predicted_wc_steps ~n =
+  if n = 1 then Some 0 else Some (max 1 (n - 2 + Ixmath.ceil_log2 n))
+
+let predicted_cf_registers ~n =
+  if n = 1 then Some 0 else Some (Ixmath.ceil_log2 n)
+
+let predicted_wc_registers ~n =
+  if n = 1 then Some 0 else Some (max 1 (n - 1))
+
+module Make (M : Mem_intf.MEM) = struct
+  type t = { n : int; bits : M.reg array }
+
+  let create ~n =
+    if not (Ixmath.is_pow2 n) then
+      invalid_arg "Tas_read_search.create: n must be a power of two";
+    { n; bits = M.alloc_bit_array ~name:"bs" ~model ~init:0 (max 0 (n - 1)) }
+
+  let tas t j = Option.get (M.bit_op t.bits.(j - 1) Ops.Test_and_set)
+
+  let run t =
+    if t.n = 1 then 1
+    else begin
+      (* Complete-tree descent: positions n/2, ±n/4, …, landing odd. *)
+      let rec descend pos step =
+        if step = 0 then pos
+        else if M.read t.bits.(pos - 1) = 1 then descend (pos + step) (step / 2)
+        else descend (pos - step) (step / 2)
+      in
+      let first = descend (t.n / 2) (t.n / 4) in
+      let rec claim j =
+        if j > t.n - 1 then t.n
+        else if tas t j = 0 then j
+        else claim (j + 1)
+      in
+      claim first
+    end
+end

@@ -1,0 +1,34 @@
+(** Theorem 4, part 3: naming with [test-and-set] alone — the trivial
+    linear scan, worst-case step complexity [n - 1] (tight on all four
+    measures in this model, Theorem 7).
+
+    [n - 1] bits, initially 0.  Each process test-and-sets bit 1, 2, …
+    until an operation returns 0 (it claims that index as its name) or the
+    bits are exhausted (it takes name [n]).  Each bit returns 0 to exactly
+    one process, so names are unique; straight-line per bit, hence
+    wait-free. *)
+
+open Cfc_base
+
+let name = "tas-scan"
+let model = Model.tas_only
+let supports ~n = n >= 1
+let predicted_cf_steps ~n = Some (max 1 (n - 1))
+let predicted_wc_steps ~n = Some (max 1 (n - 1))
+let predicted_cf_registers ~n = Some (max 1 (n - 1))
+let predicted_wc_registers ~n = Some (max 1 (n - 1))
+
+module Make (M : Mem_intf.MEM) = struct
+  type t = { n : int; bits : M.reg array }
+
+  let create ~n =
+    { n; bits = M.alloc_bit_array ~name:"scan" ~model ~init:0 (max 0 (n - 1)) }
+
+  let run t =
+    let rec claim j =
+      if j > t.n - 1 then t.n
+      else if Option.get (M.bit_op t.bits.(j - 1) Ops.Test_and_set) = 0 then j
+      else claim (j + 1)
+    in
+    claim 1
+end

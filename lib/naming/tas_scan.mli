@@ -1,0 +1,4 @@
+(** A naming algorithm of Theorem 4; see the implementation header for
+    the construction, its exact costs, and the correctness argument. *)
+
+include Naming_intf.ALG

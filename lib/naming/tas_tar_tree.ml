@@ -1,0 +1,59 @@
+(** Theorem 4, part 2: naming with [test-and-set] + [test-and-reset] whose
+    worst-case {e register} complexity is [log n] (the step complexity
+    stays Θ(n) in the worst case — that is the point of the table's third
+    column).
+
+    The {!Taf_tree} walk, but a node's test-and-flip is emulated by
+    alternating test-and-set and test-and-reset until the test-and-set
+    returns 0 (acts as flip 0→1) or the test-and-reset returns 1 (flip
+    1→0).  The value of the last operation routes exactly as in the flip
+    tree: successful set = "saw 0", successful reset = "saw 1".
+
+    Per node, successful operations strictly alternate set/reset, so the
+    counting argument of {!Taf_tree} applies verbatim: at most two
+    processes per leaf, with different final values — names are unique.
+
+    In a contention-free (sequential) run, process [k] spends 1 step per
+    node when the bit is in the state its test-and-set expects and 2
+    otherwise, so its contention-free step complexity is at most
+    [2 log n] = O(log n); the table's [log n] entry for contention-free
+    step complexity is achieved by the model's {!Tas_read_search}
+    algorithm (a model richer in one measure may use a different
+    algorithm per measure). *)
+
+open Cfc_base
+
+let name = "tas-tar-tree"
+let model = Model.of_list [ Ops.Test_and_set; Ops.Test_and_reset ]
+let supports ~n = n >= 1 && Ixmath.is_pow2 n
+let predicted_cf_steps ~n = Some (2 * Ixmath.ceil_log2 n)
+let predicted_wc_steps ~n:_ = None
+let predicted_cf_registers ~n = Some (Ixmath.ceil_log2 n)
+let predicted_wc_registers ~n = Some (Ixmath.ceil_log2 n)
+
+module Make (M : Mem_intf.MEM) = struct
+  type t = { n : int; bits : M.reg array }
+
+  let create ~n =
+    if not (Ixmath.is_pow2 n) then
+      invalid_arg "Tas_tar_tree.create: n must be a power of two";
+    { n; bits = M.alloc_bit_array ~name:"tt" ~model ~init:0 n }
+
+  (* Emulated test-and-flip: the returned value of the last (successful)
+     operation, as in the paper's proof of Theorem 4(2). *)
+  let rec flip_emulated bit =
+    if Option.get (M.bit_op bit Ops.Test_and_set) = 0 then 0
+    else if Option.get (M.bit_op bit Ops.Test_and_reset) = 1 then 1
+    else flip_emulated bit
+
+  let run t =
+    if t.n = 1 then 1
+    else begin
+      let rec walk i =
+        let v = flip_emulated t.bits.(i) in
+        if 2 * i >= t.n then (2 * (i - (t.n / 2) + 1)) - 1 + v
+        else walk ((2 * i) + v)
+      in
+      walk 1
+    end
+end

@@ -1,0 +1,88 @@
+open Cfc_mutex
+
+let now () = Monotonic_clock.now ()
+
+let ns_of span = Int64.to_float span
+
+(* Median of [k] timed batches of [iters] calls to [f]; returns ns per
+   call. *)
+let time_batches ?(k = 5) ~iters f =
+  let samples =
+    List.init k (fun _ ->
+        let t0 = now () in
+        for _ = 1 to iters do
+          f ()
+        done;
+        ns_of (Int64.sub (now ()) t0) /. float_of_int iters)
+  in
+  let sorted = List.sort compare samples in
+  List.nth sorted (k / 2)
+
+let instantiate (module A : Mutex_intf.ALG) (p : Mutex_intf.params) =
+  if not (A.supports p) then
+    invalid_arg (Printf.sprintf "%s: unsupported params" A.name);
+  let module M = (val Native_mem.mem ()) in
+  let module L = A.Make (M) in
+  let inst = L.create p in
+  let lock ~me = L.lock inst ~me and unlock ~me = L.unlock inst ~me in
+  (lock, unlock)
+
+let uncontended_ns ?(iters = 20_000) alg p =
+  let lock, unlock = instantiate alg p in
+  time_batches ~iters (fun () ->
+      lock ~me:0;
+      unlock ~me:0)
+
+let contended ?(iters = 5_000) ~domains alg (p : Mutex_intf.params) =
+  if domains > p.Mutex_intf.n then invalid_arg "contended: domains > n";
+  let lock, unlock = instantiate alg p in
+  (* A deliberately non-atomic shared counter: its final value equals the
+     total number of critical sections iff mutual exclusion held (lost
+     updates would show as a shortfall). *)
+  let counter = ref 0 in
+  let t0 = now () in
+  let worker me () =
+    for _ = 1 to iters do
+      lock ~me;
+      counter := !counter + 1;
+      unlock ~me
+    done
+  in
+  let spawned =
+    List.init (domains - 1) (fun i -> Domain.spawn (worker (i + 1)))
+  in
+  worker 0 ();
+  List.iter Domain.join spawned;
+  let elapsed = ns_of (Int64.sub (now ()) t0) in
+  let total = domains * iters in
+  (elapsed /. float_of_int total, !counter = total)
+
+let naming_ns ?(repeats = 50) (module A : Cfc_naming.Naming_intf.ALG) ~n =
+  if not (A.supports ~n) then invalid_arg (A.name ^ ": unsupported n");
+  let cores = max 1 (min 4 (Domain.recommended_domain_count () - 1)) in
+  let ok = ref true in
+  let t0 = now () in
+  for _ = 1 to repeats do
+    let module M = (val Native_mem.mem ()) in
+    let module N = A.Make (M) in
+    let inst = N.create ~n in
+    (* n naming processes distributed over the available cores in waves;
+       each domain runs its share sequentially (a legal schedule). *)
+    let results = Array.make n 0 in
+    let worker d () =
+      let i = ref d in
+      while !i < n do
+        results.(!i) <- N.run inst;
+        i := !i + cores
+      done
+    in
+    let spawned =
+      List.init (cores - 1) (fun d -> Domain.spawn (worker (d + 1)))
+    in
+    worker 0 ();
+    List.iter Domain.join spawned;
+    let sorted = List.sort compare (Array.to_list results) in
+    if sorted <> List.init n (fun i -> i + 1) then ok := false
+  done;
+  let elapsed = ns_of (Int64.sub (now ()) t0) in
+  (elapsed /. float_of_int repeats, !ok)

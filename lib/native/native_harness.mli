@@ -1,0 +1,24 @@
+(** Wall-clock harness on real domains: the EXP-NATIVE experiments.
+
+    Absolute numbers are machine-dependent; what reproduces the paper is
+    the {e shape}: constant uncontended latency for Lamport's algorithm
+    vs Θ(log n / l) for the tree vs Θ(n) for the bakery, and the §4
+    backoff effect under contention. *)
+
+open Cfc_mutex
+
+val uncontended_ns : ?iters:int -> Registry.alg -> Mutex_intf.params -> float
+(** Nanoseconds per lock/unlock cycle on a single domain (the
+    contention-free path), median of several batches. *)
+
+val contended :
+  ?iters:int -> domains:int -> Registry.alg -> Mutex_intf.params ->
+  float * bool
+(** [(ns_per_cycle, exclusion_ok)] with [domains] domains hammering the
+    lock; [exclusion_ok] is a shared-counter check (count equals total
+    iterations iff no lost updates inside the critical section). *)
+
+val naming_ns : ?repeats:int -> Cfc_naming.Registry.alg -> n:int -> float * bool
+(** Wall-clock for assigning [n] names with [n] domains... capped at the
+    machine's core count by running processes in waves; the boolean is
+    the uniqueness check. *)

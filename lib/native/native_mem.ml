@@ -1,0 +1,92 @@
+open Cfc_base
+
+type cell = { atom : int Atomic.t; width : int; model : Model.t option }
+
+let fits ~width v = v >= 0 && (width >= 62 || v < 1 lsl width)
+
+let make_cell ?model ~width ~init () =
+  if width < 1 || width > 62 then invalid_arg "Native_mem: width";
+  if not (fits ~width init) then invalid_arg "Native_mem: init too wide";
+  { atom = Atomic.make init; width; model }
+
+let require c op =
+  match c.model with
+  | None -> ()
+  | Some m ->
+    if not (Model.mem op m) then
+      invalid_arg
+        (Printf.sprintf "native register: %s not in model %s"
+           (Ops.to_string op) (Model.to_string m))
+
+let mem () : Mem_intf.mem =
+  (module struct
+    type reg = cell
+
+    let alloc ?name:_ ~width ~init () = make_cell ~width ~init ()
+    let alloc_bit ?name:_ ~model ~init () = make_cell ~model ~width:1 ~init ()
+
+    let alloc_array ?name:_ ~width ~init k =
+      Array.init k (fun _ -> make_cell ~width ~init ())
+
+    let alloc_bit_array ?name:_ ~model ~init k =
+      Array.init k (fun _ -> make_cell ~model ~width:1 ~init ())
+
+    let read c =
+      require c Ops.Read;
+      Atomic.get c.atom
+
+    let write c v =
+      if not (fits ~width:c.width v) then
+        invalid_arg "native register: value too wide";
+      (match c.model with
+      | None -> ()
+      | Some _ -> require c (if v = 0 then Ops.Write_0 else Ops.Write_1));
+      Atomic.set c.atom v
+
+    let write_field c ~index ~width v =
+      (match c.model with
+      | Some _ -> invalid_arg "native write_field: model-restricted bit"
+      | None -> ());
+      if width < 1 || index < 0 || (index + 1) * width > c.width then
+        invalid_arg "native write_field: field out of range";
+      if not (fits ~width v) then
+        invalid_arg "native write_field: value too wide";
+      let shift = index * width in
+      let mask = ((1 lsl width) - 1) lsl shift in
+      let rec go () =
+        let old = Atomic.get c.atom in
+        let nv = old land lnot mask lor (v lsl shift) in
+        if old = nv || Atomic.compare_and_set c.atom old nv then ()
+        else go ()
+      in
+      go ()
+
+    let bit_op c op =
+      if c.width <> 1 then invalid_arg "native bit_op: not a bit";
+      require c op;
+      let rec go () =
+        let old = Atomic.get c.atom in
+        let nv, ret = Ops.apply op old in
+        if old = nv || Atomic.compare_and_set c.atom old nv then ret
+        else go ()
+      in
+      go ()
+
+    let fetch_and_store c v =
+      (match c.model with
+      | Some _ -> invalid_arg "native fetch_and_store: model-restricted bit"
+      | None -> ());
+      if not (fits ~width:c.width v) then
+        invalid_arg "native fetch_and_store: value too wide";
+      Atomic.exchange c.atom v
+
+    let compare_and_set c ~expected v =
+      (match c.model with
+      | Some _ -> invalid_arg "native compare_and_set: model-restricted bit"
+      | None -> ());
+      if not (fits ~width:c.width v) then
+        invalid_arg "native compare_and_set: value too wide";
+      Atomic.compare_and_set c.atom expected v
+
+    let pause () = Domain.cpu_relax ()
+  end : Mem_intf.MEM)

@@ -1,0 +1,13 @@
+(** The native {!Cfc_base.Mem_intf.MEM} backend: registers are
+    [Atomic.t] cells (sequentially consistent in OCaml 5, matching the
+    paper's atomic-register model), so the very same algorithm functors
+    run on real domains for wall-clock benchmarking.
+
+    Width accounting and operation models are still enforced (cheaply) so
+    that an algorithm's declared atomicity stays honest on this backend
+    too; bit operations are implemented as compare-and-set loops, which
+    preserves their atomic semantics (hardware test-and-set is the
+    special case that never retries). *)
+
+val mem : unit -> Cfc_base.Mem_intf.mem
+(** A fresh arena.  Thread-safe: allocate before spawning domains. *)

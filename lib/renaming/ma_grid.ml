@@ -1,0 +1,79 @@
+(** The Moir–Anderson splitter grid (1995): one-shot wait-free renaming
+    whose cost adapts to contention — the contention-free path is a
+    single splitter (4 steps, 2 registers, name 1), and with [k]
+    participants every process stops within diagonal [k - 1], so names
+    come from [1..k(k+1)/2] regardless of how large the original id
+    space was.
+
+    A triangular grid of splitters (the same primitive as
+    {!Cfc_mutex.Splitter}, sound here because original ids are distinct).
+    Each splitter admits at most one "stop"; a process that reads the
+    gate set moves right, one that loses the id check moves down.  Of [j]
+    processes entering a splitter at most [j - 1] move right (the last
+    one to write [x] before the first gate write cannot see the gate
+    clear ... the standard argument: the first process to write the gate
+    saw every later x-writer still ahead) and at most [j - 1] move down,
+    so the occupancy of each diagonal strictly decreases and a process
+    alone in a splitter always stops. *)
+
+open Cfc_base
+
+let name = "moir-anderson-grid"
+let name_space ~n:_ ~k = k * (k + 1) / 2
+let predicted_cf_steps = Some 4
+let predicted_cf_registers = Some 2
+
+(* Cells enumerated by diagonal: (r, c) with d = r + c gets
+   d(d+1)/2 + r + 1, so diagonal d uses names d(d+1)/2+1 .. (d+1)(d+2)/2
+   — exactly the adaptive k(k+1)/2 bound. *)
+let cell_index ~r ~c =
+  let d = r + c in
+  (d * (d + 1) / 2) + r + 1
+
+module Make (M : Mem_intf.MEM) = struct
+  type splitter = { x : M.reg; y : M.reg }
+
+  type t = { n : int; cells : splitter array array (* cells.(r).(c) *) }
+
+  let create ~n =
+    if n < 1 then invalid_arg "Ma_grid.create: n";
+    let width = Ixmath.bits_needed n in
+    let cells =
+      Array.init n (fun r ->
+          Array.init
+            (n - r)
+            (fun c ->
+              {
+                x =
+                  M.alloc ~name:(Printf.sprintf "ma.%d.%d.x" r c) ~width
+                    ~init:0 ();
+                y =
+                  M.alloc ~name:(Printf.sprintf "ma.%d.%d.y" r c) ~width:1
+                    ~init:0 ();
+              }))
+    in
+    { n; cells }
+
+  type outcome = Stop | Right | Down
+
+  let splitter s ~id =
+    M.write s.x id;
+    if M.read s.y = 1 then Right
+    else begin
+      M.write s.y 1;
+      if M.read s.x = id then Stop else Down
+    end
+
+  let rename t ~me =
+    let id = me + 1 in
+    let rec walk r c =
+      (* The last diagonal always stops its (necessarily lone) visitor;
+         the assert documents the grid-occupancy invariant. *)
+      assert (r + c < t.n);
+      match splitter t.cells.(r).(c) ~id with
+      | Stop -> cell_index ~r ~c
+      | Right -> walk r (c + 1)
+      | Down -> walk (r + 1) c
+    in
+    walk 0 0
+end

@@ -1,0 +1,11 @@
+(** The Moir–Anderson splitter grid: adaptive one-shot renaming with
+    O(1) contention-free cost and names in [1..k(k+1)/2] for [k]
+    participants; see the implementation header for the grid-occupancy
+    argument. *)
+
+val cell_index : r:int -> c:int -> int
+(** Diagonal enumeration of grid cells: [(r, c)] with [d = r + c] gets
+    name [d(d+1)/2 + r + 1] — a bijection onto [1..n(n+1)/2] over the
+    triangle. *)
+
+include Renaming_intf.ALG

@@ -1,0 +1,6 @@
+(** Registry of renaming algorithms. *)
+
+type alg = (module Renaming_intf.ALG)
+
+let ma_grid : alg = (module Ma_grid)
+let all : alg list = [ ma_grid ]

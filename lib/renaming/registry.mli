@@ -1,0 +1,6 @@
+(** Registry of renaming algorithms. *)
+
+type alg = (module Renaming_intf.ALG)
+
+val ma_grid : alg
+val all : alg list

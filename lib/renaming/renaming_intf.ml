@@ -1,0 +1,36 @@
+(** Interfaces for one-shot renaming: the third coordination problem the
+    paper's introduction names ("mutual exclusion, consensus, and
+    renaming") and the natural contention-sensitive companion to its
+    theme — the Moir–Anderson construction below decides in O(1) steps
+    precisely when contention is absent.
+
+    Unlike the naming problem of §3 (identical processes, symmetry to
+    break), renaming starts from processes that already hold {e large}
+    distinct ids in [0..n-1] and must acquire distinct {e small} names
+    whose range depends only on the number [k] of actual participants —
+    wait-free, with crashes allowed. *)
+
+open Cfc_base
+
+module type ALG = sig
+  val name : string
+
+  val name_space : n:int -> k:int -> int
+  (** Upper bound on the largest name handed out when at most [k] of the
+      [n] processes participate (for the splitter grid: [k(k+1)/2]). *)
+
+  val predicted_cf_steps : int option
+  (** Exact solo-run step count (contention-sensitivity: a constant). *)
+
+  val predicted_cf_registers : int option
+
+  module Make (M : Mem_intf.MEM) : sig
+    type t
+
+    val create : n:int -> t
+
+    val rename : t -> me:int -> int
+    (** Returns this process's new name, in [1..name_space ~n ~k] where
+        [k] is the number of processes that actually take steps. *)
+  end
+end

@@ -1,0 +1,53 @@
+(** Events and execution regions: the vocabulary of run traces.
+
+    A run in the paper (§2.2) is an alternating sequence of states and
+    events.  We record the events; states are recoverable because events
+    are deterministic state transformers.  Region-change events mark where
+    a process is in its protocol (remainder / entry / critical / exit /
+    decided), which is exactly the information the complexity definitions
+    of §2.2 and §3.2 quantify over. *)
+
+type region =
+  | Remainder      (** outside the protocol *)
+  | Trying         (** in the entry code (mutex) or executing (naming) *)
+  | Critical       (** in the critical section *)
+  | Exiting        (** in the exit code *)
+  | Decided of int (** terminated with an output value (naming: the chosen
+                       name; contention detection: 0 or 1) *)
+  | Halted         (** the process function returned *)
+
+val region_equal : region -> region -> bool
+val pp_region : Format.formatter -> region -> unit
+
+type access_kind =
+  | A_read of int                          (** value read *)
+  | A_write of int                         (** value written *)
+  | A_field of int * int * int             (** multi-grain sub-word write:
+                                               (index, width, value) *)
+  | A_xchg of int * int                    (** fetch-and-store:
+                                               (written, old) *)
+  | A_cas of int * int * bool              (** compare-and-swap:
+                                               (expected, desired, success) *)
+  | A_bit of Cfc_base.Ops.t * int option   (** bit op and returned value *)
+
+val is_write : access_kind -> bool
+(** Whether the access can modify the register ([A_read] and a bit [read]
+    cannot; all other bit operations count as writes, matching the paper's
+    read/write step distinction in Lemma 3). *)
+
+val is_read : access_kind -> bool
+(** Complement of {!is_write} for the two-way classification used by the
+    read-step / write-step complexity split. *)
+
+type t = {
+  seq : int;       (** global sequence number within the trace *)
+  pid : int;       (** the process the event belongs to *)
+  body : body;
+}
+
+and body =
+  | Access of Register.t * access_kind  (** one shared-memory step *)
+  | Region_change of region
+  | Crash                               (** fail-stop (naming failure model) *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,34 @@
+type t = { mutable regs : Register.t list (* reversed *); mutable next : int }
+
+let create () = { regs = []; next = 0 }
+
+let alloc ?name ?model ~width ~init t =
+  let id = t.next in
+  let name = match name with Some n -> n | None -> Printf.sprintf "r%d" id in
+  let r = Register.make ~id ~name ~width ~model ~init in
+  t.next <- id + 1;
+  t.regs <- r :: t.regs;
+  r
+
+let alloc_array ?name ?model ~width ~init t k =
+  let base = match name with Some n -> n | None -> "a" in
+  Array.init k (fun i ->
+      alloc ~name:(Printf.sprintf "%s[%d]" base i) ?model ~width ~init t)
+
+let registers t = List.rev t.regs
+let size t = t.next
+
+let max_width t =
+  List.fold_left (fun acc r -> max acc r.Register.width) 0 t.regs
+
+let reset t = List.iter Register.reset t.regs
+
+let dump t =
+  registers t
+  |> List.map (fun r -> Printf.sprintf "%s=%d" r.Register.name r.Register.value)
+  |> String.concat " "
+
+let fingerprint t =
+  List.fold_left
+    (fun acc r -> (acc * 1000003) lxor r.Register.value)
+    (Hashtbl.hash t.next) t.regs

@@ -1,0 +1,41 @@
+(** A shared-memory arena: allocator and registry of {!Register.t} cells.
+
+    One arena corresponds to one run configuration.  Allocation happens when
+    an algorithm instance is created (outside process execution); the
+    registers then constitute the run's shared state.  [reset] restores all
+    initial values, which together with a deterministic schedule gives
+    deterministic replay (used by the model checker). *)
+
+type t
+
+val create : unit -> t
+
+val alloc :
+  ?name:string -> ?model:Cfc_base.Model.t -> width:int -> init:int -> t ->
+  Register.t
+(** Allocate a fresh register.  Default [name] is ["r<id>"]. *)
+
+val alloc_array :
+  ?name:string -> ?model:Cfc_base.Model.t -> width:int -> init:int -> t ->
+  int -> Register.t array
+(** [alloc_array t k]: registers named ["name[0]" … "name[k-1]"]. *)
+
+val registers : t -> Register.t list
+(** All allocated registers, in allocation order. *)
+
+val size : t -> int
+(** Number of registers allocated (the paper's space complexity). *)
+
+val max_width : t -> int
+(** The largest width allocated so far — an upper bound on the atomicity of
+    any algorithm using only this arena; [0] for an empty arena. *)
+
+val reset : t -> unit
+(** Restore every register to its initial value. *)
+
+val dump : t -> string
+(** One-line rendering of the current contents, for debugging. *)
+
+val fingerprint : t -> int
+(** A hash of the current register values (state pruning in the model
+    checker). *)

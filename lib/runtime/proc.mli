@@ -1,0 +1,49 @@
+(** The effect-based process engine.
+
+    An algorithm runs as a plain OCaml function; every shared-memory access
+    performs an effect.  [start] installs a deep handler that reifies the
+    function into a {!suspension}: the scheduler inspects the pending
+    request, performs the semantic operation on the register, and resumes
+    the one-shot continuation with the result.  This realizes the paper's
+    interleaving semantics with one suspension point per atomic step. *)
+
+type _ Effect.t +=
+  | E_read : Register.t -> int Effect.t
+  | E_write : Register.t * int -> unit Effect.t
+  | E_write_field : Register.t * int * int * int -> unit Effect.t
+  | E_xchg : Register.t * int -> int Effect.t
+  | E_cas : Register.t * int * int -> bool Effect.t
+  | E_bit_op : Register.t * Cfc_base.Ops.t -> int option Effect.t
+  | E_region : Event.region -> unit Effect.t
+  | E_pause : unit Effect.t
+
+exception Crashed
+(** Raised inside a process to unwind it when the scheduler injects a
+    fail-stop crash. *)
+
+type suspension =
+  | Done                    (** the process function returned *)
+  | Failed of exn           (** the process raised (including {!Crashed}) *)
+  | Read of Register.t * (int, suspension) Effect.Deep.continuation
+  | Write of Register.t * int * (unit, suspension) Effect.Deep.continuation
+  | Write_field of
+      Register.t * int * int * int
+      * (unit, suspension) Effect.Deep.continuation
+  | Xchg of Register.t * int * (int, suspension) Effect.Deep.continuation
+  | Cas of
+      Register.t * int * int * (bool, suspension) Effect.Deep.continuation
+  | Bit_op of
+      Register.t * Cfc_base.Ops.t
+      * (int option, suspension) Effect.Deep.continuation
+  | Region of Event.region * (unit, suspension) Effect.Deep.continuation
+  | Pause of (unit, suspension) Effect.Deep.continuation
+
+val start : (unit -> unit) -> suspension
+(** Run the function until its first suspension point (or completion). *)
+
+val region : Event.region -> unit
+(** Performs [E_region] — annotate the current process's protocol region.
+    Harness code uses this around entry/critical/exit sections. *)
+
+val decide : int -> unit
+(** [decide v] = [region (Decided v)]. *)

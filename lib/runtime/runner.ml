@@ -1,0 +1,65 @@
+type outcome = {
+  memory : Memory.t;
+  trace : Trace.t;
+  scheduler : Scheduler.t;
+  completed : bool;
+  total_steps : int;
+}
+
+let first_error sched =
+  let rec find pid =
+    if pid >= Scheduler.nprocs sched then None
+    else
+      match Scheduler.status sched pid with
+      | Scheduler.Errored e -> Some e
+      | Scheduler.Runnable | Scheduler.Halted | Scheduler.Crashed ->
+        find (pid + 1)
+  in
+  find 0
+
+let run_collect ?(max_steps = 1_000_000) ?(crash_at = []) ~memory ~pick procs =
+  let trace = Trace.create () in
+  let sched = Scheduler.create ~memory ~trace procs in
+  let crash_at = List.sort compare crash_at in
+  let pending_crashes = ref crash_at in
+  let steps = ref 0 in
+  let completed = ref false in
+  let continue = ref true in
+  while !continue do
+    (match !pending_crashes with
+    | (at, pid) :: rest when at <= !steps ->
+      Scheduler.crash sched pid;
+      pending_crashes := rest
+    | _ -> ());
+    if Scheduler.all_quiescent sched then begin
+      completed := true;
+      continue := false
+    end
+    else if !steps >= max_steps then continue := false
+    else
+      match pick sched with
+      | None -> continue := false
+      | Some pid -> (
+        incr steps;
+        match Scheduler.step sched pid with
+        | Scheduler.Progress | Scheduler.Finished | Scheduler.Not_runnable ->
+          ())
+  done;
+  let total_steps =
+    let n = ref 0 in
+    for pid = 0 to Scheduler.nprocs sched - 1 do
+      n := !n + Scheduler.steps_taken sched pid
+    done;
+    !n
+  in
+  ( { memory; trace; scheduler = sched; completed = !completed; total_steps },
+    first_error sched )
+
+let run ?max_steps ?crash_at ~memory ~pick procs =
+  let outcome, err = run_collect ?max_steps ?crash_at ~memory ~pick procs in
+  match err with
+  | None -> outcome
+  | Some e ->
+    invalid_arg
+      (Printf.sprintf "Runner.run: a process errored: %s"
+         (Printexc.to_string e))

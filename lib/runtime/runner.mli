@@ -1,0 +1,39 @@
+(** Drive a set of processes to completion under a schedule, producing the
+    run's trace.  This is the single entry point harnesses use; custom
+    loops can still use {!Scheduler.step} directly. *)
+
+type outcome = {
+  memory : Memory.t;
+  trace : Trace.t;
+  scheduler : Scheduler.t;
+  completed : bool;
+      (** every process halted or crashed (as opposed to the step budget
+          running out or the picker giving up) *)
+  total_steps : int;  (** shared-memory accesses performed in the run *)
+}
+
+val run :
+  ?max_steps:int ->
+  ?crash_at:(int * int) list ->
+  memory:Memory.t ->
+  pick:Schedule.picker ->
+  (unit -> unit) array ->
+  outcome
+(** [run ~memory ~pick procs] steps processes chosen by [pick] until the
+    picker returns [None], all processes are quiescent, or [max_steps]
+    (default [1_000_000]) scheduler steps have executed.
+
+    [crash_at] is a list of [(step_index, pid)]: just before scheduler step
+    number [step_index] (0-based), [pid] is fail-stopped.  Raises
+    [Invalid_argument] if a process errored (an algorithm bug or a model
+    violation) — errors are never silent. *)
+
+val run_collect :
+  ?max_steps:int ->
+  ?crash_at:(int * int) list ->
+  memory:Memory.t ->
+  pick:Schedule.picker ->
+  (unit -> unit) array ->
+  outcome * exn option
+(** Like {!run} but returns a process error instead of raising (used by
+    tests that assert on model violations). *)

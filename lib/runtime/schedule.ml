@@ -1,0 +1,113 @@
+type picker = Scheduler.t -> int option
+
+let solo pid t =
+  match Scheduler.status t pid with
+  | Scheduler.Runnable -> Some pid
+  | Scheduler.Halted | Scheduler.Crashed | Scheduler.Errored _ -> None
+
+let sequential ?order () =
+  let remaining = ref order in
+  fun t ->
+    let order =
+      match !remaining with
+      | Some o -> o
+      | None ->
+        let o = List.init (Scheduler.nprocs t) Fun.id in
+        remaining := Some o;
+        o
+    in
+    let rec pick = function
+      | [] -> None
+      | pid :: rest -> (
+        match Scheduler.status t pid with
+        | Scheduler.Runnable ->
+          remaining := Some (pid :: rest);
+          Some pid
+        | Scheduler.Halted | Scheduler.Crashed | Scheduler.Errored _ ->
+          pick rest)
+    in
+    pick order
+
+let round_robin () =
+  let last = ref (-1) in
+  fun t ->
+    let n = Scheduler.nprocs t in
+    let rec find k =
+      if k > n then None
+      else
+        let pid = (!last + k) mod n in
+        match Scheduler.status t pid with
+        | Scheduler.Runnable ->
+          last := pid;
+          Some pid
+        | Scheduler.Halted | Scheduler.Crashed | Scheduler.Errored _ ->
+          find (k + 1)
+    in
+    find 1
+
+let random ~seed =
+  let st = Random.State.make [| seed |] in
+  fun t ->
+    let n = Scheduler.nprocs t in
+    (* Rejection sampling keeps picking O(1) while most processes are
+       runnable; fall back to an explicit scan (still uniform) when the
+       runnable set has thinned out. *)
+    let rec attempt k =
+      if k = 0 then begin
+        match Scheduler.runnable t with
+        | [] -> None
+        | procs ->
+          Some (List.nth procs (Random.State.int st (List.length procs)))
+      end
+      else begin
+        let pid = Random.State.int st n in
+        match Scheduler.status t pid with
+        | Scheduler.Runnable -> Some pid
+        | Scheduler.Halted | Scheduler.Crashed | Scheduler.Errored _ ->
+          attempt (k - 1)
+      end
+    in
+    attempt 16
+
+let of_list schedule =
+  let rest = ref schedule in
+  fun t ->
+    match !rest with
+    | [] -> None
+    | pid :: tl -> (
+      rest := tl;
+      match Scheduler.status t pid with
+      | Scheduler.Runnable -> Some pid
+      | Scheduler.Halted | Scheduler.Crashed | Scheduler.Errored _ -> None)
+
+let pref_then prefix k =
+  let rest = ref prefix in
+  fun t ->
+    match !rest with
+    | pid :: tl when Scheduler.status t pid = Scheduler.Runnable ->
+      rest := tl;
+      Some pid
+    | _ :: tl ->
+      rest := tl;
+      k t
+    | [] -> k t
+
+let biased ~seed ~favored ~bias =
+  let st = Random.State.make [| seed |] in
+  fun t ->
+    match Scheduler.runnable t with
+    | [] -> None
+    | procs ->
+      let weights =
+        List.map (fun pid -> if pid = favored then bias else 1) procs
+      in
+      let total = List.fold_left ( + ) 0 weights in
+      let x = Random.State.int st total in
+      let rec pick procs weights acc =
+        match (procs, weights) with
+        | [ pid ], _ -> pid
+        | pid :: ps, w :: ws ->
+          if x < acc + w then pid else pick ps ws (acc + w)
+        | _, _ -> assert false
+      in
+      Some (pick procs weights 0)

@@ -1,0 +1,34 @@
+(** Schedule pickers: strategies that choose which process takes the next
+    step.  A picker returns [None] to end the run early (e.g. a solo
+    schedule once its process finished).  Pickers may be stateful; build a
+    fresh one per run. *)
+
+type picker = Scheduler.t -> int option
+
+val solo : int -> picker
+(** Only [pid] ever runs — the contention-free runs of §2.2. *)
+
+val sequential : ?order:int list -> unit -> picker
+(** Processes run to completion one after the other (default order
+    ascending pid) — the contention-free runs of the naming problem
+    (§3.2): "every process either decided before p starts, or starts only
+    after p finishes". *)
+
+val round_robin : unit -> picker
+(** Cyclic one-step-each scheduling.  Also the "lockstep" adversary of the
+    Theorem 6 lower-bound construction: identical processes take the same
+    operation in every round. *)
+
+val random : seed:int -> picker
+(** Uniform choice among runnable processes, deterministic in [seed]. *)
+
+val of_list : int list -> picker
+(** Replay an explicit schedule; stops at the end of the list or when the
+    requested pid is not runnable (used by the model checker). *)
+
+val pref_then : int list -> picker -> picker
+(** Follow the prefix, then switch to the continuation picker. *)
+
+val biased : seed:int -> favored:int -> bias:int -> picker
+(** Random, but the favored pid is [bias] times more likely — useful to
+    starve/stress particular interleavings. *)

@@ -1,0 +1,193 @@
+type status = Runnable | Halted | Crashed | Errored of exn
+
+type pstate = {
+  pid : int;
+  thunk : unit -> unit;
+  mutable susp : Proc.suspension option; (* None until first scheduled *)
+  mutable status : status;
+  mutable region : Event.region;
+  mutable steps : int;
+}
+
+type t = {
+  trace : Trace.t;
+  procs : pstate array;
+  mutable active : int;  (* processes still Runnable *)
+}
+
+let create ~memory:_ ~trace thunks =
+  let procs =
+    Array.mapi
+      (fun pid thunk ->
+        { pid; thunk; susp = None; status = Runnable;
+          region = Event.Remainder; steps = 0 })
+      thunks
+  in
+  { trace; procs; active = Array.length procs }
+
+let nprocs t = Array.length t.procs
+let status t pid = t.procs.(pid).status
+let region t pid = t.procs.(pid).region
+let steps_taken t pid = t.procs.(pid).steps
+let started t pid = t.procs.(pid).susp <> None
+
+let runnable t =
+  Array.to_list t.procs
+  |> List.filter (fun p -> p.status = Runnable)
+  |> List.map (fun p -> p.pid)
+
+let all_quiescent t = t.active = 0
+
+type step_result = Progress | Finished | Not_runnable
+
+let record t p body = ignore (Trace.record t.trace ~pid:p.pid body)
+
+let finish t p outcome =
+  t.active <- t.active - 1;
+  (match outcome with
+  | `Halted ->
+    p.status <- Halted;
+    p.region <- Event.Halted;
+    record t p (Event.Region_change Event.Halted)
+  | `Errored e -> p.status <- Errored e);
+  Finished
+
+(* Advance [p] until one shared access has been performed (absorbing free
+   region changes), or until a pause / completion. *)
+let step t pid =
+  let p = t.procs.(pid) in
+  if p.status <> Runnable then Not_runnable
+  else begin
+    let current =
+      match p.susp with
+      | Some s -> s
+      | None ->
+        let s = Proc.start p.thunk in
+        p.susp <- Some s;
+        s
+    in
+    (* Store the post-access suspension.  Region changes are free local
+       events: absorb them eagerly so a process's protocol region is
+       always current at the end of the step that made it true (deferring
+       them would create phantom occupancy windows that skew the §2.2
+       fragment measures).  Completion is also finalized eagerly so
+       quiescence is observable without another step. *)
+    let rec settle s =
+      p.susp <- Some s;
+      match s with
+      | Proc.Done -> finish t p `Halted
+      | Proc.Failed e -> finish t p (`Errored e)
+      | Proc.Region (r, k) ->
+        p.region <- r;
+        record t p (Event.Region_change r);
+        settle (Effect.Deep.continue k ())
+      | Proc.Read _ | Proc.Write _ | Proc.Write_field _ | Proc.Xchg _
+      | Proc.Cas _ | Proc.Bit_op _ | Proc.Pause _ ->
+        Progress
+    in
+    let rec go s =
+      match s with
+      | Proc.Done -> finish t p `Halted
+      | Proc.Failed e -> finish t p (`Errored e)
+      | Proc.Region (r, k) ->
+        p.region <- r;
+        record t p (Event.Region_change r);
+        let s = Effect.Deep.continue k () in
+        p.susp <- Some s;
+        go s
+      | Proc.Pause k -> settle (Effect.Deep.continue k ())
+      | Proc.Read (r, k) -> begin
+        match Register.read r with
+        | v ->
+          record t p (Event.Access (r, Event.A_read v));
+          p.steps <- p.steps + 1;
+          settle (Effect.Deep.continue k v)
+        | exception e -> abort k e
+      end
+      | Proc.Write (r, v, k) -> begin
+        match Register.write r v with
+        | () ->
+          record t p (Event.Access (r, Event.A_write v));
+          p.steps <- p.steps + 1;
+          settle (Effect.Deep.continue k ())
+        | exception e -> abort k e
+      end
+      | Proc.Write_field (r, index, width, v, k) -> begin
+        match Register.write_field r ~index ~width v with
+        | () ->
+          record t p (Event.Access (r, Event.A_field (index, width, v)));
+          p.steps <- p.steps + 1;
+          settle (Effect.Deep.continue k ())
+        | exception e -> abort k e
+      end
+      | Proc.Xchg (r, v, k) -> begin
+        match Register.fetch_and_store r v with
+        | old ->
+          record t p (Event.Access (r, Event.A_xchg (v, old)));
+          p.steps <- p.steps + 1;
+          settle (Effect.Deep.continue k old)
+        | exception e -> abort k e
+      end
+      | Proc.Cas (r, expected, v, k) -> begin
+        match Register.compare_and_set r ~expected v with
+        | success ->
+          record t p (Event.Access (r, Event.A_cas (expected, v, success)));
+          p.steps <- p.steps + 1;
+          settle (Effect.Deep.continue k success)
+        | exception e -> abort k e
+      end
+      | Proc.Bit_op (r, op, k) -> begin
+        match Register.bit_op r op with
+        | ret ->
+          record t p (Event.Access (r, Event.A_bit (op, ret)));
+          p.steps <- p.steps + 1;
+          settle (Effect.Deep.continue k ret)
+        | exception e -> abort k e
+      end
+    and abort : type a. (a, Proc.suspension) Effect.Deep.continuation -> exn
+        -> step_result =
+     fun k e ->
+      (* A semantic violation (model/width): unwind the process with the
+         offending exception so its continuation is consumed, then record
+         the error. *)
+      let s = try Effect.Deep.discontinue k e with e' -> Proc.Failed e' in
+      p.susp <- Some s;
+      match s with
+      | Proc.Failed e -> finish t p (`Errored e)
+      | Proc.Done -> finish t p `Halted
+      | Proc.Read _ | Proc.Write _ | Proc.Write_field _ | Proc.Xchg _
+      | Proc.Cas _ | Proc.Bit_op _ | Proc.Region _ | Proc.Pause _ ->
+        (* The process caught the exception and kept going. *)
+        go s
+    in
+    go current
+  end
+
+let discontinue_susp s =
+  match s with
+  | Proc.Done | Proc.Failed _ -> ()
+  | Proc.Read (_, k) ->
+    (try ignore (Effect.Deep.discontinue k Proc.Crashed) with _ -> ())
+  | Proc.Write (_, _, k) ->
+    (try ignore (Effect.Deep.discontinue k Proc.Crashed) with _ -> ())
+  | Proc.Write_field (_, _, _, _, k) ->
+    (try ignore (Effect.Deep.discontinue k Proc.Crashed) with _ -> ())
+  | Proc.Xchg (_, _, k) ->
+    (try ignore (Effect.Deep.discontinue k Proc.Crashed) with _ -> ())
+  | Proc.Cas (_, _, _, k) ->
+    (try ignore (Effect.Deep.discontinue k Proc.Crashed) with _ -> ())
+  | Proc.Bit_op (_, _, k) ->
+    (try ignore (Effect.Deep.discontinue k Proc.Crashed) with _ -> ())
+  | Proc.Region (_, k) ->
+    (try ignore (Effect.Deep.discontinue k Proc.Crashed) with _ -> ())
+  | Proc.Pause k ->
+    (try ignore (Effect.Deep.discontinue k Proc.Crashed) with _ -> ())
+
+let crash t pid =
+  let p = t.procs.(pid) in
+  if p.status = Runnable then begin
+    (match p.susp with Some s -> discontinue_susp s | None -> ());
+    t.active <- t.active - 1;
+    p.status <- Crashed;
+    record t p Event.Crash
+  end

@@ -1,0 +1,51 @@
+(** The deterministic scheduler: holds every process as a pending
+    {!Proc.suspension} and advances one process by exactly one
+    shared-memory access per [step] call.  Region changes and pauses are
+    free (they are not steps in the paper's model) and are processed
+    transparently, except that a pause ends the current [step] call so
+    schedulers regain control inside access-free loops. *)
+
+type status =
+  | Runnable   (** has a pending suspension *)
+  | Halted     (** the process function returned *)
+  | Crashed    (** fail-stop injected *)
+  | Errored of exn  (** the process raised *)
+
+type t
+
+val create : memory:Memory.t -> trace:Trace.t -> (unit -> unit) array -> t
+(** [create ~memory ~trace procs]: process [i] runs [procs.(i)] with pid
+    [i].  Processes are started lazily at their first [step], so a process
+    that is never scheduled has taken no steps ("not started" in the
+    paper's contention-free definition). *)
+
+val nprocs : t -> int
+val status : t -> int -> status
+val region : t -> int -> Event.region
+(** Current protocol region of a process (starts as [Remainder]). *)
+
+val steps_taken : t -> int -> int
+(** Shared-memory accesses this process has performed so far. *)
+
+val runnable : t -> int list
+(** Pids that can still take steps, ascending. *)
+
+val all_quiescent : t -> bool
+(** No process is runnable (all halted/crashed/errored). *)
+
+type step_result =
+  | Progress      (** one access performed, or advanced to a pause *)
+  | Finished      (** the process completed during this call *)
+  | Not_runnable  (** it was already halted/crashed/errored *)
+
+val step : t -> int -> step_result
+(** Advance process [pid] by one shared-memory access (absorbing any free
+    region-change events on the way).  Errors raised by the process are
+    captured in its status. *)
+
+val crash : t -> int -> unit
+(** Inject a fail-stop crash: the process is unwound with {!Proc.Crashed},
+    a [Crash] event is recorded, and it is never runnable again. *)
+
+val started : t -> int -> bool
+(** Whether the process has been scheduled at least once. *)

@@ -1,0 +1,106 @@
+type t = { mutable events : Event.t array; mutable len : int }
+
+let create () = { events = Array.make 64 { Event.seq = 0; pid = 0; body = Event.Crash }; len = 0 }
+
+let ensure t =
+  if t.len = Array.length t.events then begin
+    let bigger = Array.make (2 * t.len) t.events.(0) in
+    Array.blit t.events 0 bigger 0 t.len;
+    t.events <- bigger
+  end
+
+let record t ~pid body =
+  ensure t;
+  let e = { Event.seq = t.len; pid; body } in
+  t.events.(t.len) <- e;
+  t.len <- t.len + 1;
+  e
+
+let length t = t.len
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Trace.get";
+  t.events.(i)
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.events.(i)
+  done
+
+let fold f acc t =
+  let acc = ref acc in
+  iter (fun e -> acc := f !acc e) t;
+  !acc
+
+let to_list t = List.init t.len (fun i -> t.events.(i))
+
+let in_range ?(from = 0) ?until t f =
+  let until = match until with Some u -> min u t.len | None -> t.len in
+  for i = max 0 from to until - 1 do
+    f t.events.(i)
+  done
+
+let accesses_of ?from ?until ~pid t =
+  let acc = ref [] in
+  in_range ?from ?until t (fun e ->
+      match e.Event.body with
+      | Event.Access (r, k) when e.Event.pid = pid -> acc := (r, k) :: !acc
+      | Event.Access _ | Event.Region_change _ | Event.Crash -> ());
+  List.rev !acc
+
+let step_count ?from ?until ~pid t =
+  let n = ref 0 in
+  in_range ?from ?until t (fun e ->
+      match e.Event.body with
+      | Event.Access _ when e.Event.pid = pid -> incr n
+      | Event.Access _ | Event.Region_change _ | Event.Crash -> ());
+  !n
+
+let distinct_in ?from ?until ~pid ~keep t =
+  let seen = Hashtbl.create 16 in
+  in_range ?from ?until t (fun e ->
+      match e.Event.body with
+      | Event.Access (r, k) when e.Event.pid = pid && keep k ->
+        Hashtbl.replace seen r.Register.id ()
+      | Event.Access _ | Event.Region_change _ | Event.Crash -> ());
+  Hashtbl.length seen
+
+let distinct_registers ?from ?until ~pid t =
+  distinct_in ?from ?until ~pid ~keep:(fun _ -> true) t
+
+let rw_step_count ?from ?until ~pid t =
+  let r = ref 0 and w = ref 0 in
+  in_range ?from ?until t (fun e ->
+      match e.Event.body with
+      | Event.Access (_, k) when e.Event.pid = pid ->
+        if Event.is_write k then incr w else incr r
+      | Event.Access _ | Event.Region_change _ | Event.Crash -> ());
+  (!r, !w)
+
+let rw_register_count ?from ?until ~pid t =
+  ( distinct_in ?from ?until ~pid ~keep:Event.is_read t,
+    distinct_in ?from ?until ~pid ~keep:Event.is_write t )
+
+let fold_states ~nprocs f acc t =
+  let regions = Array.make nprocs Event.Remainder in
+  let acc = ref acc in
+  iter
+    (fun e ->
+      acc := f !acc regions e;
+      match e.Event.body with
+      | Event.Region_change r -> regions.(e.Event.pid) <- r
+      | Event.Access _ | Event.Crash -> ())
+    t;
+  !acc
+
+let regions_at t i ~nprocs =
+  let regions = Array.make nprocs Event.Remainder in
+  for j = 0 to min i t.len - 1 do
+    match t.events.(j).Event.body with
+    | Event.Region_change r -> regions.(t.events.(j).Event.pid) <- r
+    | Event.Access _ | Event.Crash -> ()
+  done;
+  regions
+
+let pp ppf t =
+  iter (fun e -> Format.fprintf ppf "%a@." Event.pp e) t

@@ -1,0 +1,51 @@
+(** An append-only log of {!Event.t} with the queries the complexity
+    analyses need.  The trace is the ground truth every measure in
+    {!Cfc_core} is computed from. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> pid:int -> Event.body -> Event.t
+(** Append an event; assigns the next sequence number. *)
+
+val length : t -> int
+val get : t -> int -> Event.t
+(** [get t i] is the event with sequence number [i]; O(1). *)
+
+val iter : (Event.t -> unit) -> t -> unit
+val fold : ('a -> Event.t -> 'a) -> 'a -> t -> 'a
+val to_list : t -> Event.t list
+
+val accesses_of : ?from:int -> ?until:int -> pid:int -> t ->
+  (Register.t * Event.access_kind) list
+(** Shared-memory accesses of [pid] in the fragment [\[from, until)]
+    (defaults: whole trace), in order. *)
+
+val step_count : ?from:int -> ?until:int -> pid:int -> t -> int
+(** Step complexity of [pid] in the fragment: number of its accesses. *)
+
+val distinct_registers : ?from:int -> ?until:int -> pid:int -> t -> int
+(** Register complexity of [pid] in the fragment: number of distinct
+    registers accessed. *)
+
+val rw_step_count : ?from:int -> ?until:int -> pid:int -> t -> int * int
+(** [(reads, writes)] split of {!step_count} (Lemma 3's r and w). *)
+
+val rw_register_count : ?from:int -> ?until:int -> pid:int -> t -> int * int
+(** Distinct registers read, distinct registers written (a register both
+    read and written counts in both). *)
+
+val regions_at : t -> int -> nprocs:int -> Event.region array
+(** [regions_at t i ~nprocs]: each process's region in the state {i just
+    before} event [i] (processes start in [Remainder]).  O(i); prefer
+    {!fold_states} for whole-trace scans. *)
+
+val fold_states :
+  nprocs:int -> ('a -> Event.region array -> Event.t -> 'a) -> 'a -> t -> 'a
+(** Fold over events together with the region vector of the state before
+    each event.  The array is updated in place between calls — copy it if
+    you keep it. *)
+
+val pp : Format.formatter -> t -> unit
+(** Print the full event log, one event per line. *)

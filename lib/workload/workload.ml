@@ -1,0 +1,104 @@
+open Cfc_runtime
+open Cfc_mutex
+open Cfc_core
+
+type config = {
+  n : int;
+  rounds : int;
+  mean_think : int;
+  cs_len : int;
+  seed : int;
+}
+
+let default = { n = 4; rounds = 20; mean_think = 10; cs_len = 3; seed = 42 }
+
+type result = {
+  acquisitions : int;
+  entry_steps_mean : float;
+  entry_steps_max : int;
+  entry_registers_max : int;
+  cf_steps : int;
+  observed_contention : float;
+  total_steps : int;
+}
+
+(* Geometric-ish think time from a per-process deterministic stream. *)
+let think_stream ~seed ~pid =
+  let st = Random.State.make [| seed; pid |] in
+  fun ~mean -> if mean = 0 then 0 else Random.State.int st (2 * mean)
+
+let run_mutex (module A : Mutex_intf.ALG) config =
+  let p = Mutex_intf.params config.n in
+  if not (A.supports p) then invalid_arg (A.name ^ ": unsupported");
+  let memory = Memory.create () in
+  let module M = (val Sim_mem.mem memory) in
+  let module L = A.Make (M) in
+  let inst = L.create p in
+  let cs_scratch = M.alloc ~name:"wl.scratch" ~width:8 ~init:0 () in
+  let proc me () =
+    let think = think_stream ~seed:config.seed ~pid:me in
+    for _ = 1 to config.rounds do
+      for _ = 1 to think ~mean:config.mean_think do
+        M.pause ()
+      done;
+      Proc.region Event.Trying;
+      L.lock inst ~me;
+      Proc.region Event.Critical;
+      for k = 1 to config.cs_len do
+        M.write cs_scratch (k land 255)
+      done;
+      Proc.region Event.Exiting;
+      L.unlock inst ~me;
+      Proc.region Event.Remainder
+    done
+  in
+  let procs = Array.init config.n proc in
+  let out =
+    Runner.run ~max_steps:10_000_000 ~memory
+      ~pick:(Schedule.round_robin ()) procs
+  in
+  (match Spec.mutual_exclusion out.Runner.trace ~nprocs:config.n with
+  | None -> ()
+  | Some v ->
+    invalid_arg (Format.asprintf "%s: %a" A.name Spec.pp_violation v));
+  let entries = Measures.mutex_wc_entry out.Runner.trace ~nprocs:config.n in
+  let acquisitions = List.length entries in
+  let steps = List.map (fun (_, s) -> s.Measures.steps) entries in
+  let regs = List.map (fun (_, s) -> s.Measures.registers) entries in
+  (* Contention level: how many processes are in their entry code at each
+     moment a process wins. *)
+  let contention_samples =
+    Trace.fold_states ~nprocs:config.n
+      (fun acc regions e ->
+        match e.Event.body with
+        | Event.Region_change Event.Critical ->
+          let trying =
+            Array.to_list regions
+            |> List.filter (fun r -> Event.region_equal r Event.Trying)
+            |> List.length
+          in
+          trying :: acc
+        | Event.Region_change _ | Event.Access _ | Event.Crash -> acc)
+      [] out.Runner.trace
+  in
+  let mean xs =
+    if xs = [] then 0.
+    else
+      float_of_int (List.fold_left ( + ) 0 xs) /. float_of_int (List.length xs)
+  in
+  let cf = Mutex_harness.contention_free (module A) p in
+  {
+    acquisitions;
+    entry_steps_mean = mean steps;
+    entry_steps_max = List.fold_left max 0 steps;
+    entry_registers_max = List.fold_left max 0 regs;
+    cf_steps = cf.Mutex_harness.max.Measures.steps;
+    observed_contention = mean contention_samples;
+    total_steps = out.Runner.total_steps;
+  }
+
+let contention_sweep alg ~n ~rounds ~thinks ~seed =
+  List.map
+    (fun mean_think ->
+      (mean_think, run_mutex alg { n; rounds; mean_think; cs_len = 3; seed }))
+    thinks

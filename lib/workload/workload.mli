@@ -1,0 +1,49 @@
+(** Workload generator over the simulator: repeated critical-section
+    cycles with tunable think time (remainder-section delay) and
+    critical-section length, driving the contention level from "rare"
+    (the well-designed-system regime of the paper's introduction) to
+    saturation.
+
+    The headline §4 metric is the cost of the {e winning} process's entry
+    measured from the moment the previous critical section was released —
+    exactly the paper's worst-case entry fragment — which the discussion
+    section claims stays near the contention-free cost when backoff is
+    used, at any contention level. *)
+
+open Cfc_mutex
+
+type config = {
+  n : int;  (** processes *)
+  rounds : int;  (** critical-section cycles per process *)
+  mean_think : int;
+      (** average remainder-section delay in scheduler turns (geometric,
+          seeded); 0 = saturation, large = rare contention *)
+  cs_len : int;  (** shared accesses performed inside the critical section *)
+  seed : int;
+}
+
+val default : config
+
+type result = {
+  acquisitions : int;  (** completed entries observed *)
+  entry_steps_mean : float;
+      (** mean §2.2 entry-fragment step count (winner's cost since
+          release) *)
+  entry_steps_max : int;
+  entry_registers_max : int;
+  cf_steps : int;  (** the algorithm's solo entry+exit cost, for reference *)
+  observed_contention : float;
+      (** mean number of processes in their entry code at entry events —
+          the run's actual contention level *)
+  total_steps : int;
+}
+
+val run_mutex : Registry.alg -> config -> result
+(** Runs the workload under round-robin scheduling (every process makes
+    progress, delays come from think time) and extracts the metrics.
+    Raises on a mutual exclusion violation. *)
+
+val contention_sweep :
+  Registry.alg -> n:int -> rounds:int -> thinks:int list -> seed:int ->
+  (int * result) list
+(** [run_mutex] across think times: the EXP-BACKOFF series. *)

@@ -1,0 +1,33 @@
+(** The §4 backoff experiment rendered as a table — shared by the bench
+    harness and the [cfc-tables backoff] subcommand. *)
+
+open Cfc_base
+open Cfc_mutex
+
+let backoff_table ~n ~rounds ~thinks ~seed ~algs =
+  let t =
+    Texttab.create
+      ~header:[ "algorithm"; "mean think"; "observed contention";
+                "winner entry mean"; "winner entry max"; "cf cost";
+                "total traffic" ]
+  in
+  List.iter
+    (fun alg ->
+      let (module A : Mutex_intf.ALG) = alg in
+      List.iter
+        (fun think ->
+          let r =
+            Workload.run_mutex alg
+              { Workload.n; rounds; mean_think = think; cs_len = 3; seed }
+          in
+          Texttab.add_row t
+            [ A.name; string_of_int think;
+              Printf.sprintf "%.2f" r.Workload.observed_contention;
+              Printf.sprintf "%.2f" r.Workload.entry_steps_mean;
+              string_of_int r.Workload.entry_steps_max;
+              string_of_int r.Workload.cf_steps;
+              string_of_int r.Workload.total_steps ])
+        thinks;
+      Texttab.add_sep t)
+    algs;
+  t

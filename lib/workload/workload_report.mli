@@ -1,0 +1,6 @@
+(** The §4 backoff experiment rendered as a table — shared by the bench
+    harness and the [cfc-tables backoff] subcommand. *)
+
+val backoff_table :
+  n:int -> rounds:int -> thinks:int list -> seed:int ->
+  algs:Cfc_mutex.Registry.alg list -> Cfc_base.Texttab.t

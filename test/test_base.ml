@@ -1,0 +1,122 @@
+(* Tests for cfc_base: the integer math every bound formula relies on,
+   the operation/model algebra of §3.1-3.2, and the table renderer. *)
+
+open Cfc_base
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_pow2 () =
+  check "2^0" 1 (Ixmath.pow2 0);
+  check "2^10" 1024 (Ixmath.pow2 10);
+  check_bool "is_pow2 1" true (Ixmath.is_pow2 1);
+  check_bool "is_pow2 1024" true (Ixmath.is_pow2 1024);
+  check_bool "is_pow2 0" false (Ixmath.is_pow2 0);
+  check_bool "is_pow2 1023" false (Ixmath.is_pow2 1023)
+
+let test_logs () =
+  check "floor_log2 1" 0 (Ixmath.floor_log2 1);
+  check "floor_log2 7" 2 (Ixmath.floor_log2 7);
+  check "floor_log2 8" 3 (Ixmath.floor_log2 8);
+  check "ceil_log2 1" 0 (Ixmath.ceil_log2 1);
+  check "ceil_log2 7" 3 (Ixmath.ceil_log2 7);
+  check "ceil_log2 8" 3 (Ixmath.ceil_log2 8);
+  check "ceil_log2 9" 4 (Ixmath.ceil_log2 9)
+
+let test_bits_needed () =
+  check "bits 0" 1 (Ixmath.bits_needed 0);
+  check "bits 1" 1 (Ixmath.bits_needed 1);
+  check "bits 2" 2 (Ixmath.bits_needed 2);
+  check "bits 7" 3 (Ixmath.bits_needed 7);
+  check "bits 8" 4 (Ixmath.bits_needed 8)
+
+let test_ceil_div_log () =
+  check "ceil_div 7 3" 3 (Ixmath.ceil_div 7 3);
+  check "ceil_div 6 3" 2 (Ixmath.ceil_div 6 3);
+  check "ceil_div 0 3" 0 (Ixmath.ceil_div 0 3);
+  check "ceil_log 3 1" 1 (Ixmath.ceil_log ~base:3 1);
+  check "ceil_log 3 3" 1 (Ixmath.ceil_log ~base:3 3);
+  check "ceil_log 3 4" 2 (Ixmath.ceil_log ~base:3 4);
+  check "ceil_log 3 9" 2 (Ixmath.ceil_log ~base:3 9);
+  check "ceil_log 3 10" 3 (Ixmath.ceil_log ~base:3 10);
+  check "ipow" 243 (Ixmath.ipow 3 5)
+
+let prop_ceil_log_is_least =
+  QCheck.Test.make ~count:500 ~name:"ceil_log returns the least valid depth"
+    QCheck.(pair (int_range 2 10) (int_range 1 100_000))
+    (fun (base, n) ->
+      let d = Ixmath.ceil_log ~base n in
+      Ixmath.ipow base d >= n && (d = 1 || Ixmath.ipow base (d - 1) < n))
+
+let prop_bits_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"bits_needed stores the value"
+    QCheck.(int_range 0 1_000_000)
+    (fun v ->
+      let w = Ixmath.bits_needed v in
+      v < Ixmath.pow2 w && (w = 1 || v >= Ixmath.pow2 (w - 1)))
+
+let test_ops_strings () =
+  List.iter
+    (fun op ->
+      Alcotest.(check (option string))
+        (Ops.to_string op ^ " roundtrip")
+        (Some (Ops.to_string op))
+        (Option.map Ops.to_string (Ops.of_string (Ops.to_string op))))
+    Ops.all;
+  check_bool "bad name" true (Ops.of_string "nonsense" = None);
+  check "eight ops" 8 (List.length Ops.all);
+  Alcotest.(check (list int))
+    "indices are 0..7" (List.init 8 Fun.id)
+    (List.map Ops.to_index Ops.all)
+
+let test_model_algebra () =
+  check_bool "subset" true (Model.subset Model.tas_read Model.tas_tar_read);
+  check_bool "not subset" false (Model.subset Model.tas_tar_read Model.tas_read);
+  check_bool "rmw self-dual" true (Model.is_self_dual Model.rmw);
+  check_bool "taf self-dual" true (Model.is_self_dual Model.taf);
+  check_bool "read/write self-dual" true (Model.is_self_dual Model.read_write);
+  check_bool "tas not self-dual" false (Model.is_self_dual Model.tas_only);
+  check "rmw cardinal" 8 (Model.cardinal Model.rmw);
+  check "union" 3 (Model.cardinal (Model.union Model.tas_read Model.taf));
+  check_bool "named tas" true (Model.to_string Model.tas_only = "tas")
+
+let prop_dual_involution_model =
+  QCheck.Test.make ~count:256 ~name:"model dual is an involution"
+    QCheck.(int_bound 255)
+    (fun mask ->
+      let m =
+        List.filteri (fun i _ -> mask land (1 lsl i) <> 0) Ops.all
+        |> Model.of_list
+      in
+      Model.equal m (Model.dual (Model.dual m)))
+
+let test_texttab () =
+  let t = Texttab.create ~header:[ "a"; "bb" ] in
+  Texttab.add_row t [ "1"; "2" ];
+  Texttab.add_sep t;
+  Texttab.add_row t [ "333" ];
+  let s = Texttab.render t in
+  check_bool "has header" true
+    (String.length s > 0 && String.contains s 'b');
+  (* Padded short row and separator line both render. *)
+  (* top sep, header, sep, row, explicit sep, padded row, bottom sep *)
+  check "lines" 7
+    (String.split_on_char '\n' s |> List.filter (( <> ) "") |> List.length);
+  (match Texttab.add_row t [ "1"; "2"; "3" ] with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "overlong row accepted")
+
+let () =
+  Alcotest.run "cfc_base"
+    [ ( "ixmath",
+        [ Alcotest.test_case "pow2" `Quick test_pow2;
+          Alcotest.test_case "logs" `Quick test_logs;
+          Alcotest.test_case "bits_needed" `Quick test_bits_needed;
+          Alcotest.test_case "ceil_div/log" `Quick test_ceil_div_log;
+          QCheck_alcotest.to_alcotest prop_ceil_log_is_least;
+          QCheck_alcotest.to_alcotest prop_bits_roundtrip ] );
+      ( "ops+models",
+        [ Alcotest.test_case "ops strings" `Quick test_ops_strings;
+          Alcotest.test_case "model algebra" `Quick test_model_algebra;
+          QCheck_alcotest.to_alcotest prop_dual_involution_model ] );
+      ("texttab", [ Alcotest.test_case "render" `Quick test_texttab ]) ]

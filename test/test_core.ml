@@ -1,0 +1,278 @@
+(* Tests for the measurement framework itself: the §2.2 fragment
+   definitions on hand-built traces, the bound formulas of Theorems 1-7,
+   and the sandwich lower-bound <= measured <= upper-bound on real
+   algorithms. *)
+
+open Cfc_base
+open Cfc_runtime
+open Cfc_mutex
+open Cfc_core
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Measures on hand-built traces                                       *)
+(* ------------------------------------------------------------------ *)
+
+let mk_regs () =
+  let m = Memory.create () in
+  (Memory.alloc ~name:"r1" ~width:4 ~init:0 m,
+   Memory.alloc ~name:"r2" ~width:4 ~init:0 m)
+
+(* The §2.2 worst-case entry window: steps taken while another process
+   occupies its critical section or exit code do not count. *)
+let test_wc_entry_window () =
+  let r1, r2 = mk_regs () in
+  let t = Trace.create () in
+  let ev pid body = ignore (Trace.record t ~pid body) in
+  ev 1 (Event.Region_change Event.Trying);
+  ev 1 (Event.Access (r1, Event.A_write 1));
+  ev 1 (Event.Region_change Event.Critical);
+  ev 0 (Event.Region_change Event.Trying);
+  ev 0 (Event.Access (r1, Event.A_read 1));   (* p1 in CS: must not count *)
+  ev 0 (Event.Access (r2, Event.A_read 0));   (* p1 in CS: must not count *)
+  ev 1 (Event.Region_change Event.Exiting);
+  ev 1 (Event.Access (r1, Event.A_write 0));  (* p1 exit step *)
+  ev 1 (Event.Region_change Event.Remainder);
+  ev 0 (Event.Access (r1, Event.A_read 0));   (* counts *)
+  ev 0 (Event.Access (r1, Event.A_write 2));  (* counts *)
+  ev 0 (Event.Region_change Event.Critical);
+  let entries = Measures.mutex_wc_entry t ~nprocs:2 in
+  (match List.filter (fun (pid, _) -> pid = 0) entries with
+  | [ (_, s) ] ->
+    check "p0 entry steps" 2 s.Measures.steps;
+    check "p0 entry registers" 1 s.Measures.registers
+  | other -> Alcotest.failf "expected 1 entry for p0, got %d" (List.length other));
+  (match List.filter (fun (pid, _) -> pid = 1) entries with
+  | [ (_, s) ] -> check "p1 entry steps" 1 s.Measures.steps
+  | other -> Alcotest.failf "expected 1 entry for p1, got %d" (List.length other));
+  let exits = Measures.mutex_wc_exit t ~nprocs:2 in
+  match exits with
+  | [ (1, s) ] -> check "p1 exit steps" 1 s.Measures.steps
+  | _ -> Alcotest.fail "expected exactly p1's exit fragment"
+
+(* Contention-free measure: only Trying and Exiting accesses count;
+   critical-section work is free. *)
+let test_cf_regions () =
+  let r1, r2 = mk_regs () in
+  let t = Trace.create () in
+  let ev pid body = ignore (Trace.record t ~pid body) in
+  ev 0 (Event.Region_change Event.Trying);
+  ev 0 (Event.Access (r1, Event.A_write 1));
+  ev 0 (Event.Access (r2, Event.A_read 0));
+  ev 0 (Event.Region_change Event.Critical);
+  ev 0 (Event.Access (r2, Event.A_write 3));  (* CS work: not counted *)
+  ev 0 (Event.Region_change Event.Exiting);
+  ev 0 (Event.Access (r1, Event.A_write 0));
+  ev 0 (Event.Region_change Event.Remainder);
+  let s = Measures.mutex_contention_free t ~nprocs:1 ~pid:0 in
+  check "cf steps" 3 s.Measures.steps;
+  check "cf registers" 2 s.Measures.registers;
+  check "cf writes" 2 s.Measures.write_steps;
+  check "cf reads" 1 s.Measures.read_steps
+
+(* Multiple entries by the same process produce one fragment each. *)
+let test_repeated_entries () =
+  let r1, _ = mk_regs () in
+  let t = Trace.create () in
+  let ev pid body = ignore (Trace.record t ~pid body) in
+  for i = 1 to 3 do
+    ev 0 (Event.Region_change Event.Trying);
+    for _ = 1 to i do
+      ev 0 (Event.Access (r1, Event.A_read 0))
+    done;
+    ev 0 (Event.Region_change Event.Critical);
+    ev 0 (Event.Region_change Event.Exiting);
+    ev 0 (Event.Region_change Event.Remainder)
+  done;
+  let entries = Measures.mutex_wc_entry t ~nprocs:1 in
+  check "three fragments" 3 (List.length entries);
+  let steps = List.map (fun (_, s) -> s.Measures.steps) entries in
+  Alcotest.(check (list int)) "growing" [ 1; 2; 3 ] steps
+
+(* decisions/at_most_one_winner plumbing. *)
+let test_decisions () =
+  let t = Trace.create () in
+  let ev pid body = ignore (Trace.record t ~pid body) in
+  ev 0 (Event.Region_change (Event.Decided 1));
+  ev 1 (Event.Region_change (Event.Decided 0));
+  ev 2 (Event.Region_change (Event.Decided 0));
+  Alcotest.(check (list (pair int int)))
+    "decisions" [ (0, 1); (1, 0); (2, 0) ]
+    (Measures.decisions t ~nprocs:3);
+  check_bool "one winner ok" true (Spec.at_most_one_winner t ~nprocs:3 = None);
+  ev 1 (Event.Region_change (Event.Decided 1));
+  check_bool "two winners flagged" true
+    (Spec.at_most_one_winner t ~nprocs:3 <> None)
+
+(* ------------------------------------------------------------------ *)
+(* Bound formulas                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_bound_values () =
+  (* Spot values computed by hand: n=2^16, l=1: log n=16, loglog n=4,
+     denom = 1-2+12 = 11. *)
+  let v = Bounds.mutex_cf_step_lower ~n:65536 ~l:1 in
+  check_bool "thm1 value" true (abs_float (v -. (16. /. 11.)) < 1e-9);
+  (* n=2^16, l=16: sqrt(16/20). *)
+  let v = Bounds.mutex_cf_register_lower ~n:65536 ~l:16 in
+  check_bool "thm2 value" true (abs_float (v -. sqrt (16. /. 20.)) < 1e-9);
+  check "thm3 step upper n=2^16 l=4" (7 * 4)
+    (Bounds.mutex_cf_step_upper ~n:65536 ~l:4);
+  check "thm3 reg upper n=2^16 l=4" (3 * 4)
+    (Bounds.mutex_cf_register_upper ~n:65536 ~l:4);
+  (* Degenerate smalls return 0 rather than exploding. *)
+  check_bool "n=1 is vacuous" true (Bounds.mutex_cf_step_lower ~n:1 ~l:1 = 0.);
+  check_bool "n=2 l=1 denom<=0 vacuous" true
+    (Bounds.mutex_cf_step_lower ~n:2 ~l:1 = 0.)
+
+let test_bound_monotone () =
+  (* The step lower bound grows with n and shrinks with l. *)
+  let ns = [ 16; 256; 65536; 1 lsl 20 ] in
+  let rec pairs = function
+    | a :: (b :: _ as rest) ->
+      check_bool "monotone in n" true
+        (Bounds.mutex_cf_step_lower ~n:b ~l:4
+        >= Bounds.mutex_cf_step_lower ~n:a ~l:4);
+      pairs rest
+    | _ -> ()
+  in
+  pairs ns;
+  List.iter
+    (fun l ->
+      check_bool "antitone in l" true
+        (Bounds.mutex_cf_step_lower ~n:65536 ~l
+        >= Bounds.mutex_cf_step_lower ~n:65536 ~l:(l + 4)))
+    [ 1; 4; 8 ]
+
+let test_naming_table_shape () =
+  check "five columns" 5 (List.length Bounds.naming_table);
+  (* The tas column is all linear; rmw all log. *)
+  (match Bounds.naming_table with
+  | ("tas", a, b, c, d) :: _ ->
+    List.iter
+      (fun cell -> check_bool "tas linear" true (cell = Bounds.Linear))
+      [ a; b; c; d ]
+  | _ -> Alcotest.fail "tas first");
+  match List.rev Bounds.naming_table with
+  | ("rmw", a, b, c, d) :: _ ->
+    List.iter
+      (fun cell -> check_bool "rmw log" true (cell = Bounds.Log))
+      [ a; b; c; d ]
+  | _ -> Alcotest.fail "rmw last"
+
+(* ------------------------------------------------------------------ *)
+(* Sandwich: lower bound <= measured <= upper bound                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Theorem 1/2 lower bounds hold for every register-model algorithm at
+   its true atomicity. *)
+let prop_lower_bounds_hold =
+  QCheck.Test.make ~count:40
+    ~name:"theorem 1 and 2 lower bounds hold for all measured algorithms"
+    QCheck.(pair (int_range 2 40) (int_range 1 8))
+    (fun (n, l) ->
+      List.for_all
+        (fun (module A : Mutex_intf.ALG) ->
+          let p = { Mutex_intf.n; l } in
+          if not (A.supports p) then true
+          else begin
+            let r = Mutex_harness.contention_free (module A) p in
+            let atomicity = r.Mutex_harness.atomicity_observed in
+            let s = r.Mutex_harness.max in
+            float_of_int s.Measures.steps
+            > Bounds.mutex_cf_step_lower ~n ~l:atomicity -. 1e-9
+            && float_of_int s.Measures.registers
+               >= Bounds.mutex_cf_register_lower ~n ~l:atomicity -. 1e-9
+          end)
+        Registry.register_model)
+
+(* The tree meets Theorem 3 with the capacity-(2^l - 1) caveat: measured
+   = 7·⌈log_c n⌉ <= 7·⌈log n/(l-1)⌉, and equals the paper's 7·⌈log n/l⌉
+   whenever the depths coincide. *)
+let prop_tree_upper =
+  QCheck.Test.make ~count:60 ~name:"tree within theorem 3 upper bounds"
+    QCheck.(pair (int_range 2 2000) (int_range 2 8))
+    (fun (n, l) ->
+      let p = { Mutex_intf.n; l } in
+      let r = Mutex_harness.contention_free Registry.tree p in
+      let s = r.Mutex_harness.max in
+      let loose = 7 * Ixmath.ceil_div (Ixmath.ceil_log2 (max 2 n)) (l - 1) in
+      s.Measures.steps <= max loose (Bounds.mutex_cf_step_upper ~n ~l)
+      && s.Measures.registers * 7 = s.Measures.steps * 3)
+
+(* Lemma 3's inequality is satisfied by the measured (r, w) of every
+   correct detector: a sanity check that the combinatorial lemma and our
+   instrumentation speak the same language. *)
+let prop_lemma3_on_detectors =
+  QCheck.Test.make ~count:40
+    ~name:"lemma 3 inequality holds for measured detector complexities"
+    QCheck.(pair (int_range 2 64) (int_range 1 6))
+    (fun (n, l) ->
+      List.for_all
+        (fun (module D : Mutex_intf.DETECTOR) ->
+          let p = { Mutex_intf.n; l } in
+          if not (D.supports p) then true
+          else begin
+            let r = Detect_harness.contention_free (module D) p in
+            let s = r.Detect_harness.max in
+            Bounds.lemma3_holds ~n ~l:r.Detect_harness.atomicity_observed
+              ~r:s.Measures.read_registers ~w:s.Measures.write_steps
+          end)
+        Registry.detectors)
+
+(* Lemma 6 likewise for register complexity. *)
+let prop_lemma6_on_detectors =
+  QCheck.Test.make ~count:40
+    ~name:"lemma 6 inequality holds for measured detector complexities"
+    QCheck.(pair (int_range 2 64) (int_range 1 6))
+    (fun (n, l) ->
+      List.for_all
+        (fun (module D : Mutex_intf.DETECTOR) ->
+          let p = { Mutex_intf.n; l } in
+          if not (D.supports p) then true
+          else begin
+            let r = Detect_harness.contention_free (module D) p in
+            let s = r.Detect_harness.max in
+            Bounds.lemma6_holds ~n ~l:r.Detect_harness.atomicity_observed
+              ~c:s.Measures.registers ~w:s.Measures.write_registers
+          end)
+        Registry.detectors)
+
+(* The §2.4 corollary: bits accessed contention-free >= l + c - 1 where c
+   is the Theorem 1 bound; our tree with atomicity l accesses about
+   l·(steps) bits, comfortably above. *)
+let test_bits_accessed () =
+  List.iter
+    (fun (n, l) ->
+      let p = { Mutex_intf.n; l } in
+      let r = Mutex_harness.contention_free Registry.tree p in
+      let bits_touched =
+        l * r.Mutex_harness.max.Measures.steps
+      in
+      check_bool
+        (Printf.sprintf "n=%d l=%d bits %d >= bound" n l bits_touched)
+        true
+        (float_of_int bits_touched >= Bounds.bits_accessed_lower ~n ~l))
+    [ (16, 2); (256, 2); (256, 4); (4096, 3) ]
+
+let () =
+  Alcotest.run "cfc_core"
+    [ ( "measures",
+        [ Alcotest.test_case "wc entry window" `Quick test_wc_entry_window;
+          Alcotest.test_case "cf regions" `Quick test_cf_regions;
+          Alcotest.test_case "repeated entries" `Quick test_repeated_entries;
+          Alcotest.test_case "decisions" `Quick test_decisions ] );
+      ( "bounds",
+        [ Alcotest.test_case "spot values" `Quick test_bound_values;
+          Alcotest.test_case "monotonicity" `Quick test_bound_monotone;
+          Alcotest.test_case "naming table shape" `Quick
+            test_naming_table_shape ] );
+      ( "sandwich",
+        [ QCheck_alcotest.to_alcotest prop_lower_bounds_hold;
+          QCheck_alcotest.to_alcotest prop_tree_upper;
+          QCheck_alcotest.to_alcotest prop_lemma3_on_detectors;
+          QCheck_alcotest.to_alcotest prop_lemma6_on_detectors;
+          Alcotest.test_case "bits accessed corollary" `Quick
+            test_bits_accessed ] ) ]

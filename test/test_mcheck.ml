@@ -1,0 +1,262 @@
+(* Tests for the bounded model checker: exhaustive verification of the
+   small configurations, and — crucially — the ability to FIND a planted
+   violation (a checker that cannot fail cannot verify either). *)
+
+open Cfc_base
+open Cfc_runtime
+open Cfc_mutex
+open Cfc_mcheck
+
+let check_bool = Alcotest.(check bool)
+
+let expect_ok name = function
+  | Explore.Ok stats ->
+    check_bool (name ^ " explored something") true (stats.Explore.runs > 0)
+  | Explore.Violation { violation; schedule; _ } ->
+    Alcotest.failf "%s: %a (schedule %s)" name Cfc_core.Spec.pp_violation
+      violation
+      (String.concat "," (List.map string_of_int schedule))
+
+(* A deliberately broken "lock" (test-and-test-and-set without atomicity:
+   read then write) to prove the checker catches real races. *)
+module Broken_lock : Mutex_intf.ALG = struct
+  let name = "broken-lock"
+  let supports (p : Mutex_intf.params) = p.Mutex_intf.n >= 2
+  let atomicity (_ : Mutex_intf.params) = 1
+  let predicted_cf_steps (_ : Mutex_intf.params) = None
+  let predicted_cf_registers (_ : Mutex_intf.params) = None
+
+  module Make (M : Cfc_base.Mem_intf.MEM) = struct
+    type t = { flag : M.reg }
+
+    let create (_ : Mutex_intf.params) =
+      { flag = M.alloc ~name:"broken.flag" ~width:1 ~init:0 () }
+
+    let lock t ~me:_ =
+      (* Race: both processes can read 0 before either writes 1. *)
+      while M.read t.flag = 1 do
+        M.pause ()
+      done;
+      M.write t.flag 1
+
+    let unlock t ~me:_ = M.write t.flag 0
+  end
+end
+
+let test_finds_planted_race () =
+  match Props.check_mutex (module Broken_lock) (Mutex_intf.params 2) with
+  | Explore.Ok _ -> Alcotest.fail "missed the planted race"
+  | Explore.Violation { schedule; violation; _ } ->
+    check_bool "non-trivial schedule" true (List.length schedule > 0);
+    check_bool "describes exclusion failure" true
+      (violation.Cfc_core.Spec.what <> "")
+
+(* The counterexample replays deterministically to the same violation. *)
+let test_counterexample_replays () =
+  match Props.check_mutex (module Broken_lock) (Mutex_intf.params 2) with
+  | Explore.Ok _ -> Alcotest.fail "missed the planted race"
+  | Explore.Violation { schedule; _ } ->
+    let out =
+      Explore.replay
+        ~system:
+          (Cfc_core.Mutex_harness.system (module Broken_lock)
+             (Mutex_intf.params 2))
+        ~schedule
+    in
+    let bad =
+      Cfc_core.Spec.mutual_exclusion out.Runner.trace ~nprocs:2 <> None
+      || List.exists
+           (fun pid ->
+             match Scheduler.status out.Runner.scheduler pid with
+             | Scheduler.Errored _ -> true
+             | _ -> false)
+           [ 0; 1 ]
+    in
+    check_bool "replay reproduces violation" true bad
+
+(* Exhaustive verification of the real algorithms at n=2 (and n=3 for the
+   cheap ones). *)
+let test_mutex_n2_exhaustive () =
+  List.iter
+    (fun (module A : Mutex_intf.ALG) ->
+      let p = Mutex_intf.params 2 in
+      if A.supports p then
+        expect_ok (A.name ^ " n=2") (Props.check_mutex (module A) p))
+    Registry.all
+
+let test_tree_l2_n3 () =
+  let config =
+    { Explore.max_depth = 80; max_steps_per_proc = 30; max_states = 400_000 }
+  in
+  expect_ok "tree n=3 l=2"
+    (Props.check_mutex ~config Registry.tree { Mutex_intf.n = 3; l = 2 })
+
+let test_mutex_two_rounds () =
+  (* Re-entry (rounds=2) exercises state restoration after unlock. *)
+  List.iter
+    (fun alg ->
+      let (module A : Mutex_intf.ALG) = alg in
+      let p = Mutex_intf.params 2 in
+      let config =
+        { Explore.max_depth = 80; max_steps_per_proc = 40;
+          max_states = 400_000 }
+      in
+      expect_ok
+        (A.name ^ " n=2 rounds=2")
+        (Props.check_mutex ~config ~rounds:2 alg p))
+    [ Registry.lamport_fast; Registry.peterson_tournament;
+      Registry.kessels_tournament; Registry.tas_lock; Registry.mcs;
+      Registry.ms_packed ]
+
+let test_detectors_exhaustive () =
+  List.iter
+    (fun (module D : Mutex_intf.DETECTOR) ->
+      List.iter
+        (fun (n, l) ->
+          let p = { Mutex_intf.n; l } in
+          if D.supports p then
+            expect_ok
+              (Printf.sprintf "%s n=%d l=%d" D.name n l)
+              (Props.check_detector (module D) p))
+        [ (2, 4); (3, 4); (3, 1) ])
+    Registry.detectors
+
+let test_naming_exhaustive () =
+  List.iter
+    (fun (module A : Cfc_naming.Naming_intf.ALG) ->
+      List.iter
+        (fun n ->
+          if A.supports ~n then
+            expect_ok
+              (Printf.sprintf "%s n=%d" A.name n)
+              (Props.check_naming (module A) ~n))
+        [ 2; 4 ])
+    Cfc_naming.Registry.all
+
+(* The flat "chunked splitter" this project originally shipped for the
+   §2.6 claim: write the id chunk by chunk, gate, then verify chunks.
+   Pairwise it is sound, but with n >= 3 a third process sharing a chunk
+   value can restore it between verification reads — the model checker
+   found a 16-step two-winner counterexample at n=3, l=1, which led to
+   the splitter-tree replacement.  Kept as a regression fixture: the
+   checker must keep finding this bug. *)
+module Broken_chunked : Mutex_intf.DETECTOR = struct
+  let name = "broken-chunked-splitter"
+  let supports (p : Mutex_intf.params) = p.Mutex_intf.n >= 1 && p.Mutex_intf.l >= 1
+  let atomicity (p : Mutex_intf.params) =
+    min p.Mutex_intf.l (Ixmath.bits_needed p.Mutex_intf.n)
+  let predicted_cf_steps (_ : Mutex_intf.params) = None
+  let predicted_wc_steps (_ : Mutex_intf.params) = None
+
+  module Make (M : Cfc_base.Mem_intf.MEM) = struct
+    type t = { l : int; x : M.reg array; y : M.reg }
+
+    let create (p : Mutex_intf.params) =
+      let n = p.Mutex_intf.n and l = p.Mutex_intf.l in
+      let m = Ixmath.ceil_div (Ixmath.bits_needed n) l in
+      {
+        l;
+        x = M.alloc_array ~name:"bx" ~width:(min l (Ixmath.bits_needed n))
+            ~init:0 m;
+        y = M.alloc ~name:"by" ~width:1 ~init:0 ();
+      }
+
+    let chunk t id j = (id lsr (j * t.l)) land (Ixmath.pow2 t.l - 1)
+
+    let detect t ~me =
+      let id = me + 1 in
+      let m = Array.length t.x in
+      for j = 0 to m - 1 do
+        M.write t.x.(j) (chunk t id j)
+      done;
+      if M.read t.y = 1 then false
+      else begin
+        M.write t.y 1;
+        let ok = ref true in
+        for j = 0 to m - 1 do
+          if M.read t.x.(j) <> chunk t id j then ok := false
+        done;
+        !ok
+      end
+  end
+end
+
+let test_finds_chunked_splitter_bug () =
+  (* Sound for n=2 (pairwise argument holds)... *)
+  expect_ok "chunked n=2"
+    (Props.check_detector (module Broken_chunked) { Mutex_intf.n = 2; l = 1 });
+  (* ...but broken for n=3 with chunk collisions. *)
+  match
+    Props.check_detector (module Broken_chunked) { Mutex_intf.n = 3; l = 1 }
+  with
+  | Explore.Ok _ -> Alcotest.fail "missed the chunked-splitter unsoundness"
+  | Explore.Violation { schedule; _ } ->
+    check_bool "counterexample within 20 steps" true
+      (List.length schedule <= 20)
+
+(* A broken naming "algorithm" (plain read/write, cannot break symmetry):
+   the checker must find duplicate names. *)
+module Broken_naming : Cfc_naming.Naming_intf.ALG = struct
+  let name = "broken-naming"
+  let model = Model.read_write
+  let supports ~n = n >= 2
+  let predicted_cf_steps ~n:_ = None
+  let predicted_wc_steps ~n:_ = None
+  let predicted_cf_registers ~n:_ = None
+  let predicted_wc_registers ~n:_ = None
+
+  module Make (M : Cfc_base.Mem_intf.MEM) = struct
+    type t = { counter : M.reg array; n : int }
+
+    let create ~n =
+      { counter = M.alloc_array ~name:"ctr" ~width:1 ~init:0 8; n }
+
+    (* Read a unary counter, claim the next slot — non-atomically. *)
+    let run t =
+      let rec first_zero i =
+        if i >= Array.length t.counter then i
+        else if M.read t.counter.(i) = 0 then i
+        else first_zero (i + 1)
+      in
+      let i = first_zero 0 in
+      M.write t.counter.(min i (Array.length t.counter - 1)) 1;
+      min (i + 1) t.n
+  end
+end
+
+let test_finds_naming_race () =
+  match Props.check_naming (module Broken_naming) ~n:2 with
+  | Explore.Ok _ -> Alcotest.fail "missed duplicate names"
+  | Explore.Violation { violation; _ } ->
+    check_bool "duplicate found" true
+      (violation.Cfc_core.Spec.what <> "")
+
+(* Pruning effectiveness: the state memo must prune a substantial share
+   on a spin-heavy system, or exploration would not terminate in bounds. *)
+let test_pruning_observable () =
+  match Props.check_mutex Registry.peterson_tournament (Mutex_intf.params 2)
+  with
+  | Explore.Ok stats -> check_bool "pruned > 0" true (stats.Explore.pruned > 0)
+  | Explore.Violation { violation; _ } ->
+    Alcotest.failf "unexpected: %a" Cfc_core.Spec.pp_violation violation
+
+let () =
+  Alcotest.run "cfc_mcheck"
+    [ ( "finds-bugs",
+        [ Alcotest.test_case "planted mutex race" `Quick
+            test_finds_planted_race;
+          Alcotest.test_case "counterexample replays" `Quick
+            test_counterexample_replays;
+          Alcotest.test_case "planted naming race" `Quick
+            test_finds_naming_race;
+          Alcotest.test_case "chunked-splitter unsoundness (regression)"
+            `Quick test_finds_chunked_splitter_bug ] );
+      ( "verifies",
+        [ Alcotest.test_case "all mutexes n=2" `Slow test_mutex_n2_exhaustive;
+          Alcotest.test_case "tree n=3 l=2" `Slow test_tree_l2_n3;
+          Alcotest.test_case "two rounds" `Slow test_mutex_two_rounds;
+          Alcotest.test_case "detectors" `Quick test_detectors_exhaustive;
+          Alcotest.test_case "naming n∈{2,4}" `Slow test_naming_exhaustive ] );
+      ( "mechanics",
+        [ Alcotest.test_case "pruning observable" `Quick
+            test_pruning_observable ] ) ]

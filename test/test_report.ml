@@ -1,0 +1,104 @@
+(* Tests for the table-report layer: the regenerated paper tables must
+   have the right shape and internally consistent numbers (measured
+   within the printed bounds).  These are the same code paths the bench
+   executable drives, so the bench output stays covered by the test
+   suite. *)
+
+open Cfc_base
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i =
+    if i + nl > hl then false
+    else if String.sub haystack i nl = needle then true
+    else go (i + 1)
+  in
+  go 0
+
+let content_rows s =
+  String.split_on_char '\n' s
+  |> List.filter (fun l -> String.length l > 0 && l.[0] = '|')
+
+let test_mutex_symbolic_shape () =
+  let s = Texttab.render (Cfc_core.Report.mutex_table_symbolic ()) in
+  check "4 measures + header" 5 (List.length (content_rows s));
+  List.iter
+    (fun needle -> check_bool ("mentions " ^ needle) true (contains s needle))
+    [ "Thm 1"; "Thm 2"; "Thm 3"; "Kes82"; "AT92"; "log log n" ]
+
+let test_mutex_numeric_consistent () =
+  let n = 64 and l = 3 in
+  let s = Texttab.render (Cfc_core.Report.mutex_table ~n ~l) in
+  check "4 measures + header" 5 (List.length (content_rows s));
+  (* The tree's measured contention-free step count appears and equals
+     7 * depth with capacity 7 nodes: depth 3 for n=64. *)
+  check_bool "measured steps 21" true (contains s "| 21 ");
+  check_bool "paper upper 14" true (contains s "| 14 ");
+  check_bool "ours column 21" true (contains s "ours")
+
+let test_naming_symbolic_shape () =
+  let s = Texttab.render (Cfc_core.Report.naming_table_symbolic ()) in
+  check "4 measures + header" 5 (List.length (content_rows s));
+  List.iter
+    (fun needle -> check_bool ("mentions " ^ needle) true (contains s needle))
+    [ "tas"; "read+tas"; "read+tas+tar"; "taf"; "rmw"; "n-1"; "log n" ]
+
+(* The numeric naming table: measured contention-free cells never beat
+   the theoretical tight bound (they are lower bounds per Theorems 5/7),
+   and for the taf/rmw columns they match exactly. *)
+let test_naming_numeric_consistent () =
+  let n = 16 in
+  let s = Texttab.render (Cfc_core.Report.naming_table ~n) in
+  check "4 measures + header" 5 (List.length (content_rows s));
+  (* taf column: log n = 4 on all four measures, measured exactly 4. *)
+  check_bool "taf tight" true (contains s "4 / 4");
+  (* tas column: n-1 = 15 on contention-free measures. *)
+  check_bool "tas tight" true (contains s "15 / 15")
+
+let test_detection_table_consistent () =
+  let s =
+    Texttab.render (Cfc_core.Report.detection_table ~ns:[ 64 ] ~ls:[ 2; 6 ])
+  in
+  (* n=64: l=2 -> d=3, wc <= 12; l=6 -> d=1, wc <= 4. *)
+  check "rows" 3 (List.length (content_rows s));
+  check_bool "depth 3 appears" true (contains s "| 3 ");
+  check_bool "depth 1 appears" true (contains s "| 1 ")
+
+let test_unbounded_growth () =
+  let s = Texttab.render (Cfc_core.Report.unbounded_table ~spins:[ 10; 200 ]) in
+  check "two rows" 3 (List.length (content_rows s));
+  (* the 200-spin row must show at least 200 entry steps *)
+  let has_big =
+    content_rows s
+    |> List.exists (fun row ->
+           contains row "200 "
+           &&
+           match String.split_on_char '|' row with
+           | [ _; _; steps; _ ] -> int_of_string (String.trim steps) >= 200
+           | _ -> false)
+  in
+  check_bool "growth visible" true has_big
+
+let test_thm_sweep_shape () =
+  let s =
+    Texttab.render (Cfc_core.Report.thm_sweep ~ns:[ 16; 256 ] ~ls:[ 2; 4 ])
+  in
+  (* header + 2x2 rows *)
+  check "rows" 5 (List.length (content_rows s))
+
+let () =
+  Alcotest.run "cfc_report"
+    [ ( "tables",
+        [ Alcotest.test_case "mutex symbolic" `Quick test_mutex_symbolic_shape;
+          Alcotest.test_case "mutex numeric" `Quick
+            test_mutex_numeric_consistent;
+          Alcotest.test_case "naming symbolic" `Quick
+            test_naming_symbolic_shape;
+          Alcotest.test_case "naming numeric" `Quick
+            test_naming_numeric_consistent;
+          Alcotest.test_case "detection" `Quick test_detection_table_consistent;
+          Alcotest.test_case "unbounded growth" `Quick test_unbounded_growth;
+          Alcotest.test_case "sweep shape" `Quick test_thm_sweep_shape ] ) ]

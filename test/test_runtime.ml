@@ -1,0 +1,479 @@
+(* Tests for the effect-based simulator runtime: register semantics, the
+   scheduler's one-access-per-step discipline, schedules, crashes, traces. *)
+
+open Cfc_base
+open Cfc_runtime
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Register semantics                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_register_rw () =
+  let m = Memory.create () in
+  let r = Memory.alloc ~width:4 ~init:3 m in
+  check "init" 3 (Register.read r);
+  Register.write r 15;
+  check "write" 15 (Register.read r);
+  (match Register.write r 16 with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "width overflow accepted");
+  Register.reset r;
+  check "reset" 3 (Register.read r)
+
+let test_register_model_enforced () =
+  let m = Memory.create () in
+  let r = Memory.alloc ~model:Model.tas_only ~width:1 ~init:0 m in
+  (match Register.read r with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "read allowed in tas-only model");
+  check "tas returns old" 0
+    (Option.get (Register.bit_op r Ops.Test_and_set));
+  check "tas returns old (set)" 1
+    (Option.get (Register.bit_op r Ops.Test_and_set))
+
+let test_bit_ops_semantics () =
+  List.iter
+    (fun (op, v, expect_v', expect_ret) ->
+      let v', ret = Ops.apply op v in
+      check (Ops.to_string op ^ " value") expect_v' v';
+      Alcotest.(check (option int)) (Ops.to_string op ^ " ret") expect_ret ret)
+    [ (Ops.Skip, 0, 0, None);
+      (Ops.Skip, 1, 1, None);
+      (Ops.Read, 1, 1, Some 1);
+      (Ops.Write_0, 1, 0, None);
+      (Ops.Test_and_reset, 1, 0, Some 1);
+      (Ops.Write_1, 0, 1, None);
+      (Ops.Test_and_set, 0, 1, Some 0);
+      (Ops.Flip, 0, 1, None);
+      (Ops.Flip, 1, 0, None);
+      (Ops.Test_and_flip, 1, 0, Some 1) ]
+
+let test_dual_involution () =
+  List.iter
+    (fun op ->
+      Alcotest.(check bool)
+        (Ops.to_string op ^ " dual involutive")
+        true
+        (Ops.equal op (Ops.dual (Ops.dual op))))
+    Ops.all
+
+(* dual(op) on v behaves like op on (1-v), with complemented results. *)
+let test_dual_semantics () =
+  List.iter
+    (fun op ->
+      List.iter
+        (fun v ->
+          let v1, r1 = Ops.apply (Ops.dual op) v in
+          let v2, r2 = Ops.apply op (1 - v) in
+          check (Ops.to_string op ^ " dual value") (1 - v2) v1;
+          Alcotest.(check (option int))
+            (Ops.to_string op ^ " dual ret")
+            (Option.map (fun x -> 1 - x) r2)
+            r1)
+        [ 0; 1 ])
+    Ops.all
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler basics                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* A process that writes its pid then reads the other's register. *)
+let two_writers () =
+  let memory = Memory.create () in
+  let (module M) = Sim_mem.mem memory in
+  let a = M.alloc ~name:"a" ~width:8 ~init:0 ()
+  and b = M.alloc ~name:"b" ~width:8 ~init:0 () in
+  let proc own other v () =
+    M.write own v;
+    ignore (M.read other)
+  in
+  (memory, [| proc a b 7; proc b a 9 |])
+
+let test_round_robin_interleaving () =
+  let memory, procs = two_writers () in
+  let out = Runner.run ~memory ~pick:(Schedule.round_robin ()) procs in
+  check_bool "completed" true out.Runner.completed;
+  check "total steps" 4 out.Runner.total_steps;
+  (* Round robin: p0 writes, p1 writes, p0 reads 9, p1 reads 7. *)
+  let evs =
+    Trace.to_list out.Runner.trace
+    |> List.filter_map (fun e ->
+           match e.Event.body with
+           | Event.Access (r, k) -> Some (e.Event.pid, r.Register.name, k)
+           | Event.Region_change _ | Event.Crash -> None)
+  in
+  match evs with
+  | [ (0, "a", Event.A_write 7); (1, "b", Event.A_write 9);
+      (0, "b", Event.A_read 9); (1, "a", Event.A_read 7) ] -> ()
+  | _ -> Alcotest.fail "unexpected interleaving"
+
+let test_solo_schedule () =
+  let memory, procs = two_writers () in
+  let out = Runner.run ~memory ~pick:(Schedule.solo 1) procs in
+  check_bool "not all completed" false out.Runner.completed;
+  check "p1 steps" 2 (Scheduler.steps_taken out.Runner.scheduler 1);
+  check "p0 steps" 0 (Scheduler.steps_taken out.Runner.scheduler 0);
+  check_bool "p0 never started" false (Scheduler.started out.Runner.scheduler 0)
+
+let test_sequential_schedule () =
+  let memory, procs = two_writers () in
+  let out = Runner.run ~memory ~pick:(Schedule.sequential ()) procs in
+  check_bool "completed" true out.Runner.completed;
+  let pids =
+    Trace.to_list out.Runner.trace
+    |> List.filter_map (fun e ->
+           match e.Event.body with
+           | Event.Access _ -> Some e.Event.pid
+           | Event.Region_change _ | Event.Crash -> None)
+  in
+  Alcotest.(check (list int)) "p0 fully before p1" [ 0; 0; 1; 1 ] pids
+
+let test_explicit_schedule () =
+  let memory, procs = two_writers () in
+  let out = Runner.run ~memory ~pick:(Schedule.of_list [ 1; 1; 0; 0 ]) procs in
+  check_bool "completed" true out.Runner.completed;
+  let first = Trace.get out.Runner.trace 0 in
+  check "first actor" 1 first.Event.pid
+
+let test_max_steps_cutoff () =
+  let memory = Memory.create () in
+  let (module M) = Sim_mem.mem memory in
+  let r = M.alloc ~width:1 ~init:0 () in
+  let spin () = while M.read r = 0 do () done in
+  let out =
+    Runner.run ~max_steps:100 ~memory ~pick:(Schedule.solo 0) [| spin |]
+  in
+  check_bool "did not complete" false out.Runner.completed;
+  check "exactly budget" 100 out.Runner.total_steps
+
+(* pref_then: follows the prefix, then hands over to the continuation. *)
+let test_pref_then () =
+  let memory, procs = two_writers () in
+  let pick =
+    Schedule.pref_then [ 1; 1 ] (Schedule.round_robin ())
+  in
+  let out = Runner.run ~memory ~pick procs in
+  check_bool "completed" true out.Runner.completed;
+  let pids =
+    Trace.to_list out.Runner.trace
+    |> List.filter_map (fun e ->
+           match e.Event.body with
+           | Event.Access _ -> Some e.Event.pid
+           | Event.Region_change _ | Event.Crash -> None)
+  in
+  (* p1's two steps from the prefix, then round-robin finishes p0. *)
+  Alcotest.(check (list int)) "prefix then rr" [ 1; 1; 0; 0 ] pids
+
+(* biased: the favored process gets the lion's share of the turns. *)
+let test_biased_favoring () =
+  let memory = Memory.create () in
+  let (module M) = Sim_mem.mem memory in
+  let regs = M.alloc_array ~width:8 ~init:0 4 in
+  let p i () =
+    for k = 1 to 50 do
+      M.write regs.(i) (k land 255)
+    done
+  in
+  let out =
+    Runner.run ~max_steps:80 ~memory
+      ~pick:(Schedule.biased ~seed:3 ~favored:2 ~bias:16)
+      (Array.init 4 (fun i -> p i))
+  in
+  let counts = Array.make 4 0 in
+  Trace.iter
+    (fun e ->
+      match e.Event.body with
+      | Event.Access _ -> counts.(e.Event.pid) <- counts.(e.Event.pid) + 1
+      | Event.Region_change _ | Event.Crash -> ())
+    out.Runner.trace;
+  check_bool
+    (Printf.sprintf "favored %d > sum of others %d" counts.(2)
+       (counts.(0) + counts.(1) + counts.(3)))
+    true
+    (counts.(2) > counts.(0) + counts.(1) + counts.(3))
+
+(* ------------------------------------------------------------------ *)
+(* Regions, decisions, crashes                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_regions_and_decide () =
+  let memory = Memory.create () in
+  let (module M) = Sim_mem.mem memory in
+  let r = M.alloc ~width:1 ~init:0 () in
+  let p () =
+    Proc.region Event.Trying;
+    M.write r 1;
+    Proc.decide 42
+  in
+  let out = Runner.run ~memory ~pick:(Schedule.solo 0) [| p |] in
+  check_bool "completed" true out.Runner.completed;
+  (match Scheduler.region out.Runner.scheduler 0 with
+  | Event.Halted -> ()
+  | _ -> Alcotest.fail "should end halted");
+  let saw_decided =
+    Trace.fold
+      (fun acc e ->
+        acc
+        ||
+        match e.Event.body with
+        | Event.Region_change (Event.Decided 42) -> true
+        | _ -> false)
+      false out.Runner.trace
+  in
+  check_bool "decided event recorded" true saw_decided
+
+let test_crash_stops_process () =
+  let memory = Memory.create () in
+  let (module M) = Sim_mem.mem memory in
+  let r = M.alloc ~width:8 ~init:0 () in
+  let p i () =
+    for k = 1 to 10 do
+      M.write r ((10 * i) + k)
+    done
+  in
+  (* Crash p0 after its 3rd scheduler step. *)
+  let out =
+    Runner.run ~memory ~crash_at:[ (3, 0) ]
+      ~pick:(Schedule.round_robin ())
+      [| p 0; p 1 |]
+  in
+  check_bool "completed" true out.Runner.completed;
+  (match Scheduler.status out.Runner.scheduler 0 with
+  | Scheduler.Crashed -> ()
+  | _ -> Alcotest.fail "p0 should be crashed");
+  check_bool "p0 stopped early"
+    true
+    (Scheduler.steps_taken out.Runner.scheduler 0 < 10);
+  check "p1 ran to completion" 10 (Scheduler.steps_taken out.Runner.scheduler 1)
+
+let test_crash_before_start () =
+  let memory = Memory.create () in
+  let (module M) = Sim_mem.mem memory in
+  let r = M.alloc ~width:8 ~init:0 () in
+  let p () = M.write r 1 in
+  let out =
+    Runner.run ~memory ~crash_at:[ (0, 0) ] ~pick:(Schedule.round_robin ())
+      [| p |]
+  in
+  check "no steps" 0 (Scheduler.steps_taken out.Runner.scheduler 0);
+  check_bool "completed (quiescent)" true out.Runner.completed
+
+let test_model_violation_is_error () =
+  let memory = Memory.create () in
+  let (module M) = Sim_mem.mem memory in
+  let r = M.alloc_bit ~model:Model.tas_only ~init:0 () in
+  let p () = ignore (M.read r) in
+  let _, err =
+    Runner.run_collect ~memory ~pick:(Schedule.solo 0) [| p |]
+  in
+  check_bool "violation detected" true (err <> None)
+
+(* ------------------------------------------------------------------ *)
+(* Trace queries                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_measures () =
+  let memory = Memory.create () in
+  let (module M) = Sim_mem.mem memory in
+  let a = M.alloc ~name:"a" ~width:4 ~init:0 ()
+  and b = M.alloc ~name:"b" ~width:4 ~init:0 () in
+  let p () =
+    M.write a 1;
+    ignore (M.read a);
+    M.write b 2;
+    M.write a 3
+  in
+  let out = Runner.run ~memory ~pick:(Schedule.solo 0) [| p |] in
+  let t = out.Runner.trace in
+  check "steps" 4 (Trace.step_count ~pid:0 t);
+  check "registers" 2 (Trace.distinct_registers ~pid:0 t);
+  let reads, writes = Trace.rw_step_count ~pid:0 t in
+  check "reads" 1 reads;
+  check "writes" 3 writes;
+  let rregs, wregs = Trace.rw_register_count ~pid:0 t in
+  check "read registers" 1 rregs;
+  check "written registers" 2 wregs
+
+let test_trace_fragment_bounds () =
+  let memory = Memory.create () in
+  let (module M) = Sim_mem.mem memory in
+  let a = M.alloc ~width:4 ~init:0 () in
+  let p () =
+    for i = 1 to 5 do
+      M.write a i
+    done
+  in
+  let out = Runner.run ~memory ~pick:(Schedule.solo 0) [| p |] in
+  let t = out.Runner.trace in
+  check "window" 2 (Trace.step_count ~from:1 ~until:3 ~pid:0 t)
+
+(* Multi-grain sub-word stores (§1.3 / MS93): one step, neighbours
+   untouched, whole word readable in one step. *)
+let test_write_field () =
+  let memory = Memory.create () in
+  let (module M) = Sim_mem.mem memory in
+  let w = M.alloc ~name:"w" ~width:8 ~init:0 () in
+  let p () =
+    M.write_field w ~index:0 ~width:2 3;
+    M.write_field w ~index:3 ~width:2 2;
+    ignore (M.read w)
+  in
+  let out = Runner.run ~memory ~pick:(Schedule.solo 0) [| p |] in
+  check "three steps" 3 (Trace.step_count ~pid:0 out.Runner.trace);
+  check "one register" 1 (Trace.distinct_registers ~pid:0 out.Runner.trace);
+  let reads, writes = Trace.rw_step_count ~pid:0 out.Runner.trace in
+  check "field writes count as writes" 2 writes;
+  check "one read" 1 reads;
+  (* value = 3 + 2 << 6 = 131 *)
+  let last =
+    Trace.accesses_of ~pid:0 out.Runner.trace |> List.rev |> List.hd
+  in
+  (match last with
+  | _, Event.A_read v -> check "packed value" 131 v
+  | _ -> Alcotest.fail "expected read");
+  (* Out-of-range / model-restricted fields are rejected. *)
+  let m2 = Memory.create () in
+  let (module M2) = Sim_mem.mem m2 in
+  let w2 = M2.alloc ~width:4 ~init:0 () in
+  let bad () = M2.write_field w2 ~index:2 ~width:2 1 in
+  let _, err = Runner.run_collect ~memory:m2 ~pick:(Schedule.solo 0) [| bad |] in
+  check_bool "out of range rejected" true (err <> None)
+
+(* Memory fingerprints distinguish states and match after reset. *)
+let test_memory_fingerprint () =
+  let m = Memory.create () in
+  let a = Memory.alloc ~width:8 ~init:0 m in
+  let f0 = Memory.fingerprint m in
+  Register.write a 5;
+  check_bool "changed" false (Memory.fingerprint m = f0);
+  Memory.reset m;
+  check "restored" f0 (Memory.fingerprint m)
+
+(* qcheck: arbitrary interleavings of independent single-writer processes
+   always produce per-process step counts equal to their program length. *)
+let prop_step_counts_independent =
+  QCheck.Test.make ~count:100
+    ~name:"independent processes keep their step counts under any schedule"
+    QCheck.(pair (int_bound 1000) (int_range 1 5))
+    (fun (seed, nprocs) ->
+      let memory = Memory.create () in
+      let (module M) = Sim_mem.mem memory in
+      let regs = M.alloc_array ~width:8 ~init:0 nprocs in
+      let p i () =
+        for k = 1 to 7 do
+          M.write regs.(i) k
+        done
+      in
+      let out =
+        Runner.run ~memory
+          ~pick:(Schedule.random ~seed)
+          (Array.init nprocs (fun i -> p i))
+      in
+      out.Runner.completed
+      && List.for_all
+           (fun pid -> Scheduler.steps_taken out.Runner.scheduler pid = 7)
+           (List.init nprocs Fun.id))
+
+(* Packed fields behave exactly like the separate registers they pack:
+   applying the same random write sequence to a field-per-bit word and to
+   an array of independent bits always leaves the word equal to the bits'
+   binary encoding. *)
+let prop_fields_equal_bits =
+  QCheck.Test.make ~count:200 ~name:"write_field = independent bits"
+    QCheck.(pair (int_range 1 8) (small_list (pair (int_bound 7) (int_bound 1))))
+    (fun (k, writes) ->
+      let memory = Memory.create () in
+      let (module M) = Sim_mem.mem memory in
+      let word = M.alloc ~name:"w" ~width:k ~init:0 () in
+      let bits = M.alloc_array ~name:"b" ~width:1 ~init:0 k in
+      let result = ref None in
+      let p () =
+        List.iter
+          (fun (i, v) ->
+            let i = i mod k in
+            M.write_field word ~index:i ~width:1 v;
+            M.write bits.(i) v)
+          writes;
+        let encoded =
+          Array.to_list bits
+          |> List.mapi (fun i b -> M.read b lsl i)
+          |> List.fold_left ( + ) 0
+        in
+        result := Some (M.read word = encoded)
+      in
+      let out = Runner.run ~memory ~pick:(Schedule.solo 0) [| p |] in
+      out.Runner.completed && !result = Some true)
+
+(* Determinism: the same seed replays to the identical trace — the
+   property the model checker's replay exploration rests on. *)
+let prop_replay_deterministic =
+  QCheck.Test.make ~count:60 ~name:"same schedule, same trace"
+    QCheck.(pair (int_bound 1_000_000) (int_range 2 4))
+    (fun (seed, nprocs) ->
+      let run () =
+        let memory = Memory.create () in
+        let (module M) = Sim_mem.mem memory in
+        let regs = M.alloc_array ~width:8 ~init:0 nprocs in
+        let p i () =
+          for k = 1 to 5 do
+            M.write regs.(i) k;
+            ignore (M.read regs.((i + 1) mod nprocs))
+          done
+        in
+        let out =
+          Runner.run ~memory
+            ~pick:(Schedule.random ~seed)
+            (Array.init nprocs (fun i -> p i))
+        in
+        Trace.to_list out.Runner.trace
+        |> List.map (fun e ->
+               ( e.Event.pid,
+                 match e.Event.body with
+                 | Event.Access (r, Event.A_read v) -> (r.Register.id, 0, v)
+                 | Event.Access (r, Event.A_write v) -> (r.Register.id, 1, v)
+                 | Event.Access (r, _) -> (r.Register.id, 2, 0)
+                 | Event.Region_change _ -> (-1, 3, 0)
+                 | Event.Crash -> (-1, 4, 0) ))
+      in
+      run () = run ())
+
+let () =
+  Alcotest.run "cfc_runtime"
+    [ ( "registers",
+        [ Alcotest.test_case "read/write/width/reset" `Quick test_register_rw;
+          Alcotest.test_case "model enforcement" `Quick
+            test_register_model_enforced;
+          Alcotest.test_case "bit op semantics" `Quick test_bit_ops_semantics;
+          Alcotest.test_case "dual involution" `Quick test_dual_involution;
+          Alcotest.test_case "dual semantics" `Quick test_dual_semantics ] );
+      ( "scheduler",
+        [ Alcotest.test_case "round robin interleaving" `Quick
+            test_round_robin_interleaving;
+          Alcotest.test_case "solo" `Quick test_solo_schedule;
+          Alcotest.test_case "sequential" `Quick test_sequential_schedule;
+          Alcotest.test_case "explicit" `Quick test_explicit_schedule;
+          Alcotest.test_case "max steps cutoff" `Quick test_max_steps_cutoff;
+          Alcotest.test_case "pref_then" `Quick test_pref_then;
+          Alcotest.test_case "biased favoring" `Quick test_biased_favoring ] );
+      ( "regions+crashes",
+        [ Alcotest.test_case "regions and decide" `Quick
+            test_regions_and_decide;
+          Alcotest.test_case "crash stops process" `Quick
+            test_crash_stops_process;
+          Alcotest.test_case "crash before start" `Quick
+            test_crash_before_start;
+          Alcotest.test_case "model violation" `Quick
+            test_model_violation_is_error ] );
+      ( "trace",
+        [ Alcotest.test_case "write_field" `Quick test_write_field;
+          Alcotest.test_case "measures" `Quick test_trace_measures;
+          Alcotest.test_case "fragment bounds" `Quick
+            test_trace_fragment_bounds;
+          Alcotest.test_case "memory fingerprint" `Quick
+            test_memory_fingerprint;
+          QCheck_alcotest.to_alcotest prop_step_counts_independent;
+          QCheck_alcotest.to_alcotest prop_fields_equal_bits;
+          QCheck_alcotest.to_alcotest prop_replay_deterministic ] ) ]

@@ -1,0 +1,123 @@
+(* Tests for the workload generator and the §4 (discussion) claims:
+   winner's time-to-enter stays near the contention-free cost, backoff
+   reduces total shared-memory traffic under contention, and the
+   introduction's motivation — the fast algorithm beats the bakery when
+   contention is rare. *)
+
+open Cfc_mutex
+open Cfc_workload
+
+let check_bool = Alcotest.(check bool)
+let check = Alcotest.(check int)
+
+let cfg ?(n = 6) ?(rounds = 30) ?(think = 10) ?(seed = 7) () =
+  { Workload.n; rounds; mean_think = think; cs_len = 3; seed }
+
+let test_all_acquisitions_complete () =
+  List.iter
+    (fun (module A : Mutex_intf.ALG) ->
+      let p = Mutex_intf.params 6 in
+      if A.supports p then begin
+        let r = Workload.run_mutex (module A) (cfg ()) in
+        check (A.name ^ " acquisitions") (6 * 30) r.Workload.acquisitions
+      end)
+    Registry.all
+
+(* §4: winner's entry cost since release stays within a small factor of
+   the contention-free cost for the fast algorithm, at every contention
+   level. *)
+let test_winner_near_cf () =
+  List.iter
+    (fun think ->
+      let r = Workload.run_mutex Registry.lamport_fast (cfg ~think ()) in
+      check_bool
+        (Printf.sprintf "think=%d mean %.1f within 2x cf" think
+           r.Workload.entry_steps_mean)
+        true
+        (r.Workload.entry_steps_mean <= 2. *. float_of_int r.Workload.cf_steps);
+      check_bool
+        (Printf.sprintf "think=%d max %d within 4x cf" think
+           r.Workload.entry_steps_max)
+        true
+        (r.Workload.entry_steps_max <= 4 * r.Workload.cf_steps))
+    [ 0; 5; 40; 200 ]
+
+(* Backoff reduces total shared-memory traffic under contention. *)
+let test_backoff_reduces_traffic () =
+  let with_ = Workload.run_mutex Registry.backoff (cfg ~think:5 ()) in
+  let without = Workload.run_mutex Registry.lamport_fast (cfg ~think:5 ()) in
+  check_bool
+    (Printf.sprintf "backoff traffic %d < plain %d" with_.Workload.total_steps
+       without.Workload.total_steps)
+    true
+    (with_.Workload.total_steps < without.Workload.total_steps)
+
+(* MS93 packing: the packed variant's contention-free cost equals plain
+   Lamport's (the deterministic slow-path scan comparison lives in
+   test_mutex). *)
+let test_packed_same_cf () =
+  let big = cfg ~n:6 ~think:0 () in
+  let plain = Workload.run_mutex Registry.lamport_fast big in
+  let packed = Workload.run_mutex Registry.ms_packed big in
+  check "same contention-free cost" plain.Workload.cf_steps
+    packed.Workload.cf_steps;
+  check "same acquisitions" plain.Workload.acquisitions
+    packed.Workload.acquisitions
+
+(* The introduction's motivation: under rare contention the fast
+   algorithm's winner cost beats the bakery's. *)
+let test_fast_beats_bakery_rare_contention () =
+  let fast = Workload.run_mutex Registry.lamport_fast (cfg ~think:200 ()) in
+  let bakery = Workload.run_mutex Registry.bakery (cfg ~think:200 ()) in
+  check_bool "rare contention reached" true
+    (fast.Workload.observed_contention < 1.5);
+  check_bool
+    (Printf.sprintf "fast %.1f < bakery %.1f" fast.Workload.entry_steps_mean
+       bakery.Workload.entry_steps_mean)
+    true
+    (fast.Workload.entry_steps_mean < bakery.Workload.entry_steps_mean)
+
+(* Contention level responds to think time (saturation vs rare). *)
+let test_contention_dial () =
+  let hot = Workload.run_mutex Registry.lamport_fast (cfg ~think:0 ()) in
+  let cold = Workload.run_mutex Registry.lamport_fast (cfg ~think:200 ()) in
+  check_bool "dial works" true
+    (hot.Workload.observed_contention
+    > cold.Workload.observed_contention +. 1.)
+
+(* The sweep helper covers all requested points, in order. *)
+let test_sweep_shape () =
+  let sweep =
+    Workload.contention_sweep Registry.lamport_fast ~n:4 ~rounds:10
+      ~thinks:[ 0; 10; 100 ] ~seed:3
+  in
+  Alcotest.(check (list int)) "think points" [ 0; 10; 100 ]
+    (List.map fst sweep);
+  List.iter
+    (fun (_, r) -> check "acquisitions" 40 r.Workload.acquisitions)
+    sweep
+
+(* Determinism: same seed, same numbers. *)
+let test_deterministic () =
+  let a = Workload.run_mutex Registry.lamport_fast (cfg ()) in
+  let b = Workload.run_mutex Registry.lamport_fast (cfg ()) in
+  check "total steps equal" a.Workload.total_steps b.Workload.total_steps;
+  check_bool "means equal" true
+    (a.Workload.entry_steps_mean = b.Workload.entry_steps_mean)
+
+let () =
+  Alcotest.run "cfc_workload"
+    [ ( "workload",
+        [ Alcotest.test_case "all acquisitions complete" `Quick
+            test_all_acquisitions_complete;
+          Alcotest.test_case "winner near contention-free (§4)" `Quick
+            test_winner_near_cf;
+          Alcotest.test_case "backoff reduces traffic (§4)" `Quick
+            test_backoff_reduces_traffic;
+          Alcotest.test_case "packed variant matches plain cf cost (MS93)"
+            `Quick test_packed_same_cf;
+          Alcotest.test_case "fast beats bakery when contention rare" `Quick
+            test_fast_beats_bakery_rare_contention;
+          Alcotest.test_case "contention dial" `Quick test_contention_dial;
+          Alcotest.test_case "sweep shape" `Quick test_sweep_shape;
+          Alcotest.test_case "deterministic" `Quick test_deterministic ] ) ]
