@@ -101,6 +101,26 @@ let backoff () =
        ~thinks:[ 0; 5; 40; 200 ] ~seed:11
        ~algs:[ Registry.lamport_fast; Registry.backoff; Registry.bakery ])
 
+let recoverable () =
+  section
+    "EXP-REC: recoverable lock — crash-free contention-free cost and \
+     solo crash-point sweep (predicted / measured)";
+  Texttab.print (Cfc_core.Report.recoverable_table ~ns:[ 2; 4; 8; 16; 64 ]);
+  section
+    "EXP-REC: seeded crash-recovery chaos (recoverable-tas, n=4, 2 \
+     crash-recovery pairs per run)";
+  let t, worst =
+    Cfc_core.Report.faults_table ~alg:Registry.rec_tas ~n:4 ~pairs:2
+      ~seeds:[ 1; 2; 3; 4; 5 ]
+  in
+  Texttab.print t;
+  match worst with
+  | None -> ()
+  | Some out ->
+    (* A run that did not reach quiescence: print the structured
+       post-mortem instead of a bare "completed = false". *)
+    Format.printf "%a@." Cfc_runtime.Runner.pp_diagnosis out
+
 let remote_access () =
   section
     "EXP-LOCAL (§1.2 / YA93): remote memory references per process under      a write-invalidate cache, 6 processes, 10 acquisitions each, long      critical sections";
@@ -254,6 +274,7 @@ let bech_mutex () =
          Mutex_intf.params 64);
         ("bakery n=64", Registry.bakery, Mutex_intf.params 64);
         ("tas-lock n=64", Registry.tas_lock, Mutex_intf.params 64);
+        ("recoverable-tas n=64", Registry.rec_tas, Mutex_intf.params 64);
         ("lamport-fast n=1024", Registry.lamport_fast,
          Mutex_intf.params 1024);
         ("lamport-packed n=1024", Registry.ms_packed,
@@ -330,6 +351,7 @@ let () =
   detection ();
   unbounded ();
   backoff ();
+  recoverable ();
   remote_access ();
   renaming ();
   if wall_clock then begin

@@ -8,7 +8,8 @@
      unbounded  the worst-case-unbounded demonstration
      backoff    the §4 workload experiment
      mcheck     bounded-exhaustive verification of an algorithm
-     cf         contention-free complexity of one algorithm *)
+     cf         contention-free complexity of one algorithm
+     faults     crash-recovery injection, chaos schedules, diagnostics *)
 
 open Cmdliner
 open Cfc_base
@@ -198,6 +199,45 @@ let backoff_cmd =
     (Cmd.info "backoff" ~doc:"The §4 backoff workload experiment.")
     Term.(const run $ n_arg)
 
+let faults_cmd =
+  let seeds_arg =
+    Arg.(
+      value
+      & opt (list int) [ 1; 2; 3; 4; 5 ]
+      & info [ "seeds" ] ~docv:"S,S,..." ~doc:"Chaos schedule seeds.")
+  in
+  let pairs_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "pairs" ] ~docv:"K"
+          ~doc:"Crash-recovery pairs injected per run.")
+  in
+  let run name n pairs seeds =
+    let p = Mutex_intf.params n in
+    let alg = find_supported_alg name p in
+    Texttab.print (Cfc_core.Report.recoverable_table ~ns:(List.sort_uniq compare [ 2; 4; 8; n ]));
+    print_newline ();
+    Printf.printf "chaos runs: %s, n=%d, %d crash-recovery pairs per seed\n"
+      name n pairs;
+    let table, stalled =
+      Cfc_core.Report.faults_table ~alg ~n ~pairs ~seeds
+    in
+    Texttab.print table;
+    match stalled with
+    | None -> ()
+    | Some out ->
+      print_newline ();
+      print_string "diagnosis of the first stalled run:\n";
+      Format.printf "%a@." Cfc_runtime.Runner.pp_diagnosis out
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Crash-recovery fault injection: the recoverable lock's \
+          predicted-vs-measured recovery paths, seeded chaos schedules, \
+          and stall diagnostics.")
+    Term.(const run $ alg_arg $ n_arg $ pairs_arg $ seeds_arg)
+
 let models_cmd =
   let all_arg =
     Arg.(
@@ -277,4 +317,5 @@ let () =
        (Cmd.group
           (Cmd.info "cfc-tables" ~version:"1.0.0" ~doc)
           [ mutex_cmd; naming_cmd; sweep_cmd; detect_cmd; unbounded_cmd;
-            cf_cmd; mcheck_cmd; backoff_cmd; trace_cmd; models_cmd ]))
+            cf_cmd; mcheck_cmd; backoff_cmd; trace_cmd; faults_cmd;
+            models_cmd ]))

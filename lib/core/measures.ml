@@ -63,7 +63,7 @@ let in_regions trace ~nprocs ~pid ~in_region =
         match e.Event.body with
         | Event.Access (r, k) when e.Event.pid = pid && in_region regions.(pid)
           -> (r, k) :: acc
-        | Event.Access _ | Event.Region_change _ | Event.Crash -> acc)
+        | Event.Access _ | Event.Region_change _ | Event.Crash | Event.Recover -> acc)
       [] trace
   in
   of_accesses (List.rev accesses)
@@ -100,7 +100,7 @@ let mutex_wc_entry trace ~nprocs =
           let from = max (entered.(pid) + 1) (!last_occupied + 1) in
           let accesses = Trace.accesses_of ~from ~until:e.Event.seq ~pid trace in
           out := (pid, of_accesses accesses) :: !out
-        | Event.Region_change _ | Event.Access _ | Event.Crash -> ())
+        | Event.Region_change _ | Event.Access _ | Event.Crash | Event.Recover -> ())
       () trace
   in
   List.rev !out
@@ -120,7 +120,7 @@ let mutex_wc_exit trace ~nprocs =
           let from = entered_exit.(pid) + 1 in
           let accesses = Trace.accesses_of ~from ~until:e.Event.seq ~pid trace in
           out := (pid, of_accesses accesses) :: !out
-        | Event.Region_change _ | Event.Access _ | Event.Crash -> ())
+        | Event.Region_change _ | Event.Access _ | Event.Crash | Event.Recover -> ())
       () trace
   in
   List.rev !out
@@ -147,7 +147,7 @@ let per_process_samples trace ~nprocs =
           reads.(pid) <- reads.(pid) + 1;
           Hashtbl.replace seen_r.(pid) r.Register.id ()
         end
-      | Event.Region_change _ | Event.Crash -> ())
+      | Event.Region_change _ | Event.Crash | Event.Recover -> ())
     trace;
   Array.init nprocs (fun pid ->
       {
@@ -185,9 +185,36 @@ let remote_accesses trace ~nprocs =
           else holders lor (1 lsl pid)
         in
         Hashtbl.replace valid r.Register.id holders'
-      | Event.Region_change _ | Event.Crash -> ())
+      | Event.Region_change _ | Event.Crash | Event.Recover -> ())
     trace;
   remote
+
+let recovery_paths trace ~nprocs =
+  ignore nprocs;
+  (* pid -> sequence number of its currently open Recover event *)
+  let open_at = Hashtbl.create 8 in
+  let out = ref [] in
+  Trace.iter
+    (fun e ->
+      match e.Event.body with
+      | Event.Recover -> Hashtbl.replace open_at e.Event.pid e.Event.seq
+      | Event.Crash ->
+        (* Crashed again before completing the recovery: the fragment is
+           abandoned; a fresh one opens at the next Recover. *)
+        Hashtbl.remove open_at e.Event.pid
+      | Event.Region_change Event.Critical -> (
+        match Hashtbl.find_opt open_at e.Event.pid with
+        | Some from ->
+          Hashtbl.remove open_at e.Event.pid;
+          let accesses =
+            Trace.accesses_of ~from:(from + 1) ~until:e.Event.seq
+              ~pid:e.Event.pid trace
+          in
+          out := (e.Event.pid, of_accesses accesses) :: !out
+        | None -> ())
+      | Event.Region_change _ | Event.Access _ -> ())
+    trace;
+  List.rev !out
 
 let decisions trace ~nprocs =
   ignore nprocs;
@@ -195,6 +222,6 @@ let decisions trace ~nprocs =
     (fun acc e ->
       match e.Event.body with
       | Event.Region_change (Event.Decided v) -> (e.Event.pid, v) :: acc
-      | Event.Region_change _ | Event.Access _ | Event.Crash -> acc)
+      | Event.Region_change _ | Event.Access _ | Event.Crash | Event.Recover -> acc)
     [] trace
   |> List.rev

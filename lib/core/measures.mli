@@ -63,6 +63,16 @@ val naming_process : Trace.t -> nprocs:int -> pid:int -> sample
 val decisions : Trace.t -> nprocs:int -> (int * int) list
 (** [(pid, value)] for every process that reached [Decided v]. *)
 
+val recovery_paths : Trace.t -> nprocs:int -> (int * sample) list
+(** Crash–recovery extension of the §2.2 fragment measures: for every
+    [Recover] of process [p] at event [i] whose next [p]-event of
+    interest is an entry to [Critical] at event [j] (no intervening
+    crash of [p]), the measures of [p] over the open fragment
+    [(i, j)] — the cost of getting back into the critical section after
+    a restart.  One [(pid, sample)] per completed recovery, in trace
+    order; recoveries that crash again or never reach the critical
+    section contribute nothing. *)
+
 val remote_accesses : Trace.t -> nprocs:int -> int array
 (** Per-process {e remote memory references} under the write-invalidate
     coherent-cache model the paper's §1.2 appeals to (after [YA93]): a

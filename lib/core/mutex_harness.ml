@@ -54,7 +54,7 @@ let reset_touched memory trace =
       (fun e ->
         match e.Event.body with
         | Event.Access (r, _) -> Register.reset r
-        | Event.Region_change _ | Event.Crash -> ())
+        | Event.Region_change _ | Event.Crash | Event.Recover -> ())
       t
 
 (* Which processes to measure: all of them up to 64, then a deterministic
@@ -107,11 +107,11 @@ let system ?(rounds = 1) (module A : Mutex_intf.ALG) (p : Mutex_intf.params)
   let memory, _, proc = instantiate (module A) p in
   (memory, Array.init p.Mutex_intf.n (fun me -> proc ~me ~rounds))
 
-let run ?(rounds = 1) ?max_steps ?crash_at ~pick (module A : Mutex_intf.ALG)
-    (p : Mutex_intf.params) =
+let run ?(rounds = 1) ?max_steps ?crash_at ?faults ~pick
+    (module A : Mutex_intf.ALG) (p : Mutex_intf.params) =
   let memory, _, proc = instantiate (module A) p in
   let procs = Array.init p.Mutex_intf.n (fun me -> proc ~me ~rounds) in
-  Runner.run ?max_steps ?crash_at ~memory ~pick procs
+  Runner.run ?max_steps ?crash_at ?faults ~memory ~pick procs
 
 let wc_estimate ?(rounds = 2) ~seeds alg (p : Mutex_intf.params) ~entry =
   let fragments out =

@@ -27,6 +27,7 @@ val run :
   ?rounds:int ->
   ?max_steps:int ->
   ?crash_at:(int * int) list ->
+  ?faults:Fault.plan ->
   pick:Schedule.picker ->
   Registry.alg ->
   Mutex_intf.params ->

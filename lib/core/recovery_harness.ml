@@ -1,0 +1,91 @@
+open Cfc_runtime
+open Cfc_mutex
+
+type sweep_point = {
+  crash_step : int;
+  crash_region : Event.region;
+  path : Measures.sample;
+}
+
+let pp_sweep_point ppf p =
+  Format.fprintf ppf "crash@@%d (%a): %a" p.crash_step Event.pp_region
+    p.crash_region Measures.pp_sample p.path
+
+let solo_sweep ?(rounds = 1) ?(pid = 0) alg (p : Mutex_intf.params) =
+  let n = p.Mutex_intf.n in
+  let pick () = Schedule.solo pid in
+  (* Crash-free reference run: its access count bounds the useful crash
+     points (crashing a halted process is a no-op). *)
+  let baseline = Mutex_harness.run ~rounds ~pick:(pick ()) alg p in
+  let total = baseline.Runner.total_steps in
+  List.filter_map
+    (fun crash_step ->
+      let faults =
+        [ Fault.crash ~step:crash_step ~pid;
+          Fault.recover ~step:crash_step ~pid ]
+      in
+      let out = Mutex_harness.run ~rounds ~faults ~pick:(pick ()) alg p in
+      (* Locate the crash to report the region the process died in. *)
+      let crash_seq =
+        Trace.fold
+          (fun acc e ->
+            match (acc, e.Event.body) with
+            | None, Event.Crash when e.Event.pid = pid -> Some e.Event.seq
+            | _ -> acc)
+          None out.Runner.trace
+      in
+      match
+        (crash_seq, Measures.recovery_paths out.Runner.trace ~nprocs:n)
+      with
+      | Some seq, (p', path) :: _ when p' = pid ->
+        let crash_region =
+          (Trace.regions_at out.Runner.trace seq ~nprocs:n).(pid)
+        in
+        Some { crash_step; crash_region; path }
+      | _ -> None)
+    (List.init total Fun.id)
+
+let max_path points =
+  List.fold_left
+    (fun acc p -> Measures.max_sample acc p.path)
+    Measures.zero points
+
+let split_held points =
+  (* A crash is "held" when the dying incarnation had reached its
+     critical section and not yet completed the exit protocol: regions
+     Critical and Exiting.  (Whether the lock is semantically still held
+     in Exiting depends on how far the release got — the per-point
+     region plus measured path make that visible.) *)
+  List.partition
+    (fun p ->
+      match p.crash_region with
+      | Event.Critical | Event.Exiting -> true
+      | Event.Remainder | Event.Trying | Event.Decided _ | Event.Halted ->
+        false)
+    points
+
+let chaos ?(rounds = 2) ?(pairs = 2) ?max_steps ~seed alg
+    (p : Mutex_intf.params) =
+  let n = p.Mutex_intf.n in
+  let memory, procs = Mutex_harness.system ~rounds alg p () in
+  (* Spread the fault points over a horizon proportional to the fault-free
+     run length so early and late crashes both occur across seeds. *)
+  let horizon = max 1 (20 * n * rounds) in
+  let plan = Fault.chaos ~seed ~nprocs:n ~pairs ~horizon in
+  let max_steps =
+    match max_steps with Some m -> m | None -> 10_000 * n * rounds
+  in
+  let out, err =
+    Runner.run_collect ~max_steps ~faults:plan ~memory
+      ~pick:(Schedule.round_robin ()) procs
+  in
+  let violation =
+    match err with
+    | Some e ->
+      Some
+        { Spec.at = Trace.length out.Runner.trace;
+          pids = [];
+          what = "process error: " ^ Printexc.to_string e }
+    | None -> Spec.mutual_exclusion_recoverable out.Runner.trace ~nprocs:n
+  in
+  (out, plan, violation)

@@ -1,0 +1,50 @@
+(** Measurement harness for the crash–recovery fault model: drives runs
+    with injected crash/recover points and extracts the §2.2-style
+    recovery-path measures via {!Measures.recovery_paths} — no ad-hoc
+    counting.
+
+    The central object is the {e solo crash-point sweep}: for every step
+    [k] of a process's solo lock/unlock cycle, run it again with an
+    atomic crash–restart injected just before its [k]-th access and
+    measure the restarted incarnation's path back into the critical
+    section.  For a recoverable lock this yields the exact recovery cost
+    as a function of where the crash hit (holding the lock vs not). *)
+
+open Cfc_runtime
+open Cfc_mutex
+
+type sweep_point = {
+  crash_step : int;  (** scheduler step the crash was injected before *)
+  crash_region : Event.region;  (** the region the process died in *)
+  path : Measures.sample;  (** measures of its recovery path *)
+}
+
+val pp_sweep_point : Format.formatter -> sweep_point -> unit
+
+val solo_sweep :
+  ?rounds:int -> ?pid:int -> Registry.alg -> Mutex_intf.params ->
+  sweep_point list
+(** [solo_sweep alg p]: run [pid] (default 0) solo once per crash point
+    [k = 0 .. solo steps - 1] with faults [crash@k; recover@k], and
+    return one point per run in which the restarted incarnation completed
+    a recovery path (re-entered the critical section).  [k = 0] is the
+    "crashed before its first step" edge case.  Requires the lock to be
+    recoverable — a non-recoverable lock deadlocks after restart and
+    contributes no points (the runs are step-bounded, not hanging). *)
+
+val max_path : sweep_point list -> Measures.sample
+(** Componentwise maximum of the measured recovery paths. *)
+
+val split_held : sweep_point list -> sweep_point list * sweep_point list
+(** Partition into crashes that hit while (possibly) holding the lock
+    (regions [Critical]/[Exiting]) and the rest. *)
+
+val chaos :
+  ?rounds:int -> ?pairs:int -> ?max_steps:int -> seed:int ->
+  Registry.alg -> Mutex_intf.params ->
+  Runner.outcome * Fault.plan * Spec.violation option
+(** One seeded chaos run: all [n] processes under round-robin with a
+    {!Fault.chaos} schedule of [pairs] (default 2) crash–recovery pairs.
+    Returns the outcome, the injected plan, and the first violation of
+    {!Spec.mutual_exclusion_recoverable} (a process error, e.g. the
+    critical-section witness, also reports as a violation). *)

@@ -224,6 +224,68 @@ let detection_table ~ns ~ls =
     ns;
   t
 
+let recoverable_table ~ns =
+  let t =
+    Texttab.create
+      ~header:[ "n"; "cf steps (pred/meas)"; "cf regs (pred/meas)";
+                "recovery held (pred/meas)"; "recovery ~held (pred/meas)";
+                "crash points" ]
+  in
+  List.iter
+    (fun n ->
+      let p = Mutex_intf.params n in
+      let cf = Mutex_harness.contention_free Registry.rec_tas p in
+      let sweep = Recovery_harness.solo_sweep Registry.rec_tas p in
+      let held, not_held = Recovery_harness.split_held sweep in
+      let pm pred meas = Printf.sprintf "%d / %d" pred meas in
+      Texttab.add_row t
+        [ string_of_int n;
+          pm 3 cf.Mutex_harness.max.Measures.steps;
+          pm 1 cf.Mutex_harness.max.Measures.registers;
+          pm Rec_tas.recovery_steps_held
+            (Recovery_harness.max_path held).Measures.steps;
+          pm Rec_tas.recovery_steps_not_held
+            (Recovery_harness.max_path not_held).Measures.steps;
+          string_of_int (List.length sweep) ])
+    ns;
+  t
+
+let faults_table ~alg ~n ~pairs ~seeds =
+  let p = Mutex_intf.params n in
+  let t =
+    Texttab.create
+      ~header:[ "seed"; "fault plan"; "stopped"; "steps"; "recoveries";
+                "max recovery steps"; "safety" ]
+  in
+  let worst = ref None in
+  List.iter
+    (fun seed ->
+      let out, plan, violation =
+        Recovery_harness.chaos ~pairs ~seed alg p
+      in
+      (match (!worst, out.Cfc_runtime.Runner.stopped) with
+      | None, (Cfc_runtime.Runner.Out_of_steps | Cfc_runtime.Runner.Picker_done)
+        -> worst := Some out
+      | _ -> ());
+      let paths =
+        Measures.recovery_paths out.Cfc_runtime.Runner.trace ~nprocs:n
+      in
+      Texttab.add_row t
+        [ string_of_int seed;
+          Format.asprintf "%a" Cfc_runtime.Fault.pp_plan plan;
+          Format.asprintf "%a" Cfc_runtime.Runner.pp_stopped
+            out.Cfc_runtime.Runner.stopped;
+          string_of_int out.Cfc_runtime.Runner.total_steps;
+          string_of_int (List.length paths);
+          string_of_int
+            (List.fold_left (fun acc (_, s) -> max acc s.Measures.steps) 0
+               paths);
+          (match violation with
+          | None -> "ok"
+          | Some v -> Format.asprintf "%a" Spec.pp_violation v) ])
+    seeds;
+  (t, !worst)
+
 let unbounded_table ~spins =
   let t =
     Texttab.create

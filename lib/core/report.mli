@@ -33,6 +33,21 @@ val naming_sweep : ns:int list -> Cfc_base.Texttab.t
 val detection_table : ns:int list -> ls:int list -> Cfc_base.Texttab.t
 (** EXP-CD: splitter-tree worst-case steps vs the §2.6 ⌈log n / l⌉ claim. *)
 
+val recoverable_table : ns:int list -> Cfc_base.Texttab.t
+(** EXP-REC: the recoverable lock's predicted vs measured contention-free
+    (crash-free solo) complexities, and the predicted vs measured
+    recovery-path step counts of the solo crash-point sweep, split into
+    crashes that hit while holding the lock and the rest. *)
+
+val faults_table :
+  alg:Cfc_mutex.Registry.alg -> n:int -> pairs:int -> seeds:int list ->
+  Cfc_base.Texttab.t * Cfc_runtime.Runner.outcome option
+(** One chaos run per seed: the injected plan, how the run stopped, the
+    completed recoveries with their maximum measured path cost, and the
+    recoverable-mutual-exclusion verdict.  Also returns the first outcome
+    that did not reach quiescence, for {!Cfc_runtime.Runner.pp_diagnosis}
+    rendering by the CLI. *)
+
 val unbounded_table : spins:int list -> Cfc_base.Texttab.t
 (** EXP-WC∞: winner's entry steps grow without bound with the adversary
     parameter. *)

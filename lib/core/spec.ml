@@ -28,7 +28,46 @@ let mutual_exclusion trace ~nprocs =
               { at = e.Event.seq;
                 pids = e.Event.pid :: others;
                 what = "two processes in the critical section" }
-        | Event.Region_change _ | Event.Access _ | Event.Crash -> None))
+        | Event.Region_change _ | Event.Access _ | Event.Crash | Event.Recover -> None))
+    None trace
+
+let mutual_exclusion_recoverable trace ~nprocs =
+  (* Crash–recovery occupancy (Golab–Ramaraju semantics): a process that
+     crashes inside its critical section is still considered to occupy it
+     — shared memory says it holds the lock — until it next changes
+     region itself (its recovery run re-entering Trying, or re-announcing
+     Critical).  So [Crash] and [Recover] leave occupancy untouched; only
+     the pid's own [Region_change] events open and close it. *)
+  let in_cs = Array.make nprocs false in
+  Trace.fold
+    (fun acc e ->
+      match acc with
+      | Some _ -> acc
+      | None -> (
+        match e.Event.body with
+        | Event.Region_change r ->
+          let entering = Event.region_equal r Event.Critical in
+          if entering then begin
+            let others =
+              List.filter
+                (fun q -> q <> e.Event.pid && in_cs.(q))
+                (List.init nprocs Fun.id)
+            in
+            in_cs.(e.Event.pid) <- true;
+            if others = [] then None
+            else
+              Some
+                { at = e.Event.seq;
+                  pids = e.Event.pid :: others;
+                  what =
+                    "two processes in the critical section (across \
+                     recoveries)" }
+          end
+          else begin
+            in_cs.(e.Event.pid) <- false;
+            None
+          end
+        | Event.Access _ | Event.Crash | Event.Recover -> None))
     None trace
 
 let mutex_progress (out : Runner.outcome) =
@@ -44,7 +83,7 @@ let mutex_progress (out : Runner.outcome) =
         match e.Event.body with
         | Event.Region_change Event.Critical ->
           entries.(e.Event.pid) <- entries.(e.Event.pid) + 1
-        | Event.Region_change _ | Event.Access _ | Event.Crash -> ())
+        | Event.Region_change _ | Event.Access _ | Event.Crash | Event.Recover -> ())
       out.Runner.trace;
     let stuck =
       List.filter
@@ -96,6 +135,7 @@ let all_named trace ~nprocs =
       (fun acc e ->
         match e.Event.body with
         | Event.Crash -> e.Event.pid :: acc
+        | Event.Recover -> List.filter (fun p -> p <> e.Event.pid) acc
         | Event.Region_change _ | Event.Access _ -> acc)
       [] trace
   in

@@ -15,6 +15,14 @@ val pp_violation : Format.formatter -> violation -> unit
 val mutual_exclusion : Trace.t -> nprocs:int -> violation option
 (** No two processes simultaneously in their critical sections. *)
 
+val mutual_exclusion_recoverable : Trace.t -> nprocs:int -> violation option
+(** Mutual exclusion across crash–recoveries (Golab–Ramaraju semantics):
+    a process that crashes inside its critical section still occupies it
+    — shared memory says it holds the lock — until its restarted run
+    next changes region.  Flags any entry to [Critical] while another
+    process occupies it under this occupancy rule.  On crash-free traces
+    this agrees with {!mutual_exclusion}. *)
+
 val mutex_progress : Runner.outcome -> violation option
 (** Deadlock-freedom evidence on a completed run: every process that
     halted went through its critical section at least once, and no

@@ -7,43 +7,74 @@ let default_config =
 
 type stats = { runs : int; states : int; pruned : int; truncated : bool }
 
-type result =
+type action = Step of int | Crash of int | Recover of int
+
+let pp_action ppf = function
+  | Step pid -> Format.fprintf ppf "step p%d" pid
+  | Crash pid -> Format.fprintf ppf "crash p%d" pid
+  | Recover pid -> Format.fprintf ppf "recover p%d" pid
+
+type 'schedule gen_result =
   | Ok of stats
   | Violation of {
-      schedule : int list;
+      schedule : 'schedule;
       violation : Cfc_core.Spec.violation;
       stats : stats;
     }
 
-(* Execute one schedule from scratch. *)
-let exec ~system schedule =
+type result = int list gen_result
+type fault_result = action list gen_result
+
+(* Execute one action schedule from scratch. *)
+let exec_actions ~system actions =
   let memory, procs = system () in
   let trace = Trace.create () in
   let sched = Scheduler.create ~memory ~trace procs in
-  List.iter (fun pid -> ignore (Scheduler.step sched pid)) schedule;
+  List.iter
+    (function
+      | Step pid -> ignore (Scheduler.step sched pid)
+      | Crash pid -> Scheduler.crash sched pid
+      | Recover pid -> Scheduler.recover sched pid)
+    actions;
   (memory, sched, trace)
 
-let replay ~system ~schedule =
-  let memory, procs = system () in
-  let trace = Trace.create () in
-  let sched = Scheduler.create ~memory ~trace procs in
-  List.iter (fun pid -> ignore (Scheduler.step sched pid)) schedule;
+let outcome_of (memory, sched, trace) =
   let total_steps =
     List.init (Scheduler.nprocs sched) (Scheduler.steps_taken sched)
     |> List.fold_left ( + ) 0
+  in
+  let stopped =
+    if Scheduler.all_quiescent sched then Runner.Quiescent
+    else Runner.Picker_done
   in
   {
     Runner.memory;
     trace;
     scheduler = sched;
-    completed = Scheduler.all_quiescent sched;
+    completed = (stopped = Runner.Quiescent);
+    stopped;
     total_steps;
   }
+
+let replay_actions ~system ~schedule =
+  outcome_of (exec_actions ~system schedule)
+
+let replay ~system ~schedule =
+  replay_actions ~system ~schedule:(List.map (fun pid -> Step pid) schedule)
 
 (* The state fingerprint: register values, plus per process its status,
    region and full observation history (which, for a deterministic
    process, determines its local state).  Structural equality — no hash
-   collisions can cause unsound pruning. *)
+   collisions can cause unsound pruning.
+
+   Crash–recovery soundness: a crash wipes local state, so the
+   observation history restarts from scratch — pre-crash observations
+   cannot influence the restarted incarnation, and keeping them would
+   (unsoundly for pruning in the other direction: merely conservatively)
+   distinguish states with identical futures.  The number of crashes
+   already injected joins the key separately (see [run_gen]): two
+   otherwise-identical states with different remaining fault budgets have
+   different futures. *)
 type proc_key = {
   k_status : int;
   k_region : Event.region;
@@ -80,7 +111,8 @@ let state_key memory sched trace =
               match ret with None -> -1 | Some v -> v )
         in
         obs.(e.Event.pid) <- cell :: obs.(e.Event.pid)
-      | Event.Region_change _ | Event.Crash -> ())
+      | Event.Crash -> obs.(e.Event.pid) <- []
+      | Event.Region_change _ | Event.Recover -> ())
     trace;
   let regvals =
     List.map (fun r -> r.Register.value) (Memory.registers memory)
@@ -95,21 +127,27 @@ let state_key memory sched trace =
   in
   (regvals, procs)
 
-exception Found of int list * Cfc_core.Spec.violation
+exception Found of action list * Cfc_core.Spec.violation
 exception Budget
 
-let run ?(config = default_config) ?(symmetric = false) ~system ~check () =
+(* The engine, over action schedules.  [pairs] is the crash–recovery
+   budget: 0 disables fault injection entirely (the plain interleaving
+   exploration), [pairs > 0] additionally offers, at every decision
+   point, crashing any started runnable process (while crashes remain in
+   the budget) and recovering any crashed one. *)
+let run_gen ?(config = default_config) ?(symmetric = false) ~pairs ~system
+    ~check () =
   let seen = Hashtbl.create 4096 in
   let runs = ref 0 and states = ref 0 and pruned = ref 0 in
   let truncated = ref false in
-  let rec expand schedule depth =
+  let rec expand schedule depth used =
     if !states >= config.max_states then begin
       truncated := true;
       raise Budget
     end;
     incr states;
-    (* [schedule] is kept reversed (most recent pid first). *)
-    let memory, sched, trace = exec ~system (List.rev schedule) in
+    (* [schedule] is kept reversed (most recent action first). *)
+    let memory, sched, trace = exec_actions ~system (List.rev schedule) in
     let nprocs = Scheduler.nprocs sched in
     (* Process errors (assertion failures inside algorithms, the critical
        section witness, model violations) are violations in themselves. *)
@@ -130,52 +168,95 @@ let run ?(config = default_config) ?(symmetric = false) ~system ~check () =
     (match check trace ~nprocs with
     | Some v -> raise (Found (List.rev schedule, v))
     | None -> ());
-    let key = state_key memory sched trace in
+    let key = (state_key memory sched trace, used) in
     if Hashtbl.mem seen key then incr pruned
     else begin
       Hashtbl.add seen key ();
-      if Scheduler.all_quiescent sched then incr runs
+      let pids = List.init nprocs Fun.id in
+      let step_candidates =
+        List.filter
+          (fun pid ->
+            Scheduler.steps_taken sched pid < config.max_steps_per_proc)
+          (Scheduler.runnable sched)
+      in
+      (* Symmetry reduction: when all processes run identical code,
+         schedules that differ only in which not-yet-started process
+         goes first are isomorphic under a pid permutation, so only the
+         lowest-numbered fresh process needs exploring. *)
+      let step_candidates =
+        if not symmetric then step_candidates
+        else begin
+          let started, fresh =
+            List.partition (Scheduler.started sched) step_candidates
+          in
+          match fresh with [] -> started | f :: _ -> started @ [ f ]
+        end
+      in
+      let fault_candidates =
+        if pairs = 0 then []
+        else begin
+          let crashable =
+            (* Crashing a process that has not yet taken a step reaches,
+               after its recovery, a state indistinguishable from never
+               crashing it — skip those branches outright. *)
+            if used < pairs then
+              List.filter
+                (fun pid ->
+                  Scheduler.status sched pid = Scheduler.Runnable
+                  && Scheduler.started sched pid)
+                pids
+            else []
+          in
+          let recoverable =
+            List.filter
+              (fun pid -> Scheduler.status sched pid = Scheduler.Crashed)
+              pids
+          in
+          List.map (fun pid -> Crash pid) crashable
+          @ List.map (fun pid -> Recover pid) recoverable
+        end
+      in
+      let candidates =
+        List.map (fun pid -> Step pid) step_candidates @ fault_candidates
+      in
+      if candidates = [] then begin
+        if not (Scheduler.all_quiescent sched) then truncated := true;
+        incr runs
+      end
       else if depth >= config.max_depth then begin
         truncated := true;
         incr runs
       end
-      else begin
-        let candidates =
-          List.filter
-            (fun pid ->
-              Scheduler.steps_taken sched pid < config.max_steps_per_proc)
-            (Scheduler.runnable sched)
-        in
-        (* Symmetry reduction: when all processes run identical code,
-           schedules that differ only in which not-yet-started process
-           goes first are isomorphic under a pid permutation, so only the
-           lowest-numbered fresh process needs exploring. *)
-        let candidates =
-          if not symmetric then candidates
-          else begin
-            let started, fresh =
-              List.partition (Scheduler.started sched) candidates
-            in
-            match fresh with [] -> started | f :: _ -> started @ [ f ]
-          end
-        in
-        if candidates = [] then begin
-          truncated := true;
-          incr runs
-        end
-        else
-          List.iter
-            (fun pid -> expand (pid :: schedule) (depth + 1))
-            candidates
-      end
+      else
+        List.iter
+          (fun a ->
+            let used = match a with Crash _ -> used + 1 | _ -> used in
+            expand (a :: schedule) (depth + 1) used)
+          candidates
     end
   in
   let stats () =
     { runs = !runs; states = !states; pruned = !pruned;
       truncated = !truncated }
   in
-  match expand [] 0 with
+  match expand [] 0 0 with
   | () -> Ok (stats ())
   | exception Budget -> Ok (stats ())
   | exception Found (schedule, violation) ->
     Violation { schedule; violation; stats = stats () }
+
+let run ?config ?symmetric ~system ~check () =
+  match run_gen ?config ?symmetric ~pairs:0 ~system ~check () with
+  | Ok stats -> Ok stats
+  | Violation { schedule; violation; stats } ->
+    let pids =
+      List.map
+        (function
+          | Step pid -> pid
+          | Crash _ | Recover _ -> assert false (* pairs = 0 *))
+        schedule
+    in
+    Violation { schedule = pids; violation; stats }
+
+let run_faults ?config ?symmetric ?(pairs = 2) ~system ~check () =
+  run_gen ?config ?symmetric ~pairs ~system ~check ()

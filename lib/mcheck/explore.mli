@@ -4,13 +4,21 @@
 
     The state space is pruned with a soundness-preserving memoization:
     two schedule prefixes that reach the same fingerprint — register
-    values plus, per process, its protocol region and a hash of the value
-    sequence it has observed (which determines the local state of a
-    deterministic process) — have identical futures, so only the first is
-    expanded.  Spin loops therefore do not blow up the search: re-reading
-    an unchanged register leaves every other component equal, and the
-    observation hash folds in the same value, so the states eventually
-    repeat and are cut off by the [max_steps_per_proc] bound.
+    values plus, per process, its protocol region and the value sequence
+    it has observed since its last (re)start (which determines the local
+    state of a deterministic process) — have identical futures, so only
+    the first is expanded.  Spin loops therefore do not blow up the
+    search: re-reading an unchanged register leaves every other component
+    equal, and the observation list folds in the same value, so the
+    states eventually repeat and are cut off by the
+    [max_steps_per_proc] bound.
+
+    {!run_faults} additionally enumerates bounded crash–recovery faults
+    ({!action}) as scheduler choices: at every decision point any started
+    runnable process may crash (losing its local state — its observation
+    history resets) and any crashed process may recover, up to a budget
+    of crash–recovery pairs.  The crash count joins the memo key, so
+    pruning stays sound across fault branches.
 
     Guarantees: within the given bounds the search visits every reachable
     interleaving class, so a reported [Ok] means no violation exists up to
@@ -32,13 +40,24 @@ type stats = {
   truncated : bool;  (** some branch hit a bound *)
 }
 
-type result =
+(** One scheduler choice in a fault-aware schedule. *)
+type action =
+  | Step of int     (** advance the pid by one shared access *)
+  | Crash of int    (** fail-stop the pid (local state lost) *)
+  | Recover of int  (** restart the crashed pid from the top *)
+
+val pp_action : Format.formatter -> action -> unit
+
+type 'schedule gen_result =
   | Ok of stats
   | Violation of {
-      schedule : int list;  (** pids, in execution order *)
+      schedule : 'schedule;  (** choices, in execution order *)
       violation : Cfc_core.Spec.violation;
       stats : stats;
     }
+
+type result = int list gen_result
+type fault_result = action list gen_result
 
 val run :
   ?config:config ->
@@ -50,7 +69,7 @@ val run :
 (** [run ~system ~check ()] re-creates the system from scratch for every
     replay ([system] must be deterministic: fresh memory and fresh process
     closures) and checks [check] on the trace after every step of every
-    explored schedule.
+    explored schedule.  No faults are injected.
 
     [symmetric] (default false) is only sound when every process runs
     literally identical code (the naming problem's setting): among
@@ -58,8 +77,28 @@ val run :
     scheduled — any other choice reaches an isomorphic state under a pid
     permutation, and the checked properties are pid-symmetric. *)
 
+val run_faults :
+  ?config:config ->
+  ?symmetric:bool ->
+  ?pairs:int ->
+  system:(unit -> Cfc_runtime.Memory.t * (unit -> unit) array) ->
+  check:(Cfc_runtime.Trace.t -> nprocs:int -> Cfc_core.Spec.violation option) ->
+  unit ->
+  fault_result
+(** Like {!run} but additionally enumerates crash and recovery points as
+    scheduler choices, up to [pairs] (default 2) crash–recovery pairs per
+    run.  Crashing a process that has not yet taken a step is skipped
+    (indistinguishable from not crashing it).  With [pairs = 0] this is
+    exactly {!run} modulo the schedule type. *)
+
 val replay :
   system:(unit -> Cfc_runtime.Memory.t * (unit -> unit) array) ->
   schedule:int list ->
   Cfc_runtime.Runner.outcome
 (** Re-execute one schedule (for counterexample inspection). *)
+
+val replay_actions :
+  system:(unit -> Cfc_runtime.Memory.t * (unit -> unit) array) ->
+  schedule:action list ->
+  Cfc_runtime.Runner.outcome
+(** Re-execute one fault-aware schedule. *)

@@ -6,6 +6,13 @@ let check_mutex ?config ?rounds alg p =
     ~check:(fun trace ~nprocs -> Spec.mutual_exclusion trace ~nprocs)
     ()
 
+let check_mutex_recoverable ?config ?pairs ?rounds alg p =
+  Explore.run_faults ?config ?pairs
+    ~system:(Mutex_harness.system ?rounds alg p)
+    ~check:(fun trace ~nprocs ->
+      Spec.mutual_exclusion_recoverable trace ~nprocs)
+    ()
+
 let check_detector ?config det p =
   Explore.run ?config
     ~system:(Detect_harness.system det p)

@@ -8,6 +8,17 @@ val check_mutex :
     critical-section witness register — for the given algorithm and
     parameters. *)
 
+val check_mutex_recoverable :
+  ?config:Explore.config -> ?pairs:int -> ?rounds:int ->
+  Cfc_mutex.Registry.alg -> Cfc_mutex.Mutex_intf.params ->
+  Explore.fault_result
+(** Exhaustively (within bounds) verify mutual exclusion under the
+    crash–recovery fault model: {!Explore.run_faults} enumerates up to
+    [pairs] (default 2) crash–recovery pairs as scheduler choices and the
+    property is {!Cfc_core.Spec.mutual_exclusion_recoverable} — a process
+    that crashes inside its critical section still occupies it until its
+    restarted run re-enters the protocol. *)
+
 val check_detector :
   ?config:Explore.config -> Cfc_mutex.Registry.detector ->
   Cfc_mutex.Mutex_intf.params -> Explore.result

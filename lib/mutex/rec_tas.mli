@@ -1,0 +1,12 @@
+(** See the header comment in the implementation for the algorithm's
+    description, the crash–recovery model, and its exact costs. *)
+
+include Mutex_intf.ALG
+
+val recovery_steps_held : int
+(** Exact step count of the solo recovery path when the crashed
+    incarnation held the lock (re-enter via one read). *)
+
+val recovery_steps_not_held : int
+(** Exact step count of the solo recovery path when it did not hold the
+    lock (one read plus one CAS). *)

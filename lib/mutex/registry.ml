@@ -11,6 +11,7 @@ let kessels_tournament : alg = (module Tournament.Kessels_tournament)
 let dekker_tournament : alg = (module Tournament.Dekker_tournament)
 let bakery : alg = (module Bakery)
 let tas_lock : alg = (module Tas_lock)
+let rec_tas : alg = (module Rec_tas)
 let backoff : alg = (module Backoff)
 let ms_packed : alg = (module Ms_packed)
 let mcs : alg = (module Mcs)
@@ -18,11 +19,12 @@ let one_bit : alg = (module One_bit)
 
 let all : alg list =
   [ lamport_fast; tree; peterson_tournament; kessels_tournament;
-    dekker_tournament; bakery; one_bit; tas_lock; backoff; ms_packed; mcs ]
+    dekker_tournament; bakery; one_bit; tas_lock; rec_tas; backoff;
+    ms_packed; mcs ]
 
 (** The algorithms within the paper's atomic-register model (excludes the
-    RMW-based {!Tas_lock}), i.e. those the Theorem 1/2 lower bounds
-    apply to. *)
+    RMW-based {!Tas_lock} and the CAS-based {!Rec_tas}), i.e. those the
+    Theorem 1/2 lower bounds apply to. *)
 let register_model : alg list =
   [ lamport_fast; tree; peterson_tournament; kessels_tournament;
     dekker_tournament; bakery; one_bit; backoff; ms_packed ]

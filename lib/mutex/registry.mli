@@ -12,6 +12,10 @@ val dekker_tournament : alg
 val bakery : alg
 val one_bit : alg
 val tas_lock : alg
+
+val rec_tas : alg
+(** The recoverable (crash–recovery) lock; see {!Rec_tas}. *)
+
 val backoff : alg
 val ms_packed : alg
 val mcs : alg

@@ -39,6 +39,7 @@ and body =
   | Access of Register.t * access_kind
   | Region_change of region
   | Crash
+  | Recover
 
 let pp ppf e =
   match e.body with
@@ -63,3 +64,4 @@ let pp ppf e =
   | Region_change reg ->
     Format.fprintf ppf "%4d p%d enters %a" e.seq e.pid pp_region reg
   | Crash -> Format.fprintf ppf "%4d p%d CRASH" e.seq e.pid
+  | Recover -> Format.fprintf ppf "%4d p%d RECOVER" e.seq e.pid

@@ -48,6 +48,12 @@ type t = {
 and body =
   | Access of Register.t * access_kind  (** one shared-memory step *)
   | Region_change of region
-  | Crash                               (** fail-stop (naming failure model) *)
+  | Crash                               (** crash failure: local state lost;
+                                            fail-stop unless followed by a
+                                            [Recover] of the same pid *)
+  | Recover                             (** crash–recovery model: the
+                                            process restarts from the top of
+                                            its program with fresh local
+                                            state; shared memory persists *)
 
 val pp : Format.formatter -> t -> unit

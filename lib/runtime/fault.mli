@@ -1,0 +1,42 @@
+(** Fault schedules for the crash–recovery model.
+
+    A {!plan} is a list of timed fault points generalizing the old
+    [crash_at] crash lists: a [Crash] fail-stops a process (local state
+    lost, shared memory untouched), a later [Recover] of the same pid
+    restarts its program from the top (Golab–Ramaraju crash–recovery).
+    Plans are validated before a run: pids in range, no duplicates, and
+    per-pid alternation crash / recover / crash / …  Faults scheduled at
+    the same step apply in plan order, so [crash @@ k] followed by
+    [recover @@ k] models an atomic crash–restart. *)
+
+type kind = Crash | Recover
+
+type point = {
+  step : int;  (** scheduler step index just before which the fault fires *)
+  pid : int;
+  kind : kind;
+}
+
+type plan = point list
+
+val crash : step:int -> pid:int -> point
+val recover : step:int -> pid:int -> point
+
+val of_crash_at : (int * int) list -> plan
+(** Lift a legacy [crash_at] list of [(step, pid)] into a plan of crash
+    points (no recoveries: fail-stop). *)
+
+val validate : nprocs:int -> plan -> plan
+(** Check a plan and return it sorted by step (stably, preserving plan
+    order within a step).  Raises [Invalid_argument] with a descriptive
+    message on: out-of-range or negative fields, exact duplicate points,
+    crashing an already-crashed pid, or recovering a non-crashed pid. *)
+
+val chaos : seed:int -> nprocs:int -> pairs:int -> horizon:int -> plan
+(** Seeded random fault schedule: [pairs] crash–recovery pairs spread
+    over roughly [horizon] scheduler steps.  Deterministic in [seed] and
+    always passes {!validate}. *)
+
+val pp_kind : Format.formatter -> kind -> unit
+val pp_point : Format.formatter -> point -> unit
+val pp_plan : Format.formatter -> plan -> unit

@@ -1,44 +1,103 @@
+type stopped =
+  | Quiescent
+  | Out_of_steps
+  | Picker_done
+
 type outcome = {
   memory : Memory.t;
   trace : Trace.t;
   scheduler : Scheduler.t;
   completed : bool;
+  stopped : stopped;
   total_steps : int;
 }
+
+exception Process_error of {
+  pid : int;
+  steps : int;
+  error : exn;
+  recent : Event.t list;
+}
+
+let () =
+  Printexc.register_printer (function
+    | Process_error { pid; steps; error; recent } ->
+      Some
+        (Format.asprintf
+           "Runner.Process_error: p%d errored after %d steps: %s@\n\
+            last events of p%d:@\n%a"
+           pid steps (Printexc.to_string error) pid
+           (Format.pp_print_list ~pp_sep:Format.pp_print_newline Event.pp)
+           recent)
+    | _ -> None)
 
 let first_error sched =
   let rec find pid =
     if pid >= Scheduler.nprocs sched then None
     else
       match Scheduler.status sched pid with
-      | Scheduler.Errored e -> Some e
+      | Scheduler.Errored e -> Some (pid, e)
       | Scheduler.Runnable | Scheduler.Halted | Scheduler.Crashed ->
         find (pid + 1)
   in
   find 0
 
-let run_collect ?(max_steps = 1_000_000) ?(crash_at = []) ~memory ~pick procs =
+let run_collect ?(max_steps = 1_000_000) ?(crash_at = []) ?(faults = [])
+    ~memory ~pick procs =
+  let nprocs = Array.length procs in
+  let plan = Fault.validate ~nprocs (Fault.of_crash_at crash_at @ faults) in
   let trace = Trace.create () in
   let sched = Scheduler.create ~memory ~trace procs in
-  let crash_at = List.sort compare crash_at in
-  let pending_crashes = ref crash_at in
+  let pending = ref plan in
   let steps = ref 0 in
-  let completed = ref false in
+  let stopped = ref Quiescent in
   let continue = ref true in
+  (* Apply every fault due at the current step count, in plan order.
+     Afterwards any remaining pending fault is strictly in the future. *)
+  let apply_due () =
+    let rec go () =
+      match !pending with
+      | f :: rest when f.Fault.step <= !steps ->
+        (match f.Fault.kind with
+        | Fault.Crash -> Scheduler.crash sched f.Fault.pid
+        | Fault.Recover -> Scheduler.recover sched f.Fault.pid);
+        pending := rest;
+        go ()
+      | _ -> ()
+    in
+    go ()
+  in
   while !continue do
-    (match !pending_crashes with
-    | (at, pid) :: rest when at <= !steps ->
-      Scheduler.crash sched pid;
-      pending_crashes := rest
-    | _ -> ());
-    if Scheduler.all_quiescent sched then begin
-      completed := true;
+    apply_due ();
+    let fast_forward () =
+      (* Nothing can run right now but fault points remain: jump the step
+         clock to the next one so a pending recover can still fire.
+         [apply_due] guarantees its step is strictly ahead, so this makes
+         progress. *)
+      match !pending with
+      | [] -> None
+      | f :: _ ->
+        steps := max !steps f.Fault.step;
+        Some ()
+    in
+    if Scheduler.all_quiescent sched then (
+      match fast_forward () with
+      | Some () -> ()
+      | None ->
+        stopped := Quiescent;
+        continue := false)
+    else if !steps >= max_steps then begin
+      stopped := Out_of_steps;
       continue := false
     end
-    else if !steps >= max_steps then continue := false
     else
       match pick sched with
-      | None -> continue := false
+      | None -> (
+        match fast_forward () with
+        | Some () -> ()
+        | None ->
+          stopped := Picker_done;
+          continue := false)
       | Some pid -> (
         incr steps;
         match Scheduler.step sched pid with
@@ -52,14 +111,60 @@ let run_collect ?(max_steps = 1_000_000) ?(crash_at = []) ~memory ~pick procs =
     done;
     !n
   in
-  ( { memory; trace; scheduler = sched; completed = !completed; total_steps },
-    first_error sched )
+  ( { memory; trace; scheduler = sched;
+      completed = (!stopped = Quiescent); stopped = !stopped; total_steps },
+    Option.map snd (first_error sched) )
 
-let run ?max_steps ?crash_at ~memory ~pick procs =
-  let outcome, err = run_collect ?max_steps ?crash_at ~memory ~pick procs in
-  match err with
+let run ?max_steps ?crash_at ?faults ~memory ~pick procs =
+  let outcome, _ = run_collect ?max_steps ?crash_at ?faults ~memory ~pick procs in
+  match first_error outcome.scheduler with
   | None -> outcome
-  | Some e ->
-    invalid_arg
-      (Printf.sprintf "Runner.run: a process errored: %s"
-         (Printexc.to_string e))
+  | Some (pid, error) ->
+    raise
+      (Process_error
+         { pid;
+           steps = Scheduler.steps_taken outcome.scheduler pid;
+           error;
+           recent = Trace.last ~pid 5 outcome.trace })
+
+(* ------------------------------------------------------------------ *)
+(* Stall / error diagnosis                                            *)
+
+type proc_report = {
+  d_pid : int;
+  d_status : Scheduler.status;
+  d_region : Event.region;
+  d_steps : int;
+  d_recent : Event.t list;
+}
+
+let diagnose ?(recent = 5) out =
+  let sched = out.scheduler in
+  List.init (Scheduler.nprocs sched) (fun pid ->
+      { d_pid = pid;
+        d_status = Scheduler.status sched pid;
+        d_region = Scheduler.region sched pid;
+        d_steps = Scheduler.steps_taken sched pid;
+        d_recent = Trace.last ~pid recent out.trace })
+
+let pp_stopped ppf = function
+  | Quiescent -> Format.pp_print_string ppf "quiescent"
+  | Out_of_steps -> Format.pp_print_string ppf "step budget exhausted"
+  | Picker_done -> Format.pp_print_string ppf "picker gave up"
+
+let pp_status ppf = function
+  | Scheduler.Runnable -> Format.pp_print_string ppf "runnable"
+  | Scheduler.Halted -> Format.pp_print_string ppf "halted"
+  | Scheduler.Crashed -> Format.pp_print_string ppf "crashed"
+  | Scheduler.Errored e ->
+    Format.fprintf ppf "errored (%s)" (Printexc.to_string e)
+
+let pp_diagnosis ppf out =
+  Format.fprintf ppf "run stopped: %a; %d total steps@\n" pp_stopped
+    out.stopped out.total_steps;
+  List.iter
+    (fun d ->
+      Format.fprintf ppf "p%d: %a, region %a, %d steps@\n" d.d_pid pp_status
+        d.d_status Event.pp_region d.d_region d.d_steps;
+      List.iter (fun e -> Format.fprintf ppf "    %a@\n" Event.pp e) d.d_recent)
+    (diagnose out)

@@ -2,19 +2,34 @@
     run's trace.  This is the single entry point harnesses use; custom
     loops can still use {!Scheduler.step} directly. *)
 
+type stopped =
+  | Quiescent     (** every process halted, crashed for good, or errored *)
+  | Out_of_steps  (** [max_steps] scheduler steps executed *)
+  | Picker_done   (** the picker returned [None] with processes pending *)
+
 type outcome = {
   memory : Memory.t;
   trace : Trace.t;
   scheduler : Scheduler.t;
-  completed : bool;
-      (** every process halted or crashed (as opposed to the step budget
-          running out or the picker giving up) *)
+  completed : bool;   (** [stopped = Quiescent] (kept for compatibility) *)
+  stopped : stopped;  (** why the run ended *)
   total_steps : int;  (** shared-memory accesses performed in the run *)
 }
+
+exception Process_error of {
+  pid : int;             (** the process that raised *)
+  steps : int;           (** shared-memory accesses it had performed *)
+  error : exn;           (** the underlying exception *)
+  recent : Event.t list; (** its last few trace events, oldest first *)
+}
+(** Raised by {!run} when a process errored (an algorithm bug or a model
+    violation).  A printer is registered, so printing the exception shows
+    the pid, step count, and trailing events. *)
 
 val run :
   ?max_steps:int ->
   ?crash_at:(int * int) list ->
+  ?faults:Fault.plan ->
   memory:Memory.t ->
   pick:Schedule.picker ->
   (unit -> unit) array ->
@@ -24,16 +39,46 @@ val run :
     (default [1_000_000]) scheduler steps have executed.
 
     [crash_at] is a list of [(step_index, pid)]: just before scheduler step
-    number [step_index] (0-based), [pid] is fail-stopped.  Raises
-    [Invalid_argument] if a process errored (an algorithm bug or a model
-    violation) — errors are never silent. *)
+    number [step_index] (0-based), [pid] is fail-stopped.  [faults] is the
+    general crash–recovery plan language ({!Fault.plan}); [crash_at] is
+    sugar for a plan of crash points and both may be combined.  The merged
+    plan is checked with {!Fault.validate} ([Invalid_argument] on
+    duplicates, out-of-range pids, crashing an already-crashed pid, …).
+    If all runnable processes are exhausted while fault points remain, the
+    step clock fast-forwards to the next point so scheduled recoveries
+    still fire.  Raises {!Process_error} if a process errored — errors are
+    never silent. *)
 
 val run_collect :
   ?max_steps:int ->
   ?crash_at:(int * int) list ->
+  ?faults:Fault.plan ->
   memory:Memory.t ->
   pick:Schedule.picker ->
   (unit -> unit) array ->
   outcome * exn option
 (** Like {!run} but returns a process error instead of raising (used by
     tests that assert on model violations). *)
+
+(** {1 Stall / error diagnosis} *)
+
+type proc_report = {
+  d_pid : int;
+  d_status : Scheduler.status;
+  d_region : Event.region;
+  d_steps : int;
+  d_recent : Event.t list;  (** last trace events of this pid, oldest first *)
+}
+
+val diagnose : ?recent:int -> outcome -> proc_report list
+(** Structured per-process post-mortem of a run: status, protocol region,
+    step count, and the last [recent] (default 5) trace events of each
+    process.  Use on any outcome — most useful when [stopped] is not
+    [Quiescent] (stalled run) or a process errored. *)
+
+val pp_stopped : Format.formatter -> stopped -> unit
+val pp_status : Format.formatter -> Scheduler.status -> unit
+
+val pp_diagnosis : Format.formatter -> outcome -> unit
+(** Render {!diagnose} for humans: stop reason, then one block per
+    process. *)

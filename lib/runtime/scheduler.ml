@@ -191,3 +191,17 @@ let crash t pid =
     p.status <- Crashed;
     record t p Event.Crash
   end
+
+let recover t pid =
+  let p = t.procs.(pid) in
+  if p.status = Crashed then begin
+    (* Crash–recovery model: local state is lost (the consumed suspension
+       is dropped, so the next [step] re-invokes the process thunk from
+       the top), shared memory persists untouched.  The restarted process
+       begins in Remainder, like a freshly created one. *)
+    p.susp <- None;
+    p.status <- Runnable;
+    p.region <- Event.Remainder;
+    t.active <- t.active + 1;
+    record t p Event.Recover
+  end

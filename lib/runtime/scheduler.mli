@@ -45,7 +45,15 @@ val step : t -> int -> step_result
 
 val crash : t -> int -> unit
 (** Inject a fail-stop crash: the process is unwound with {!Proc.Crashed},
-    a [Crash] event is recorded, and it is never runnable again. *)
+    a [Crash] event is recorded, and it is not runnable again unless
+    {!recover} is called (crash–recovery model). *)
+
+val recover : t -> int -> unit
+(** Crash–recovery model (Golab–Ramaraju): restart a [Crashed] process
+    with fresh local state.  The process thunk is re-invoked from the top
+    at its next [step]; shared memory persists untouched.  A [Recover]
+    event is recorded and the process region resets to [Remainder].
+    No-op if the process is not currently [Crashed]. *)
 
 val started : t -> int -> bool
 (** Whether the process has been scheduled at least once. *)

@@ -45,7 +45,7 @@ let accesses_of ?from ?until ~pid t =
   in_range ?from ?until t (fun e ->
       match e.Event.body with
       | Event.Access (r, k) when e.Event.pid = pid -> acc := (r, k) :: !acc
-      | Event.Access _ | Event.Region_change _ | Event.Crash -> ());
+      | Event.Access _ | Event.Region_change _ | Event.Crash | Event.Recover -> ());
   List.rev !acc
 
 let step_count ?from ?until ~pid t =
@@ -53,7 +53,7 @@ let step_count ?from ?until ~pid t =
   in_range ?from ?until t (fun e ->
       match e.Event.body with
       | Event.Access _ when e.Event.pid = pid -> incr n
-      | Event.Access _ | Event.Region_change _ | Event.Crash -> ());
+      | Event.Access _ | Event.Region_change _ | Event.Crash | Event.Recover -> ());
   !n
 
 let distinct_in ?from ?until ~pid ~keep t =
@@ -62,7 +62,7 @@ let distinct_in ?from ?until ~pid ~keep t =
       match e.Event.body with
       | Event.Access (r, k) when e.Event.pid = pid && keep k ->
         Hashtbl.replace seen r.Register.id ()
-      | Event.Access _ | Event.Region_change _ | Event.Crash -> ());
+      | Event.Access _ | Event.Region_change _ | Event.Crash | Event.Recover -> ());
   Hashtbl.length seen
 
 let distinct_registers ?from ?until ~pid t =
@@ -74,7 +74,7 @@ let rw_step_count ?from ?until ~pid t =
       match e.Event.body with
       | Event.Access (_, k) when e.Event.pid = pid ->
         if Event.is_write k then incr w else incr r
-      | Event.Access _ | Event.Region_change _ | Event.Crash -> ());
+      | Event.Access _ | Event.Region_change _ | Event.Crash | Event.Recover -> ());
   (!r, !w)
 
 let rw_register_count ?from ?until ~pid t =
@@ -89,7 +89,7 @@ let fold_states ~nprocs f acc t =
       acc := f !acc regions e;
       match e.Event.body with
       | Event.Region_change r -> regions.(e.Event.pid) <- r
-      | Event.Access _ | Event.Crash -> ())
+      | Event.Access _ | Event.Crash | Event.Recover -> ())
     t;
   !acc
 
@@ -98,9 +98,19 @@ let regions_at t i ~nprocs =
   for j = 0 to min i t.len - 1 do
     match t.events.(j).Event.body with
     | Event.Region_change r -> regions.(t.events.(j).Event.pid) <- r
-    | Event.Access _ | Event.Crash -> ()
+    | Event.Access _ | Event.Crash | Event.Recover -> ()
   done;
   regions
+
+let last ?pid n t =
+  let keep e = match pid with None -> true | Some p -> e.Event.pid = p in
+  let acc = ref [] in
+  let i = ref (t.len - 1) in
+  while List.length !acc < n && !i >= 0 do
+    if keep t.events.(!i) then acc := t.events.(!i) :: !acc;
+    decr i
+  done;
+  !acc
 
 let pp ppf t =
   iter (fun e -> Format.fprintf ppf "%a@." Event.pp e) t

@@ -47,5 +47,9 @@ val fold_states :
     each event.  The array is updated in place between calls — copy it if
     you keep it. *)
 
+val last : ?pid:int -> int -> t -> Event.t list
+(** [last n t]: the final [n] events of the trace (those of [pid] only if
+    given), oldest first.  Used by stall/error diagnostics. *)
+
 val pp : Format.formatter -> t -> unit
 (** Print the full event log, one event per line. *)

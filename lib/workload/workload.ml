@@ -78,7 +78,7 @@ let run_mutex (module A : Mutex_intf.ALG) config =
             |> List.length
           in
           trying :: acc
-        | Event.Region_change _ | Event.Access _ | Event.Crash -> acc)
+        | Event.Region_change _ | Event.Access _ | Event.Crash | Event.Recover -> acc)
       [] out.Runner.trace
   in
   let mean xs =

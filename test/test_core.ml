@@ -106,6 +106,72 @@ let test_decisions () =
   check_bool "two winners flagged" true
     (Spec.at_most_one_winner t ~nprocs:3 <> None)
 
+(* Recovery paths: a path opens at Recover, counts the pid's accesses,
+   and closes at its next Critical; a second crash abandons the open
+   fragment. *)
+let test_recovery_paths () =
+  let r1, r2 = mk_regs () in
+  let t = Trace.create () in
+  let ev pid body = ignore (Trace.record t ~pid body) in
+  ev 0 (Event.Region_change Event.Trying);
+  ev 0 (Event.Access (r1, Event.A_write 1));
+  ev 0 Event.Crash;
+  ev 0 Event.Recover;
+  ev 0 (Event.Access (r1, Event.A_read 1));
+  ev 0 (Event.Access (r2, Event.A_write 2));
+  ev 0 (Event.Region_change Event.Critical);
+  (* p1: first recovery is abandoned by a second crash, second one
+     completes with a single step. *)
+  ev 1 Event.Crash;
+  ev 1 Event.Recover;
+  ev 1 (Event.Access (r1, Event.A_read 1));
+  ev 1 Event.Crash;
+  ev 1 Event.Recover;
+  ev 1 (Event.Access (r2, Event.A_read 2));
+  ev 1 (Event.Region_change Event.Critical);
+  (* p0's later CS re-entry without a crash opens no new path. *)
+  ev 0 (Event.Region_change Event.Exiting);
+  ev 0 (Event.Region_change Event.Remainder);
+  ev 0 (Event.Region_change Event.Trying);
+  ev 0 (Event.Region_change Event.Critical);
+  let paths = Measures.recovery_paths t ~nprocs:2 in
+  match paths with
+  | [ (0, s0); (1, s1) ] ->
+    check "p0 path steps" 2 s0.Measures.steps;
+    check "p0 path registers" 2 s0.Measures.registers;
+    check "p1 path steps" 1 s1.Measures.steps;
+    check "p1 path registers" 1 s1.Measures.registers
+  | _ ->
+    Alcotest.failf "expected one completed path per pid, got %d"
+      (List.length paths)
+
+(* The recoverable lock's exact recovery costs, via the harness (which
+   itself goes through [Measures.recovery_paths]): every crash point of
+   the 5-step solo cycle yields a completed recovery, costing
+   [recovery_steps_held] if the crash hit while holding the lock and
+   [recovery_steps_not_held] otherwise. *)
+let test_rec_tas_recovery_exact () =
+  let p = Mutex_intf.params 4 in
+  let sweep = Recovery_harness.solo_sweep Registry.rec_tas p in
+  (* Solo cycle: owner read + CAS (entry), witness write + read (CS),
+     owner release (exit) — five accesses, so five crash points. *)
+  check "one sweep point per solo access" 5 (List.length sweep);
+  let held, not_held = Recovery_harness.split_held sweep in
+  check_bool "both classes hit" true (held <> [] && not_held <> []);
+  List.iter
+    (fun pt ->
+      check
+        (Printf.sprintf "held crash@%d" pt.Recovery_harness.crash_step)
+        Rec_tas.recovery_steps_held pt.Recovery_harness.path.Measures.steps)
+    held;
+  List.iter
+    (fun pt ->
+      check
+        (Printf.sprintf "not-held crash@%d" pt.Recovery_harness.crash_step)
+        Rec_tas.recovery_steps_not_held
+        pt.Recovery_harness.path.Measures.steps)
+    not_held
+
 (* ------------------------------------------------------------------ *)
 (* Bound formulas                                                      *)
 (* ------------------------------------------------------------------ *)
@@ -263,7 +329,10 @@ let () =
         [ Alcotest.test_case "wc entry window" `Quick test_wc_entry_window;
           Alcotest.test_case "cf regions" `Quick test_cf_regions;
           Alcotest.test_case "repeated entries" `Quick test_repeated_entries;
-          Alcotest.test_case "decisions" `Quick test_decisions ] );
+          Alcotest.test_case "decisions" `Quick test_decisions;
+          Alcotest.test_case "recovery paths" `Quick test_recovery_paths;
+          Alcotest.test_case "rec-tas exact recovery cost" `Quick
+            test_rec_tas_recovery_exact ] );
       ( "bounds",
         [ Alcotest.test_case "spot values" `Quick test_bound_values;
           Alcotest.test_case "monotonicity" `Quick test_bound_monotone;

@@ -194,6 +194,117 @@ let test_finds_chunked_splitter_bug () =
     check_bool "counterexample within 20 steps" true
       (List.length schedule <= 20)
 
+(* The recoverable lock, exhaustively verified under the crash-recovery
+   fault model: every interleaving of 2 processes with up to 2
+   crash-recovery pairs injected at every possible point (per CLAUDE.md:
+   model-check a new algorithm before trusting paper arguments). *)
+let test_recoverable_n2_crash_recovery () =
+  match
+    Props.check_mutex_recoverable ~pairs:2 Registry.rec_tas
+      (Mutex_intf.params 2)
+  with
+  | Explore.Ok stats ->
+    check_bool "explored runs" true (stats.Explore.runs > 0);
+    check_bool "not truncated (exhaustive within bounds)" false
+      stats.Explore.truncated
+  | Explore.Violation { violation; schedule; _ } ->
+    Alcotest.failf "recoverable-tas n=2: %a (schedule %s)"
+      Cfc_core.Spec.pp_violation violation
+      (String.concat ","
+         (List.map (Format.asprintf "%a" Explore.pp_action) schedule))
+
+(* Without fault injection the recoverable lock is just another mutex. *)
+let test_recoverable_n2_crash_free () =
+  expect_ok "recoverable-tas n=2 crash-free"
+    (Props.check_mutex Registry.rec_tas (Mutex_intf.params 2))
+
+(* A deliberately broken recoverable lock, kept as a regression fixture
+   mirroring the chunked splitter below: acquisition is a sound CAS, but
+   ownership is additionally cached in a per-process hint register that
+   the release clears only AFTER freeing the lock — and recovery trusts
+   the hint without re-reading the owner register.  Crash in that window
+   and the restarted incarnation walks straight into a critical section
+   someone else can also win.  The fault-aware checker must find this;
+   the crash-free checker must not (the lock is correct without
+   crashes). *)
+module Broken_recovery : Mutex_intf.ALG = struct
+  let name = "broken-recovery"
+  let supports (p : Mutex_intf.params) = p.Mutex_intf.n >= 1
+  let atomicity (p : Mutex_intf.params) = Ixmath.bits_needed p.Mutex_intf.n
+  let predicted_cf_steps (_ : Mutex_intf.params) = None
+  let predicted_cf_registers (_ : Mutex_intf.params) = None
+
+  module Make (M : Cfc_base.Mem_intf.MEM) = struct
+    type t = { owner : M.reg; mine : M.reg array }
+
+    let create (p : Mutex_intf.params) =
+      let n = p.Mutex_intf.n in
+      {
+        owner =
+          M.alloc ~name:"brec.owner" ~width:(Ixmath.bits_needed n) ~init:0 ();
+        mine = M.alloc_array ~name:"brec.mine" ~width:1 ~init:0 n;
+      }
+
+    let lock t ~me =
+      (* BUG: the stale hint is trusted; the owner register is never
+         re-read on restart. *)
+      if M.read t.mine.(me) = 1 then ()
+      else begin
+        while not (M.compare_and_set t.owner ~expected:0 (me + 1)) do
+          M.pause ()
+        done;
+        M.write t.mine.(me) 1
+      end
+
+    let unlock t ~me =
+      (* BUG amplifier: the lock is freed before the hint is cleared, so
+         a crash between the two writes leaves a dangling hint. *)
+      M.write t.owner 0;
+      M.write t.mine.(me) 0
+  end
+end
+
+let test_finds_broken_recovery () =
+  (* Crash-free the lock is correct... *)
+  expect_ok "broken-recovery crash-free"
+    (Props.check_mutex (module Broken_recovery) (Mutex_intf.params 2));
+  (* ...but one crash-recovery pair exposes the stale hint. *)
+  match
+    Props.check_mutex_recoverable ~pairs:1 (module Broken_recovery)
+      (Mutex_intf.params 2)
+  with
+  | Explore.Ok _ -> Alcotest.fail "missed the stale-hint recovery bug"
+  | Explore.Violation { schedule; violation; _ } ->
+    check_bool "schedule contains a crash" true
+      (List.exists
+         (function Explore.Crash _ -> true | _ -> false)
+         schedule);
+    check_bool "schedule contains a recovery" true
+      (List.exists
+         (function Explore.Recover _ -> true | _ -> false)
+         schedule);
+    check_bool "describes the failure" true
+      (violation.Cfc_core.Spec.what <> "");
+    (* The counterexample replays deterministically. *)
+    let out =
+      Explore.replay_actions
+        ~system:
+          (Cfc_core.Mutex_harness.system (module Broken_recovery)
+             (Mutex_intf.params 2))
+        ~schedule
+    in
+    let bad =
+      Cfc_core.Spec.mutual_exclusion_recoverable out.Runner.trace ~nprocs:2
+      <> None
+      || List.exists
+           (fun pid ->
+             match Scheduler.status out.Runner.scheduler pid with
+             | Scheduler.Errored _ -> true
+             | _ -> false)
+           [ 0; 1 ]
+    in
+    check_bool "replay reproduces violation" true bad
+
 (* A broken naming "algorithm" (plain read/write, cannot break symmetry):
    the checker must find duplicate names. *)
 module Broken_naming : Cfc_naming.Naming_intf.ALG = struct
@@ -251,6 +362,13 @@ let () =
             test_finds_naming_race;
           Alcotest.test_case "chunked-splitter unsoundness (regression)"
             `Quick test_finds_chunked_splitter_bug ] );
+      ( "crash-recovery",
+        [ Alcotest.test_case "recoverable-tas n=2, 2 pairs" `Slow
+            test_recoverable_n2_crash_recovery;
+          Alcotest.test_case "recoverable-tas n=2 crash-free" `Quick
+            test_recoverable_n2_crash_free;
+          Alcotest.test_case "broken recovery found (regression)" `Quick
+            test_finds_broken_recovery ] );
       ( "verifies",
         [ Alcotest.test_case "all mutexes n=2" `Slow test_mutex_n2_exhaustive;
           Alcotest.test_case "tree n=3 l=2" `Slow test_tree_l2_n3;

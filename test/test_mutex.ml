@@ -176,6 +176,60 @@ let prop_safety_biased =
           end)
         Registry.all)
 
+(* Fail-stop crashes cannot break safety: any run with crashes injected
+   is a legal run in which the crashed processes simply stop, so mutual
+   exclusion must still hold for every algorithm (progress, of course,
+   may not — a crashed lock holder blocks everyone, so the run is capped
+   and only safety is asserted). *)
+let prop_safety_random_crashes =
+  QCheck.Test.make ~count:60
+    ~name:"mutual exclusion holds under random crash schedules (all algorithms)"
+    QCheck.(triple (int_bound 100_000) (int_range 2 5) (int_range 1 3))
+    (fun (seed, n, ncrashes) ->
+      (* Crash-only plan: distinct pids (the alternation rule allows at
+         most one un-recovered crash per pid), seeded steps. *)
+      let st = Random.State.make [| seed; n; ncrashes |] in
+      let pids =
+        List.init n Fun.id
+        |> List.map (fun p -> (Random.State.bits st, p))
+        |> List.sort compare
+        |> List.map snd
+      in
+      let faults =
+        List.filteri (fun i _ -> i < ncrashes) pids
+        |> List.map (fun pid ->
+               Cfc_runtime.Fault.crash ~step:(Random.State.int st 60) ~pid)
+      in
+      List.for_all
+        (fun (module A : Mutex_intf.ALG) ->
+          let p = Mutex_intf.params n in
+          if not (A.supports p) then true
+          else begin
+            let out =
+              Mutex_harness.run ~rounds:2 ~max_steps:2_000 ~faults
+                ~pick:(Cfc_runtime.Schedule.random ~seed)
+                (module A) p
+            in
+            Spec.mutual_exclusion out.Cfc_runtime.Runner.trace ~nprocs:n
+            = None
+          end)
+        Registry.all)
+
+(* The recoverable lock also survives full crash–recovery chaos: crashed
+   processes restart from the top and the recoverable mutual exclusion
+   property (crashing inside the critical section does not release it)
+   holds on every seeded plan. *)
+let prop_rec_tas_chaos =
+  QCheck.Test.make ~count:80
+    ~name:"recoverable-tas: safety under seeded crash-recovery chaos"
+    QCheck.(triple (int_bound 100_000) (int_range 2 5) (int_range 1 3))
+    (fun (seed, n, pairs) ->
+      let p = Mutex_intf.params n in
+      let _, _, violation =
+        Recovery_harness.chaos ~seed ~pairs Registry.rec_tas p
+      in
+      violation = None)
+
 (* ------------------------------------------------------------------ *)
 (* Worst case                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -298,7 +352,7 @@ let test_kessels_single_writer () =
         if not (List.mem e.Cfc_runtime.Event.pid known) then
           Hashtbl.replace writers id (e.Cfc_runtime.Event.pid :: known)
       | Cfc_runtime.Event.Access _ | Cfc_runtime.Event.Region_change _
-      | Cfc_runtime.Event.Crash -> ())
+      | Cfc_runtime.Event.Crash | Cfc_runtime.Event.Recover -> ())
     out.Cfc_runtime.Runner.trace;
   Hashtbl.iter
     (fun id pids ->
@@ -370,7 +424,7 @@ let test_bakery_fifo () =
       | Cfc_runtime.Event.Region_change Cfc_runtime.Event.Critical ->
         cs_enter.(pid) <- e.Cfc_runtime.Event.seq :: cs_enter.(pid)
       | Cfc_runtime.Event.Access _ | Cfc_runtime.Event.Region_change _
-      | Cfc_runtime.Event.Crash -> ())
+      | Cfc_runtime.Event.Crash | Cfc_runtime.Event.Recover -> ())
     out.Cfc_runtime.Runner.trace;
   let rounds pid =
     List.combine
@@ -499,7 +553,7 @@ let test_mcs_fifo () =
       | Cfc_runtime.Event.Region_change Cfc_runtime.Event.Critical ->
         entries := e.Cfc_runtime.Event.pid :: !entries
       | Cfc_runtime.Event.Region_change _ | Cfc_runtime.Event.Access _
-      | Cfc_runtime.Event.Crash -> ())
+      | Cfc_runtime.Event.Crash | Cfc_runtime.Event.Recover -> ())
     out.Cfc_runtime.Runner.trace;
   let entries = List.rev !entries in
   check "all acquisitions" (3 * n) (List.length entries);
@@ -598,7 +652,9 @@ let test_splitter_tree_wc () =
 (* ------------------------------------------------------------------ *)
 
 let test_registry () =
-  check "algorithm count" 11 (List.length Registry.all);
+  check "algorithm count" 12 (List.length Registry.all);
+  check_bool "find recoverable" true
+    (Registry.find "recoverable-tas" <> None);
   check_bool "find lamport" true (Registry.find "lamport-fast" <> None);
   check_bool "find nonsense" true (Registry.find "nonsense" = None);
   let names = List.map alg_name Registry.all in
@@ -617,7 +673,9 @@ let () =
       ( "safety",
         [ Alcotest.test_case "round robin" `Quick test_safety_round_robin;
           QCheck_alcotest.to_alcotest prop_safety_random;
-          QCheck_alcotest.to_alcotest prop_safety_biased ] );
+          QCheck_alcotest.to_alcotest prop_safety_biased;
+          QCheck_alcotest.to_alcotest prop_safety_random_crashes;
+          QCheck_alcotest.to_alcotest prop_rec_tas_chaos ] );
       ( "worst-case",
         [ Alcotest.test_case "kessels wc registers O(log n)" `Quick
             test_kessels_wc_registers;

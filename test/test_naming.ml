@@ -155,7 +155,20 @@ let prop_unique_names_crashes =
         (small_list (pair (int_bound 60) (int_bound 31))))
     (fun (seed, log_n, crashes) ->
       let n = Ixmath.pow2 log_n in
-      let crash_at = List.map (fun (at, p) -> (at, p mod n)) crashes in
+      (* Fault plans are validated now: at most one (un-recovered) crash
+         per pid, no duplicate points — keep each pid's first. *)
+      let crash_at =
+        let seen = Hashtbl.create 8 in
+        List.filter_map
+          (fun (at, p) ->
+            let p = p mod n in
+            if Hashtbl.mem seen p then None
+            else begin
+              Hashtbl.add seen p ();
+              Some (at, p)
+            end)
+          crashes
+      in
       List.for_all
         (fun (module A : Naming_intf.ALG) ->
           if not (A.supports ~n) then true

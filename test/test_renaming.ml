@@ -78,7 +78,20 @@ let prop_unique_with_crashes =
       triple (int_bound 1_000_000) (int_range 2 8)
         (small_list (pair (int_bound 40) (int_bound 7))))
     (fun (seed, n, crashes) ->
-      let crash_at = List.map (fun (at, p) -> (at, p mod n)) crashes in
+      (* Fault plans are validated now: at most one (un-recovered) crash
+         per pid, no duplicate points — keep each pid's first. *)
+      let crash_at =
+        let seen = Hashtbl.create 8 in
+        List.filter_map
+          (fun (at, p) ->
+            let p = p mod n in
+            if Hashtbl.mem seen p then None
+            else begin
+              Hashtbl.add seen p ();
+              Some (at, p)
+            end)
+          crashes
+      in
       let out =
         Renaming_harness.run ~crash_at
           ~pick:(Cfc_runtime.Schedule.random ~seed)

@@ -103,7 +103,7 @@ let test_round_robin_interleaving () =
     |> List.filter_map (fun e ->
            match e.Event.body with
            | Event.Access (r, k) -> Some (e.Event.pid, r.Register.name, k)
-           | Event.Region_change _ | Event.Crash -> None)
+           | Event.Region_change _ | Event.Crash | Event.Recover -> None)
   in
   match evs with
   | [ (0, "a", Event.A_write 7); (1, "b", Event.A_write 9);
@@ -127,7 +127,7 @@ let test_sequential_schedule () =
     |> List.filter_map (fun e ->
            match e.Event.body with
            | Event.Access _ -> Some e.Event.pid
-           | Event.Region_change _ | Event.Crash -> None)
+           | Event.Region_change _ | Event.Crash | Event.Recover -> None)
   in
   Alcotest.(check (list int)) "p0 fully before p1" [ 0; 0; 1; 1 ] pids
 
@@ -162,7 +162,7 @@ let test_pref_then () =
     |> List.filter_map (fun e ->
            match e.Event.body with
            | Event.Access _ -> Some e.Event.pid
-           | Event.Region_change _ | Event.Crash -> None)
+           | Event.Region_change _ | Event.Crash | Event.Recover -> None)
   in
   (* p1's two steps from the prefix, then round-robin finishes p0. *)
   Alcotest.(check (list int)) "prefix then rr" [ 1; 1; 0; 0 ] pids
@@ -187,7 +187,7 @@ let test_biased_favoring () =
     (fun e ->
       match e.Event.body with
       | Event.Access _ -> counts.(e.Event.pid) <- counts.(e.Event.pid) + 1
-      | Event.Region_change _ | Event.Crash -> ())
+      | Event.Region_change _ | Event.Crash | Event.Recover -> ())
     out.Runner.trace;
   check_bool
     (Printf.sprintf "favored %d > sum of others %d" counts.(2)
@@ -260,6 +260,185 @@ let test_crash_before_start () =
   in
   check "no steps" 0 (Scheduler.steps_taken out.Runner.scheduler 0);
   check_bool "completed (quiescent)" true out.Runner.completed
+
+(* ------------------------------------------------------------------ *)
+(* Fault plans and recovery                                            *)
+(* ------------------------------------------------------------------ *)
+
+let check_invalid name substr f =
+  match f () with
+  | exception Invalid_argument msg ->
+    check_bool
+      (Printf.sprintf "%s: message mentions %S (got %S)" name substr msg)
+      true
+      (let len = String.length substr in
+       let rec scan i =
+         i + len <= String.length msg
+         && (String.sub msg i len = substr || scan (i + 1))
+       in
+       scan 0)
+  | _ -> Alcotest.fail (name ^ ": expected Invalid_argument")
+
+(* Final value of the register named [name] in [memory] (registers are
+   abstract through [MEM], so post-mortem reads go through the arena). *)
+let final_value memory name =
+  (List.find (fun r -> r.Register.name = name) (Memory.registers memory))
+    .Register.value
+
+let test_fault_validation () =
+  let v plan = ignore (Fault.validate ~nprocs:2 plan) in
+  check_invalid "duplicate" "duplicate" (fun () ->
+      v [ Fault.crash ~step:3 ~pid:0; Fault.crash ~step:3 ~pid:0 ]);
+  check_invalid "pid range" "out of range" (fun () ->
+      v [ Fault.crash ~step:1 ~pid:2 ]);
+  check_invalid "negative pid" "out of range" (fun () ->
+      v [ Fault.crash ~step:1 ~pid:(-1) ]);
+  check_invalid "negative step" "negative step" (fun () ->
+      v [ Fault.crash ~step:(-1) ~pid:0 ]);
+  check_invalid "double crash" "already crashed" (fun () ->
+      v [ Fault.crash ~step:1 ~pid:0; Fault.crash ~step:4 ~pid:0 ]);
+  check_invalid "recover uncrashed" "not crashed" (fun () ->
+      v [ Fault.recover ~step:2 ~pid:1 ]);
+  (* A legal plan comes back sorted by step. *)
+  let sorted =
+    Fault.validate ~nprocs:2
+      [ Fault.recover ~step:5 ~pid:0; Fault.crash ~step:2 ~pid:0 ]
+  in
+  check "sorted length" 2 (List.length sorted);
+  check "sorted head step" 2 (List.hd sorted).Fault.step
+
+(* Recovery restarts the thunk from the top with fresh local state while
+   shared memory persists: the restarted run sees its own earlier write. *)
+let test_recover_restarts_fresh () =
+  let memory = Memory.create () in
+  let (module M) = Sim_mem.mem memory in
+  let attempts = M.alloc ~name:"attempts" ~width:4 ~init:0 () in
+  let sum = M.alloc ~name:"sum" ~width:8 ~init:0 () in
+  let local_seen = ref [] in
+  let p () =
+    let mine = ref 0 in
+    (* fresh every (re)start *)
+    incr mine;
+    local_seen := !mine :: !local_seen;
+    M.write attempts (M.read attempts + 1);
+    M.write sum 7;
+    ignore (M.read sum)
+  in
+  let out =
+    Runner.run ~memory
+      ~faults:[ Fault.crash ~step:3 ~pid:0; Fault.recover ~step:3 ~pid:0 ]
+      ~pick:(Schedule.solo 0) [| p |]
+  in
+  check_bool "completed" true out.Runner.completed;
+  (* Two starts, each with a fresh [mine]. *)
+  check_bool "local state fresh on restart" true
+    (!local_seen = [ 1; 1 ]);
+  (* Shared memory persisted across the crash: the restarted increment
+     saw the first one. *)
+  check "attempts" 2 (final_value memory "attempts");
+  let recovers =
+    Trace.fold
+      (fun acc e ->
+        match e.Event.body with Event.Recover -> acc + 1 | _ -> acc)
+      0 out.Runner.trace
+  in
+  check "one recover event" 1 recovers
+
+let test_crash_recover_at_step0 () =
+  let memory = Memory.create () in
+  let (module M) = Sim_mem.mem memory in
+  let r = M.alloc ~name:"r" ~width:4 ~init:0 () in
+  let p () = M.write r 1 in
+  let out =
+    Runner.run ~memory
+      ~faults:[ Fault.crash ~step:0 ~pid:0; Fault.recover ~step:0 ~pid:0 ]
+      ~pick:(Schedule.round_robin ()) [| p |]
+  in
+  check_bool "completed" true out.Runner.completed;
+  check "write landed" 1 (final_value memory "r")
+
+(* A recover scheduled after all runnable work has drained still fires:
+   the runner fast-forwards the step clock to the pending fault. *)
+let test_recover_after_quiescence () =
+  let memory = Memory.create () in
+  let (module M) = Sim_mem.mem memory in
+  let r = M.alloc ~name:"r" ~width:8 ~init:0 () in
+  let p () = M.write r (M.read r + 1) in
+  let out =
+    Runner.run ~memory
+      ~faults:[ Fault.crash ~step:1 ~pid:0; Fault.recover ~step:50 ~pid:0 ]
+      ~pick:(Schedule.round_robin ()) [| p |]
+  in
+  check_bool "completed" true out.Runner.completed;
+  (* First run crashed after its read; the restart performed both. *)
+  check "restart completed the write" 1 (final_value memory "r")
+
+let test_chaos_deterministic () =
+  let mk seed = Fault.chaos ~seed ~nprocs:3 ~pairs:2 ~horizon:40 in
+  check_bool "same seed, same plan" true (mk 7 = mk 7);
+  check "pairs" 4 (List.length (mk 7));
+  (* And the plans drive identical runs. *)
+  let run () =
+    let memory = Memory.create () in
+    let (module M) = Sim_mem.mem memory in
+    let r = M.alloc ~width:8 ~init:0 () in
+    let p _i () =
+      for _ = 1 to 6 do
+        M.write r (M.read r + 1)
+      done
+    in
+    let out =
+      Runner.run ~memory ~faults:(mk 7)
+        ~pick:(Schedule.round_robin ())
+        (Array.init 3 (fun i -> p i))
+    in
+    (out.Runner.total_steps, List.length (Trace.to_list out.Runner.trace))
+  in
+  check_bool "same plan, same run" true (run () = run ())
+
+let test_out_of_steps_diagnosis () =
+  let memory = Memory.create () in
+  let (module M) = Sim_mem.mem memory in
+  let r = M.alloc ~width:1 ~init:0 () in
+  let p () =
+    while M.read r = 0 do
+      M.pause ()
+    done
+  in
+  let out =
+    Runner.run ~memory ~max_steps:25 ~pick:(Schedule.solo 0) [| p |]
+  in
+  check_bool "not completed" false out.Runner.completed;
+  (match out.Runner.stopped with
+  | Runner.Out_of_steps -> ()
+  | _ -> Alcotest.fail "expected Out_of_steps");
+  (match Runner.diagnose ~recent:3 out with
+  | [ rep ] ->
+    check "report pid" 0 rep.Runner.d_pid;
+    check_bool "report has steps" true (rep.Runner.d_steps > 0);
+    check_bool "report has recent events" true (rep.Runner.d_recent <> [])
+  | _ -> Alcotest.fail "expected one process report");
+  let rendered = Format.asprintf "%a" Runner.pp_diagnosis out in
+  check_bool "diagnosis mentions stop reason" true
+    (String.length rendered > 0)
+
+let test_process_error_context () =
+  let memory = Memory.create () in
+  let (module M) = Sim_mem.mem memory in
+  let r = M.alloc ~width:4 ~init:0 () in
+  let p () =
+    M.write r 1;
+    ignore (M.read r);
+    failwith "algorithm bug"
+  in
+  match Runner.run ~memory ~pick:(Schedule.solo 0) [| p |] with
+  | _ -> Alcotest.fail "expected Process_error"
+  | exception Runner.Process_error { pid; steps; error; recent } ->
+    check "errored pid" 0 pid;
+    check "steps before error" 2 steps;
+    check_bool "underlying error kept" true
+      (match error with Failure m -> m = "algorithm bug" | _ -> false);
+    check_bool "recent events attached" true (recent <> [])
 
 let test_model_violation_is_error () =
   let memory = Memory.create () in
@@ -436,7 +615,8 @@ let prop_replay_deterministic =
                  | Event.Access (r, Event.A_write v) -> (r.Register.id, 1, v)
                  | Event.Access (r, _) -> (r.Register.id, 2, 0)
                  | Event.Region_change _ -> (-1, 3, 0)
-                 | Event.Crash -> (-1, 4, 0) ))
+                 | Event.Crash -> (-1, 4, 0)
+                 | Event.Recover -> (-1, 5, 0) ))
       in
       run () = run ())
 
@@ -467,6 +647,20 @@ let () =
             test_crash_before_start;
           Alcotest.test_case "model violation" `Quick
             test_model_violation_is_error ] );
+      ( "faults+recovery",
+        [ Alcotest.test_case "plan validation" `Quick test_fault_validation;
+          Alcotest.test_case "recover restarts fresh" `Quick
+            test_recover_restarts_fresh;
+          Alcotest.test_case "crash+recover at step 0" `Quick
+            test_crash_recover_at_step0;
+          Alcotest.test_case "recover after quiescence" `Quick
+            test_recover_after_quiescence;
+          Alcotest.test_case "chaos deterministic" `Quick
+            test_chaos_deterministic;
+          Alcotest.test_case "out-of-steps diagnosis" `Quick
+            test_out_of_steps_diagnosis;
+          Alcotest.test_case "process error context" `Quick
+            test_process_error_context ] );
       ( "trace",
         [ Alcotest.test_case "write_field" `Quick test_write_field;
           Alcotest.test_case "measures" `Quick test_trace_measures;
