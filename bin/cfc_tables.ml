@@ -122,19 +122,47 @@ let cf_cmd =
     (Cmd.info "cf" ~doc:"Contention-free complexity of one algorithm.")
     Term.(const run $ alg_arg $ n_arg $ l_arg)
 
+(* Parallel exploration defaults to every core at the CLI; the library
+   default stays 1 (sequential) so programmatic callers keep the exact
+   sequential stats. *)
+let domains_arg =
+  Arg.(
+    value
+    & opt int (Domain.recommended_domain_count ())
+    & info [ "domains" ] ~docv:"D"
+        ~doc:
+          "Explore first-level branches on D domains (1 = sequential; \
+           default: all recommended cores).")
+
+let engine_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("incremental", Cfc_mcheck.Explore.Incremental);
+             ("replay", Cfc_mcheck.Explore.Replay) ])
+        Cfc_mcheck.Explore.Incremental
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Exploration engine: $(b,incremental) (checkpoint/undo, default) \
+           or $(b,replay) (re-execute each prefix; reference).")
+
 let mcheck_cmd =
   let depth_arg =
     Arg.(
       value & opt int 60
       & info [ "depth" ] ~docv:"D" ~doc:"Max scheduler steps per run.")
   in
-  let run name n l depth =
+  let run name n l depth domains engine =
     let alg = find_supported_alg name { Mutex_intf.n; l } in
     let config =
       { Cfc_mcheck.Explore.max_depth = depth; max_steps_per_proc = depth;
         max_states = 2_000_000 }
     in
-    match Cfc_mcheck.Props.check_mutex ~config alg { Mutex_intf.n; l } with
+    match
+      Cfc_mcheck.Props.check_mutex ~config ~engine ~domains alg
+        { Mutex_intf.n; l }
+    with
     | Cfc_mcheck.Explore.Ok stats ->
       Printf.printf
         "OK: no violation within bounds (%d maximal runs, %d states \
@@ -152,7 +180,9 @@ let mcheck_cmd =
   Cmd.v
     (Cmd.info "mcheck"
        ~doc:"Bounded-exhaustive mutual exclusion verification.")
-    Term.(const run $ alg_arg $ n_arg $ l_arg $ depth_arg)
+    Term.(
+      const run $ alg_arg $ n_arg $ l_arg $ depth_arg $ domains_arg
+      $ engine_arg)
 
 let trace_cmd =
   let seed_arg =
@@ -212,10 +242,30 @@ let faults_cmd =
       & info [ "pairs" ] ~docv:"K"
           ~doc:"Crash-recovery pairs injected per run.")
   in
-  let run name n pairs seeds =
+  let run name n pairs seeds domains =
     let p = Mutex_intf.params n in
     let alg = find_supported_alg name p in
     Texttab.print (Cfc_core.Report.recoverable_table ~ns:(List.sort_uniq compare [ 2; 4; 8; n ]));
+    print_newline ();
+    (* Bounded-exhaustive verification under the fault model, ahead of the
+       randomized chaos schedules below. *)
+    (match
+       Cfc_mcheck.Props.check_mutex_recoverable ~domains ~pairs alg p
+     with
+    | Cfc_mcheck.Explore.Ok stats ->
+      Printf.printf
+        "mcheck: recoverable mutual exclusion holds within bounds (%d \
+         states, %d pruned%s)\n"
+        stats.Cfc_mcheck.Explore.states stats.Cfc_mcheck.Explore.pruned
+        (if stats.Cfc_mcheck.Explore.truncated then ", truncated" else "")
+    | Cfc_mcheck.Explore.Violation { schedule; violation; _ } ->
+      Format.printf "mcheck VIOLATION: %a@.schedule: %s@."
+        Cfc_core.Spec.pp_violation violation
+        (String.concat ","
+           (List.map
+              (Format.asprintf "%a" Cfc_mcheck.Explore.pp_action)
+              schedule));
+      exit 1);
     print_newline ();
     Printf.printf "chaos runs: %s, n=%d, %d crash-recovery pairs per seed\n"
       name n pairs;
@@ -236,7 +286,7 @@ let faults_cmd =
          "Crash-recovery fault injection: the recoverable lock's \
           predicted-vs-measured recovery paths, seeded chaos schedules, \
           and stall diagnostics.")
-    Term.(const run $ alg_arg $ n_arg $ pairs_arg $ seeds_arg)
+    Term.(const run $ alg_arg $ n_arg $ pairs_arg $ seeds_arg $ domains_arg)
 
 let models_cmd =
   let all_arg =

@@ -70,6 +70,124 @@ let mutual_exclusion_recoverable trace ~nprocs =
         | Event.Access _ | Event.Crash | Event.Recover -> None))
     None trace
 
+module Inc = struct
+  type 's core = {
+    init : nprocs:int -> 's;
+    copy : 's -> 's;
+    feed : 's -> Trace.t -> from:int -> violation option;
+  }
+
+  type t = T : 's core -> t
+
+  type run = {
+    feed : Trace.t -> from:int -> violation option;
+    save : unit -> unit -> unit;
+  }
+
+  let start (T c) ~nprocs =
+    let st = ref (c.init ~nprocs) in
+    { feed = (fun trace ~from -> c.feed !st trace ~from);
+      save =
+        (fun () ->
+          let saved = c.copy !st in
+          fun () -> st := c.copy saved) }
+
+  let of_whole check =
+    T
+      { init = (fun ~nprocs -> nprocs);
+        copy = Fun.id;
+        feed = (fun nprocs trace ~from:_ -> check trace ~nprocs) }
+
+  let on_decisions check =
+    T
+      { init = (fun ~nprocs -> nprocs);
+        copy = Fun.id;
+        feed =
+          (fun nprocs trace ~from ->
+            (* Decision properties are functions of the decisions multiset
+               only; if the new events decide nothing, the multiset — and
+               therefore the verdict — is unchanged from the (already
+               checked) prefix. *)
+            let triggered = ref false in
+            for i = from to Trace.length trace - 1 do
+              match (Trace.get trace i).Event.body with
+              | Event.Region_change (Event.Decided _) -> triggered := true
+              | Event.Region_change _ | Event.Access _ | Event.Crash
+              | Event.Recover -> ()
+            done;
+            if !triggered then check trace ~nprocs else None) }
+
+  let mutual_exclusion =
+    T
+      { init = (fun ~nprocs -> Array.make nprocs Event.Remainder);
+        copy = Array.copy;
+        feed =
+          (fun regions trace ~from ->
+            let nprocs = Array.length regions in
+            let result = ref None in
+            let i = ref from in
+            let len = Trace.length trace in
+            while !result = None && !i < len do
+              let e = Trace.get trace !i in
+              (match e.Event.body with
+              | Event.Region_change r ->
+                (if Event.region_equal r Event.Critical then
+                   let others =
+                     List.filter
+                       (fun q ->
+                         q <> e.Event.pid
+                         && Event.region_equal regions.(q) Event.Critical)
+                       (List.init nprocs Fun.id)
+                   in
+                   if others <> [] then
+                     result :=
+                       Some
+                         { at = e.Event.seq;
+                           pids = e.Event.pid :: others;
+                           what = "two processes in the critical section" });
+                regions.(e.Event.pid) <- r
+              | Event.Access _ | Event.Crash | Event.Recover -> ());
+              incr i
+            done;
+            !result) }
+
+  let mutual_exclusion_recoverable =
+    T
+      { init = (fun ~nprocs -> Array.make nprocs false);
+        copy = Array.copy;
+        feed =
+          (fun in_cs trace ~from ->
+            let nprocs = Array.length in_cs in
+            let result = ref None in
+            let i = ref from in
+            let len = Trace.length trace in
+            while !result = None && !i < len do
+              let e = Trace.get trace !i in
+              (match e.Event.body with
+              | Event.Region_change r ->
+                if Event.region_equal r Event.Critical then begin
+                  let others =
+                    List.filter
+                      (fun q -> q <> e.Event.pid && in_cs.(q))
+                      (List.init nprocs Fun.id)
+                  in
+                  in_cs.(e.Event.pid) <- true;
+                  if others <> [] then
+                    result :=
+                      Some
+                        { at = e.Event.seq;
+                          pids = e.Event.pid :: others;
+                          what =
+                            "two processes in the critical section (across \
+                             recoveries)" }
+                end
+                else in_cs.(e.Event.pid) <- false
+              | Event.Access _ | Event.Crash | Event.Recover -> ());
+              incr i
+            done;
+            !result) }
+end
+
 let mutex_progress (out : Runner.outcome) =
   let sched = out.Runner.scheduler in
   let nprocs = Scheduler.nprocs sched in

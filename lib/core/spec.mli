@@ -23,6 +23,44 @@ val mutual_exclusion_recoverable : Trace.t -> nprocs:int -> violation option
     process occupies it under this occupancy rule.  On crash-free traces
     this agrees with {!mutual_exclusion}. *)
 
+(** Incremental checkers for the model checker's DFS: instead of
+    re-scanning the whole trace at every search node, a checker carries a
+    small state that is fed only the events appended since the parent node
+    and checkpointed/restored alongside the scheduler.  Each incremental
+    checker returns exactly the violation (same [at]/[pids]/[what]) its
+    whole-trace counterpart would return at the first node where one
+    exists, provided [feed] is called once per node along each DFS path. *)
+module Inc : sig
+  type t
+
+  type run = {
+    feed : Trace.t -> from:int -> violation option;
+        (** Consume events [from .. length-1]; first violation if any. *)
+    save : unit -> unit -> unit;
+        (** [save ()] checkpoints the checker state and returns a restore
+            thunk; the thunk may be invoked any number of times. *)
+  }
+
+  val start : t -> nprocs:int -> run
+
+  val of_whole : (Trace.t -> nprocs:int -> violation option) -> t
+  (** Stateless fallback: re-runs the whole-trace check at every node
+      (identical behavior and cost to the pre-incremental engine). *)
+
+  val on_decisions : (Trace.t -> nprocs:int -> violation option) -> t
+  (** For properties that are functions of the decisions multiset only
+      ({!unique_names}, {!at_most_one_winner}, consensus agreement):
+      re-runs the whole check only at nodes whose new events contain a
+      [Decided] region change — the verdict cannot change otherwise. *)
+
+  val mutual_exclusion : t
+  (** True-incremental {!Spec.mutual_exclusion} (region-vector state). *)
+
+  val mutual_exclusion_recoverable : t
+  (** True-incremental {!Spec.mutual_exclusion_recoverable} (occupancy
+      bit-vector state). *)
+end
+
 val mutex_progress : Runner.outcome -> violation option
 (** Deadlock-freedom evidence on a completed run: every process that
     halted went through its critical section at least once, and no

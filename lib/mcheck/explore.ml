@@ -1,4 +1,5 @@
 open Cfc_runtime
+module Inc = Cfc_core.Spec.Inc
 
 type config = { max_depth : int; max_steps_per_proc : int; max_states : int }
 
@@ -6,6 +7,8 @@ let default_config =
   { max_depth = 60; max_steps_per_proc = 25; max_states = 500_000 }
 
 type stats = { runs : int; states : int; pruned : int; truncated : bool }
+
+type engine = Incremental | Replay
 
 type action = Step of int | Crash of int | Recover of int
 
@@ -62,93 +65,116 @@ let replay_actions ~system ~schedule =
 let replay ~system ~schedule =
   replay_actions ~system ~schedule:(List.map (fun pid -> Step pid) schedule)
 
-(* The state fingerprint: register values, plus per process its status,
-   region and full observation history (which, for a deterministic
-   process, determines its local state).  Structural equality — no hash
-   collisions can cause unsound pruning.
-
-   Crash–recovery soundness: a crash wipes local state, so the
-   observation history restarts from scratch — pre-crash observations
-   cannot influence the restarted incarnation, and keeping them would
-   (unsoundly for pruning in the other direction: merely conservatively)
-   distinguish states with identical futures.  The number of crashes
-   already injected joins the key separately (see [run_gen]): two
-   otherwise-identical states with different remaining fault budgets have
-   different futures. *)
-type proc_key = {
-  k_status : int;
-  k_region : Event.region;
-  k_obs : (int * int * int) list;  (* (register id, kind, value) reversed *)
-}
-
-let status_tag = function
-  | Scheduler.Runnable -> 0
-  | Scheduler.Halted -> 1
-  | Scheduler.Crashed -> 2
-  | Scheduler.Errored _ -> 3
-
-let state_key memory sched trace =
-  let nprocs = Scheduler.nprocs sched in
-  let obs = Array.make nprocs [] in
-  Trace.iter
-    (fun e ->
-      match e.Event.body with
-      | Event.Access (r, k) ->
-        let cell =
-          match k with
-          | Event.A_read v -> (r.Register.id, 0, v)
-          | Event.A_write v -> (r.Register.id, 1, v)
-          | Event.A_field (index, width, v) ->
-            (r.Register.id, 10_000 + (index * 64) + width, v)
-          | Event.A_xchg (v, old) -> (r.Register.id, 20_000 + v, old)
-          | Event.A_cas (expected, v, success) ->
-            ( r.Register.id,
-              30_000 + (expected * 2) + Bool.to_int success,
-              v )
-          | Event.A_bit (op, ret) ->
-            ( r.Register.id,
-              2 + Cfc_base.Ops.to_index op,
-              match ret with None -> -1 | Some v -> v )
-        in
-        obs.(e.Event.pid) <- cell :: obs.(e.Event.pid)
-      | Event.Crash -> obs.(e.Event.pid) <- []
-      | Event.Region_change _ | Event.Recover -> ())
-    trace;
-  let regvals =
-    List.map (fun r -> r.Register.value) (Memory.registers memory)
-  in
-  let procs =
-    Array.init nprocs (fun pid ->
-        {
-          k_status = status_tag (Scheduler.status sched pid);
-          k_region = Scheduler.region sched pid;
-          k_obs = obs.(pid);
-        })
-  in
-  (regvals, procs)
-
 exception Found of action list * Cfc_core.Spec.violation
 exception Budget
 
-(* The engine, over action schedules.  [pairs] is the crash–recovery
-   budget: 0 disables fault injection entirely (the plain interleaving
-   exploration), [pairs > 0] additionally offers, at every decision
-   point, crashing any started runnable process (while crashes remain in
-   the budget) and recovering any crashed one. *)
-let run_gen ?(config = default_config) ?(symmetric = false) ~pairs ~system
-    ~check () =
-  let seen = Hashtbl.create 4096 in
-  let runs = ref 0 and states = ref 0 and pruned = ref 0 in
-  let truncated = ref false in
+exception Fallback
+(* Raised when a process catches a register-op exception and keeps going:
+   observation replay cannot rebuild such a process, so the incremental
+   engine bails out and the exploration re-runs on the replay engine. *)
+
+(* The memo table: compact structural keys ({!State_key.t} plus the crash
+   budget already used), hashed deeply.  Pre-sized from the state budget so
+   the hot loop never pays for resizes. *)
+module Tbl = Hashtbl.Make (struct
+  type t = State_key.t * int
+
+  let equal ((ka, ua) : t) ((kb, ub) : t) = ua = ub && State_key.equal ka kb
+  let hash ((k, u) : t) = State_key.hash k + u
+end)
+
+let tbl_size config = max 64 (min config.max_states 65_536)
+
+type counters = {
+  mutable runs : int;
+  mutable states : int;
+  mutable pruned : int;
+  mutable truncated : bool;
+}
+
+let new_counters () = { runs = 0; states = 0; pruned = 0; truncated = false }
+
+let stats_of c : stats =
+  { runs = c.runs; states = c.states; pruned = c.pruned;
+    truncated = c.truncated }
+
+(* Scheduler choices offered at the current state, in the canonical order
+   shared by both engines: steps (runnable pids ascending, within the step
+   budget, optionally symmetry-reduced), then crashes, then recoveries.
+   Built back-to-front by consing so the hot path allocates exactly the
+   result list. *)
+let candidates_of sched ~config ~symmetric ~pairs ~nprocs ~used =
+  let acc = ref [] in
+  if pairs > 0 then begin
+    for pid = nprocs - 1 downto 0 do
+      if Scheduler.status sched pid = Scheduler.Crashed then
+        acc := Recover pid :: !acc
+    done;
+    (* Crashing a process that has not yet taken a step reaches, after its
+       recovery, a state indistinguishable from never crashing it — skip
+       those branches outright. *)
+    if used < pairs then
+      for pid = nprocs - 1 downto 0 do
+        if
+          Scheduler.status sched pid = Scheduler.Runnable
+          && Scheduler.started sched pid
+        then acc := Crash pid :: !acc
+      done
+  end;
+  if symmetric then begin
+    (* Symmetry reduction: when all processes run identical code, schedules
+       that differ only in which not-yet-started process goes first are
+       isomorphic under a pid permutation, so only the lowest-numbered
+       fresh process needs exploring — ordered after the started ones. *)
+    let fresh = ref (-1) in
+    for pid = nprocs - 1 downto 0 do
+      if
+        Scheduler.status sched pid = Scheduler.Runnable
+        && Scheduler.steps_taken sched pid < config.max_steps_per_proc
+        && not (Scheduler.started sched pid)
+      then fresh := pid
+    done;
+    if !fresh >= 0 then acc := Step !fresh :: !acc;
+    for pid = nprocs - 1 downto 0 do
+      if
+        Scheduler.status sched pid = Scheduler.Runnable
+        && Scheduler.steps_taken sched pid < config.max_steps_per_proc
+        && Scheduler.started sched pid
+      then acc := Step pid :: !acc
+    done
+  end
+  else
+    for pid = nprocs - 1 downto 0 do
+      if
+        Scheduler.status sched pid = Scheduler.Runnable
+        && Scheduler.steps_taken sched pid < config.max_steps_per_proc
+      then acc := Step pid :: !acc
+    done;
+  !acc
+
+let bump_used used a = match a with Crash _ -> used + 1 | Step _ | Recover _ -> used
+
+(* ------------------------------------------------------------------ *)
+(* The replay engine: dscheck-style re-execution of the whole schedule
+   prefix at every node.  Kept as the reference implementation (the
+   equivalence tests pin the incremental engine to it) and as the
+   fallback for replay-unsafe processes. *)
+
+let run_replay ~config ~symmetric ~pairs ~system ~check () =
+  let seen = Tbl.create (tbl_size config) in
+  let c = new_counters () in
+  (* The process count is a property of the system shape, not of any
+     particular node: hoist the pid list out of the per-node work. *)
+  let nprocs = Array.length (snd (system ())) in
+  let pids = List.init nprocs Fun.id in
   let rec expand schedule depth used =
-    if !states >= config.max_states then begin
-      truncated := true;
+    if c.states >= config.max_states then begin
+      c.truncated <- true;
       raise Budget
     end;
-    incr states;
+    c.states <- c.states + 1;
     (* [schedule] is kept reversed (most recent action first). *)
     let memory, sched, trace = exec_actions ~system (List.rev schedule) in
-    let nprocs = Scheduler.nprocs sched in
     (* Process errors (assertion failures inside algorithms, the critical
        section witness, model violations) are violations in themselves. *)
     List.iter
@@ -164,89 +190,351 @@ let run_gen ?(config = default_config) ?(symmetric = false) ~pairs ~system
                    what = "process error: " ^ Printexc.to_string e;
                  } ))
         | Scheduler.Runnable | Scheduler.Halted | Scheduler.Crashed -> ())
-      (List.init nprocs Fun.id);
+      pids;
     (match check trace ~nprocs with
     | Some v -> raise (Found (List.rev schedule, v))
     | None -> ());
-    let key = (state_key memory sched trace, used) in
-    if Hashtbl.mem seen key then incr pruned
+    let key = (State_key.of_system memory sched trace, used) in
+    if Tbl.mem seen key then c.pruned <- c.pruned + 1
     else begin
-      Hashtbl.add seen key ();
-      let pids = List.init nprocs Fun.id in
-      let step_candidates =
-        List.filter
-          (fun pid ->
-            Scheduler.steps_taken sched pid < config.max_steps_per_proc)
-          (Scheduler.runnable sched)
-      in
-      (* Symmetry reduction: when all processes run identical code,
-         schedules that differ only in which not-yet-started process
-         goes first are isomorphic under a pid permutation, so only the
-         lowest-numbered fresh process needs exploring. *)
-      let step_candidates =
-        if not symmetric then step_candidates
-        else begin
-          let started, fresh =
-            List.partition (Scheduler.started sched) step_candidates
-          in
-          match fresh with [] -> started | f :: _ -> started @ [ f ]
-        end
-      in
-      let fault_candidates =
-        if pairs = 0 then []
-        else begin
-          let crashable =
-            (* Crashing a process that has not yet taken a step reaches,
-               after its recovery, a state indistinguishable from never
-               crashing it — skip those branches outright. *)
-            if used < pairs then
-              List.filter
-                (fun pid ->
-                  Scheduler.status sched pid = Scheduler.Runnable
-                  && Scheduler.started sched pid)
-                pids
-            else []
-          in
-          let recoverable =
-            List.filter
-              (fun pid -> Scheduler.status sched pid = Scheduler.Crashed)
-              pids
-          in
-          List.map (fun pid -> Crash pid) crashable
-          @ List.map (fun pid -> Recover pid) recoverable
-        end
-      in
+      Tbl.add seen key ();
       let candidates =
-        List.map (fun pid -> Step pid) step_candidates @ fault_candidates
+        candidates_of sched ~config ~symmetric ~pairs ~nprocs ~used
       in
       if candidates = [] then begin
-        if not (Scheduler.all_quiescent sched) then truncated := true;
-        incr runs
+        if not (Scheduler.all_quiescent sched) then c.truncated <- true;
+        c.runs <- c.runs + 1
       end
       else if depth >= config.max_depth then begin
-        truncated := true;
-        incr runs
+        c.truncated <- true;
+        c.runs <- c.runs + 1
       end
       else
         List.iter
-          (fun a ->
-            let used = match a with Crash _ -> used + 1 | _ -> used in
-            expand (a :: schedule) (depth + 1) used)
+          (fun a -> expand (a :: schedule) (depth + 1) (bump_used used a))
           candidates
     end
   in
-  let stats () =
-    { runs = !runs; states = !states; pruned = !pruned;
-      truncated = !truncated }
-  in
   match expand [] 0 0 with
-  | () -> Ok (stats ())
-  | exception Budget -> Ok (stats ())
+  | () -> Ok (stats_of c)
+  | exception Budget -> Ok (stats_of c)
   | exception Found (schedule, violation) ->
-    Violation { schedule; violation; stats = stats () }
+    Violation { schedule; violation; stats = stats_of c }
 
-let run ?config ?symmetric ~system ~check () =
-  match run_gen ?config ?symmetric ~pairs:0 ~system ~check () with
+(* ------------------------------------------------------------------ *)
+(* The incremental engine: one live (memory, scheduler, trace) per search
+   branch, extended by a single action per node and rolled back by
+   checkpoint/undo between siblings.  Checkpoints are O(nprocs +
+   registers) scalars — continuations are one-shot and cannot be cloned,
+   so a process whose continuation was consumed by an abandoned sibling
+   is rebuilt lazily by the scheduler from its recorded observations
+   (exactly the [obs] lists maintained here, which double as the state
+   key's per-process component). *)
+
+type inc_state = {
+  i_config : config;
+  i_symmetric : bool;
+  i_pairs : int;
+  i_memory : Memory.t;
+  i_sched : Scheduler.t;
+  i_trace : Trace.t;
+  i_obs : State_key.cell list array;  (* per pid, newest first *)
+  i_obs_hash : int array;  (* per pid, rolling State_key.cell_hash fold *)
+  i_nprocs : int;
+  i_inc : Inc.run;
+  i_seen : unit Tbl.t;
+  i_c : counters;
+}
+
+type checkpoint = {
+  ck_sched : Scheduler.snap;
+  ck_regvals : int array;
+  ck_tracelen : int;
+  ck_obs : State_key.cell list array;
+  ck_obs_hash : int array;
+  ck_inc : unit -> unit;
+}
+
+let make_inc_state ~config ~symmetric ~pairs ~system ~inc ~seen ~c =
+  let memory, procs = system () in
+  let trace = Trace.create () in
+  let obs = Array.make (Array.length procs) [] in
+  let oracle pid = List.rev_map (fun cl -> cl.State_key.kind) obs.(pid) in
+  let sched = Scheduler.create ~oracle ~memory ~trace procs in
+  let nprocs = Scheduler.nprocs sched in
+  { i_config = config; i_symmetric = symmetric; i_pairs = pairs;
+    i_memory = memory; i_sched = sched; i_trace = trace; i_obs = obs;
+    i_obs_hash = Array.make (Array.length procs) 0; i_nprocs = nprocs;
+    i_inc = Inc.start inc ~nprocs; i_seen = seen; i_c = c }
+
+let apply st a =
+  let before = Trace.length st.i_trace in
+  (match a with
+  | Step pid -> ignore (Scheduler.step st.i_sched pid)
+  | Crash pid -> Scheduler.crash st.i_sched pid
+  | Recover pid -> Scheduler.recover st.i_sched pid);
+  if not (Scheduler.replay_safe st.i_sched) then raise Fallback;
+  (* Fold the new events into the per-process observation lists (a crash
+     wipes local state, so the observation history restarts). *)
+  for i = before to Trace.length st.i_trace - 1 do
+    let e = Trace.get st.i_trace i in
+    match e.Event.body with
+    | Event.Access (r, k) ->
+      let pid = e.Event.pid in
+      let cl = State_key.cell r k in
+      st.i_obs.(pid) <- cl :: st.i_obs.(pid);
+      st.i_obs_hash.(pid) <- State_key.cell_hash st.i_obs_hash.(pid) cl
+    | Event.Crash ->
+      st.i_obs.(e.Event.pid) <- [];
+      st.i_obs_hash.(e.Event.pid) <- 0
+    | Event.Region_change _ | Event.Recover -> ()
+  done
+
+let save st ~regvals ~tracelen =
+  { ck_sched = Scheduler.snapshot st.i_sched;
+    ck_regvals = regvals;
+    ck_tracelen = tracelen;
+    ck_obs = Array.copy st.i_obs;
+    ck_obs_hash = Array.copy st.i_obs_hash;
+    ck_inc = st.i_inc.Inc.save () }
+
+let rollback st ck =
+  Scheduler.restore st.i_sched ck.ck_sched;
+  Memory.restore_values st.i_memory ck.ck_regvals;
+  Trace.truncate st.i_trace ck.ck_tracelen;
+  Array.blit ck.ck_obs 0 st.i_obs 0 st.i_nprocs;
+  Array.blit ck.ck_obs_hash 0 st.i_obs_hash 0 st.i_nprocs;
+  ck.ck_inc ()
+
+let state_key_of st ~regvals ~used =
+  ( { State_key.k_regvals = regvals;
+      k_procs =
+        Array.init st.i_nprocs (fun pid ->
+            { State_key.k_status =
+                State_key.status_tag (Scheduler.status st.i_sched pid);
+              k_region = Scheduler.region st.i_sched pid;
+              k_obs_hash = st.i_obs_hash.(pid);
+              k_obs = st.i_obs.(pid) }) },
+    used )
+
+(* [from] is the trace length at the parent node: the incremental check
+   consumes only the events the arriving action appended. *)
+let rec expand_inc st schedule depth used ~from =
+  let config = st.i_config and c = st.i_c in
+  if c.states >= config.max_states then begin
+    c.truncated <- true;
+    raise Budget
+  end;
+  c.states <- c.states + 1;
+  let trace_len = Trace.length st.i_trace in
+  for pid = 0 to st.i_nprocs - 1 do
+    match Scheduler.status st.i_sched pid with
+    | Scheduler.Errored e ->
+      raise
+        (Found
+           ( List.rev schedule,
+             {
+               Cfc_core.Spec.at = trace_len;
+               pids = [ pid ];
+               what = "process error: " ^ Printexc.to_string e;
+             } ))
+    | Scheduler.Runnable | Scheduler.Halted | Scheduler.Crashed -> ()
+  done;
+  (match st.i_inc.Inc.feed st.i_trace ~from with
+  | Some v -> raise (Found (List.rev schedule, v))
+  | None -> ());
+  let regvals = Memory.values st.i_memory in
+  let key = state_key_of st ~regvals ~used in
+  (* Membership test and insert in one hashing pass: [replace] on a
+     present key leaves the size unchanged. *)
+  let population = Tbl.length st.i_seen in
+  Tbl.replace st.i_seen key ();
+  if Tbl.length st.i_seen = population then c.pruned <- c.pruned + 1
+  else begin
+    let candidates =
+      candidates_of st.i_sched ~config ~symmetric:st.i_symmetric
+        ~pairs:st.i_pairs ~nprocs:st.i_nprocs ~used
+    in
+    match candidates with
+    | [] ->
+      if not (Scheduler.all_quiescent st.i_sched) then c.truncated <- true;
+      c.runs <- c.runs + 1
+    | _ when depth >= config.max_depth ->
+      c.truncated <- true;
+      c.runs <- c.runs + 1
+    | [ a ] ->
+      (* A chain: no sibling will ever need this state back, so no
+         checkpoint is taken. *)
+      apply st a;
+      expand_inc st (a :: schedule) (depth + 1) (bump_used used a)
+        ~from:trace_len
+    | candidates ->
+      (* Checkpoint once; restore between siblings only — the last child
+         leaves the state dirty, and the nearest branching ancestor's
+         (absolute) restore repairs it. *)
+      let ck = save st ~regvals ~tracelen:trace_len in
+      List.iteri
+        (fun i a ->
+          if i > 0 then rollback st ck;
+          apply st a;
+          expand_inc st (a :: schedule) (depth + 1) (bump_used used a)
+            ~from:trace_len)
+        candidates
+  end
+
+let run_inc_seq ~config ~symmetric ~pairs ~system ~inc () =
+  let c = new_counters () in
+  let st =
+    make_inc_state ~config ~symmetric ~pairs ~system ~inc
+      ~seen:(Tbl.create (tbl_size config)) ~c
+  in
+  match expand_inc st [] 0 0 ~from:0 with
+  | () -> Ok (stats_of c)
+  | exception Budget -> Ok (stats_of c)
+  | exception Found (schedule, violation) ->
+    Violation { schedule; violation; stats = stats_of c }
+
+(* ------------------------------------------------------------------ *)
+(* Domain-parallel exploration: the root node's candidate actions are
+   independent subtrees; workers pull them from a shared index and run a
+   full incremental engine on each (own system, own memo table, own
+   counters — continuations and registers cannot cross domains).  Results
+   are merged by branch index, so the verdict, counterexample schedule
+   and stats are deterministic and independent of the number of domains:
+   the reported violation is the one in the earliest branch in canonical
+   candidate order, i.e. the same branch the sequential DFS enters first.
+
+   The per-branch memo tables cannot share prunes across branches, so
+   [states]/[pruned] exceed the sequential engine's on diamond-heavy
+   state spaces (each branch re-discovers states the sequential search
+   reaches first through an earlier branch); DESIGN.md §2 records this
+   deviation.  Each branch also gets the full [max_states] budget. *)
+
+type branch_result =
+  | B_ok of stats
+  | B_viol of action list * Cfc_core.Spec.violation * stats
+  | B_fallback
+
+let run_branch ~config ~symmetric ~pairs ~system ~inc a =
+  let c = new_counters () in
+  let st =
+    make_inc_state ~config ~symmetric ~pairs ~system ~inc
+      ~seen:(Tbl.create (tbl_size config)) ~c
+  in
+  (* Seed the memo with the initial state's key so a schedule that loops
+     back to it is pruned exactly as in the sequential search. *)
+  Tbl.add st.i_seen (state_key_of st ~regvals:(Memory.values st.i_memory) ~used:0) ();
+  match
+    apply st a;
+    expand_inc st [ a ] 1 (bump_used 0 a) ~from:0
+  with
+  | () -> B_ok (stats_of c)
+  | exception Budget -> B_ok (stats_of c)
+  | exception Found (schedule, violation) ->
+    B_viol (schedule, violation, stats_of c)
+  | exception Fallback -> B_fallback
+
+let run_inc_par ~config ~symmetric ~pairs ~system ~inc ~domains () =
+  (* The root node is processed by the coordinator (it is the common
+     prefix of every branch); its counter contributions mirror the
+     sequential engine's. *)
+  let c = new_counters () in
+  let st =
+    make_inc_state ~config ~symmetric ~pairs ~system ~inc
+      ~seen:(Tbl.create 64) ~c
+  in
+  c.states <- 1;
+  (* No process has run at the root: no errors, nothing to feed. *)
+  let candidates =
+    candidates_of st.i_sched ~config ~symmetric ~pairs ~nprocs:st.i_nprocs
+      ~used:0
+  in
+  match candidates with
+  | [] ->
+    if not (Scheduler.all_quiescent st.i_sched) then c.truncated <- true;
+    c.runs <- 1;
+    Ok (stats_of c)
+  | _ when 0 >= config.max_depth ->
+    c.truncated <- true;
+    c.runs <- 1;
+    Ok (stats_of c)
+  | candidates ->
+    let jobs = Array.of_list candidates in
+    let njobs = Array.length jobs in
+    let results = Array.make njobs (B_ok (stats_of (new_counters ()))) in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < njobs then begin
+          results.(i) <-
+            run_branch ~config ~symmetric ~pairs ~system ~inc jobs.(i);
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let helpers =
+      List.init
+        (max 0 (min domains njobs - 1))
+        (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    List.iter Domain.join helpers;
+    if Array.exists (function B_fallback -> true | B_ok _ | B_viol _ -> false)
+         results
+    then raise Fallback;
+    (* First violating branch in candidate order wins; its stats merge
+       with the branches the sequential DFS would have completed before
+       reaching it. *)
+    let first_viol = ref None in
+    for i = njobs - 1 downto 0 do
+      match results.(i) with
+      | B_viol (schedule, violation, _) -> first_viol := Some (i, schedule, violation)
+      | B_ok _ | B_fallback -> ()
+    done;
+    let last = match !first_viol with Some (i, _, _) -> i | None -> njobs - 1 in
+    for i = 0 to last do
+      let s =
+        match results.(i) with
+        | B_ok s -> s
+        | B_viol (_, _, s) -> s
+        | B_fallback -> assert false
+      in
+      c.runs <- c.runs + s.runs;
+      c.states <- c.states + s.states;
+      c.pruned <- c.pruned + s.pruned;
+      c.truncated <- c.truncated || s.truncated
+    done;
+    (match !first_viol with
+    | Some (_, schedule, violation) ->
+      Violation { schedule; violation; stats = stats_of c }
+    | None -> Ok (stats_of c))
+
+(* ------------------------------------------------------------------ *)
+
+(* The engine, over action schedules.  [pairs] is the crash–recovery
+   budget: 0 disables fault injection entirely (the plain interleaving
+   exploration), [pairs > 0] additionally offers, at every decision
+   point, crashing any started runnable process (while crashes remain in
+   the budget) and recovering any crashed one. *)
+let run_gen ?(config = default_config) ?(symmetric = false)
+    ?(engine = Incremental) ?(domains = 1) ?inc ~pairs ~system ~check () =
+  let inc = match inc with Some i -> i | None -> Inc.of_whole check in
+  match engine with
+  | Replay -> run_replay ~config ~symmetric ~pairs ~system ~check ()
+  | Incremental -> (
+    try
+      if domains <= 1 then run_inc_seq ~config ~symmetric ~pairs ~system ~inc ()
+      else run_inc_par ~config ~symmetric ~pairs ~system ~inc ~domains ()
+    with Fallback ->
+      (* Some process caught a register-op exception and continued; its
+         local state is invisible to observation replay.  Start over on
+         the (always sound) replay engine. *)
+      run_replay ~config ~symmetric ~pairs ~system ~check ())
+
+let run ?config ?symmetric ?engine ?domains ?inc ~system ~check () =
+  match run_gen ?config ?symmetric ?engine ?domains ?inc ~pairs:0 ~system ~check () with
   | Ok stats -> Ok stats
   | Violation { schedule; violation; stats } ->
     let pids =
@@ -258,5 +546,6 @@ let run ?config ?symmetric ~system ~check () =
     in
     Violation { schedule = pids; violation; stats }
 
-let run_faults ?config ?symmetric ?(pairs = 2) ~system ~check () =
-  run_gen ?config ?symmetric ~pairs ~system ~check ()
+let run_faults ?config ?symmetric ?engine ?domains ?inc ?(pairs = 2) ~system
+    ~check () =
+  run_gen ?config ?symmetric ?engine ?domains ?inc ~pairs ~system ~check ()

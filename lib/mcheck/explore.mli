@@ -1,24 +1,49 @@
-(** Bounded exhaustive exploration of interleavings by deterministic
-    replay (dscheck-style: one-shot continuations cannot be cloned, so
-    each schedule prefix re-executes the system from its initial state).
+(** Bounded exhaustive exploration of interleavings.
+
+    Two engines share one search order and one memoization:
+
+    - {b Incremental} (the default): one live (memory, scheduler, trace)
+      per search branch, extended by a single action per node.  Sibling
+      branches are explored by checkpoint/undo — a checkpoint stores the
+      register values, the trace length, the scheduler's scalar state
+      and the incremental-checker state, all O(nprocs + registers).
+      One-shot continuations cannot be cloned, so a process whose
+      continuation was consumed by an abandoned sibling is rebuilt
+      lazily: its thunk is restarted and driven against the observations
+      recorded for it (deterministic processes re-suspend at exactly the
+      same point).  A process that catches a register-op exception and
+      keeps going cannot be rebuilt this way; the engine detects this and
+      transparently re-runs on the replay engine.
+    - {b Replay} (dscheck-style): every node re-executes the whole
+      schedule prefix from a fresh system.  Kept as the reference
+      implementation and the fallback; the test suite pins the
+      incremental engine's verdicts, schedules and stats to it.
 
     The state space is pruned with a soundness-preserving memoization:
-    two schedule prefixes that reach the same fingerprint — register
-    values plus, per process, its protocol region and the value sequence
-    it has observed since its last (re)start (which determines the local
-    state of a deterministic process) — have identical futures, so only
-    the first is expanded.  Spin loops therefore do not blow up the
-    search: re-reading an unchanged register leaves every other component
-    equal, and the observation list folds in the same value, so the
-    states eventually repeat and are cut off by the
-    [max_steps_per_proc] bound.
+    two schedule prefixes that reach the same fingerprint
+    ({!State_key.t}: register values plus, per process, its protocol
+    region and the observations since its last (re)start, which determine
+    the local state of a deterministic process) have identical futures,
+    so only the first is expanded.  Spin loops therefore do not blow up
+    the search.  The crash count joins the memo key, so pruning stays
+    sound across fault branches.
+
+    {b Domain parallelism} ([domains > 1], incremental engine only): the
+    root node's candidate actions are independent subtrees fanned out
+    over [Domain.spawn] workers, each with its own system and memo
+    table.  Results merge by branch index, so the verdict, the reported
+    counterexample schedule and the stats are deterministic — identical
+    for every [domains > 1] — but the per-branch memo tables cannot share
+    prunes, so [states]/[pruned] exceed (never undercount) the
+    sequential engine's on state spaces where branches reconverge, and
+    each branch gets the full [max_states] budget.  [domains = 1] (the
+    default) is exactly the sequential search.
 
     {!run_faults} additionally enumerates bounded crash–recovery faults
     ({!action}) as scheduler choices: at every decision point any started
     runnable process may crash (losing its local state — its observation
     history resets) and any crashed process may recover, up to a budget
-    of crash–recovery pairs.  The crash count joins the memo key, so
-    pruning stays sound across fault branches.
+    of crash–recovery pairs.
 
     Guarantees: within the given bounds the search visits every reachable
     interleaving class, so a reported [Ok] means no violation exists up to
@@ -35,10 +60,15 @@ val default_config : config
 
 type stats = {
   runs : int;  (** maximal schedules explored *)
-  states : int;  (** scheduler steps executed across all replays *)
+  states : int;  (** search nodes visited *)
   pruned : int;  (** prefixes cut by the memoization *)
   truncated : bool;  (** some branch hit a bound *)
 }
+
+(** Which exploration engine to use (see the module docstring). *)
+type engine =
+  | Incremental  (** live system + checkpoint/undo (default) *)
+  | Replay       (** re-execute the whole prefix at every node *)
 
 (** One scheduler choice in a fault-aware schedule. *)
 type action =
@@ -62,24 +92,38 @@ type fault_result = action list gen_result
 val run :
   ?config:config ->
   ?symmetric:bool ->
+  ?engine:engine ->
+  ?domains:int ->
+  ?inc:Cfc_core.Spec.Inc.t ->
   system:(unit -> Cfc_runtime.Memory.t * (unit -> unit) array) ->
   check:(Cfc_runtime.Trace.t -> nprocs:int -> Cfc_core.Spec.violation option) ->
   unit ->
   result
-(** [run ~system ~check ()] re-creates the system from scratch for every
-    replay ([system] must be deterministic: fresh memory and fresh process
-    closures) and checks [check] on the trace after every step of every
-    explored schedule.  No faults are injected.
+(** [run ~system ~check ()] explores every interleaving within bounds
+    ([system] must be deterministic: fresh memory and fresh process
+    closures on each call) and checks the safety property at every node.
+    No faults are injected.
+
+    [check] is the whole-trace property; [inc] (default
+    [Spec.Inc.of_whole check]) is its incremental form, fed only the
+    events each action appends — supply one for per-node O(1) checking.
+    The two must agree; the replay engine always uses [check].
 
     [symmetric] (default false) is only sound when every process runs
     literally identical code (the naming problem's setting): among
     processes that have not yet taken a step, only the lowest-numbered is
     scheduled — any other choice reaches an isomorphic state under a pid
-    permutation, and the checked properties are pid-symmetric. *)
+    permutation, and the checked properties are pid-symmetric.
+
+    [domains] (default 1) fans the root branches over that many domains
+    (capped by the branch count; incremental engine only). *)
 
 val run_faults :
   ?config:config ->
   ?symmetric:bool ->
+  ?engine:engine ->
+  ?domains:int ->
+  ?inc:Cfc_core.Spec.Inc.t ->
   ?pairs:int ->
   system:(unit -> Cfc_runtime.Memory.t * (unit -> unit) array) ->
   check:(Cfc_runtime.Trace.t -> nprocs:int -> Cfc_core.Spec.violation option) ->

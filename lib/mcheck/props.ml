@@ -1,87 +1,95 @@
 open Cfc_core
 
-let check_mutex ?config ?rounds alg p =
-  Explore.run ?config
+let check_mutex ?config ?engine ?domains ?rounds alg p =
+  Explore.run ?config ?engine ?domains
+    ~inc:Spec.Inc.mutual_exclusion
     ~system:(Mutex_harness.system ?rounds alg p)
     ~check:(fun trace ~nprocs -> Spec.mutual_exclusion trace ~nprocs)
     ()
 
-let check_mutex_recoverable ?config ?pairs ?rounds alg p =
-  Explore.run_faults ?config ?pairs
+let check_mutex_recoverable ?config ?engine ?domains ?pairs ?rounds alg p =
+  Explore.run_faults ?config ?engine ?domains ?pairs
+    ~inc:Spec.Inc.mutual_exclusion_recoverable
     ~system:(Mutex_harness.system ?rounds alg p)
     ~check:(fun trace ~nprocs ->
       Spec.mutual_exclusion_recoverable trace ~nprocs)
     ()
 
-let check_detector ?config det p =
-  Explore.run ?config
+let check_detector ?config ?engine ?domains det p =
+  let check trace ~nprocs = Spec.at_most_one_winner trace ~nprocs in
+  Explore.run ?config ?engine ?domains
+    ~inc:(Spec.Inc.on_decisions check)
     ~system:(Detect_harness.system det p)
-    ~check:(fun trace ~nprocs -> Spec.at_most_one_winner trace ~nprocs)
-    ()
+    ~check ()
 
-let check_consensus ?config alg ~n ~inputs =
-  Explore.run ?config
+let check_consensus ?config ?engine ?domains alg ~n ~inputs =
+  let check trace ~nprocs =
+    (* Build a pseudo-outcome view: the agreement/validity check only
+       needs decisions from the trace. *)
+    let decisions = Measures.decisions trace ~nprocs in
+    let invalid =
+      List.filter
+        (fun (_, v) -> not (Array.exists (Int.equal v) inputs))
+        decisions
+    in
+    match invalid with
+    | (pid, v) :: _ ->
+      Some
+        { Spec.at = Cfc_runtime.Trace.length trace;
+          pids = [ pid ];
+          what = Printf.sprintf "decided %d, not an input" v }
+    | [] -> (
+      match decisions with
+      | (_, a) :: rest -> (
+        match List.filter (fun (_, v) -> v <> a) rest with
+        | (pid, v) :: _ ->
+          Some
+            { Spec.at = Cfc_runtime.Trace.length trace;
+              pids = [ pid ];
+              what = Printf.sprintf "disagreement: %d vs %d" v a }
+        | [] -> None)
+      | [] -> None)
+  in
+  Explore.run ?config ?engine ?domains
+    ~inc:(Spec.Inc.on_decisions check)
     ~system:(Consensus_harness.system alg ~n ~inputs)
-    ~check:(fun trace ~nprocs ->
-      (* Build a pseudo-outcome view: the agreement/validity check only
-         needs decisions from the trace. *)
-      let decisions = Measures.decisions trace ~nprocs in
-      let invalid =
-        List.filter
-          (fun (_, v) -> not (Array.exists (Int.equal v) inputs))
-          decisions
-      in
-      match invalid with
-      | (pid, v) :: _ ->
-        Some
-          { Spec.at = Cfc_runtime.Trace.length trace;
-            pids = [ pid ];
-            what = Printf.sprintf "decided %d, not an input" v }
-      | [] -> (
-        match decisions with
-        | (_, a) :: rest -> (
-          match List.filter (fun (_, v) -> v <> a) rest with
-          | (pid, v) :: _ ->
-            Some
-              { Spec.at = Cfc_runtime.Trace.length trace;
-                pids = [ pid ];
-                what = Printf.sprintf "disagreement: %d vs %d" v a }
-          | [] -> None)
-        | [] -> None))
-    ()
+    ~check ()
 
-let check_renaming ?config alg ~n =
+let check_renaming ?config ?engine ?domains alg ~n =
   let (module A : Cfc_renaming.Renaming_intf.ALG) = alg in
-  Explore.run ?config
+  let check trace ~nprocs =
+    let decisions = Measures.decisions trace ~nprocs in
+    let limit = A.name_space ~n ~k:n in
+    let bad = List.filter (fun (_, v) -> v < 1 || v > limit) decisions in
+    match bad with
+    | (pid, v) :: _ ->
+      Some
+        { Spec.at = Cfc_runtime.Trace.length trace;
+          pids = [ pid ];
+          what = Printf.sprintf "name %d outside 1..%d" v limit }
+    | [] -> (
+      let sorted =
+        List.sort (fun (_, a) (_, b) -> compare a b) decisions
+      in
+      let rec dup = function
+        | (p1, v1) :: (p2, v2) :: _ when v1 = v2 ->
+          Some
+            { Spec.at = Cfc_runtime.Trace.length trace;
+              pids = [ p1; p2 ];
+              what = Printf.sprintf "duplicate name %d" v1 }
+        | _ :: rest -> dup rest
+        | [] -> None
+      in
+      dup sorted)
+  in
+  Explore.run ?config ?engine ?domains
+    ~inc:(Spec.Inc.on_decisions check)
     ~system:(Renaming_harness.system alg ~n)
-    ~check:(fun trace ~nprocs ->
-      let decisions = Measures.decisions trace ~nprocs in
-      let limit = A.name_space ~n ~k:n in
-      let bad = List.filter (fun (_, v) -> v < 1 || v > limit) decisions in
-      match bad with
-      | (pid, v) :: _ ->
-        Some
-          { Spec.at = Cfc_runtime.Trace.length trace;
-            pids = [ pid ];
-            what = Printf.sprintf "name %d outside 1..%d" v limit }
-      | [] -> (
-        let sorted =
-          List.sort (fun (_, a) (_, b) -> compare a b) decisions
-        in
-        let rec dup = function
-          | (p1, v1) :: (p2, v2) :: _ when v1 = v2 ->
-            Some
-              { Spec.at = Cfc_runtime.Trace.length trace;
-                pids = [ p1; p2 ];
-                what = Printf.sprintf "duplicate name %d" v1 }
-          | _ :: rest -> dup rest
-          | [] -> None
-        in
-        dup sorted))
-    ()
+    ~check ()
 
-let check_naming ?config ?(symmetric = true) alg ~n =
-  Explore.run ?config ~symmetric
+let check_naming ?config ?engine ?domains ?(symmetric = true) alg ~n =
+  let check trace ~nprocs = Spec.unique_names trace ~nprocs ~n in
+  Explore.run ?config ?engine ?domains ~symmetric
+    ~inc:(Spec.Inc.on_decisions check)
     ~system:(Naming_harness.system alg ~n)
-    ~check:(fun trace ~nprocs -> Spec.unique_names trace ~nprocs ~n)
-    ()
+    ~check ()

@@ -1,15 +1,21 @@
 (** Ready-made model-checking problems: systems (from the core harnesses)
-    paired with the safety property the paper requires of them. *)
+    paired with the safety property the paper requires of them.  Every
+    checker supplies the incremental form of its property
+    ({!Cfc_core.Spec.Inc}), so the default {!Explore.Incremental} engine
+    pays O(new events) per node instead of a whole-trace rescan;
+    [engine]/[domains] are forwarded to {!Explore.run}/{!Explore.run_faults}. *)
 
 val check_mutex :
-  ?config:Explore.config -> ?rounds:int -> Cfc_mutex.Registry.alg ->
+  ?config:Explore.config -> ?engine:Explore.engine -> ?domains:int ->
+  ?rounds:int -> Cfc_mutex.Registry.alg ->
   Cfc_mutex.Mutex_intf.params -> Explore.result
 (** Exhaustively (within bounds) verify mutual exclusion — including the
     critical-section witness register — for the given algorithm and
     parameters. *)
 
 val check_mutex_recoverable :
-  ?config:Explore.config -> ?pairs:int -> ?rounds:int ->
+  ?config:Explore.config -> ?engine:Explore.engine -> ?domains:int ->
+  ?pairs:int -> ?rounds:int ->
   Cfc_mutex.Registry.alg -> Cfc_mutex.Mutex_intf.params ->
   Explore.fault_result
 (** Exhaustively (within bounds) verify mutual exclusion under the
@@ -20,23 +26,27 @@ val check_mutex_recoverable :
     restarted run re-enters the protocol. *)
 
 val check_detector :
-  ?config:Explore.config -> Cfc_mutex.Registry.detector ->
+  ?config:Explore.config -> ?engine:Explore.engine -> ?domains:int ->
+  Cfc_mutex.Registry.detector ->
   Cfc_mutex.Mutex_intf.params -> Explore.result
 (** Verify the at-most-one-winner property of a contention detector. *)
 
 val check_consensus :
-  ?config:Explore.config -> Cfc_consensus.Registry.alg -> n:int ->
+  ?config:Explore.config -> ?engine:Explore.engine -> ?domains:int ->
+  Cfc_consensus.Registry.alg -> n:int ->
   inputs:int array -> Explore.result
 (** Verify agreement + validity of a consensus algorithm for the given
     inputs. *)
 
 val check_renaming :
-  ?config:Explore.config -> Cfc_renaming.Registry.alg -> n:int ->
+  ?config:Explore.config -> ?engine:Explore.engine -> ?domains:int ->
+  Cfc_renaming.Registry.alg -> n:int ->
   Explore.result
 (** Verify distinct in-range new names (full participation bound). *)
 
 val check_naming :
-  ?config:Explore.config -> ?symmetric:bool -> Cfc_naming.Registry.alg ->
+  ?config:Explore.config -> ?engine:Explore.engine -> ?domains:int ->
+  ?symmetric:bool -> Cfc_naming.Registry.alg ->
   n:int -> Explore.result
 (** Verify unique in-range names.  [symmetric] (default true — naming
     processes are identical by construction) enables the pid-symmetry

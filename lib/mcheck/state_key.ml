@@ -1,0 +1,59 @@
+open Cfc_runtime
+
+type cell = { reg : int; kind : Event.access_kind }
+
+type proc_key = {
+  k_status : int;
+  k_region : Event.region;
+  k_obs_hash : int;  (* left fold of [cell_hash] over k_obs, oldest first *)
+  k_obs : cell list;  (* newest first *)
+}
+
+type t = { k_regvals : int array; k_procs : proc_key array }
+
+let status_tag = function
+  | Scheduler.Runnable -> 0
+  | Scheduler.Halted -> 1
+  | Scheduler.Crashed -> 2
+  | Scheduler.Errored _ -> 3
+
+let cell r k = { reg = r.Register.id; kind = k }
+let cell_hash h c = (h * 31) + Hashtbl.hash c
+
+let of_system memory sched trace =
+  let nprocs = Scheduler.nprocs sched in
+  let obs = Array.make nprocs [] in
+  let obs_hash = Array.make nprocs 0 in
+  Trace.iter
+    (fun e ->
+      match e.Event.body with
+      | Event.Access (r, k) ->
+        let pid = e.Event.pid in
+        let c = cell r k in
+        obs.(pid) <- c :: obs.(pid);
+        obs_hash.(pid) <- cell_hash obs_hash.(pid) c
+      | Event.Crash ->
+        obs.(e.Event.pid) <- [];
+        obs_hash.(e.Event.pid) <- 0
+      | Event.Region_change _ | Event.Recover -> ())
+    trace;
+  { k_regvals = Memory.values memory;
+    k_procs =
+      Array.init nprocs (fun pid ->
+          { k_status = status_tag (Scheduler.status sched pid);
+            k_region = Scheduler.region sched pid;
+            k_obs_hash = obs_hash.(pid);
+            k_obs = obs.(pid) }) }
+
+let equal (a : t) (b : t) = a = b
+
+let hash (t : t) =
+  let h = ref 0 in
+  Array.iter (fun v -> h := (!h * 31) + v) t.k_regvals;
+  Array.iter
+    (fun p ->
+      h := (!h * 31) + p.k_status;
+      h := (!h * 31) + Hashtbl.hash p.k_region;
+      h := (!h * 31) + p.k_obs_hash)
+    t.k_procs;
+  !h land max_int

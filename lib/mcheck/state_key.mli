@@ -1,0 +1,55 @@
+(** The model checker's state fingerprint: register values plus, per
+    process, its status, protocol region and the observation history since
+    its last (re)start (which determines the local state of a
+    deterministic process).
+
+    Keys are compared structurally, and each observation keeps the full
+    {!Cfc_runtime.Event.access_kind} variant — an earlier encoding packed
+    the kind into magic integer ranges ([20_000 + v] for exchanges,
+    [30_000 + 2e + success] for compare-and-sets, …), which collide once
+    register values reach the next range's base (e.g. an exchange writing
+    10_000 aliased a compare-and-set); see the regression tests in
+    [test_mcheck]. *)
+
+open Cfc_runtime
+
+type cell = { reg : int; kind : Event.access_kind }
+(** One observed access: which register, and the full operation with its
+    observed result. *)
+
+type proc_key = {
+  k_status : int;  (** {!status_tag} of the scheduler status *)
+  k_region : Event.region;
+  k_obs_hash : int;
+      (** left fold of {!cell_hash} over [k_obs], oldest observation
+          first, starting from [0] — maintained incrementally by the
+          incremental engine so {!hash} never walks the lists *)
+  k_obs : cell list;  (** observations since last (re)start, newest first *)
+}
+
+type t = { k_regvals : int array; k_procs : proc_key array }
+
+val status_tag : Scheduler.status -> int
+(** Small-int encoding of the status constructor ([Errored] exceptions
+    carry closures, so statuses are not compared structurally). *)
+
+val cell : Register.t -> Event.access_kind -> cell
+
+val cell_hash : int -> cell -> int
+(** One fold step of the rolling observation hash.  Both construction
+    paths ({!of_system}'s trace scan and the incremental engine's
+    per-event update) must fold in the same order — oldest first — so
+    structurally equal keys carry equal [k_obs_hash] fields. *)
+
+val of_system : Memory.t -> Scheduler.t -> Trace.t -> t
+(** Build the key by a full trace scan (the replay engine's path; the
+    incremental engine maintains the observation lists and their rolling
+    hashes as events are appended instead). *)
+
+val equal : t -> t -> bool
+(** Structural — no hash collision can cause unsound pruning. *)
+
+val hash : t -> int
+(** O(nprocs + registers): combines the register values and each
+    process's status, region and precomputed [k_obs_hash] without
+    traversing the observation lists. *)

@@ -1,6 +1,12 @@
-type t = { mutable regs : Register.t list (* reversed *); mutable next : int }
+type t = {
+  mutable regs : Register.t list (* reversed *);
+  mutable next : int;
+  mutable regs_arr : Register.t array;
+      (* cache of [regs] (same reverse order) for the hot snapshot paths;
+         invalidated by [alloc], rebuilt on demand *)
+}
 
-let create () = { regs = []; next = 0 }
+let create () = { regs = []; next = 0; regs_arr = [||] }
 
 let alloc ?name ?model ~width ~init t =
   let id = t.next in
@@ -8,6 +14,7 @@ let alloc ?name ?model ~width ~init t =
   let r = Register.make ~id ~name ~width ~model ~init in
   t.next <- id + 1;
   t.regs <- r :: t.regs;
+  t.regs_arr <- [||];
   r
 
 let alloc_array ?name ?model ~width ~init t k =
@@ -22,6 +29,28 @@ let max_width t =
   List.fold_left (fun acc r -> max acc r.Register.width) 0 t.regs
 
 let reset t = List.iter Register.reset t.regs
+
+let regs_arr t =
+  if Array.length t.regs_arr <> t.next then t.regs_arr <- Array.of_list t.regs;
+  t.regs_arr
+
+(* Values in reverse allocation order — [restore_values] consumes the
+   same order, so the two stay consistent without materializing the
+   forward list. *)
+let values t =
+  let regs = regs_arr t in
+  let a = Array.make t.next 0 in
+  for i = 0 to t.next - 1 do
+    a.(i) <- regs.(i).Register.value
+  done;
+  a
+
+let restore_values t a =
+  if Array.length a <> t.next then invalid_arg "Memory.restore_values";
+  let regs = regs_arr t in
+  for i = 0 to t.next - 1 do
+    Register.restore regs.(i) a.(i)
+  done
 
 let dump t =
   registers t

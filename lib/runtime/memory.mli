@@ -33,6 +33,15 @@ val max_width : t -> int
 val reset : t -> unit
 (** Restore every register to its initial value. *)
 
+val values : t -> int array
+(** Snapshot of every register's current value (internal order, matching
+    {!restore_values}).  O(registers); the checkpoint half of the model
+    checker's undo machinery. *)
+
+val restore_values : t -> int array -> unit
+(** Write a {!values} snapshot back.  Raises [Invalid_argument] if the
+    arena allocated registers since the snapshot was taken. *)
+
 val dump : t -> string
 (** One-line rendering of the current contents, for debugging. *)
 

@@ -107,5 +107,7 @@ let compare_and_set r ~expected v =
 
 let reset r = r.value <- r.init
 
+let restore r v = r.value <- v
+
 let pp ppf r =
   Format.fprintf ppf "%s#%d[w=%d]=%d" r.name r.id r.width r.value

@@ -53,4 +53,10 @@ val compare_and_set : t -> expected:int -> int -> bool
 val reset : t -> unit
 (** Restore the initial value (used between replays). *)
 
+val restore : t -> int -> unit
+(** [restore r v] sets the cell back to a previously observed value,
+    bypassing model/width checks (the value was legal when captured).
+    Used by the model checker's checkpoint/undo machinery; not a semantic
+    operation — never call it from algorithm code. *)
+
 val pp : Format.formatter -> t -> unit

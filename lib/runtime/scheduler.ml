@@ -3,44 +3,70 @@ type status = Runnable | Halted | Crashed | Errored of exn
 type pstate = {
   pid : int;
   thunk : unit -> unit;
-  mutable susp : Proc.suspension option; (* None until first scheduled *)
+  mutable susp : Proc.suspension option;
+      (* None when not yet started, or when the live continuation was
+         invalidated by [restore] (rebuilt lazily at the next [step]) *)
   mutable status : status;
   mutable region : Event.region;
   mutable steps : int;
+  mutable calls : int;
+      (* access-or-pause effects answered since the last (re)start; pins
+         the suspension point for observation replay *)
+  mutable started : bool;
+  mutable version : int;  (* clock stamp of the last mutation *)
 }
 
 type t = {
   trace : Trace.t;
   procs : pstate array;
   mutable active : int;  (* processes still Runnable *)
+  mutable clock : int;
+  oracle : (int -> Event.access_kind list) option;
+      (* per-pid access kinds observed since its last (re)start, oldest
+         first — the answers needed to rebuild an invalidated suspension *)
+  mutable replay_safe : bool;
+      (* false once a process catches a register-op exception and keeps
+         going: that answer is not in the trace, so rebuilds would
+         diverge.  Checked by the incremental explorer. *)
 }
 
-let create ~memory:_ ~trace thunks =
+exception Replay_mismatch of string
+
+let create ?oracle ~memory:_ ~trace thunks =
   let procs =
     Array.mapi
       (fun pid thunk ->
         { pid; thunk; susp = None; status = Runnable;
-          region = Event.Remainder; steps = 0 })
+          region = Event.Remainder; steps = 0; calls = 0; started = false;
+          version = 0 })
       thunks
   in
-  { trace; procs; active = Array.length procs }
+  { trace; procs; active = Array.length procs; clock = 0; oracle;
+    replay_safe = true }
 
 let nprocs t = Array.length t.procs
 let status t pid = t.procs.(pid).status
 let region t pid = t.procs.(pid).region
 let steps_taken t pid = t.procs.(pid).steps
-let started t pid = t.procs.(pid).susp <> None
+let started t pid = t.procs.(pid).started
+let replay_safe t = t.replay_safe
 
 let runnable t =
-  Array.to_list t.procs
-  |> List.filter (fun p -> p.status = Runnable)
-  |> List.map (fun p -> p.pid)
+  let acc = ref [] in
+  for pid = Array.length t.procs - 1 downto 0 do
+    if t.procs.(pid).status = Runnable then acc := pid :: !acc
+  done;
+  !acc
 
 let all_quiescent t = t.active = 0
 
 type step_result = Progress | Finished | Not_runnable
 
 let record t p body = ignore (Trace.record t.trace ~pid:p.pid body)
+
+let bump t p =
+  t.clock <- t.clock + 1;
+  p.version <- t.clock
 
 let finish t p outcome =
   t.active <- t.active - 1;
@@ -52,6 +78,85 @@ let finish t p outcome =
   | `Errored e -> p.status <- Errored e);
   Finished
 
+(* Reconstruct the suspension of a process whose continuation was
+   invalidated by [restore].  One-shot continuations cannot be cloned, so
+   we restart the thunk and drive its (deterministic) effect stream,
+   answering accesses from the recorded observations and pauses with [()],
+   until exactly [p.calls] access-or-pause effects have been answered.
+   Region effects are free and were already recorded before the
+   checkpoint, so they are absorbed silently. *)
+let rebuild t p =
+  let oracle =
+    match t.oracle with
+    | Some f -> f
+    | None ->
+      invalid_arg
+        "Scheduler.rebuild: no observation oracle (create with ~oracle \
+         before using snapshot/restore)"
+  in
+  let answers = ref (oracle p.pid) in
+  let remaining = ref p.calls in
+  let mismatch what =
+    raise (Replay_mismatch (Printf.sprintf "pid %d: %s" p.pid what))
+  in
+  let pop () =
+    match !answers with
+    | a :: tl ->
+      answers := tl;
+      a
+    | [] -> mismatch "observation list exhausted"
+  in
+  let rec drive s =
+    match s with
+    | Proc.Region (_, k) -> drive (Effect.Deep.continue k ())
+    | _ when !remaining = 0 -> s
+    | Proc.Done | Proc.Failed _ -> mismatch "process terminated early"
+    | Proc.Pause k ->
+      decr remaining;
+      drive (Effect.Deep.continue k ())
+    | Proc.Read (_, k) -> begin
+      decr remaining;
+      match pop () with
+      | Event.A_read v -> drive (Effect.Deep.continue k v)
+      | _ -> mismatch "expected a read observation"
+    end
+    | Proc.Write (_, _, k) -> begin
+      decr remaining;
+      match pop () with
+      | Event.A_write _ -> drive (Effect.Deep.continue k ())
+      | _ -> mismatch "expected a write observation"
+    end
+    | Proc.Write_field (_, _, _, _, k) -> begin
+      decr remaining;
+      match pop () with
+      | Event.A_field _ -> drive (Effect.Deep.continue k ())
+      | _ -> mismatch "expected a field-write observation"
+    end
+    | Proc.Xchg (_, _, k) -> begin
+      decr remaining;
+      match pop () with
+      | Event.A_xchg (_, old) -> drive (Effect.Deep.continue k old)
+      | _ -> mismatch "expected an exchange observation"
+    end
+    | Proc.Cas (_, _, _, k) -> begin
+      decr remaining;
+      match pop () with
+      | Event.A_cas (_, _, success) -> drive (Effect.Deep.continue k success)
+      | _ -> mismatch "expected a compare-and-set observation"
+    end
+    | Proc.Bit_op (_, _, k) -> begin
+      decr remaining;
+      match pop () with
+      | Event.A_bit (_, ret) -> drive (Effect.Deep.continue k ret)
+      | _ -> mismatch "expected a bit-op observation"
+    end
+  in
+  let s = drive (Proc.start p.thunk) in
+  (match !answers with
+  | [] -> ()
+  | _ :: _ -> mismatch "unconsumed observations after replay");
+  s
+
 (* Advance [p] until one shared access has been performed (absorbing free
    region changes), or until a pause / completion. *)
 let step t pid =
@@ -62,10 +167,17 @@ let step t pid =
       match p.susp with
       | Some s -> s
       | None ->
-        let s = Proc.start p.thunk in
+        let s =
+          if p.started then rebuild t p
+          else begin
+            p.started <- true;
+            Proc.start p.thunk
+          end
+        in
         p.susp <- Some s;
         s
     in
+    bump t p;
     (* Store the post-access suspension.  Region changes are free local
        events: absorb them eagerly so a process's protocol region is
        always current at the end of the step that made it true (deferring
@@ -95,12 +207,15 @@ let step t pid =
         let s = Effect.Deep.continue k () in
         p.susp <- Some s;
         go s
-      | Proc.Pause k -> settle (Effect.Deep.continue k ())
+      | Proc.Pause k ->
+        p.calls <- p.calls + 1;
+        settle (Effect.Deep.continue k ())
       | Proc.Read (r, k) -> begin
         match Register.read r with
         | v ->
           record t p (Event.Access (r, Event.A_read v));
           p.steps <- p.steps + 1;
+          p.calls <- p.calls + 1;
           settle (Effect.Deep.continue k v)
         | exception e -> abort k e
       end
@@ -109,6 +224,7 @@ let step t pid =
         | () ->
           record t p (Event.Access (r, Event.A_write v));
           p.steps <- p.steps + 1;
+          p.calls <- p.calls + 1;
           settle (Effect.Deep.continue k ())
         | exception e -> abort k e
       end
@@ -117,6 +233,7 @@ let step t pid =
         | () ->
           record t p (Event.Access (r, Event.A_field (index, width, v)));
           p.steps <- p.steps + 1;
+          p.calls <- p.calls + 1;
           settle (Effect.Deep.continue k ())
         | exception e -> abort k e
       end
@@ -125,6 +242,7 @@ let step t pid =
         | old ->
           record t p (Event.Access (r, Event.A_xchg (v, old)));
           p.steps <- p.steps + 1;
+          p.calls <- p.calls + 1;
           settle (Effect.Deep.continue k old)
         | exception e -> abort k e
       end
@@ -133,6 +251,7 @@ let step t pid =
         | success ->
           record t p (Event.Access (r, Event.A_cas (expected, v, success)));
           p.steps <- p.steps + 1;
+          p.calls <- p.calls + 1;
           settle (Effect.Deep.continue k success)
         | exception e -> abort k e
       end
@@ -141,6 +260,7 @@ let step t pid =
         | ret ->
           record t p (Event.Access (r, Event.A_bit (op, ret)));
           p.steps <- p.steps + 1;
+          p.calls <- p.calls + 1;
           settle (Effect.Deep.continue k ret)
         | exception e -> abort k e
       end
@@ -157,7 +277,10 @@ let step t pid =
       | Proc.Done -> finish t p `Halted
       | Proc.Read _ | Proc.Write _ | Proc.Write_field _ | Proc.Xchg _
       | Proc.Cas _ | Proc.Bit_op _ | Proc.Region _ | Proc.Pause _ ->
-        (* The process caught the exception and kept going. *)
+        (* The process caught the exception and kept going — that answer
+           is invisible to observation replay, so rebuilds of this
+           process would diverge. *)
+        t.replay_safe <- false;
         go s
     in
     go current
@@ -186,9 +309,13 @@ let discontinue_susp s =
 let crash t pid =
   let p = t.procs.(pid) in
   if p.status = Runnable then begin
+    (* A [None] suspension on a started process means its continuation
+       was invalidated by [restore]; there is nothing live to unwind. *)
     (match p.susp with Some s -> discontinue_susp s | None -> ());
+    p.susp <- None;
     t.active <- t.active - 1;
     p.status <- Crashed;
+    bump t p;
     record t p Event.Crash
   end
 
@@ -202,6 +329,51 @@ let recover t pid =
     p.susp <- None;
     p.status <- Runnable;
     p.region <- Event.Remainder;
+    p.calls <- 0;
+    p.started <- false;
     t.active <- t.active + 1;
+    bump t p;
     record t p Event.Recover
   end
+
+type psnap = {
+  s_status : status;
+  s_region : Event.region;
+  s_steps : int;
+  s_calls : int;
+  s_started : bool;
+  s_version : int;
+}
+
+type snap = { s_active : int; s_procs : psnap array }
+
+let snapshot t =
+  { s_active = t.active;
+    s_procs =
+      Array.map
+        (fun p ->
+          { s_status = p.status; s_region = p.region; s_steps = p.steps;
+            s_calls = p.calls; s_started = p.started; s_version = p.version })
+        t.procs }
+
+let restore t snap =
+  if t.oracle = None then
+    invalid_arg "Scheduler.restore: create with ~oracle to enable undo";
+  t.active <- snap.s_active;
+  Array.iteri
+    (fun i ps ->
+      let p = t.procs.(i) in
+      (* Equal version stamps mean the process was not touched since the
+         snapshot: its suspension is still the live, unconsumed one.
+         Otherwise the continuation was consumed by the abandoned branch;
+         drop it and rebuild lazily at the next [step]. *)
+      if p.version <> ps.s_version then begin
+        p.status <- ps.s_status;
+        p.region <- ps.s_region;
+        p.steps <- ps.s_steps;
+        p.calls <- ps.s_calls;
+        p.started <- ps.s_started;
+        p.version <- ps.s_version;
+        p.susp <- None
+      end)
+    snap.s_procs

@@ -3,7 +3,14 @@
     shared-memory access per [step] call.  Region changes and pauses are
     free (they are not steps in the paper's model) and are processed
     transparently, except that a pause ends the current [step] call so
-    schedulers regain control inside access-free loops. *)
+    schedulers regain control inside access-free loops.
+
+    The scheduler also supports checkpoint/undo ({!snapshot}/{!restore})
+    for the incremental model checker.  OCaml's one-shot continuations
+    cannot be cloned, so a checkpoint stores only scalar per-process
+    state; a process whose continuation was consumed by an abandoned
+    branch is rebuilt lazily by restarting its thunk and replaying its
+    recorded observations (supplied by the [oracle] given at creation). *)
 
 type status =
   | Runnable   (** has a pending suspension *)
@@ -13,11 +20,19 @@ type status =
 
 type t
 
-val create : memory:Memory.t -> trace:Trace.t -> (unit -> unit) array -> t
+val create :
+  ?oracle:(int -> Event.access_kind list) ->
+  memory:Memory.t -> trace:Trace.t -> (unit -> unit) array -> t
 (** [create ~memory ~trace procs]: process [i] runs [procs.(i)] with pid
     [i].  Processes are started lazily at their first [step], so a process
     that is never scheduled has taken no steps ("not started" in the
-    paper's contention-free definition). *)
+    paper's contention-free definition).
+
+    [oracle pid] must return the access kinds process [pid] has observed
+    since its last (re)start, oldest first — exactly the [Event.Access]
+    payloads recorded in the trace.  It is required for {!restore}:
+    rebuilding an invalidated suspension replays the thunk against these
+    answers.  Omit it for plain (non-backtracking) runs. *)
 
 val nprocs : t -> int
 val status : t -> int -> status
@@ -56,4 +71,33 @@ val recover : t -> int -> unit
     No-op if the process is not currently [Crashed]. *)
 
 val started : t -> int -> bool
-(** Whether the process has been scheduled at least once. *)
+(** Whether the process has been scheduled at least once (stays true
+    after a crash; reset by {!recover}). *)
+
+val replay_safe : t -> bool
+(** False once some process caught a register-op exception and continued:
+    that answer is invisible to observation replay, so {!restore} can no
+    longer rebuild suspensions faithfully.  The incremental model checker
+    checks this and falls back to whole-schedule replay. *)
+
+type snap
+(** A checkpoint of the scheduler's logical state (statuses, regions,
+    step/call counters — O(nprocs), no continuations).  Register values
+    and the trace are checkpointed separately by the caller
+    ({!Memory.values}, {!Trace.length}/{!Trace.truncate}). *)
+
+val snapshot : t -> snap
+
+val restore : t -> snap -> unit
+(** Roll the scheduler back to [snap].  Processes untouched since the
+    snapshot (same version stamp) keep their live suspension; others are
+    rebuilt lazily at their next {!step} by observation replay through
+    the creation-time [oracle].  Raises [Invalid_argument] if the
+    scheduler was created without an oracle.
+
+    Raises {!Replay_mismatch} later (at the rebuilding [step]) if the
+    replayed effect stream diverges from the recorded observations —
+    that would mean a process is nondeterministic or the caller's oracle
+    is out of sync. *)
+
+exception Replay_mismatch of string

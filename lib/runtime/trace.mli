@@ -10,6 +10,13 @@ val record : t -> pid:int -> Event.body -> Event.t
 (** Append an event; assigns the next sequence number. *)
 
 val length : t -> int
+
+val truncate : t -> int -> unit
+(** [truncate t n] forgets every event with sequence number >= [n] (the
+    model checker's backtracking undo: appends after a truncation reuse
+    the dropped sequence numbers).  Raises [Invalid_argument] unless
+    [0 <= n <= length t]. *)
+
 val get : t -> int -> Event.t
 (** [get t i] is the event with sequence number [i]; O(1). *)
 

@@ -342,6 +342,209 @@ let test_finds_naming_race () =
     check_bool "duplicate found" true
       (violation.Cfc_core.Spec.what <> "")
 
+(* ------------------------------------------------------------------ *)
+(* Engine and domain equivalence: the incremental engine (and its
+   domain-parallel mode) must be indistinguishable from the replay
+   reference — same verdicts, same counterexample schedules, and (for
+   domains = 1) the same exact {runs; states; pruned; truncated}. *)
+
+let pp_stats ppf (s : Explore.stats) =
+  Format.fprintf ppf "{runs=%d; states=%d; pruned=%d; truncated=%b}"
+    s.Explore.runs s.Explore.states s.Explore.pruned s.Explore.truncated
+
+let pp_gen_result pp_schedule ppf = function
+  | Explore.Ok s -> Format.fprintf ppf "Ok %a" pp_stats s
+  | Explore.Violation { schedule; violation; stats } ->
+    Format.fprintf ppf "Violation {schedule=%a; %a; %a}" pp_schedule schedule
+      Cfc_core.Spec.pp_violation violation pp_stats stats
+
+let pp_int_schedule ppf s =
+  Format.fprintf ppf "[%s]" (String.concat ";" (List.map string_of_int s))
+
+let pp_action_schedule ppf s =
+  Format.fprintf ppf "[%s]"
+    (String.concat ";" (List.map (Format.asprintf "%a" Explore.pp_action) s))
+
+let result_t : Explore.result Alcotest.testable =
+  Alcotest.testable (pp_gen_result pp_int_schedule) ( = )
+
+let fault_result_t : Explore.fault_result Alcotest.testable =
+  Alcotest.testable (pp_gen_result pp_action_schedule) ( = )
+
+(* Verdict + schedule only (parallel stats legitimately differ from the
+   sequential engine's; DESIGN.md §2 records the deviation). *)
+let drop_stats = function
+  | Explore.Ok _ -> None
+  | Explore.Violation { schedule; violation; _ } -> Some (schedule, violation)
+
+let test_engine_equivalence_registry () =
+  List.iter
+    (fun (module A : Mutex_intf.ALG) ->
+      let p = Mutex_intf.params 2 in
+      if A.supports p then
+        Alcotest.check result_t (A.name ^ " n=2 replay=incremental")
+          (Props.check_mutex ~engine:Explore.Replay (module A) p)
+          (Props.check_mutex ~engine:Explore.Incremental (module A) p))
+    Registry.all;
+  List.iter
+    (fun (module A : Cfc_naming.Naming_intf.ALG) ->
+      if A.supports ~n:2 then
+        Alcotest.check result_t (A.name ^ " naming n=2 replay=incremental")
+          (Props.check_naming ~engine:Explore.Replay (module A) ~n:2)
+          (Props.check_naming ~engine:Explore.Incremental (module A) ~n:2))
+    Cfc_naming.Registry.all
+
+let test_engine_equivalence_broken () =
+  let p2 = Mutex_intf.params 2 in
+  Alcotest.check result_t "broken-lock replay=incremental"
+    (Props.check_mutex ~engine:Explore.Replay (module Broken_lock) p2)
+    (Props.check_mutex ~engine:Explore.Incremental (module Broken_lock) p2);
+  Alcotest.check result_t "broken-chunked n=3 replay=incremental"
+    (Props.check_detector ~engine:Explore.Replay (module Broken_chunked)
+       { Mutex_intf.n = 3; l = 1 })
+    (Props.check_detector ~engine:Explore.Incremental (module Broken_chunked)
+       { Mutex_intf.n = 3; l = 1 });
+  Alcotest.check fault_result_t "broken-recovery replay=incremental"
+    (Props.check_mutex_recoverable ~engine:Explore.Replay ~pairs:1
+       (module Broken_recovery) p2)
+    (Props.check_mutex_recoverable ~engine:Explore.Incremental ~pairs:1
+       (module Broken_recovery) p2);
+  Alcotest.check fault_result_t "recoverable-tas pairs=2 replay=incremental"
+    (Props.check_mutex_recoverable ~engine:Explore.Replay ~pairs:2
+       Registry.rec_tas p2)
+    (Props.check_mutex_recoverable ~engine:Explore.Incremental ~pairs:2
+       Registry.rec_tas p2);
+  Alcotest.check result_t "broken-naming replay=incremental"
+    (Props.check_naming ~engine:Explore.Replay (module Broken_naming) ~n:2)
+    (Props.check_naming ~engine:Explore.Incremental (module Broken_naming)
+       ~n:2)
+
+let test_domains_equivalence () =
+  let check_alg name run =
+    let seq = run 1 and par2 = run 2 and par3 = run 3 in
+    Alcotest.(check bool)
+      (name ^ ": domains=2 verdict+schedule = sequential")
+      true
+      (drop_stats par2 = drop_stats seq);
+    (* Parallel stats are deterministic: any domains>1 gives the same
+       result, bit for bit. *)
+    Alcotest.(check bool) (name ^ ": domains=2 = domains=3") true (par2 = par3)
+  in
+  let p2 = Mutex_intf.params 2 in
+  List.iter
+    (fun alg ->
+      let (module A : Mutex_intf.ALG) = alg in
+      check_alg A.name (fun domains -> Props.check_mutex ~domains alg p2))
+    [ Registry.lamport_fast; Registry.tas_lock; Registry.peterson_tournament ];
+  check_alg "broken-lock" (fun domains ->
+      Props.check_mutex ~domains (module Broken_lock) p2);
+  let fault_check name run =
+    let seq = run 1 and par2 = run 2 and par3 = run 3 in
+    Alcotest.(check bool)
+      (name ^ ": domains=2 verdict+schedule = sequential")
+      true
+      (drop_stats par2 = drop_stats seq);
+    Alcotest.(check bool) (name ^ ": domains=2 = domains=3") true (par2 = par3)
+  in
+  fault_check "recoverable-tas pairs=1" (fun domains ->
+      Props.check_mutex_recoverable ~domains ~pairs:1 Registry.rec_tas p2);
+  fault_check "broken-recovery pairs=1" (fun domains ->
+      Props.check_mutex_recoverable ~domains ~pairs:1 (module Broken_recovery)
+        p2)
+
+let test_symmetric_still_refutes () =
+  List.iter
+    (fun engine ->
+      List.iter
+        (fun domains ->
+          match
+            Props.check_naming ~engine ~domains ~symmetric:true
+              (module Broken_naming) ~n:2
+          with
+          | Explore.Ok _ ->
+            Alcotest.fail "symmetric reduction hid the naming race"
+          | Explore.Violation { violation; _ } ->
+            Alcotest.(check bool) "duplicate found" true
+              (violation.Cfc_core.Spec.what <> ""))
+        [ 1; 2 ])
+    [ Explore.Replay; Explore.Incremental ]
+
+(* ------------------------------------------------------------------ *)
+(* State-key regression: the pre-rewrite fingerprint packed access kinds
+   into magic integer ranges (A_xchg as [20_000 + v], A_cas as
+   [30_000 + 2·expected + success], A_field as [10_000 + 64·i + w]), so
+   an exchange writing 10_001 aliased a successful CAS with expected=0.
+   The variant-typed key must keep every such pair distinct. *)
+
+let test_state_key_kinds_distinct () =
+  let key kind =
+    let cl = { State_key.reg = 0; kind } in
+    { State_key.k_regvals = [| 0 |];
+      k_procs =
+        [| { State_key.k_status = 0; k_region = Event.Remainder;
+             k_obs_hash = State_key.cell_hash 0 cl; k_obs = [ cl ] } |] }
+  in
+  let distinct what a b =
+    Alcotest.(check bool) what false (State_key.equal (key a) (key b))
+  in
+  (* 20_000 + 10_001 = 30_000 + 2·0 + 1 under the old packing. *)
+  distinct "xchg 10_001 vs cas(0,_,true)"
+    (Event.A_xchg (10_001, 7))
+    (Event.A_cas (0, 7, true));
+  (* 20_000 + v collides with 30_000 + 2e + s for every v >= 10_000. *)
+  distinct "xchg 10_004 vs cas(2,_,false)"
+    (Event.A_xchg (10_004, 0))
+    (Event.A_cas (2, 0, false));
+  (* 10_000 + 64·i + w reaches the xchg band at large field indexes. *)
+  distinct "field(156,16,_) vs xchg 6" (Event.A_field (156, 16, 3))
+    (Event.A_xchg (6, 3));
+  (* Same packed value, different observed results must also differ. *)
+  distinct "cas success vs failure" (Event.A_cas (0, 7, true))
+    (Event.A_cas (0, 7, false));
+  Alcotest.(check bool) "identical cells compare equal" true
+    (State_key.equal
+       (key (Event.A_xchg (10_001, 7)))
+       (key (Event.A_xchg (10_001, 7))))
+
+(* An exchange-based lock whose register values live in the >= 10_000
+   range that used to alias other access kinds; the exploration must
+   still verify it and both engines must agree exactly. *)
+module Big_values : Mutex_intf.ALG = struct
+  let name = "big-values"
+  let supports (p : Mutex_intf.params) = p.Mutex_intf.n = 2
+  let atomicity (_ : Mutex_intf.params) = 15
+  let predicted_cf_steps (_ : Mutex_intf.params) = None
+  let predicted_cf_registers (_ : Mutex_intf.params) = None
+
+  module Make (M : Cfc_base.Mem_intf.MEM) = struct
+    type t = { owner : M.reg }
+
+    let create (_ : Mutex_intf.params) =
+      { owner = M.alloc ~name:"big.owner" ~width:15 ~init:0 () }
+
+    (* Process 0 acquires by CAS, process 1 by exchange with a sentinel
+       chosen so the old packing would alias the two observations. *)
+    let lock t ~me =
+      if me = 0 then
+        while not (M.compare_and_set t.owner ~expected:0 10_002) do
+          M.pause ()
+        done
+      else
+        while M.fetch_and_store t.owner 10_001 <> 0 do
+          M.pause ()
+        done
+
+    let unlock t ~me:_ = M.write t.owner 0
+  end
+end
+
+let test_large_register_values () =
+  let p = Mutex_intf.params 2 in
+  let inc = Props.check_mutex ~engine:Explore.Incremental (module Big_values) p
+  and rep = Props.check_mutex ~engine:Explore.Replay (module Big_values) p in
+  expect_ok "big-values n=2" inc;
+  Alcotest.check result_t "big-values replay=incremental" rep inc
+
 (* Pruning effectiveness: the state memo must prune a substantial share
    on a spin-heavy system, or exploration would not terminate in bounds. *)
 let test_pruning_observable () =
@@ -375,6 +578,20 @@ let () =
           Alcotest.test_case "two rounds" `Slow test_mutex_two_rounds;
           Alcotest.test_case "detectors" `Quick test_detectors_exhaustive;
           Alcotest.test_case "naming n∈{2,4}" `Slow test_naming_exhaustive ] );
+      ( "engine-equivalence",
+        [ Alcotest.test_case "registry n=2 replay=incremental" `Slow
+            test_engine_equivalence_registry;
+          Alcotest.test_case "broken fixtures replay=incremental" `Quick
+            test_engine_equivalence_broken;
+          Alcotest.test_case "domains=1 vs domains>1" `Slow
+            test_domains_equivalence;
+          Alcotest.test_case "symmetric still refutes" `Quick
+            test_symmetric_still_refutes ] );
+      ( "state-key",
+        [ Alcotest.test_case "access kinds never alias (regression)" `Quick
+            test_state_key_kinds_distinct;
+          Alcotest.test_case "register values >= 10_000" `Quick
+            test_large_register_values ] );
       ( "mechanics",
         [ Alcotest.test_case "pruning observable" `Quick
             test_pruning_observable ] ) ]
