@@ -1,0 +1,170 @@
+(* Native lock-service benchmark: every supporting registry algorithm is
+   swept over domain counts × think times on the instrumented backend,
+   and the per-configuration throughput, acquisition-latency percentiles
+   and RMR-per-acquisition estimates are written to BENCH_native.json
+   (same accumulate-across-PRs idea as BENCH_mcheck.json).
+
+   The headline column is rmr/acq: under saturation (think 0, max
+   domains) the local-spin queue lock keeps it near its solo value while
+   the spin-on-shared locks (tas, bakery, ...) grow with contention —
+   the §1.2 remote-access discussion, measured.  Solo rows also carry
+   the simulated solo remote-access count per acquisition, which must
+   match the instrumented count exactly (a test asserts it; here it is
+   recorded for the record). *)
+
+open Cfc_runtime
+open Cfc_mutex
+open Cfc_native
+
+type entry = {
+  name : string;
+  domains : int;
+  mean_think : int;
+  rounds : int;
+  cs_len : int;
+  r : Lock_service.result;
+  sim_rmr_per_acq : float option;  (* solo rows only *)
+}
+
+(* The simulated twin of a solo lock-service run: same n=2 instance, same
+   rounds and critical-section writes, process 0 alone on the schedule.
+   Its YA93 remote-access count is the ground truth the instrumented
+   counter must reproduce. *)
+let sim_solo_rmr (module A : Mutex_intf.ALG) ~rounds ~cs_len =
+  let p = Mutex_intf.params 2 in
+  let memory = Memory.create () in
+  let module M = (val Sim_mem.mem memory) in
+  let module L = A.Make (M) in
+  let inst = L.create p in
+  let scratch = M.alloc ~name:"svc.scratch" ~width:8 ~init:0 () in
+  let proc0 () =
+    for _ = 1 to rounds do
+      L.lock inst ~me:0;
+      for k = 1 to cs_len do
+        M.write scratch (k land 255)
+      done;
+      L.unlock inst ~me:0
+    done
+  in
+  let procs = [| proc0; (fun () -> ()) |] in
+  let out = Runner.run ~memory ~pick:(Schedule.solo 0) procs in
+  let remote = Cfc_core.Measures.remote_accesses out.Runner.trace ~nprocs:2 in
+  float_of_int remote.(0) /. float_of_int (max 1 rounds)
+
+let run_one (module A : Mutex_intf.ALG) ~domains ~mean_think ~rounds ~cs_len =
+  let config =
+    { Lock_service.domains; rounds; mean_think; cs_len; seed = 42 }
+  in
+  let r = Lock_service.run (module A) config in
+  if not r.Lock_service.exclusion_ok then begin
+    Printf.eprintf "mutual exclusion violated: %s domains=%d\n" A.name domains;
+    exit 1
+  end;
+  let sim_rmr_per_acq =
+    if domains = 1 then Some (sim_solo_rmr (module A) ~rounds ~cs_len)
+    else None
+  in
+  Printf.printf
+    "%-18s d=%d think=%-3d %9.0f acq/s  p50=%-8.0f p99=%-8.0f rmr/acq=%6.2f%s\n%!"
+    A.name domains mean_think r.Lock_service.throughput
+    r.Lock_service.p50_ns r.Lock_service.p99_ns r.Lock_service.rmr_per_acq
+    (match sim_rmr_per_acq with
+    | Some s -> Printf.sprintf "  (sim %.2f)" s
+    | None -> "");
+  { name = A.name; domains; mean_think; rounds; cs_len; r; sim_rmr_per_acq }
+
+let json_of_entry e =
+  let c = e.r.Lock_service.counters in
+  Printf.sprintf
+    "    {\"name\": %S, \"domains\": %d, \"mean_think\": %d, \"rounds\": %d, \
+     \"cs_len\": %d, \"acquisitions\": %d, \"elapsed_ns\": %d, \
+     \"throughput\": %.1f, \"p50_ns\": %.1f, \"p90_ns\": %.1f, \
+     \"p99_ns\": %.1f, \"max_ns\": %d, \"ops\": %d, \"reads\": %d, \
+     \"writes\": %d, \"cas_attempts\": %d, \"cas_failures\": %d, \
+     \"rmr\": %d, \"rmr_per_acq\": %.4f%s, \"exclusion_ok\": %b}"
+    e.name e.domains e.mean_think e.rounds e.cs_len
+    e.r.Lock_service.acquisitions e.r.Lock_service.elapsed_ns
+    e.r.Lock_service.throughput e.r.Lock_service.p50_ns
+    e.r.Lock_service.p90_ns e.r.Lock_service.p99_ns e.r.Lock_service.max_ns
+    c.Instr_mem.ops c.Instr_mem.reads c.Instr_mem.writes
+    c.Instr_mem.cas_attempts c.Instr_mem.cas_failures c.Instr_mem.rmr
+    e.r.Lock_service.rmr_per_acq
+    (match e.sim_rmr_per_acq with
+    | Some s -> Printf.sprintf ", \"sim_rmr_per_acq\": %.4f" s
+    | None -> "")
+    e.r.Lock_service.exclusion_ok
+
+(* Spin-style classification from the measurements themselves: an
+   algorithm spins locally iff saturating it leaves rmr/acq within a
+   small factor of its solo cost. *)
+let classify entries =
+  let find ~name ~domains ~think =
+    List.find_opt
+      (fun e -> e.name = name && e.domains = domains && e.mean_think = think)
+      entries
+  in
+  let names = List.sort_uniq compare (List.map (fun e -> e.name) entries) in
+  let max_domains =
+    List.fold_left (fun m e -> max m e.domains) 1 entries
+  in
+  let min_think =
+    List.fold_left (fun m e -> min m e.mean_think) max_int entries
+  in
+  Printf.printf "\n%-18s %10s %10s  spin style (measured)\n" "algorithm"
+    "solo rmr" "sat rmr";
+  List.filter_map
+    (fun name ->
+      match
+        (find ~name ~domains:1 ~think:min_think,
+         find ~name ~domains:max_domains ~think:min_think)
+      with
+      | Some solo, Some sat ->
+        let s = solo.r.Lock_service.rmr_per_acq
+        and c = sat.r.Lock_service.rmr_per_acq in
+        let style = if c <= (4.0 *. s) +. 2.0 then "local-spin" else
+            "spin-on-shared" in
+        Printf.printf "%-18s %10.2f %10.2f  %s\n" name s c style;
+        Some (name, s, c, style)
+      | _ -> None)
+    names
+
+let () =
+  let quick = Array.exists (( = ) "--quick") Sys.argv in
+  let domain_counts, thinks, rounds =
+    if quick then ([ 1; 2 ], [ 0; 10 ], 200) else ([ 1; 2; 4 ], [ 0; 20 ], 2_000)
+  in
+  let cs_len = 3 in
+  let entries =
+    List.concat_map
+      (fun (module A : Mutex_intf.ALG) ->
+        List.concat_map
+          (fun domains ->
+            if A.supports (Mutex_intf.params (max 2 domains)) then
+              List.map
+                (fun mean_think ->
+                  run_one (module A) ~domains ~mean_think ~rounds ~cs_len)
+                thinks
+            else [])
+          domain_counts)
+      Registry.all
+  in
+  let styles = classify entries in
+  let json_styles =
+    String.concat ",\n"
+      (List.map
+         (fun (name, solo, sat, style) ->
+           Printf.sprintf
+             "    {\"name\": %S, \"solo_rmr_per_acq\": %.4f, \
+              \"saturated_rmr_per_acq\": %.4f, \"style\": %S}"
+             name solo sat style)
+         styles)
+  in
+  let oc = open_out "BENCH_native.json" in
+  Printf.fprintf oc
+    "{\n  \"schema\": \"cfc-native-bench/1\",\n  \"quick\": %b,\n  \
+     \"entries\": [\n%s\n  ],\n  \"spin_styles\": [\n%s\n  ]\n}\n"
+    quick
+    (String.concat ",\n" (List.map json_of_entry entries))
+    json_styles;
+  close_out oc;
+  Printf.printf "\nwrote BENCH_native.json (%d entries)\n" (List.length entries)

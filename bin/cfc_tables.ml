@@ -9,7 +9,8 @@
      backoff    the §4 workload experiment
      mcheck     bounded-exhaustive verification of an algorithm
      cf         contention-free complexity of one algorithm
-     faults     crash-recovery injection, chaos schedules, diagnostics *)
+     faults     crash-recovery injection, chaos schedules, diagnostics
+     native     domain-parallel lock service with RMR counters *)
 
 open Cmdliner
 open Cfc_base
@@ -288,6 +289,72 @@ let faults_cmd =
           and stall diagnostics.")
     Term.(const run $ alg_arg $ n_arg $ pairs_arg $ seeds_arg $ domains_arg)
 
+let native_cmd =
+  let domains_list_arg =
+    Arg.(
+      value
+      & opt (list int) [ 1; 2; 4 ]
+      & info [ "domains" ] ~docv:"D,D,..." ~doc:"Worker domain counts.")
+  in
+  let thinks_arg =
+    Arg.(
+      value
+      & opt (list int) [ 0; 20 ]
+      & info [ "thinks" ] ~docv:"T,T,..."
+          ~doc:"Mean geometric think times (cpu_relax turns).")
+  in
+  let rounds_arg =
+    Arg.(
+      value & opt int 2_000
+      & info [ "rounds" ] ~docv:"R" ~doc:"Acquisitions per domain.")
+  in
+  let run name domain_counts thinks rounds =
+    let ((module A : Mutex_intf.ALG) as alg) = find_alg name in
+    let t =
+      Texttab.create
+        ~header:[ "domains"; "think"; "acq/s"; "p50 ns"; "p90 ns"; "p99 ns";
+                  "max ns"; "rmr/acq"; "cas fail"; "excl" ]
+    in
+    List.iter
+      (fun domains ->
+        if A.supports (Mutex_intf.params (max 2 domains)) then
+          List.iter
+            (fun mean_think ->
+              let r =
+                Cfc_native.Lock_service.run alg
+                  { Cfc_native.Lock_service.domains; rounds; mean_think;
+                    cs_len = 3; seed = 42 }
+              in
+              let open Cfc_native.Lock_service in
+              Texttab.add_row t
+                [ string_of_int domains; string_of_int mean_think;
+                  Printf.sprintf "%.0f" r.throughput;
+                  Printf.sprintf "%.0f" r.p50_ns;
+                  Printf.sprintf "%.0f" r.p90_ns;
+                  Printf.sprintf "%.0f" r.p99_ns;
+                  string_of_int r.max_ns;
+                  Printf.sprintf "%.2f" r.rmr_per_acq;
+                  string_of_int r.counters.Cfc_native.Instr_mem.cas_failures;
+                  (if r.exclusion_ok then "ok" else "VIOLATED") ])
+            thinks
+        else
+          Printf.eprintf "%s: skipping domains=%d (unsupported)\n" A.name
+            domains)
+      domain_counts;
+    Printf.printf
+      "%s on the instrumented native backend (%d rounds/domain, \
+       write-invalidate RMR estimate):\n"
+      A.name rounds;
+    Texttab.print t
+  in
+  Cmd.v
+    (Cmd.info "native"
+       ~doc:
+         "Domain-parallel lock service on the instrumented native backend: \
+          throughput, acquisition-latency percentiles, and \
+          RMR-per-acquisition.")
+    Term.(const run $ alg_arg $ domains_list_arg $ thinks_arg $ rounds_arg)
+
 let models_cmd =
   let all_arg =
     Arg.(
@@ -368,4 +435,4 @@ let () =
           (Cmd.info "cfc-tables" ~version:"1.0.0" ~doc)
           [ mutex_cmd; naming_cmd; sweep_cmd; detect_cmd; unbounded_cmd;
             cf_cmd; mcheck_cmd; backoff_cmd; trace_cmd; faults_cmd;
-            models_cmd ]))
+            native_cmd; models_cmd ]))

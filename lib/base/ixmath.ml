@@ -1,35 +1,78 @@
+(* Preconditions raise [Invalid_argument] (not [assert]) so they survive
+   -noassert builds, and every loop that grows a power is guarded against
+   silent wraparound near [max_int]. *)
+
 let pow2 k =
-  assert (k >= 0 && k < 62);
+  if k < 0 || k >= 62 then invalid_arg "Ixmath.pow2: k outside 0..61";
   1 lsl k
 
 let is_pow2 n = n > 0 && n land (n - 1) = 0
 
 let floor_log2 n =
-  assert (n >= 1);
-  let rec loop k v = if v > n then k - 1 else loop (k + 1) (v * 2) in
+  if n < 1 then invalid_arg "Ixmath.floor_log2: n < 1";
+  (* [v = 2^k <= n] throughout; once doubling would overflow, [v] already
+     exceeds [max_int / 2 >= n / 2], so [k] is the answer. *)
+  let rec loop k v =
+    if v > n - v then k else loop (k + 1) (v * 2)
+  in
   loop 0 1
 
 let ceil_log2 n =
-  assert (n >= 1);
+  if n < 1 then invalid_arg "Ixmath.ceil_log2: n < 1";
   let f = floor_log2 n in
   if is_pow2 n then f else f + 1
 
 let bits_needed v =
-  assert (v >= 0);
-  max 1 (ceil_log2 (v + 1))
+  if v < 0 then invalid_arg "Ixmath.bits_needed: v < 0";
+  if v = 0 then 1
+  else if v = max_int then 62 (* v + 1 would wrap *)
+  else ceil_log2 (v + 1)
 
 let ceil_div a b =
-  assert (b > 0 && a >= 0);
-  (a + b - 1) / b
+  if b <= 0 || a < 0 then invalid_arg "Ixmath.ceil_div: b <= 0 or a < 0";
+  (* (a + b - 1) / b overflows for a near max_int; divide first. *)
+  (a / b) + if a mod b = 0 then 0 else 1
 
 let ceil_log ~base n =
-  assert (base >= 2 && n >= 1);
-  let rec loop d cap = if cap >= n then d else loop (d + 1) (cap * base) in
+  if base < 2 || n < 1 then invalid_arg "Ixmath.ceil_log: base < 2 or n < 1";
+  let rec loop d cap =
+    if cap >= n then d
+    else if cap > max_int / base then
+      (* cap * base would wrap, yet cap < n <= max_int < cap * base: one
+         more level certainly covers n. *)
+      d + 1
+    else loop (d + 1) (cap * base)
+  in
   loop 1 base
 
 let log2f x = log x /. log 2.0
 
 let ipow b e =
-  assert (e >= 0);
-  let rec loop acc e = if e = 0 then acc else loop (acc * b) (e - 1) in
+  if b < 0 then invalid_arg "Ixmath.ipow: negative base";
+  if e < 0 then invalid_arg "Ixmath.ipow: negative exponent";
+  let rec loop acc e =
+    if e = 0 then acc
+    else begin
+      if b > 1 && acc > max_int / b then
+        invalid_arg "Ixmath.ipow: overflow";
+      loop (acc * b) (e - 1)
+    end
+  in
   loop 1 e
+
+let geometric ~u ~mean =
+  if mean < 0 then invalid_arg "Ixmath.geometric: negative mean";
+  if not (u >= 0. && u < 1.) then
+    invalid_arg "Ixmath.geometric: u outside [0, 1)";
+  if mean = 0 then 0
+  else begin
+    (* Inversion: X = floor(ln(1-u) / ln(1-p)) with success probability
+       p = 1/(mean+1) is geometric on {0,1,2,...} with P(X >= k) =
+       (1-p)^k and E[X] = (1-p)/p = mean.  log1p keeps precision for
+       small p (large means). *)
+    let p = 1. /. float_of_int (mean + 1) in
+    let x = Float.log1p (-.u) /. Float.log1p (-.p) in
+    (* Clamp: x is finite and >= 0 for valid inputs, but guard the
+       int conversion anyway. *)
+    if x >= float_of_int max_int then max_int else int_of_float x
+  end

@@ -3,17 +3,23 @@
     All logarithms are base 2 unless stated otherwise.  The complexity
     bounds of the paper are expressed with [log n] and [log log n]; the
     helpers here centralize the exact conventions (ceilings, domains) so
-    that every module computes them identically. *)
+    that every module computes them identically.
+
+    Every precondition violation raises [Invalid_argument] (no asserts,
+    so the checks survive [-noassert]), and the power-growing loops are
+    hardened against silent wraparound: the log-domain helpers return
+    correct answers for arguments all the way up to [max_int], and
+    {!ipow} raises instead of wrapping. *)
 
 val pow2 : int -> int
-(** [pow2 k] is [2{^k}].  Requires [0 <= k < 62]. *)
+(** [pow2 k] is [2{^k}].  Raises unless [0 <= k < 62]. *)
 
 val is_pow2 : int -> bool
 (** [is_pow2 n] holds iff [n] is a positive power of two. *)
 
 val floor_log2 : int -> int
 (** [floor_log2 n] is the greatest [k] with [2{^k} <= n].
-    Requires [n >= 1]. *)
+    Requires [n >= 1]; exact for every [n] up to [max_int]. *)
 
 val ceil_log2 : int -> int
 (** [ceil_log2 n] is the least [k] with [2{^k} >= n].
@@ -24,15 +30,27 @@ val bits_needed : int -> int
     [0..v], i.e. [ceil_log2 (v + 1)] but at least 1.  Requires [v >= 0]. *)
 
 val ceil_div : int -> int -> int
-(** [ceil_div a b] is [⌈a / b⌉] for positive [b] and nonnegative [a]. *)
+(** [ceil_div a b] is [⌈a / b⌉] for positive [b] and nonnegative [a];
+    computed division-first, so exact even for [a] near [max_int]. *)
 
 val ceil_log : base:int -> int -> int
 (** [ceil_log ~base n] is the least [d >= 1] with [base{^d} >= n]; by
     convention it returns [1] when [n <= base] (a single tree level).
-    Requires [base >= 2] and [n >= 1]. *)
+    Requires [base >= 2] and [n >= 1]; exact for every [n] up to
+    [max_int]. *)
 
 val log2f : float -> float
 (** Base-2 logarithm on floats. *)
 
 val ipow : int -> int -> int
-(** [ipow b e] is [b{^e}] for [e >= 0] (no overflow check). *)
+(** [ipow b e] is [b{^e}] for [b >= 0] and [e >= 0].  Raises
+    [Invalid_argument] if the result would exceed [max_int] (never wraps
+    silently). *)
+
+val geometric : u:float -> mean:int -> int
+(** [geometric ~u ~mean] maps one uniform sample [u ∈ [0, 1)] to a
+    geometric variate on [{0, 1, 2, …}] with expectation [mean] (success
+    probability [1/(mean+1)]), by CDF inversion.  [mean = 0] always
+    yields 0.  Pure: callers draw [u] from their own seeded
+    [Random.State], so the simulated workload and the native lock
+    service share one think-time distribution. *)

@@ -1,0 +1,66 @@
+(* 63 buckets: bucket k holds samples with floor_log2 ns = k, i.e. ns in
+   [2^k, 2^(k+1)); bucket 0 also takes ns <= 1.  Fixed size, no
+   allocation on the record path. *)
+
+let buckets = 63
+
+type t = { counts : int array; mutable max_ns : int; mutable total : int }
+
+let create () = { counts = Array.make buckets 0; max_ns = 0; total = 0 }
+
+(* floor_log2 without Ixmath: ns can be 0 here and the loop below is the
+   hot path, so keep it branch-light. *)
+let bucket_of ns =
+  if ns <= 1 then 0
+  else begin
+    let k = ref 0 and v = ref ns in
+    while !v > 1 do
+      incr k;
+      v := !v lsr 1
+    done;
+    min !k (buckets - 1)
+  end
+
+let record t ns =
+  let ns = if ns < 0 then 0 else ns in
+  let b = bucket_of ns in
+  t.counts.(b) <- t.counts.(b) + 1;
+  if ns > t.max_ns then t.max_ns <- ns;
+  t.total <- t.total + 1
+
+let merge_into ~into t =
+  for i = 0 to buckets - 1 do
+    into.counts.(i) <- into.counts.(i) + t.counts.(i)
+  done;
+  if t.max_ns > into.max_ns then into.max_ns <- t.max_ns;
+  into.total <- into.total + t.total
+
+let count t = t.total
+let max_ns t = t.max_ns
+
+(* Arithmetic midpoint of the bucket's value range: 1.5 * 2^k (bucket 0
+   reports 1).  Good to within a factor sqrt(2) by construction, which is
+   all a log-bucket histogram can promise. *)
+let bucket_mid k = if k = 0 then 1.0 else 1.5 *. Float.of_int (1 lsl k)
+
+let percentile t q =
+  if not (q >= 0.0 && q <= 1.0) then
+    invalid_arg "Latency_hist.percentile: q outside [0, 1]";
+  if t.total = 0 then 0.0
+  else begin
+    let rank = Float.to_int (Float.round (q *. Float.of_int t.total)) in
+    let rank = if rank < 1 then 1 else rank in
+    let cum = ref 0 and b = ref 0 in
+    (try
+       for k = 0 to buckets - 1 do
+         cum := !cum + t.counts.(k);
+         if !cum >= rank then begin
+           b := k;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    (* The top occupied bucket's midpoint can overshoot the observed
+       maximum; clamp so p100 <= max. *)
+    Float.min (bucket_mid !b) (Float.of_int t.max_ns)
+  end

@@ -1,0 +1,30 @@
+(** Fixed-size log2-bucket latency histogram for the native lock
+    service: bucket [k] holds samples whose nanosecond value has
+    [floor_log2 = k], so the whole int range fits in 63 counters, the
+    record path never allocates, and percentiles are good to a factor
+    [sqrt 2] — plenty for the orders-of-magnitude spreads lock-
+    acquisition latency exhibits under contention.
+
+    Not thread-safe: keep one histogram per worker domain and
+    {!merge_into} after joining. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> int -> unit
+(** Add one sample in nanoseconds (negatives clamp to 0). *)
+
+val merge_into : into:t -> t -> unit
+(** Accumulate [t]'s samples into [into] (bucket-wise; exact). *)
+
+val count : t -> int
+(** Number of recorded samples. *)
+
+val max_ns : t -> int
+(** Largest recorded sample, exact (0 when empty). *)
+
+val percentile : t -> float -> float
+(** [percentile t q] for [q ∈ [0, 1]]: the midpoint of the bucket
+    holding the [⌈q·count⌉]-th smallest sample, clamped to {!max_ns};
+    0 when empty. *)

@@ -1,0 +1,120 @@
+open Cfc_base
+open Cfc_mutex
+
+type config = {
+  domains : int;
+  rounds : int;
+  mean_think : int;
+  cs_len : int;
+  seed : int;
+}
+
+let default = { domains = 2; rounds = 2_000; mean_think = 10; cs_len = 3;
+                seed = 42 }
+
+type result = {
+  acquisitions : int;
+  elapsed_ns : int;
+  throughput : float;
+  p50_ns : float;
+  p90_ns : float;
+  p99_ns : float;
+  max_ns : int;
+  counters : Instr_mem.counters;
+  rmr_per_acq : float;
+  exclusion_ok : bool;
+}
+
+let now () = Monotonic_clock.now ()
+
+let run ?(instrument = true) (module A : Mutex_intf.ALG) config =
+  if config.domains < 1 then invalid_arg "Lock_service.run: domains < 1";
+  if config.rounds < 0 then invalid_arg "Lock_service.run: rounds < 0";
+  (* Algorithms are parameterized by n >= 2; a solo service still
+     instantiates for two so the code path is the real one. *)
+  let n = max 2 config.domains in
+  let p = Mutex_intf.params n in
+  if not (A.supports p) then
+    invalid_arg (Printf.sprintf "%s: unsupported params" A.name);
+  let instr = Instr_mem.create ~nprocs:n in
+  (* The off switch is using the plain backend: nothing on Native_mem's
+     hot path ever consults an instrumentation flag. *)
+  let memory = if instrument then Instr_mem.mem instr else Native_mem.mem () in
+  let module M = (val memory) in
+  (* [create] may initialize registers with counted writes: attribute
+     them to worker 0 (the main domain), which runs there anyway. *)
+  Instr_mem.register_worker instr ~me:0;
+  let module L = A.Make (M) in
+  let inst = L.create p in
+  let scratch = M.alloc ~name:"svc.scratch" ~width:8 ~init:0 () in
+  (* Start barrier and exclusion witness live outside [M]: they model the
+     service's clients, not the lock, so they must not be counted.  The
+     witness is deliberately non-atomic — lost updates would show as a
+     shortfall iff mutual exclusion broke (same trick as
+     Native_harness.contended). *)
+  let ready = Atomic.make 0 in
+  let go = Atomic.make false in
+  let witness = ref 0 in
+  let hists = Array.init config.domains (fun _ -> Latency_hist.create ()) in
+  let worker me () =
+    Instr_mem.register_worker instr ~me;
+    let st = Random.State.make [| config.seed; me |] in
+    let hist = hists.(me) in
+    Atomic.incr ready;
+    while not (Atomic.get go) do
+      Domain.cpu_relax ()
+    done;
+    for _ = 1 to config.rounds do
+      if config.mean_think > 0 then begin
+        let k =
+          Ixmath.geometric ~u:(Random.State.float st 1.0)
+            ~mean:config.mean_think
+        in
+        for _ = 1 to k do
+          Domain.cpu_relax ()
+        done
+      end;
+      let t0 = now () in
+      L.lock inst ~me;
+      let t1 = now () in
+      Latency_hist.record hist (Int64.to_int (Int64.sub t1 t0));
+      witness := !witness + 1;
+      for k = 1 to config.cs_len do
+        M.write scratch (k land 255)
+      done;
+      L.unlock inst ~me
+    done
+  in
+  let spawned =
+    List.init (config.domains - 1) (fun i -> Domain.spawn (worker (i + 1)))
+  in
+  while Atomic.get ready < config.domains - 1 do
+    Domain.cpu_relax ()
+  done;
+  let t_start = now () in
+  Atomic.set go true;
+  worker 0 ();
+  List.iter Domain.join spawned;
+  let elapsed_ns = Int64.to_int (Int64.sub (now ()) t_start) in
+  let merged = Latency_hist.create () in
+  Array.iter (fun h -> Latency_hist.merge_into ~into:merged h) hists;
+  let acquisitions = config.domains * config.rounds in
+  let counters = Instr_mem.totals instr in
+  let per_acq v =
+    if acquisitions = 0 then 0.0
+    else Float.of_int v /. Float.of_int acquisitions
+  in
+  {
+    acquisitions;
+    elapsed_ns;
+    throughput =
+      (if elapsed_ns <= 0 then 0.0
+       else Float.of_int acquisitions /. (Float.of_int elapsed_ns /. 1e9));
+    p50_ns = Latency_hist.percentile merged 0.50;
+    p90_ns = Latency_hist.percentile merged 0.90;
+    p99_ns = Latency_hist.percentile merged 0.99;
+    max_ns = Latency_hist.max_ns merged;
+    counters;
+    rmr_per_acq = per_acq counters.Instr_mem.rmr;
+    exclusion_ok = !witness = acquisitions;
+  }

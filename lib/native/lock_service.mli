@@ -1,0 +1,44 @@
+(** Domain-parallel lock-service benchmark: the native counterpart of
+    {!Cfc_workload.Workload}.  Each of [domains] worker domains loops
+    [rounds] times through think (geometric, same
+    {!Cfc_base.Ixmath.geometric} distribution and per-worker seeding as
+    the simulated workload, in [Domain.cpu_relax] turns) → lock →
+    critical section ([cs_len] shared writes) → unlock, timing each
+    acquisition with a monotonic clock into per-domain
+    {!Latency_hist} histograms.
+
+    With [instrument] (default), the lock runs on {!Instr_mem}, so the
+    result carries semantic-access counters and the write-invalidate RMR
+    estimate; without it, on plain {!Native_mem} with all counters zero.
+    Mutual exclusion is witnessed by a deliberately non-atomic counter
+    (a lost update means a violation), as in
+    {!Native_harness.contended}. *)
+
+open Cfc_mutex
+
+type config = {
+  domains : int;  (** worker domains (the lock instantiates at [max 2 domains]) *)
+  rounds : int;  (** acquisitions per domain *)
+  mean_think : int;  (** mean geometric think, in [cpu_relax] turns *)
+  cs_len : int;  (** shared writes inside the critical section *)
+  seed : int;
+}
+
+val default : config
+
+type result = {
+  acquisitions : int;  (** [domains * rounds] *)
+  elapsed_ns : int;  (** wall clock from barrier release to last join *)
+  throughput : float;  (** acquisitions per second *)
+  p50_ns : float;  (** acquisition-latency percentiles (lock call only) *)
+  p90_ns : float;
+  p99_ns : float;
+  max_ns : int;
+  counters : Instr_mem.counters;  (** totals; zero when uninstrumented *)
+  rmr_per_acq : float;  (** [counters.rmr / acquisitions] *)
+  exclusion_ok : bool;  (** non-atomic witness saw no lost update *)
+}
+
+val run : ?instrument:bool -> (module Mutex_intf.ALG) -> config -> result
+(** Raises [Invalid_argument] if the algorithm does not support
+    [max 2 domains] processes, [domains < 1], or [rounds < 0]. *)

@@ -85,6 +85,13 @@ let rw_register_count ?from ?until ~pid t =
   ( distinct_in ?from ?until ~pid ~keep:Event.is_read t,
     distinct_in ?from ?until ~pid ~keep:Event.is_write t )
 
+(* Region bookkeeping mirrors the scheduler's: a [Recover] restarts the
+   process from the top with fresh local state, so the new incarnation
+   begins in [Remainder] (Scheduler.recover sets exactly that).  A bare
+   [Crash] leaves the stale region in place on purpose — a process that
+   fail-stopped inside its critical section is still an occupant as far
+   as trace-level occupancy is concerned (the strong-occupancy reading
+   of Spec.mutual_exclusion_recoverable). *)
 let fold_states ~nprocs f acc t =
   let regions = Array.make nprocs Event.Remainder in
   let acc = ref acc in
@@ -93,7 +100,8 @@ let fold_states ~nprocs f acc t =
       acc := f !acc regions e;
       match e.Event.body with
       | Event.Region_change r -> regions.(e.Event.pid) <- r
-      | Event.Access _ | Event.Crash | Event.Recover -> ())
+      | Event.Recover -> regions.(e.Event.pid) <- Event.Remainder
+      | Event.Access _ | Event.Crash -> ())
     t;
   !acc
 
@@ -102,7 +110,8 @@ let regions_at t i ~nprocs =
   for j = 0 to min i t.len - 1 do
     match t.events.(j).Event.body with
     | Event.Region_change r -> regions.(t.events.(j).Event.pid) <- r
-    | Event.Access _ | Event.Crash | Event.Recover -> ()
+    | Event.Recover -> regions.(t.events.(j).Event.pid) <- Event.Remainder
+    | Event.Access _ | Event.Crash -> ()
   done;
   regions
 

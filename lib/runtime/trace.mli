@@ -52,7 +52,15 @@ val fold_states :
   nprocs:int -> ('a -> Event.region array -> Event.t -> 'a) -> 'a -> t -> 'a
 (** Fold over events together with the region vector of the state before
     each event.  The array is updated in place between calls — copy it if
-    you keep it. *)
+    you keep it.
+
+    Crash–recovery: a [Recover] event resets the recovered process's
+    region to [Remainder], mirroring {!Scheduler.recover} (the restarted
+    incarnation begins from the top of its thunk).  A bare [Crash]
+    deliberately leaves the stale region in place — a process that
+    fail-stopped inside its critical section stays an occupant until it
+    recovers (strong occupancy), so occupancy-window measures are never
+    silently widened by a fail-stop. *)
 
 val last : ?pid:int -> int -> t -> Event.t list
 (** [last n t]: the final [n] events of the trace (those of [pid] only if

@@ -1,3 +1,4 @@
+open Cfc_base
 open Cfc_runtime
 open Cfc_mutex
 open Cfc_core
@@ -22,12 +23,30 @@ type result = {
   total_steps : int;
 }
 
-(* Geometric-ish think time from a per-process deterministic stream. *)
+(* Geometric think time (expectation [mean], seeded per process): one
+   uniform draw inverted through Ixmath.geometric, so the distribution is
+   shared verbatim with the native lock service. *)
 let think_stream ~seed ~pid =
   let st = Random.State.make [| seed; pid |] in
-  fun ~mean -> if mean = 0 then 0 else Random.State.int st (2 * mean)
+  fun ~mean ->
+    if mean = 0 then 0
+    else Ixmath.geometric ~u:(Random.State.float st 1.0) ~mean
 
-let run_mutex (module A : Mutex_intf.ALG) config =
+exception Stalled of { alg : string; stopped : Runner.stopped;
+                       acquisitions : int; max_steps : int }
+
+let () =
+  Printexc.register_printer (function
+    | Stalled { alg; stopped; acquisitions; max_steps } ->
+      Some
+        (Format.asprintf
+           "Workload.Stalled: %s exhausted its step budget (%a after %d \
+            scheduler steps, %d acquisitions completed) — raise \
+            ~max_steps or shrink the workload"
+           alg Runner.pp_stopped stopped max_steps acquisitions)
+    | _ -> None)
+
+let run_mutex ?(max_steps = 10_000_000) (module A : Mutex_intf.ALG) config =
   let p = Mutex_intf.params config.n in
   if not (A.supports p) then invalid_arg (A.name ^ ": unsupported");
   let memory = Memory.create () in
@@ -54,8 +73,7 @@ let run_mutex (module A : Mutex_intf.ALG) config =
   in
   let procs = Array.init config.n proc in
   let out =
-    Runner.run ~max_steps:10_000_000 ~memory
-      ~pick:(Schedule.round_robin ()) procs
+    Runner.run ~max_steps ~memory ~pick:(Schedule.round_robin ()) procs
   in
   (match Spec.mutual_exclusion out.Runner.trace ~nprocs:config.n with
   | None -> ()
@@ -63,6 +81,12 @@ let run_mutex (module A : Mutex_intf.ALG) config =
     invalid_arg (Format.asprintf "%s: %a" A.name Spec.pp_violation v));
   let entries = Measures.mutex_wc_entry out.Runner.trace ~nprocs:config.n in
   let acquisitions = List.length entries in
+  (* A run cut short by the step budget has under-counted acquisitions
+     and truncated fragments: refuse to report them as measurements. *)
+  (match out.Runner.stopped with
+  | Runner.Quiescent -> ()
+  | (Runner.Out_of_steps | Runner.Picker_done) as stopped ->
+    raise (Stalled { alg = A.name; stopped; acquisitions; max_steps }));
   let steps = List.map (fun (_, s) -> s.Measures.steps) entries in
   let regs = List.map (fun (_, s) -> s.Measures.registers) entries in
   (* Contention level: how many processes are in their entry code at each

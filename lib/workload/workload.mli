@@ -14,7 +14,8 @@ open Cfc_mutex
 
 type config = {
   n : int;  (** processes *)
-  rounds : int;  (** critical-section cycles per process *)
+  rounds : int;  (** critical-section cycles per process; [0] is legal and
+                     yields an empty, NaN-free result *)
   mean_think : int;
       (** average remainder-section delay in scheduler turns (geometric,
           seeded); 0 = saturation, large = rare contention *)
@@ -23,6 +24,21 @@ type config = {
 }
 
 val default : config
+
+val think_stream : seed:int -> pid:int -> (mean:int -> int)
+(** Per-process deterministic think-time stream: successive calls return
+    independent draws from a geometric distribution on [{0, 1, 2, …}]
+    with expectation [mean] ({!Cfc_base.Ixmath.geometric} over a seeded
+    [Random.State]), so delays have the memoryless shape the
+    "well-designed system" regime assumes — most waits short, a long
+    tail, mean exactly [mean].  [mean = 0] always returns 0. *)
+
+exception Stalled of { alg : string; stopped : Cfc_runtime.Runner.stopped;
+                       acquisitions : int; max_steps : int }
+(** Raised by {!run_mutex} when the run exhausts its scheduler-step
+    budget (or the picker gives up) before every process finishes its
+    rounds: the statistics of a truncated run silently under-report
+    acquisitions, so they are never returned. *)
 
 type result = {
   acquisitions : int;  (** completed entries observed *)
@@ -38,10 +54,12 @@ type result = {
   total_steps : int;
 }
 
-val run_mutex : Registry.alg -> config -> result
+val run_mutex : ?max_steps:int -> Registry.alg -> config -> result
 (** Runs the workload under round-robin scheduling (every process makes
     progress, delays come from think time) and extracts the metrics.
-    Raises on a mutual exclusion violation. *)
+    Raises on a mutual exclusion violation, and {!Stalled} if the run
+    does not reach quiescence within [max_steps] scheduler steps
+    (default 10,000,000). *)
 
 val contention_sweep :
   Registry.alg -> n:int -> rounds:int -> thinks:int list -> seed:int ->

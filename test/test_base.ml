@@ -55,6 +55,97 @@ let prop_bits_roundtrip =
       let w = Ixmath.bits_needed v in
       v < Ixmath.pow2 w && (w = 1 || v >= Ixmath.pow2 (w - 1)))
 
+(* Hardening near max_int: the log-domain helpers must stay exact where
+   naive power-growing loops would wrap, and ipow must raise rather than
+   silently overflow. *)
+let test_ixmath_extremes () =
+  check "floor_log2 max_int" 61 (Ixmath.floor_log2 max_int);
+  check "ceil_log2 max_int" 62 (Ixmath.ceil_log2 max_int);
+  check "floor_log2 2^61" 61 (Ixmath.floor_log2 (Ixmath.pow2 61));
+  check "bits_needed max_int" 62 (Ixmath.bits_needed max_int);
+  check "ceil_div max_int 1" max_int (Ixmath.ceil_div max_int 1);
+  check "ceil_div max_int max_int" 1 (Ixmath.ceil_div max_int max_int);
+  check "ceil_log 2 max_int" 62 (Ixmath.ceil_log ~base:2 max_int);
+  check "ipow 2 61" (Ixmath.pow2 61) (Ixmath.ipow 2 61);
+  let raises f =
+    match f () with exception Invalid_argument _ -> true | _ -> false
+  in
+  check_bool "ipow 2 62 raises" true (raises (fun () -> Ixmath.ipow 2 62));
+  check_bool "ipow 3 40 raises" true (raises (fun () -> Ixmath.ipow 3 40));
+  check_bool "ipow 10 19 raises" true (raises (fun () -> Ixmath.ipow 10 19));
+  check "ipow 0 0" 1 (Ixmath.ipow 0 0);
+  check "ipow 0 5" 0 (Ixmath.ipow 0 5);
+  check "ipow 1 max" 1 (Ixmath.ipow 1 1_000_000);
+  check_bool "floor_log2 0 raises" true (raises (fun () -> Ixmath.floor_log2 0));
+  check_bool "ceil_div by 0 raises" true (raises (fun () -> Ixmath.ceil_div 1 0));
+  check_bool "ceil_div neg raises" true (raises (fun () -> Ixmath.ceil_div (-1) 2));
+  check_bool "ceil_log base 1 raises" true
+    (raises (fun () -> Ixmath.ceil_log ~base:1 5));
+  check_bool "bits_needed neg raises" true
+    (raises (fun () -> Ixmath.bits_needed (-1)))
+
+(* A reference pow that saturates instead of wrapping lets the properties
+   run right up against max_int. *)
+let sat_pow b e =
+  let rec go acc e =
+    if e = 0 then acc
+    else if acc > max_int / b then max_int
+    else go (acc * b) (e - 1)
+  in
+  go 1 e
+
+let prop_floor_log2_near_max =
+  QCheck.Test.make ~count:500 ~name:"floor_log2 exact near max_int"
+    QCheck.(int_range 0 2000)
+    (fun d ->
+      let n = max_int - d in
+      let k = Ixmath.floor_log2 n in
+      let above = sat_pow 2 (k + 1) in
+      (* A saturated power stands for a value beyond max_int >= n. *)
+      sat_pow 2 k <= n && (above > n || above = max_int))
+
+let prop_ceil_div_near_max =
+  QCheck.Test.make ~count:500 ~name:"ceil_div characterization near max_int"
+    QCheck.(pair (int_range 0 5000) (int_range 1 1_000_000))
+    (fun (d, b) ->
+      let a = max_int - d in
+      let q = Ixmath.ceil_div a b in
+      (* q is the least integer with q*b >= a (stated division-side to
+         avoid overflowing the test itself). *)
+      q >= a / b
+      && q - (a / b) <= 1
+      && (a mod b = 0) = (q = a / b))
+
+let prop_ceil_log_near_max =
+  QCheck.Test.make ~count:500 ~name:"ceil_log least depth near max_int"
+    QCheck.(pair (int_range 2 16) (int_range 0 5000))
+    (fun (base, d) ->
+      let n = max_int - d in
+      let depth = Ixmath.ceil_log ~base n in
+      sat_pow base depth >= n && (depth = 1 || sat_pow base (depth - 1) < n))
+
+let prop_ipow_raises_or_exact =
+  QCheck.Test.make ~count:1000 ~name:"ipow never wraps: exact or raises"
+    QCheck.(pair (int_range 2 1000) (int_range 0 70))
+    (fun (b, e) ->
+      match Ixmath.ipow b e with
+      | v -> sat_pow b e = v && v < max_int
+      | exception Invalid_argument _ -> sat_pow b e = max_int)
+
+let prop_geometric_mean =
+  QCheck.Test.make ~count:20 ~name:"geometric inversion has the right mean"
+    QCheck.(int_range 1 50)
+    (fun mean ->
+      let st = Random.State.make [| 7; mean |] in
+      let n = 20_000 in
+      let sum = ref 0 in
+      for _ = 1 to n do
+        sum :=
+          !sum + Ixmath.geometric ~u:(Random.State.float st 1.0) ~mean
+      done;
+      let emp = float_of_int !sum /. float_of_int n in
+      Float.abs (emp -. float_of_int mean) < 0.1 *. float_of_int mean +. 0.5)
+
 let test_ops_strings () =
   List.iter
     (fun op ->
@@ -114,7 +205,14 @@ let () =
           Alcotest.test_case "bits_needed" `Quick test_bits_needed;
           Alcotest.test_case "ceil_div/log" `Quick test_ceil_div_log;
           QCheck_alcotest.to_alcotest prop_ceil_log_is_least;
-          QCheck_alcotest.to_alcotest prop_bits_roundtrip ] );
+          QCheck_alcotest.to_alcotest prop_bits_roundtrip;
+          Alcotest.test_case "extremes near max_int" `Quick
+            test_ixmath_extremes;
+          QCheck_alcotest.to_alcotest prop_floor_log2_near_max;
+          QCheck_alcotest.to_alcotest prop_ceil_div_near_max;
+          QCheck_alcotest.to_alcotest prop_ceil_log_near_max;
+          QCheck_alcotest.to_alcotest prop_ipow_raises_or_exact;
+          QCheck_alcotest.to_alcotest prop_geometric_mean ] );
       ( "ops+models",
         [ Alcotest.test_case "ops strings" `Quick test_ops_strings;
           Alcotest.test_case "model algebra" `Quick test_model_algebra;

@@ -173,6 +173,135 @@ let test_rec_tas_recovery_exact () =
     not_held
 
 (* ------------------------------------------------------------------ *)
+(* Occupancy windows across crash–recovery                             *)
+(* ------------------------------------------------------------------ *)
+
+(* A crash + recovery inside someone's entry window must not corrupt the
+   winner's §2.2 fragment: the recovered process restarts in Remainder,
+   so it stops occupying the critical section / exit code from the
+   recovery on.  Before trace-level region bookkeeping learned about
+   [Recover] events, the crashed incarnation's stale [Exiting] region
+   (i) clipped the winner's entry fragment to zero steps and (ii)
+   attached a spurious exit fragment to the restarted incarnation. *)
+let run_crash_proto ~faults ~mid =
+  let memory = Memory.create () in
+  let module M = (val Sim_mem.mem memory) in
+  let a = M.alloc ~name:"a" ~width:4 ~init:0 () in
+  let b = M.alloc ~name:"b" ~width:4 ~init:0 () in
+  let scratch = M.alloc ~name:"s" ~width:4 ~init:0 () in
+  (* 4 accesses per cycle: read a (entry), write scratch (CS), write a +
+     write b (exit) — a two-step exit so a fault can land mid-exit. *)
+  let proc me () =
+    Proc.region Event.Trying;
+    ignore (M.read a);
+    Proc.region Event.Critical;
+    M.write scratch me;
+    Proc.region Event.Exiting;
+    M.write a me;
+    M.write b me;
+    Proc.region Event.Remainder
+  in
+  let procs = [| proc 0; proc 1 |] in
+  (* p1 first (all 4 accesses fault-free, 3 when crashed mid-exit), then
+     p0's full cycle, then whatever is left of p1. *)
+  let prefix = List.init (if mid then 3 else 4) (fun _ -> 1) in
+  let pick =
+    Schedule.pref_then prefix
+      (Schedule.pref_then [ 0; 0; 0; 0 ] (Schedule.solo 1))
+  in
+  Runner.run ~memory ~pick ~faults procs
+
+let test_winner_fragment_survives_fault () =
+  let fragment_of out =
+    match
+      List.filter (fun (pid, _) -> pid = 0)
+        (Measures.mutex_wc_entry out.Runner.trace ~nprocs:2)
+    with
+    | [ (_, s) ] -> s
+    | other ->
+      Alcotest.failf "expected exactly one p0 entry, got %d"
+        (List.length other)
+  in
+  let clean = fragment_of (run_crash_proto ~faults:[] ~mid:false) in
+  check "fault-free winner fragment" 1 clean.Measures.steps;
+  (* Crash p1 just before scheduler step 3 — after its exit's first
+     write, before the second — and restart it in the same step. *)
+  let faults =
+    [ Fault.crash ~step:3 ~pid:1; Fault.recover ~step:3 ~pid:1 ]
+  in
+  let out = run_crash_proto ~faults ~mid:true in
+  let faulted = fragment_of out in
+  check "winner fragment unchanged by mid-exit crash" clean.Measures.steps
+    faulted.Measures.steps;
+  check "winner registers unchanged" clean.Measures.registers
+    faulted.Measures.registers;
+  (* The restarted incarnation's completed exit is the only p1 exit
+     fragment; the half-done pre-crash exit must not leak one. *)
+  let p1_exits =
+    List.filter (fun (pid, _) -> pid = 1)
+      (Measures.mutex_wc_exit out.Runner.trace ~nprocs:2)
+  in
+  (match p1_exits with
+  | [ (_, s) ] -> check "restarted exit steps" 2 s.Measures.steps
+  | other ->
+    Alcotest.failf "expected exactly one p1 exit fragment, got %d"
+      (List.length other));
+  (* regions_at agrees: after the recovery (and before p1 restarts), p1
+     is back in Remainder, not ghost-occupying Exiting. *)
+  let crash_seq =
+    Trace.fold
+      (fun acc e ->
+        match e.Event.body with Event.Recover -> e.Event.seq | _ -> acc)
+      (-1) out.Runner.trace
+  in
+  let regions = Trace.regions_at out.Runner.trace (crash_seq + 1) ~nprocs:2 in
+  check_bool "p1 region reset on recovery" true
+    (Event.region_equal regions.(1) Event.Remainder)
+
+(* ------------------------------------------------------------------ *)
+(* Remote accesses: local spin vs spin on shared (§1.2 / YA93)         *)
+(* ------------------------------------------------------------------ *)
+
+let rmr_per_acq (module A : Mutex_intf.ALG) ~n ~rounds ~cs_len ~seed =
+  let p = Mutex_intf.params n in
+  let memory = Memory.create () in
+  let module M = (val Sim_mem.mem memory) in
+  let module L = A.Make (M) in
+  let inst = L.create p in
+  let scratch = M.alloc ~name:"s" ~width:8 ~init:0 () in
+  let proc me () =
+    for _ = 1 to rounds do
+      Proc.region Event.Trying;
+      L.lock inst ~me;
+      Proc.region Event.Critical;
+      for k = 1 to cs_len do
+        M.write scratch (k land 255)
+      done;
+      Proc.region Event.Exiting;
+      L.unlock inst ~me;
+      Proc.region Event.Remainder
+    done
+  in
+  let out =
+    Runner.run ~memory ~pick:(Schedule.random ~seed) (Array.init n proc)
+  in
+  let remote = Measures.remote_accesses out.Runner.trace ~nprocs:n in
+  float_of_int (Array.fold_left ( + ) 0 remote) /. float_of_int (n * rounds)
+
+(* The mcs-lock waiter spins on a flag only its predecessor writes, so
+   its remote accesses per acquisition stay bounded at any contention;
+   tas-lock spins with test-and-set writes on the one shared bit, so its
+   remote count grows with contention. *)
+let prop_local_spin_vs_shared_spin =
+  QCheck.Test.make ~count:15 ~name:"mcs bounded rmr, tas grows (YA93)"
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let mcs6 = rmr_per_acq Registry.mcs ~n:6 ~rounds:5 ~cs_len:20 ~seed in
+      let tas2 = rmr_per_acq Registry.tas_lock ~n:2 ~rounds:5 ~cs_len:20 ~seed in
+      let tas6 = rmr_per_acq Registry.tas_lock ~n:6 ~rounds:5 ~cs_len:20 ~seed in
+      mcs6 <= 20.0 && tas6 > tas2 && tas6 > 2.0 *. mcs6)
+
+(* ------------------------------------------------------------------ *)
 (* Bound formulas                                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -332,7 +461,10 @@ let () =
           Alcotest.test_case "decisions" `Quick test_decisions;
           Alcotest.test_case "recovery paths" `Quick test_recovery_paths;
           Alcotest.test_case "rec-tas exact recovery cost" `Quick
-            test_rec_tas_recovery_exact ] );
+            test_rec_tas_recovery_exact;
+          Alcotest.test_case "winner fragment survives mid-exit crash"
+            `Quick test_winner_fragment_survives_fault;
+          QCheck_alcotest.to_alcotest prop_local_spin_vs_shared_spin ] );
       ( "bounds",
         [ Alcotest.test_case "spot values" `Quick test_bound_values;
           Alcotest.test_case "monotonicity" `Quick test_bound_monotone;

@@ -109,6 +109,194 @@ let test_fast_beats_bakery_shape () =
   check_bool "lamport flat in n" true (fast_big < 4. *. fast_small +. 100.);
   check_bool "bakery much slower at n=256" true (bakery_big > 5. *. fast_big)
 
+(* ------------------------------------------------------------------ *)
+(* Instrumented memory, latency histograms, lock service               *)
+(* ------------------------------------------------------------------ *)
+
+(* The simulated twin of a solo lock-service run: the instrumented
+   native counters must reproduce its trace-computed numbers exactly. *)
+let sim_solo_counters (module A : Mutex_intf.ALG) ~rounds ~cs_len =
+  let open Cfc_runtime in
+  let p = Mutex_intf.params 2 in
+  let memory = Memory.create () in
+  let module M = (val Sim_mem.mem memory) in
+  let module L = A.Make (M) in
+  let inst = L.create p in
+  let scratch = M.alloc ~name:"svc.scratch" ~width:8 ~init:0 () in
+  let proc0 () =
+    for _ = 1 to rounds do
+      L.lock inst ~me:0;
+      for k = 1 to cs_len do
+        M.write scratch (k land 255)
+      done;
+      L.unlock inst ~me:0
+    done
+  in
+  let out =
+    Runner.run ~memory ~pick:(Schedule.solo 0) [| proc0; (fun () -> ()) |]
+  in
+  let s =
+    (Cfc_core.Measures.per_process_samples out.Runner.trace ~nprocs:2).(0)
+  in
+  let remote =
+    Cfc_core.Measures.remote_accesses out.Runner.trace ~nprocs:2
+  in
+  (s.Cfc_core.Measures.steps, s.Cfc_core.Measures.read_steps,
+   s.Cfc_core.Measures.write_steps, remote.(0))
+
+(* Uncontended, the instrumented counters are not estimates: ops, reads,
+   writes and the write-invalidate RMR count must equal the simulated
+   solo run's trace measures for every registry algorithm. *)
+let test_instr_matches_sim_solo () =
+  let rounds = 40 and cs_len = 3 in
+  List.iter
+    (fun (module A : Mutex_intf.ALG) ->
+      if A.supports (Mutex_intf.params 2) then begin
+        let r =
+          Cfc_native.Lock_service.run
+            (module A)
+            { Cfc_native.Lock_service.domains = 1; rounds; mean_think = 0;
+              cs_len; seed = 1 }
+        in
+        let c = r.Cfc_native.Lock_service.counters in
+        let steps, reads, writes, rmr =
+          sim_solo_counters (module A) ~rounds ~cs_len
+        in
+        check (A.name ^ " ops = sim steps") steps c.Cfc_native.Instr_mem.ops;
+        check (A.name ^ " reads") reads c.Cfc_native.Instr_mem.reads;
+        check (A.name ^ " writes") writes c.Cfc_native.Instr_mem.writes;
+        check (A.name ^ " rmr = sim remote") rmr c.Cfc_native.Instr_mem.rmr;
+        check (A.name ^ " ops split") c.Cfc_native.Instr_mem.ops
+          (c.Cfc_native.Instr_mem.reads + c.Cfc_native.Instr_mem.writes);
+        check_bool (A.name ^ " exclusion") true
+          r.Cfc_native.Lock_service.exclusion_ok
+      end)
+    Registry.all
+
+(* Counter semantics on hand-driven accesses: the failed CAS is a read,
+   bit ops classify by Ops.writes, and the RMR mask behaves like the
+   YA93 model (second read local, invalidation makes it remote again). *)
+let test_instr_counter_semantics () =
+  let t = Cfc_native.Instr_mem.create ~nprocs:2 in
+  let module M = (val Cfc_native.Instr_mem.mem t) in
+  Cfc_native.Instr_mem.register_worker t ~me:0;
+  let r = M.alloc ~width:8 ~init:5 () in
+  check "read" 5 (M.read r);
+  check "read again" 5 (M.read r);
+  M.write r 7;
+  check_bool "cas miss" false (M.compare_and_set r ~expected:9 3);
+  check_bool "cas hit" true (M.compare_and_set r ~expected:7 3);
+  let c = (Cfc_native.Instr_mem.per_domain t).(0) in
+  check "ops" 5 c.Cfc_native.Instr_mem.ops;
+  (* 2 reads + failed CAS *)
+  check "reads" 3 c.Cfc_native.Instr_mem.reads;
+  (* write + successful CAS *)
+  check "writes" 2 c.Cfc_native.Instr_mem.writes;
+  check "cas attempts" 2 c.Cfc_native.Instr_mem.cas_attempts;
+  check "cas failures" 1 c.Cfc_native.Instr_mem.cas_failures;
+  (* First read remote, second local; own write/CAS keep the copy
+     valid: exactly 1 remote reference. *)
+  check "rmr" 1 c.Cfc_native.Instr_mem.rmr;
+  (* A write by the other worker invalidates worker 0's copy. *)
+  Cfc_native.Instr_mem.register_worker t ~me:1;
+  M.write r 1;
+  Cfc_native.Instr_mem.register_worker t ~me:0;
+  check "reread" 1 (M.read r);
+  let c0 = (Cfc_native.Instr_mem.per_domain t).(0) in
+  check "rmr after invalidation" 2 c0.Cfc_native.Instr_mem.rmr;
+  let c1 = (Cfc_native.Instr_mem.per_domain t).(1) in
+  check "other worker's write was remote" 1 c1.Cfc_native.Instr_mem.rmr;
+  (* Unregistered domains are rejected, not misattributed. *)
+  let t2 = Cfc_native.Instr_mem.create ~nprocs:2 in
+  let module M2 = (val Cfc_native.Instr_mem.mem t2) in
+  let r2 = M2.alloc ~width:4 ~init:0 () in
+  match M2.read r2 with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "unregistered access accepted"
+
+let test_latency_hist () =
+  let open Cfc_native.Latency_hist in
+  let h = create () in
+  check "empty count" 0 (count h);
+  check "empty max" 0 (max_ns h);
+  check_bool "empty percentile" true (percentile h 0.5 = 0.0);
+  for _ = 1 to 1000 do
+    record h 100
+  done;
+  check "count" 1000 (count h);
+  check "max" 100 (max_ns h);
+  (* Constant distribution: every percentile in the same bucket, within
+     a factor sqrt 2 of the true value. *)
+  List.iter
+    (fun q ->
+      let v = percentile h q in
+      check_bool
+        (Printf.sprintf "p%.0f=%.0f near 100" (100. *. q) v)
+        true
+        (v >= 100. /. sqrt 2. && v <= 100. *. sqrt 2.))
+    [ 0.5; 0.9; 0.99; 1.0 ];
+  (* Spread distribution: percentiles are monotone and below max. *)
+  let s = create () in
+  List.iter (record s) [ 10; 20; 40; 80; 5000; 10_000; 100_000; 1 ];
+  let p50 = percentile s 0.5 and p90 = percentile s 0.9 in
+  let p99 = percentile s 0.99 in
+  check_bool "p50 <= p90" true (p50 <= p90);
+  check_bool "p90 <= p99" true (p90 <= p99);
+  check_bool "p99 <= max" true (p99 <= float_of_int (max_ns s));
+  let m = create () in
+  merge_into ~into:m h;
+  merge_into ~into:m s;
+  check "merged count" 1008 (count m);
+  check "merged max" 100_000 (max_ns m)
+
+(* The off switch is the plain backend: a run without instrumentation
+   still measures time and exclusion but reports all-zero counters. *)
+let test_lock_service_passthrough () =
+  let r =
+    Cfc_native.Lock_service.run ~instrument:false Registry.mcs
+      { Cfc_native.Lock_service.domains = 1; rounds = 200; mean_think = 0;
+        cs_len = 3; seed = 7 }
+  in
+  check "acquisitions" 200 r.Cfc_native.Lock_service.acquisitions;
+  check_bool "exclusion" true r.Cfc_native.Lock_service.exclusion_ok;
+  check_bool "throughput measured" true
+    (r.Cfc_native.Lock_service.throughput > 0.0);
+  check "no counters" 0
+    r.Cfc_native.Lock_service.counters.Cfc_native.Instr_mem.ops;
+  check_bool "rmr/acq zero" true
+    (r.Cfc_native.Lock_service.rmr_per_acq = 0.0)
+
+(* Real domains under contention: exclusion witnessed, histogram filled,
+   per-domain counters all active. *)
+let test_lock_service_contended () =
+  let domains = min 4 (max 2 (Domain.recommended_domain_count () - 1)) in
+  let rounds = 500 in
+  List.iter
+    (fun (module A : Mutex_intf.ALG) ->
+      if A.supports (Mutex_intf.params (max 2 domains)) then begin
+        let r =
+          Cfc_native.Lock_service.run
+            (module A)
+            { Cfc_native.Lock_service.domains; rounds; mean_think = 5;
+              cs_len = 3; seed = 3 }
+        in
+        check (A.name ^ " acquisitions") (domains * rounds)
+          r.Cfc_native.Lock_service.acquisitions;
+        check_bool (A.name ^ " exclusion held") true
+          r.Cfc_native.Lock_service.exclusion_ok;
+        check_bool (A.name ^ " latency ordered") true
+          (r.Cfc_native.Lock_service.p50_ns
+           <= r.Cfc_native.Lock_service.p99_ns
+          && r.Cfc_native.Lock_service.p99_ns
+             <= float_of_int r.Cfc_native.Lock_service.max_ns);
+        (* Every acquisition writes the CS scratch cs_len times, so each
+           domain's write counter is at least rounds * cs_len. *)
+        check_bool (A.name ^ " ops counted") true
+          (r.Cfc_native.Lock_service.counters.Cfc_native.Instr_mem.writes
+           >= domains * rounds * 3)
+      end)
+    Registry.all
+
 let () =
   Alcotest.run "cfc_native"
     [ ( "semantics",
@@ -124,4 +312,14 @@ let () =
           Alcotest.test_case "native naming" `Slow test_native_naming ] );
       ( "shape",
         [ Alcotest.test_case "fast beats bakery" `Slow
-            test_fast_beats_bakery_shape ] ) ]
+            test_fast_beats_bakery_shape ] );
+      ( "lock-service",
+        [ Alcotest.test_case "instrumented rmr equals sim solo" `Quick
+            test_instr_matches_sim_solo;
+          Alcotest.test_case "counter semantics" `Quick
+            test_instr_counter_semantics;
+          Alcotest.test_case "latency histogram" `Quick test_latency_hist;
+          Alcotest.test_case "passthrough when off" `Quick
+            test_lock_service_passthrough;
+          Alcotest.test_case "contended service" `Slow
+            test_lock_service_contended ] ) ]

@@ -97,6 +97,64 @@ let test_sweep_shape () =
     (fun (_, r) -> check "acquisitions" 40 r.Workload.acquisitions)
     sweep
 
+(* The think-time stream must be genuinely geometric (memoryless, mean
+   [mean]), not a bounded uniform: a uniform draw on [0, 2*mean] can
+   never exceed twice the mean, while the geometric tail does so
+   routinely, and its empirical mean sits at [mean] rather than below
+   it. *)
+let test_think_stream_geometric () =
+  let mean = 10 in
+  let draw = Workload.think_stream ~seed:123 ~pid:0 in
+  let n = 100_000 in
+  let sum = ref 0 and maxv = ref 0 in
+  for _ = 1 to n do
+    let v = draw ~mean in
+    check_bool "nonnegative" true (v >= 0);
+    sum := !sum + v;
+    if v > !maxv then maxv := v
+  done;
+  let emp = float_of_int !sum /. float_of_int n in
+  check_bool
+    (Printf.sprintf "tail exceeds 3x mean (max %d)" !maxv)
+    true (!maxv >= 3 * mean);
+  check_bool
+    (Printf.sprintf "empirical mean %.2f within 0.2 of %d" emp mean)
+    true
+    (Float.abs (emp -. float_of_int mean) < 0.2);
+  (* Deterministic per (seed, pid); distinct pids decorrelated. *)
+  let a = Workload.think_stream ~seed:5 ~pid:1 in
+  let b = Workload.think_stream ~seed:5 ~pid:1 in
+  let c = Workload.think_stream ~seed:5 ~pid:2 in
+  let sa = List.init 50 (fun _ -> a ~mean) in
+  let sb = List.init 50 (fun _ -> b ~mean) in
+  let sc = List.init 50 (fun _ -> c ~mean) in
+  Alcotest.(check (list int)) "same (seed, pid) replays" sa sb;
+  check_bool "different pid differs" true (sa <> sc);
+  let z = Workload.think_stream ~seed:5 ~pid:0 in
+  check "mean 0 is always 0" 0
+    (List.fold_left ( + ) 0 (List.init 100 (fun _ -> z ~mean:0)))
+
+(* rounds = 0 is a legal empty run: zero acquisitions and well-defined
+   (non-NaN) statistics. *)
+let test_empty_run () =
+  let r = Workload.run_mutex Registry.lamport_fast (cfg ~rounds:0 ()) in
+  check "no acquisitions" 0 r.Workload.acquisitions;
+  check_bool "mean is finite" true (Float.is_finite r.Workload.entry_steps_mean);
+  check_bool "contention is finite" true
+    (Float.is_finite r.Workload.observed_contention);
+  check "max steps" 0 r.Workload.entry_steps_max;
+  check "max regs" 0 r.Workload.entry_registers_max
+
+(* Exhausting the step budget must raise, not silently return the
+   statistics of a truncated run. *)
+let test_stall_raises () =
+  match Workload.run_mutex ~max_steps:50 Registry.bakery (cfg ()) with
+  | _ -> Alcotest.fail "truncated run reported as a measurement"
+  | exception Workload.Stalled { alg; acquisitions; max_steps; _ } ->
+    check_bool "alg recorded" true (alg = "bakery");
+    check "budget recorded" 50 max_steps;
+    check_bool "under-count visible" true (acquisitions < 6 * 30)
+
 (* Determinism: same seed, same numbers. *)
 let test_deterministic () =
   let a = Workload.run_mutex Registry.lamport_fast (cfg ()) in
@@ -120,4 +178,10 @@ let () =
             test_fast_beats_bakery_rare_contention;
           Alcotest.test_case "contention dial" `Quick test_contention_dial;
           Alcotest.test_case "sweep shape" `Quick test_sweep_shape;
-          Alcotest.test_case "deterministic" `Quick test_deterministic ] ) ]
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "think stream is geometric" `Quick
+            test_think_stream_geometric;
+          Alcotest.test_case "empty run is well-defined" `Quick
+            test_empty_run;
+          Alcotest.test_case "step-budget exhaustion raises" `Quick
+            test_stall_raises ] ) ]
