@@ -94,6 +94,22 @@ let json_of_entry e =
     | None -> "")
     e.r.Lock_service.exclusion_ok
 
+(* The symbolic analyzer's prediction of the same distinction, from the
+   access graph alone (no execution under contention): a register spun
+   on inside a busy-wait cycle that other processes write only in
+   straight-line code is bounded-RMR (local-spin); one written inside
+   another process's cycle is not.  Recorded next to the measurement so
+   the static-vs-measured comparison accumulates across runs. *)
+let static_style name =
+  match Registry.find name with
+  | None -> "unknown"
+  | Some alg -> (
+    match Cfc_analysis.Subjects.of_mutex ~n:2 alg with
+    | None -> "unknown"
+    | Some subject ->
+      Cfc_analysis.Analyze.(
+        spin_class_name (analyze subject).spin_class))
+
 (* Spin-style classification from the measurements themselves: an
    algorithm spins locally iff saturating it leaves rmr/acq within a
    small factor of its solo cost. *)
@@ -110,8 +126,8 @@ let classify entries =
   let min_think =
     List.fold_left (fun m e -> min m e.mean_think) max_int entries
   in
-  Printf.printf "\n%-18s %10s %10s  spin style (measured)\n" "algorithm"
-    "solo rmr" "sat rmr";
+  Printf.printf "\n%-18s %10s %10s  %-15s %s\n" "algorithm" "solo rmr"
+    "sat rmr" "measured" "static";
   List.filter_map
     (fun name ->
       match
@@ -123,8 +139,9 @@ let classify entries =
         and c = sat.r.Lock_service.rmr_per_acq in
         let style = if c <= (4.0 *. s) +. 2.0 then "local-spin" else
             "spin-on-shared" in
-        Printf.printf "%-18s %10.2f %10.2f  %s\n" name s c style;
-        Some (name, s, c, style)
+        let static = static_style name in
+        Printf.printf "%-18s %10.2f %10.2f  %-15s %s\n" name s c style static;
+        Some (name, s, c, style, static)
       | _ -> None)
     names
 
@@ -152,11 +169,12 @@ let () =
   let json_styles =
     String.concat ",\n"
       (List.map
-         (fun (name, solo, sat, style) ->
+         (fun (name, solo, sat, style, static) ->
            Printf.sprintf
              "    {\"name\": %S, \"solo_rmr_per_acq\": %.4f, \
-              \"saturated_rmr_per_acq\": %.4f, \"style\": %S}"
-             name solo sat style)
+              \"saturated_rmr_per_acq\": %.4f, \"style\": %S, \
+              \"static_style\": %S}"
+             name solo sat style static)
          styles)
   in
   let oc = open_out "BENCH_native.json" in

@@ -10,7 +10,8 @@
      mcheck     bounded-exhaustive verification of an algorithm
      cf         contention-free complexity of one algorithm
      faults     crash-recovery injection, chaos schedules, diagnostics
-     native     domain-parallel lock service with RMR counters *)
+     native     domain-parallel lock service with RMR counters
+     lint       static access-graph analysis gate (CI fails on errors) *)
 
 open Cmdliner
 open Cfc_base
@@ -160,8 +161,21 @@ let mcheck_cmd =
       { Cfc_mcheck.Explore.max_depth = depth; max_steps_per_proc = depth;
         max_states = 2_000_000 }
     in
+    (* Pre-classify replay safety statically so an unsafe algorithm
+       starts on the replay engine instead of burning half the search
+       before the incremental engine's dynamic fallback fires. *)
+    let replay_safe =
+      match Cfc_analysis.Subjects.of_mutex ~l ~n alg with
+      | None -> true
+      | Some subject ->
+        let report = Cfc_analysis.Analyze.analyze subject in
+        if not report.Cfc_analysis.Analyze.replay_safe then
+          Printf.printf
+            "note: statically replay-unsafe; using the replay engine\n";
+        report.Cfc_analysis.Analyze.replay_safe
+    in
     match
-      Cfc_mcheck.Props.check_mutex ~config ~engine ~domains alg
+      Cfc_mcheck.Props.check_mutex ~config ~engine ~domains ~replay_safe alg
         { Mutex_intf.n; l }
     with
     | Cfc_mcheck.Explore.Ok stats ->
@@ -424,6 +438,45 @@ let models_cmd =
        ~doc:"Classify all 256 operation models (the §3.3 exercise).")
     Term.(const run $ all_arg)
 
+let lint_cmd =
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Also write the JSON report to $(docv) ('-' for stdout).")
+  in
+  let fixtures_arg =
+    Arg.(
+      value & flag
+      & info [ "fixtures" ]
+          ~doc:
+            "Include the deliberately broken fixtures; the gate must then \
+             exit nonzero.")
+  in
+  let run json fixtures =
+    let outcome = Cfc_analysis.Lint.run ~fixtures () in
+    (* With the JSON report on stdout, keep stdout machine-readable and
+       let the table go to callers that asked for a file (or nothing). *)
+    (match json with
+    | Some "-" -> print_string (Cfc_analysis.Lint.to_json outcome)
+    | Some path ->
+      Cfc_analysis.Lint.print outcome;
+      let oc = open_out path in
+      output_string oc (Cfc_analysis.Lint.to_json outcome);
+      close_out oc;
+      Printf.printf "wrote %s\n" path
+    | None -> Cfc_analysis.Lint.print outcome);
+    Stdlib.exit (Cfc_analysis.Lint.exit_code outcome)
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Static analysis gate: symbolic access-graph CF complexity vs \
+          closed forms and traces, atomicity conformance, spin structure, \
+          replay safety, and the determinism source scan.")
+    Term.(const run $ json_arg $ fixtures_arg)
+
 let () =
   let doc =
     "Reproduction of Alur & Taubenfeld, 'Contention-Free Complexity of \
@@ -435,4 +488,4 @@ let () =
           (Cmd.info "cfc-tables" ~version:"1.0.0" ~doc)
           [ mutex_cmd; naming_cmd; sweep_cmd; detect_cmd; unbounded_cmd;
             cf_cmd; mcheck_cmd; backoff_cmd; trace_cmd; faults_cmd;
-            native_cmd; models_cmd ]))
+            native_cmd; models_cmd; lint_cmd ]))

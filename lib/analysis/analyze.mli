@@ -1,0 +1,103 @@
+(** The symbolic access-graph analyzer: bounded exhaustive solo
+    exploration of one {!Subjects.t} on the {!Sym_mem} backend, the
+    per-variant shared-access graph, and the four static passes —
+    contention-free complexity, atomicity conformance, spin-structure
+    classification, and replay-safety.
+
+    Exploration: the baseline path runs with no injections (it {e is}
+    the contention-free run, so the §2.2/§3.2 measures are read off its
+    graph nodes); every value-returning access then becomes a fork
+    point, and plans of up to [max_forks] injections (strictly
+    increasing indices, values from {!Sym_mem.candidate_values}) are
+    replayed breadth-first up to [max_paths] per variant.  A path ends
+    when the body returns, the step budget runs out, a busy-wait cycle
+    is recognized (three identical observation periods), or an injected
+    value drives the algorithm into an exception (such a path is
+    infeasible under real schedules and is discarded). *)
+
+open Cfc_core
+
+type config = {
+  max_forks : int;  (** injections per path (fork depth bound) *)
+  max_paths : int;  (** replayed paths per variant *)
+  max_steps : int;  (** accesses per path *)
+  max_period : int;  (** longest busy-wait pattern recognized *)
+}
+
+val default_config : config
+
+(** A node of the shared-access graph: one shared operation, identified
+    by (register, operation class, occurrence number along its path) and
+    merged across explored paths. *)
+type node = {
+  n_reg : int;  (** register id (allocation order) *)
+  n_name : string;
+  n_width : int;
+  n_class : string;  (** {!Sym_mem.op_class} *)
+  n_occ : int;
+  mutable n_write : bool;  (** writes the register on some path *)
+  mutable n_observes : bool;  (** returns a value read from it *)
+  mutable n_cycle : bool;  (** lies on a detected busy-wait cycle *)
+  mutable n_baseline : int;
+      (** position on the contention-free baseline path, [-1] if the
+          node is reachable only under contention *)
+  mutable n_baseline_write : bool;
+}
+
+type key = int * string * int
+
+type graph = {
+  g_nodes : (key, node) Hashtbl.t;
+  g_edges : (key * key, unit) Hashtbl.t;  (** control-flow successors *)
+}
+
+type variant_report = {
+  vr_label : string;
+  vr_graph : graph;
+  vr_baseline : Measures.sample;
+      (** §2.2/§3.2 measures of the baseline path, from the graph *)
+  vr_paths : int;  (** paths replayed (including discarded ones) *)
+  vr_spin_regs : (int * string) list;
+      (** registers observed inside busy-wait cycles *)
+  vr_writes_line : int list;  (** registers written outside any cycle *)
+  vr_writes_cycle : int list;  (** registers written inside a cycle *)
+  vr_max_width : int;  (** widest register accessed on any path *)
+  vr_replay_safe : bool;
+}
+
+(** The spin-structure prediction, in the write-invalidate (YA93) model
+    the §1.2 remote-access discussion appeals to:
+    - [Wait_free]: no busy-wait cycle on any explored path;
+    - [Local_spin]: every spun-on register is remotely written only in
+      straight-line code, so each remote passage invalidates the
+      spinner's cached copy a bounded number of times (bounded RMR per
+      passage — the MCS shape);
+    - [Spin_on_shared]: some spun-on register is written {e inside}
+      another variant's busy-wait cycle, so a single adversarial
+      passage forces unboundedly many remote references (the
+      test-and-set shape). *)
+type spin_class = Wait_free | Local_spin | Spin_on_shared
+
+val spin_class_name : spin_class -> string
+
+type report = {
+  subject : Subjects.t;
+  variants : variant_report list;
+  static_cf : Measures.sample;
+      (** componentwise max of the baseline measures over variants —
+          the static contention-free complexity *)
+  nodes : int;
+  edges : int;
+  max_width : int;
+  spin_class : spin_class;
+  replay_safe : bool;
+      (** no access raising mid-body can leave the process running: the
+          static counterpart of [Scheduler.replay_safe], established by
+          probing every baseline access index (plus any genuine raise
+          observed while exploring) *)
+}
+
+val analyze : ?config:config -> Subjects.t -> report
+(** Raises [Failure] if a baseline (injection-free) solo execution does
+    not terminate within the budget — a contention-free run that spins
+    is an algorithm bug, not an analysis result. *)

@@ -1,0 +1,72 @@
+open Cfc_base
+open Cfc_mutex
+
+(* A working test-and-set lock, except that the lock register is three
+   bits wide while the declared atomicity claims single-bit accesses.
+   Solo cost (2 steps, 1 register) and the spin structure are ordinary;
+   the only defect is the width lie. *)
+module Wide_spin : Mutex_intf.ALG = struct
+  let name = "fixture-wide-spin"
+  let supports (p : Mutex_intf.params) = p.n >= 1
+  let atomicity _ = 1
+  let predicted_cf_steps _ = Some 2
+  let predicted_cf_registers _ = Some 1
+
+  module Make (M : Mem_intf.MEM) = struct
+    type t = { flag : M.reg }
+
+    let create (_ : Mutex_intf.params) =
+      { flag = M.alloc ~name:"ws.flag" ~width:3 ~init:0 () }
+
+    let lock t ~me =
+      ignore me;
+      while M.fetch_and_store t.flag 1 <> 0 do
+        M.pause ()
+      done
+
+    let unlock t ~me =
+      ignore me;
+      M.write t.flag 0
+  end
+end
+
+(* A lock that tolerates a width violation: the first entry access writes
+   2 into a 1-bit register and swallows the resulting Invalid_argument.
+   Under the scheduler the same handler would swallow a replay
+   discontinuation, so the process cannot be stopped mid-access — the
+   shape that forces the model checker onto the replay engine. *)
+module Swallows : Mutex_intf.ALG = struct
+  let name = "fixture-swallows"
+  let supports (p : Mutex_intf.params) = p.n >= 1
+  let atomicity _ = 1
+  let predicted_cf_steps _ = Some 2
+  let predicted_cf_registers _ = Some 1
+
+  module Make (M : Mem_intf.MEM) = struct
+    type t = { bit : M.reg; narrow : M.reg }
+
+    let create (_ : Mutex_intf.params) =
+      {
+        bit = M.alloc ~name:"sw.bit" ~width:1 ~init:0 ();
+        narrow = M.alloc ~name:"sw.narrow" ~width:1 ~init:0 ();
+      }
+
+    let lock t ~me =
+      ignore me;
+      (try M.write t.narrow 2 with Invalid_argument _ -> ());
+      while M.fetch_and_store t.bit 1 <> 0 do
+        M.pause ()
+      done
+
+    let unlock t ~me =
+      ignore me;
+      M.write t.bit 0
+  end
+end
+
+let wide_spin : Registry.alg = (module Wide_spin)
+let swallows : Registry.alg = (module Swallows)
+
+let subjects () =
+  List.filter_map Fun.id
+    [ Subjects.of_mutex ~n:2 wide_spin; Subjects.of_mutex ~n:2 swallows ]

@@ -1,0 +1,20 @@
+(** Deliberately defective algorithms the lint gate must flag — the
+    negative tests of the static analyzer.  They are never registered in
+    {!Cfc_mutex.Registry}; only the analysis tests and the
+    [cfc-tables lint --fixtures] gate see them. *)
+
+val wide_spin : Cfc_mutex.Registry.alg
+(** A test-and-set-style lock whose declared [atomicity] is 1 while its
+    spin register is 3 bits wide — the atomicity-conformance pass must
+    report the width excess.  Its closed forms are correct, so it
+    produces exactly one violation. *)
+
+val swallows : Cfc_mutex.Registry.alg
+(** A lock that performs an out-of-width write under [try ... with
+    Invalid_argument _ -> ()] and keeps going: the discontinuation
+    exception of a replay would be swallowed the same way, so the static
+    replay-safety pass must classify it unsafe (and the dynamic
+    [Scheduler.replay_safe] flag agrees). *)
+
+val subjects : unit -> Subjects.t list
+(** Both fixtures packaged as analysis subjects (n = 2). *)

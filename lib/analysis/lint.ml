@@ -1,0 +1,275 @@
+open Cfc_base
+open Cfc_core
+
+type severity = Error | Warning
+
+type violation = { severity : severity; code : string; detail : string }
+
+type row = {
+  report : Analyze.report;
+  measured : Measures.sample;
+  violations : violation list;
+}
+
+type outcome = {
+  rows : row list;
+  source_findings : violation list;
+  errors : int;
+  warnings : int;
+}
+
+let severity_name = function Error -> "error" | Warning -> "warning"
+
+(* ---------- the four per-algorithm checks ---------- *)
+
+let check_subject ?config (subject : Subjects.t) =
+  let report = Analyze.analyze ?config subject in
+  let measured = subject.Subjects.measured () in
+  let v = ref [] in
+  let push severity code detail = v := { severity; code; detail } :: !v in
+  let static = report.Analyze.static_cf in
+  (match subject.Subjects.predicted_steps with
+  | Some p when p <> static.Measures.steps ->
+    push Error "cf-steps"
+      (Printf.sprintf "static %d steps but closed form says %d"
+         static.Measures.steps p)
+  | _ -> ());
+  (match subject.Subjects.predicted_registers with
+  | Some p when p <> static.Measures.registers ->
+    push Error "cf-registers"
+      (Printf.sprintf "static %d registers but closed form says %d"
+         static.Measures.registers p)
+  | _ -> ());
+  if static <> measured then
+    push Error "static-vs-measured"
+      (Format.asprintf "static (%a) disagrees with trace-measured (%a)"
+         Measures.pp_sample static Measures.pp_sample measured);
+  (match subject.Subjects.declared_atomicity with
+  | Some l when report.Analyze.max_width > l ->
+    push Error "atomicity"
+      (Printf.sprintf
+         "accesses a %d-bit register but declares atomicity l=%d"
+         report.Analyze.max_width l)
+  | _ -> ());
+  if not report.Analyze.replay_safe then
+    push Warning "replay-unsafe"
+      "a process can swallow a mid-access discontinuation and keep \
+       running; the model checker must use the replay engine";
+  { report; measured; violations = List.rev !v }
+
+(* ---------- determinism scan ---------- *)
+
+(* Assembled from pieces so the scanner never flags its own source. *)
+let forbidden = "Random" ^ "."
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '\''
+
+let scan_line ~path ~lineno line acc =
+  let n = String.length line and fn = String.length forbidden in
+  let acc = ref acc in
+  let i = ref 0 in
+  while !i + fn <= n do
+    if String.sub line !i fn = forbidden then begin
+      (* the module path member following the dot *)
+      let j = ref (!i + fn) in
+      while !j < n && is_ident_char line.[!j] do
+        incr j
+      done;
+      let member = String.sub line (!i + fn) (!j - (!i + fn)) in
+      if member <> "State" then
+        acc :=
+          {
+            severity = Error;
+            code = "nondeterminism";
+            detail =
+              Printf.sprintf
+                "%s:%d: global randomness (%s%s); only seeded Random.State \
+                 is allowed"
+                path lineno forbidden member;
+          }
+          :: !acc;
+      i := !j
+    end
+    else incr i
+  done;
+  !acc
+
+let scan_file path acc =
+  let ic = open_in path in
+  let acc = ref acc in
+  let lineno = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lineno;
+       acc := scan_line ~path ~lineno:!lineno line !acc
+     done
+   with End_of_file -> ());
+  close_in ic;
+  !acc
+
+let scan_sources ~root =
+  let rec walk dir acc =
+    Array.fold_left
+      (fun acc entry ->
+        let path = Filename.concat dir entry in
+        if Sys.is_directory path then walk path acc
+        else if
+          Filename.check_suffix entry ".ml"
+          || Filename.check_suffix entry ".mli"
+        then scan_file path acc
+        else acc)
+      acc
+      (Sys.readdir dir)
+  in
+  List.rev (walk (Filename.concat root "lib") [])
+
+let find_root () =
+  let marker root = Filename.concat root (Filename.concat "lib" "base") in
+  let rec up dir =
+    if Sys.file_exists (Filename.concat (marker dir) "ops.ml") then Some dir
+    else
+      let parent = Filename.dirname dir in
+      if parent = dir then None else up parent
+  in
+  up (Sys.getcwd ())
+
+(* ---------- driver ---------- *)
+
+let run ?config ?(fixtures = false) ?root () =
+  let subjects =
+    Subjects.registry () @ (if fixtures then Fixtures.subjects () else [])
+  in
+  let rows = List.map (check_subject ?config) subjects in
+  let source_findings =
+    match (root, find_root ()) with
+    | Some r, _ | None, Some r -> scan_sources ~root:r
+    | None, None -> []
+  in
+  let all =
+    source_findings @ List.concat_map (fun r -> r.violations) rows
+  in
+  {
+    rows;
+    source_findings;
+    errors = List.length (List.filter (fun v -> v.severity = Error) all);
+    warnings = List.length (List.filter (fun v -> v.severity = Warning) all);
+  }
+
+let exit_code outcome = if outcome.errors > 0 then 1 else 0
+
+(* ---------- rendering ---------- *)
+
+let opt_int = function Some i -> string_of_int i | None -> "-"
+
+let sr (s : Measures.sample) =
+  Printf.sprintf "%d/%d" s.Measures.steps s.Measures.registers
+
+let print outcome =
+  let tab =
+    Texttab.create
+      ~header:
+        [ "family"; "algorithm"; "cfg"; "static s/r"; "closed form";
+          "measured"; "l decl/max"; "spin"; "replay"; "graph n/e"; "issues" ]
+  in
+  List.iter
+    (fun r ->
+      let s = r.report.Analyze.subject in
+      Texttab.add_row tab
+        [
+          Subjects.family_name s.Subjects.family;
+          s.Subjects.alg_name;
+          s.Subjects.config;
+          sr r.report.Analyze.static_cf;
+          Printf.sprintf "%s/%s"
+            (opt_int s.Subjects.predicted_steps)
+            (opt_int s.Subjects.predicted_registers);
+          sr r.measured;
+          Printf.sprintf "%s/%d"
+            (opt_int s.Subjects.declared_atomicity)
+            r.report.Analyze.max_width;
+          Analyze.spin_class_name r.report.Analyze.spin_class;
+          (if r.report.Analyze.replay_safe then "safe" else "UNSAFE");
+          Printf.sprintf "%d/%d" r.report.Analyze.nodes r.report.Analyze.edges;
+          string_of_int (List.length r.violations);
+        ])
+    outcome.rows;
+  Texttab.print tab;
+  List.iter
+    (fun r ->
+      List.iter
+        (fun v ->
+          Printf.printf "%s[%s] %s %s: %s\n" (severity_name v.severity)
+            v.code
+            r.report.Analyze.subject.Subjects.alg_name
+            r.report.Analyze.subject.Subjects.config v.detail)
+        r.violations)
+    outcome.rows;
+  List.iter
+    (fun v ->
+      Printf.printf "%s[%s] %s\n" (severity_name v.severity) v.code v.detail)
+    outcome.source_findings;
+  Printf.printf "lint: %d subjects, %d errors, %d warnings\n"
+    (List.length outcome.rows) outcome.errors outcome.warnings
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 32 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let sample_json (s : Measures.sample) =
+  Printf.sprintf
+    "{\"steps\": %d, \"registers\": %d, \"read_steps\": %d, \
+     \"write_steps\": %d, \"read_registers\": %d, \"write_registers\": %d}"
+    s.Measures.steps s.Measures.registers s.Measures.read_steps
+    s.Measures.write_steps s.Measures.read_registers s.Measures.write_registers
+
+let violation_json v =
+  Printf.sprintf "{\"severity\": \"%s\", \"code\": \"%s\", \"detail\": \"%s\"}"
+    (severity_name v.severity) v.code (json_escape v.detail)
+
+let opt_json = function Some i -> string_of_int i | None -> "null"
+
+let to_json outcome =
+  let row_json r =
+    let s = r.report.Analyze.subject in
+    Printf.sprintf
+      "    {\"family\": \"%s\", \"name\": \"%s\", \"config\": \"%s\", \
+       \"static\": %s, \"measured\": %s, \"predicted_steps\": %s, \
+       \"predicted_registers\": %s, \"declared_atomicity\": %s, \
+       \"max_accessed_width\": %d, \"spin_class\": \"%s\", \
+       \"replay_safe\": %b, \"graph_nodes\": %d, \"graph_edges\": %d, \
+       \"violations\": [%s]}"
+      (Subjects.family_name s.Subjects.family)
+      (json_escape s.Subjects.alg_name)
+      (json_escape s.Subjects.config)
+      (sample_json r.report.Analyze.static_cf)
+      (sample_json r.measured)
+      (opt_json s.Subjects.predicted_steps)
+      (opt_json s.Subjects.predicted_registers)
+      (opt_json s.Subjects.declared_atomicity)
+      r.report.Analyze.max_width
+      (Analyze.spin_class_name r.report.Analyze.spin_class)
+      r.report.Analyze.replay_safe r.report.Analyze.nodes
+      r.report.Analyze.edges
+      (String.concat ", " (List.map violation_json r.violations))
+  in
+  Printf.sprintf
+    "{\n  \"schema\": \"cfc-lint/1\",\n  \"errors\": %d,\n  \"warnings\": \
+     %d,\n  \"source_findings\": [%s],\n  \"subjects\": [\n%s\n  ]\n}\n"
+    outcome.errors outcome.warnings
+    (String.concat ", " (List.map violation_json outcome.source_findings))
+    (String.concat ",\n" (List.map row_json outcome.rows))

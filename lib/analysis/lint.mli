@@ -1,0 +1,58 @@
+(** The lint gate: run the {!Analyze} passes over a battery of subjects,
+    check every closed form, the trace-measured agreement, atomicity
+    conformance and replay-safety, scan the library sources for
+    non-deterministic randomness, and render the outcome as a table or a
+    JSON report.  [cfc-tables lint] is a thin wrapper; CI fails the
+    build on any error-severity finding. *)
+
+type severity = Error | Warning
+
+type violation = { severity : severity; code : string; detail : string }
+(** [code] is a stable machine-readable tag: ["cf-steps"],
+    ["cf-registers"], ["static-vs-measured"], ["atomicity"],
+    ["replay-unsafe"], ["nondeterminism"]. *)
+
+type row = {
+  report : Analyze.report;
+  measured : Cfc_core.Measures.sample;
+  violations : violation list;
+}
+
+type outcome = {
+  rows : row list;
+  source_findings : violation list;  (** determinism scan of [lib/] *)
+  errors : int;
+  warnings : int;
+}
+
+val check_subject : ?config:Analyze.config -> Subjects.t -> row
+
+val scan_sources : root:string -> violation list
+(** Scan every [.ml]/[.mli] under [root]/lib for uses of the global
+    [Random] module (anything but [Random.State]) — the deterministic-
+    by-default rule, enforced statically. *)
+
+val find_root : unit -> string option
+(** Walk up from the current directory to the first directory containing
+    [lib/base/ops.ml] (works both from a dune sandbox and from a source
+    checkout). *)
+
+val run :
+  ?config:Analyze.config ->
+  ?fixtures:bool ->
+  ?root:string ->
+  unit ->
+  outcome
+(** Analyze the whole {!Subjects.registry} (plus the broken
+    {!Fixtures} when [fixtures] is set) and scan the sources under
+    [root] (default: {!find_root}; the scan is skipped when no root is
+    found). *)
+
+val print : outcome -> unit
+(** Human-readable table plus one line per violation. *)
+
+val to_json : outcome -> string
+
+val exit_code : outcome -> int
+(** 0 when no error-severity finding, 1 otherwise (warnings alone do not
+    fail the gate). *)

@@ -1,0 +1,259 @@
+open Cfc_base
+open Cfc_runtime
+open Cfc_core
+
+type family = Mutex | Detector | Naming | Consensus | Renaming
+
+let family_name = function
+  | Mutex -> "mutex"
+  | Detector -> "detect"
+  | Naming -> "naming"
+  | Consensus -> "consensus"
+  | Renaming -> "renaming"
+
+type solo = { context : (unit -> unit) list; body : unit -> unit }
+type variant = { v_label : string; make : Mem_intf.mem -> solo }
+
+type t = {
+  family : family;
+  alg_name : string;
+  config : string;
+  n : int;
+  declared_atomicity : int option;
+  predicted_steps : int option;
+  predicted_registers : int option;
+  variants : variant list;
+  measured : unit -> Measures.sample;
+  dynamic_replay_safe : unit -> bool;
+}
+
+let of_mutex ?l ~n (module A : Cfc_mutex.Mutex_intf.ALG) =
+  let p = Cfc_mutex.Mutex_intf.params ?l n in
+  if not (A.supports p) then None
+  else
+    let variants =
+      List.map
+        (fun me ->
+          {
+            v_label = Printf.sprintf "p%d" me;
+            make =
+              (fun mem ->
+                let module M = (val mem : Mem_intf.MEM) in
+                let module L = A.Make (M) in
+                let t = L.create p in
+                {
+                  context = [];
+                  body =
+                    (fun () ->
+                      L.lock t ~me;
+                      L.unlock t ~me);
+                });
+          })
+        (Mutex_harness.sample_pids n)
+    in
+    Some
+      {
+        family = Mutex;
+        alg_name = A.name;
+        config =
+          (match l with
+          | None -> Printf.sprintf "n=%d" n
+          | Some l -> Printf.sprintf "n=%d l=%d" n l);
+        n;
+        declared_atomicity = Some (A.atomicity p);
+        predicted_steps = A.predicted_cf_steps p;
+        predicted_registers = A.predicted_cf_registers p;
+        variants;
+        measured =
+          (fun () ->
+            (Mutex_harness.contention_free (module A) p).Mutex_harness.max);
+        dynamic_replay_safe =
+          (fun () ->
+            let out =
+              Mutex_harness.run ~pick:(Schedule.round_robin ()) (module A) p
+            in
+            Scheduler.replay_safe out.Runner.scheduler);
+      }
+
+let of_detector ~n (module D : Cfc_mutex.Mutex_intf.DETECTOR) =
+  let p = Cfc_mutex.Mutex_intf.params n in
+  if not (D.supports p) then None
+  else
+    let variants =
+      List.map
+        (fun me ->
+          {
+            v_label = Printf.sprintf "p%d" me;
+            make =
+              (fun mem ->
+                let module M = (val mem : Mem_intf.MEM) in
+                let module Det = D.Make (M) in
+                let t = Det.create p in
+                { context = []; body = (fun () -> ignore (Det.detect t ~me)) });
+          })
+        (Mutex_harness.sample_pids n)
+    in
+    Some
+      {
+        family = Detector;
+        alg_name = D.name;
+        config = Printf.sprintf "n=%d" n;
+        n;
+        declared_atomicity = Some (D.atomicity p);
+        predicted_steps = D.predicted_cf_steps p;
+        predicted_registers = None;
+        variants;
+        measured =
+          (fun () ->
+            (Detect_harness.contention_free (module D) p).Detect_harness.max);
+        dynamic_replay_safe =
+          (fun () ->
+            let out =
+              Detect_harness.run ~pick:(Schedule.round_robin ()) (module D) p
+            in
+            Scheduler.replay_safe out.Runner.scheduler);
+      }
+
+let of_naming ~n (module A : Cfc_naming.Naming_intf.ALG) =
+  if not (A.supports ~n) then None
+  else
+    let variants =
+      List.init n (fun pos ->
+          {
+            v_label = Printf.sprintf "seq%d" pos;
+            make =
+              (fun mem ->
+                let module M = (val mem : Mem_intf.MEM) in
+                let module N = A.Make (M) in
+                let t = N.create ~n in
+                {
+                  context =
+                    List.init pos (fun _ () -> ignore (N.run t));
+                  body = (fun () -> ignore (N.run t));
+                });
+          })
+    in
+    Some
+      {
+        family = Naming;
+        alg_name = A.name;
+        config = Printf.sprintf "n=%d" n;
+        n;
+        declared_atomicity = Some 1;
+        predicted_steps = A.predicted_cf_steps ~n;
+        predicted_registers = A.predicted_cf_registers ~n;
+        variants;
+        measured =
+          (fun () ->
+            (Naming_harness.contention_free (module A) ~n).Naming_harness.max);
+        dynamic_replay_safe =
+          (fun () ->
+            let out =
+              Naming_harness.run ~pick:(Schedule.round_robin ()) (module A) ~n
+            in
+            Scheduler.replay_safe out.Runner.scheduler);
+      }
+
+let of_consensus ~n (module C : Cfc_consensus.Consensus_intf.ALG) =
+  if n > C.n_max then None
+  else
+    let variants =
+      List.concat_map
+        (fun me ->
+          List.map
+            (fun value ->
+              {
+                v_label = Printf.sprintf "p%d/in%d" me value;
+                make =
+                  (fun mem ->
+                    let module M = (val mem : Mem_intf.MEM) in
+                    let module K = C.Make (M) in
+                    let t = K.create ~n in
+                    {
+                      context = [];
+                      body = (fun () -> ignore (K.propose t ~me ~value));
+                    });
+              })
+            [ 0; 1 ])
+        (List.init n Fun.id)
+    in
+    Some
+      {
+        family = Consensus;
+        alg_name = C.name;
+        config = Printf.sprintf "n=%d" n;
+        n;
+        declared_atomicity = Some 1;
+        predicted_steps = C.predicted_cf_steps;
+        predicted_registers = C.predicted_cf_registers;
+        variants;
+        measured =
+          (fun () ->
+            List.fold_left
+              (fun acc inputs ->
+                Measures.max_sample acc
+                  (Consensus_harness.contention_free (module C) ~n ~inputs)
+                    .Consensus_harness.max)
+              Measures.zero
+              [ Array.make n 0; Array.make n 1 ]);
+        dynamic_replay_safe =
+          (fun () ->
+            let out =
+              Consensus_harness.run ~pick:(Schedule.round_robin ()) (module C)
+                ~n ~inputs:(Array.init n (fun i -> i land 1))
+            in
+            Scheduler.replay_safe out.Runner.scheduler);
+      }
+
+let of_renaming ~n (module R : Cfc_renaming.Renaming_intf.ALG) =
+  let variants =
+    List.init n (fun me ->
+        {
+          v_label = Printf.sprintf "p%d" me;
+          make =
+            (fun mem ->
+              let module M = (val mem : Mem_intf.MEM) in
+              let module G = R.Make (M) in
+              let t = G.create ~n in
+              { context = []; body = (fun () -> ignore (G.rename t ~me)) });
+        })
+  in
+  {
+    family = Renaming;
+    alg_name = R.name;
+    config = Printf.sprintf "n=%d" n;
+    n;
+    declared_atomicity = None;
+    predicted_steps = R.predicted_cf_steps;
+    predicted_registers = R.predicted_cf_registers;
+    variants;
+    measured =
+      (fun () ->
+        (Renaming_harness.contention_free (module R) ~n).Renaming_harness.max);
+    dynamic_replay_safe =
+      (fun () ->
+        let out =
+          Renaming_harness.run ~pick:(Schedule.round_robin ()) (module R) ~n
+        in
+        Scheduler.replay_safe out.Runner.scheduler);
+  }
+
+let registry () =
+  List.filter_map Fun.id
+    (List.concat_map
+       (fun alg -> [ of_mutex ~n:2 alg; of_mutex ~n:8 alg ])
+       Cfc_mutex.Registry.all
+    @ List.concat_map
+        (fun d -> [ of_detector ~n:2 d; of_detector ~n:8 d ])
+        Cfc_mutex.Registry.detectors
+    @ List.concat_map
+        (fun a -> [ of_naming ~n:2 a; of_naming ~n:4 a; of_naming ~n:8 a ])
+        Cfc_naming.Registry.all
+    @ List.map (fun a -> of_consensus ~n:2 a) Cfc_consensus.Registry.all
+    @ [
+        of_consensus ~n:2 Cfc_consensus.Registry.broken_rw;
+        of_consensus ~n:3 Cfc_consensus.Registry.broken_three;
+      ]
+    @ List.concat_map
+        (fun a -> [ Some (of_renaming ~n:2 a); Some (of_renaming ~n:4 a) ])
+        Cfc_renaming.Registry.all)

@@ -13,7 +13,11 @@ let all =
     Test_and_flip ]
 
 let apply op v =
-  assert (v = 0 || v = 1);
+  (* A descriptive check rather than an assert: it must name the bad
+     value and survive [-noassert] — a corrupted cell (e.g. an
+     out-of-range [restore]) is a caller bug worth a real diagnostic. *)
+  if v <> 0 && v <> 1 then
+    invalid_arg (Printf.sprintf "Ops.apply: value %d is not a bit" v);
   match op with
   | Skip -> (v, None)
   | Read -> (v, Some v)

@@ -20,8 +20,14 @@ module Broken_rw : Consensus_intf.ALG = struct
   let name = "broken-rw-consensus"
   let model = Model.read_write
   let n_max = 2
-  let predicted_cf_steps = None
-  let predicted_cf_registers = None
+
+  (* Solo: publish proposal, raise the written flag, read [written.(0)]
+     and adopt — 4 steps either way; process 1 touches its own two
+     registers plus [written.(0)], so the register max is 3.  (The
+     defect is contended disagreement, not solo cost, so the closed
+     forms are exact and the CF battery asserts them.) *)
+  let predicted_cf_steps = Some 4
+  let predicted_cf_registers = Some 3
 
   module Make (M : Mem_intf.MEM) = struct
     type t = { written : M.reg array; proposal : M.reg array }
@@ -49,8 +55,11 @@ module Broken_three : Consensus_intf.ALG = struct
   let name = "broken-3p-tas-consensus"
   let model = Model.of_list [ Ops.Test_and_set; Ops.Read ]
   let n_max = 3
-  let predicted_cf_steps = None
-  let predicted_cf_registers = None
+
+  (* Solo: publish, announce, win the race — 3 steps over 3 registers
+     for every process; the losing branches only run under contention. *)
+  let predicted_cf_steps = Some 3
+  let predicted_cf_registers = Some 3
 
   module Make (M : Mem_intf.MEM) = struct
     type t = { race : M.reg; written : M.reg array; proposal : M.reg array }

@@ -519,10 +519,17 @@ let run_inc_par ~config ~symmetric ~pairs ~system ~inc ~domains () =
    point, crashing any started runnable process (while crashes remain in
    the budget) and recovering any crashed one. *)
 let run_gen ?(config = default_config) ?(symmetric = false)
-    ?(engine = Incremental) ?(domains = 1) ?inc ~pairs ~system ~check () =
+    ?(engine = Incremental) ?(domains = 1) ?(replay_safe = true) ?inc ~pairs
+    ~system ~check () =
   let inc = match inc with Some i -> i | None -> Inc.of_whole check in
   match engine with
   | Replay -> run_replay ~config ~symmetric ~pairs ~system ~check ()
+  | Incremental when not replay_safe ->
+    (* A static analysis (or a previous run) already knows some process
+       swallows mid-access discontinuation; the incremental engine would
+       only rediscover that and raise [Fallback] mid-search.  Skip the
+       wasted work and start on the replay engine directly. *)
+    run_replay ~config ~symmetric ~pairs ~system ~check ()
   | Incremental -> (
     try
       if domains <= 1 then run_inc_seq ~config ~symmetric ~pairs ~system ~inc ()
@@ -533,8 +540,12 @@ let run_gen ?(config = default_config) ?(symmetric = false)
          the (always sound) replay engine. *)
       run_replay ~config ~symmetric ~pairs ~system ~check ())
 
-let run ?config ?symmetric ?engine ?domains ?inc ~system ~check () =
-  match run_gen ?config ?symmetric ?engine ?domains ?inc ~pairs:0 ~system ~check () with
+let run ?config ?symmetric ?engine ?domains ?replay_safe ?inc ~system ~check ()
+    =
+  match
+    run_gen ?config ?symmetric ?engine ?domains ?replay_safe ?inc ~pairs:0
+      ~system ~check ()
+  with
   | Ok stats -> Ok stats
   | Violation { schedule; violation; stats } ->
     let pids =
@@ -546,6 +557,7 @@ let run ?config ?symmetric ?engine ?domains ?inc ~system ~check () =
     in
     Violation { schedule = pids; violation; stats }
 
-let run_faults ?config ?symmetric ?engine ?domains ?inc ?(pairs = 2) ~system
-    ~check () =
-  run_gen ?config ?symmetric ?engine ?domains ?inc ~pairs ~system ~check ()
+let run_faults ?config ?symmetric ?engine ?domains ?replay_safe ?inc
+    ?(pairs = 2) ~system ~check () =
+  run_gen ?config ?symmetric ?engine ?domains ?replay_safe ?inc ~pairs ~system
+    ~check ()

@@ -94,6 +94,7 @@ val run :
   ?symmetric:bool ->
   ?engine:engine ->
   ?domains:int ->
+  ?replay_safe:bool ->
   ?inc:Cfc_core.Spec.Inc.t ->
   system:(unit -> Cfc_runtime.Memory.t * (unit -> unit) array) ->
   check:(Cfc_runtime.Trace.t -> nprocs:int -> Cfc_core.Spec.violation option) ->
@@ -116,13 +117,22 @@ val run :
     permutation, and the checked properties are pid-symmetric.
 
     [domains] (default 1) fans the root branches over that many domains
-    (capped by the branch count; incremental engine only). *)
+    (capped by the branch count; incremental engine only).
+
+    [replay_safe] (default [true]) is a hint from static analysis (see
+    [Cfc_analysis.Analyze]): pass [false] when some process is known to
+    swallow a mid-access discontinuation, and the exploration starts on
+    the replay engine directly instead of discovering the problem and
+    falling back mid-search.  Passing [false] for a replay-safe system is
+    sound — only slower; passing [true] for an unsafe one merely restores
+    the dynamic fallback. *)
 
 val run_faults :
   ?config:config ->
   ?symmetric:bool ->
   ?engine:engine ->
   ?domains:int ->
+  ?replay_safe:bool ->
   ?inc:Cfc_core.Spec.Inc.t ->
   ?pairs:int ->
   system:(unit -> Cfc_runtime.Memory.t * (unit -> unit) array) ->

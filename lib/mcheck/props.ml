@@ -1,28 +1,29 @@
 open Cfc_core
 
-let check_mutex ?config ?engine ?domains ?rounds alg p =
-  Explore.run ?config ?engine ?domains
+let check_mutex ?config ?engine ?domains ?replay_safe ?rounds alg p =
+  Explore.run ?config ?engine ?domains ?replay_safe
     ~inc:Spec.Inc.mutual_exclusion
     ~system:(Mutex_harness.system ?rounds alg p)
     ~check:(fun trace ~nprocs -> Spec.mutual_exclusion trace ~nprocs)
     ()
 
-let check_mutex_recoverable ?config ?engine ?domains ?pairs ?rounds alg p =
-  Explore.run_faults ?config ?engine ?domains ?pairs
+let check_mutex_recoverable ?config ?engine ?domains ?replay_safe ?pairs
+    ?rounds alg p =
+  Explore.run_faults ?config ?engine ?domains ?replay_safe ?pairs
     ~inc:Spec.Inc.mutual_exclusion_recoverable
     ~system:(Mutex_harness.system ?rounds alg p)
     ~check:(fun trace ~nprocs ->
       Spec.mutual_exclusion_recoverable trace ~nprocs)
     ()
 
-let check_detector ?config ?engine ?domains det p =
+let check_detector ?config ?engine ?domains ?replay_safe det p =
   let check trace ~nprocs = Spec.at_most_one_winner trace ~nprocs in
-  Explore.run ?config ?engine ?domains
+  Explore.run ?config ?engine ?domains ?replay_safe
     ~inc:(Spec.Inc.on_decisions check)
     ~system:(Detect_harness.system det p)
     ~check ()
 
-let check_consensus ?config ?engine ?domains alg ~n ~inputs =
+let check_consensus ?config ?engine ?domains ?replay_safe alg ~n ~inputs =
   let check trace ~nprocs =
     (* Build a pseudo-outcome view: the agreement/validity check only
        needs decisions from the trace. *)
@@ -50,12 +51,12 @@ let check_consensus ?config ?engine ?domains alg ~n ~inputs =
         | [] -> None)
       | [] -> None)
   in
-  Explore.run ?config ?engine ?domains
+  Explore.run ?config ?engine ?domains ?replay_safe
     ~inc:(Spec.Inc.on_decisions check)
     ~system:(Consensus_harness.system alg ~n ~inputs)
     ~check ()
 
-let check_renaming ?config ?engine ?domains alg ~n =
+let check_renaming ?config ?engine ?domains ?replay_safe alg ~n =
   let (module A : Cfc_renaming.Renaming_intf.ALG) = alg in
   let check trace ~nprocs =
     let decisions = Measures.decisions trace ~nprocs in
@@ -82,14 +83,15 @@ let check_renaming ?config ?engine ?domains alg ~n =
       in
       dup sorted)
   in
-  Explore.run ?config ?engine ?domains
+  Explore.run ?config ?engine ?domains ?replay_safe
     ~inc:(Spec.Inc.on_decisions check)
     ~system:(Renaming_harness.system alg ~n)
     ~check ()
 
-let check_naming ?config ?engine ?domains ?(symmetric = true) alg ~n =
+let check_naming ?config ?engine ?domains ?replay_safe ?(symmetric = true)
+    alg ~n =
   let check trace ~nprocs = Spec.unique_names trace ~nprocs ~n in
-  Explore.run ?config ?engine ?domains ~symmetric
+  Explore.run ?config ?engine ?domains ?replay_safe ~symmetric
     ~inc:(Spec.Inc.on_decisions check)
     ~system:(Naming_harness.system alg ~n)
     ~check ()

@@ -3,10 +3,14 @@
     checker supplies the incremental form of its property
     ({!Cfc_core.Spec.Inc}), so the default {!Explore.Incremental} engine
     pays O(new events) per node instead of a whole-trace rescan;
-    [engine]/[domains] are forwarded to {!Explore.run}/{!Explore.run_faults}. *)
+    [engine]/[domains]/[replay_safe] are forwarded to
+    {!Explore.run}/{!Explore.run_faults} — pass [replay_safe:false] when
+    static analysis says the algorithm swallows discontinuation, so the
+    search starts on the replay engine instead of falling back. *)
 
 val check_mutex :
   ?config:Explore.config -> ?engine:Explore.engine -> ?domains:int ->
+  ?replay_safe:bool ->
   ?rounds:int -> Cfc_mutex.Registry.alg ->
   Cfc_mutex.Mutex_intf.params -> Explore.result
 (** Exhaustively (within bounds) verify mutual exclusion — including the
@@ -15,6 +19,7 @@ val check_mutex :
 
 val check_mutex_recoverable :
   ?config:Explore.config -> ?engine:Explore.engine -> ?domains:int ->
+  ?replay_safe:bool ->
   ?pairs:int -> ?rounds:int ->
   Cfc_mutex.Registry.alg -> Cfc_mutex.Mutex_intf.params ->
   Explore.fault_result
@@ -27,12 +32,14 @@ val check_mutex_recoverable :
 
 val check_detector :
   ?config:Explore.config -> ?engine:Explore.engine -> ?domains:int ->
+  ?replay_safe:bool ->
   Cfc_mutex.Registry.detector ->
   Cfc_mutex.Mutex_intf.params -> Explore.result
 (** Verify the at-most-one-winner property of a contention detector. *)
 
 val check_consensus :
   ?config:Explore.config -> ?engine:Explore.engine -> ?domains:int ->
+  ?replay_safe:bool ->
   Cfc_consensus.Registry.alg -> n:int ->
   inputs:int array -> Explore.result
 (** Verify agreement + validity of a consensus algorithm for the given
@@ -40,12 +47,14 @@ val check_consensus :
 
 val check_renaming :
   ?config:Explore.config -> ?engine:Explore.engine -> ?domains:int ->
+  ?replay_safe:bool ->
   Cfc_renaming.Registry.alg -> n:int ->
   Explore.result
 (** Verify distinct in-range new names (full participation bound). *)
 
 val check_naming :
   ?config:Explore.config -> ?engine:Explore.engine -> ?domains:int ->
+  ?replay_safe:bool ->
   ?symmetric:bool -> Cfc_naming.Registry.alg ->
   n:int -> Explore.result
 (** Verify unique in-range names.  [symmetric] (default true — naming

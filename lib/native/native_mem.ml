@@ -9,6 +9,16 @@ let make_cell ?model ~width ~init () =
   if not (fits ~width init) then invalid_arg "Native_mem: init too wide";
   { atom = Atomic.make init; width; model }
 
+(* Same access-time width enforcement (and message shape) as the
+   simulated backend's [Register.check_fits], so a width bug reported on
+   one backend reproduces verbatim on the other. *)
+let check_fits c ~op v =
+  if not (fits ~width:c.width v) then
+    invalid_arg
+      (Printf.sprintf
+         "native register: %s value %d does not fit in declared width %d bits"
+         op v c.width)
+
 let require c op =
   match c.model with
   | None -> ()
@@ -36,8 +46,7 @@ let mem () : Mem_intf.mem =
       Atomic.get c.atom
 
     let write c v =
-      if not (fits ~width:c.width v) then
-        invalid_arg "native register: value too wide";
+      check_fits c ~op:"write" v;
       (match c.model with
       | None -> ()
       | Some _ -> require c (if v = 0 then Ops.Write_0 else Ops.Write_1));
@@ -48,9 +57,16 @@ let mem () : Mem_intf.mem =
       | Some _ -> invalid_arg "native write_field: model-restricted bit"
       | None -> ());
       if width < 1 || index < 0 || (index + 1) * width > c.width then
-        invalid_arg "native write_field: field out of range";
+        invalid_arg
+          (Printf.sprintf
+             "native write_field: field %d of width %d out of range (register \
+              width %d)"
+             index width c.width);
       if not (fits ~width v) then
-        invalid_arg "native write_field: value too wide";
+        invalid_arg
+          (Printf.sprintf
+             "native write_field: value %d does not fit in field width %d bits"
+             v width);
       let shift = index * width in
       let mask = ((1 lsl width) - 1) lsl shift in
       let rec go () =
@@ -76,16 +92,14 @@ let mem () : Mem_intf.mem =
       (match c.model with
       | Some _ -> invalid_arg "native fetch_and_store: model-restricted bit"
       | None -> ());
-      if not (fits ~width:c.width v) then
-        invalid_arg "native fetch_and_store: value too wide";
+      check_fits c ~op:"fetch_and_store" v;
       Atomic.exchange c.atom v
 
     let compare_and_set c ~expected v =
       (match c.model with
       | Some _ -> invalid_arg "native compare_and_set: model-restricted bit"
       | None -> ());
-      if not (fits ~width:c.width v) then
-        invalid_arg "native compare_and_set: value too wide";
+      check_fits c ~op:"compare_and_set" v;
       Atomic.compare_and_set c.atom expected v
 
     let pause () = Domain.cpu_relax ()

@@ -28,7 +28,10 @@ val size : t -> int
 
 val max_width : t -> int
 (** The largest width allocated so far — an upper bound on the atomicity of
-    any algorithm using only this arena; [0] for an empty arena. *)
+    any algorithm using only this arena; [0] for an empty arena.  Widths
+    are additionally enforced on every write-class access: {!Register}
+    raises a descriptive [Invalid_argument] when a stored value would
+    exceed the register's declared width (so does the native backend). *)
 
 val reset : t -> unit
 (** Restore every register to its initial value. *)

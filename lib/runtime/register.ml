@@ -11,6 +11,17 @@ type t = {
 
 let fits ~width v = v >= 0 && (width >= 62 || v < 1 lsl width)
 
+(* Every write-class operation funnels its operand through this check, so
+   an out-of-width value is rejected at access time with a message naming
+   the operation, the register and its declared width — the atomicity
+   parameter [l] is enforced on every step, not just at allocation. *)
+let check_fits r ~op v =
+  if not (fits ~width:r.width v) then
+    invalid_arg
+      (Printf.sprintf
+         "register %s: %s value %d does not fit in declared width %d bits"
+         r.name op v r.width)
+
 let make ~id ~name ~width ~model ~init =
   if width < 1 || width > 62 then
     invalid_arg (Printf.sprintf "Register.make %s: width %d" name width);
@@ -40,10 +51,7 @@ let read r =
   r.value
 
 let write r v =
-  if not (fits ~width:r.width v) then
-    invalid_arg
-      (Printf.sprintf "register %s: value %d does not fit in %d bits" r.name v
-         r.width);
+  check_fits r ~op:"write" v;
   (match r.model with
   | None -> ()
   | Some _ -> require_op r (if v = 0 then Ops.Write_0 else Ops.Write_1));
@@ -87,18 +95,14 @@ let require_plain r what =
 
 let fetch_and_store r v =
   require_plain r "fetch_and_store";
-  if not (fits ~width:r.width v) then
-    invalid_arg
-      (Printf.sprintf "register %s: value %d does not fit" r.name v);
+  check_fits r ~op:"fetch_and_store" v;
   let old = r.value in
   r.value <- v;
   old
 
 let compare_and_set r ~expected v =
   require_plain r "compare_and_set";
-  if not (fits ~width:r.width v) then
-    invalid_arg
-      (Printf.sprintf "register %s: value %d does not fit" r.name v);
+  check_fits r ~op:"compare_and_set" v;
   if r.value = expected then begin
     r.value <- v;
     true

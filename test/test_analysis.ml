@@ -1,0 +1,304 @@
+(* Tests for the symbolic access-graph analyzer (lib/analysis): the
+   three-way agreement static = closed form = trace-measured over every
+   registered algorithm of every family, the symbolic-vs-simulated solo
+   equivalence property, the spin-structure and replay-safety
+   classifications, the lint gate (clean on the real registry, failing
+   on the broken fixtures), and the determinism source scan. *)
+
+open Cfc_base
+open Cfc_runtime
+open Cfc_analysis
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* One full lint pass (fixtures included) shared by every test below —
+   the whole battery takes well under a second, but there is no reason
+   to repeat it per test. *)
+let outcome = lazy (Lint.run ~fixtures:true ())
+
+let is_fixture (row : Lint.row) =
+  let name = row.Lint.report.Analyze.subject.Subjects.alg_name in
+  String.length name >= 8 && String.sub name 0 8 = "fixture-"
+
+let row_label (row : Lint.row) =
+  let s = row.Lint.report.Analyze.subject in
+  Printf.sprintf "%s %s %s"
+    (Subjects.family_name s.Subjects.family)
+    s.Subjects.alg_name s.Subjects.config
+
+(* ------------------------------------------------------------------ *)
+(* Three-way agreement: static = closed form = measured                *)
+(* ------------------------------------------------------------------ *)
+
+let test_three_way_agreement () =
+  let rows = List.filter (fun r -> not (is_fixture r)) (Lazy.force outcome).Lint.rows in
+  check_bool "battery is non-trivial" true (List.length rows >= 40);
+  List.iter
+    (fun (row : Lint.row) ->
+      let subject = row.Lint.report.Analyze.subject in
+      let static = row.Lint.report.Analyze.static_cf in
+      let label what = row_label row ^ ": " ^ what in
+      (* The static sample must equal the harness-measured one in every
+         component, not just the headline counts. *)
+      check_bool
+        (label "static sample = measured sample")
+        true
+        (static = row.Lint.measured);
+      (match subject.Subjects.predicted_steps with
+      | Some p ->
+        check (label "static steps = closed form") p
+          static.Cfc_core.Measures.steps
+      | None -> ());
+      (match subject.Subjects.predicted_registers with
+      | Some p ->
+        check (label "static registers = closed form") p
+          static.Cfc_core.Measures.registers
+      | None -> ());
+      check (label "no violations") 0 (List.length row.Lint.violations))
+    rows
+
+(* Every family registry must be represented in the battery, so the
+   agreement above cannot silently shrink to one family. *)
+let test_battery_covers_families () =
+  let rows = (Lazy.force outcome).Lint.rows in
+  List.iter
+    (fun family ->
+      check_bool
+        (Subjects.family_name family ^ " present")
+        true
+        (List.exists
+           (fun (r : Lint.row) ->
+             r.Lint.report.Analyze.subject.Subjects.family = family)
+           rows))
+    [ Subjects.Mutex; Subjects.Detector; Subjects.Naming; Subjects.Consensus;
+      Subjects.Renaming ]
+
+(* ------------------------------------------------------------------ *)
+(* Symbolic vs simulated solo executions                               *)
+(* ------------------------------------------------------------------ *)
+
+(* The (register, operation class) signature of one solo execution on
+   the symbolic backend. *)
+let sym_signature (v : Subjects.variant) =
+  let ctx = Sym_mem.create () in
+  let solo = v.Subjects.make (Sym_mem.mem ctx) in
+  List.iter (fun f -> f ()) solo.Subjects.context;
+  Sym_mem.start_recording ctx;
+  solo.Subjects.body ();
+  List.map Sym_mem.step_sig (Sym_mem.steps ctx)
+
+(* The same signature from the effect-based simulator: run the contexts
+   and the body as one solo process and drop the context prefix. *)
+let sim_signature (v : Subjects.variant) =
+  let accesses run =
+    let memory = Memory.create () in
+    let solo = v.Subjects.make (Sim_mem.mem memory) in
+    let p () = run solo in
+    let out = Runner.run ~memory ~pick:(Schedule.solo 0) [| p |] in
+    List.map
+      (fun ((r : Register.t), kind) ->
+        ( r.Register.id,
+          match kind with
+          | Event.A_read _ -> "read"
+          | Event.A_write _ -> "write"
+          | Event.A_field _ -> "write-field"
+          | Event.A_xchg _ -> "xchg"
+          | Event.A_cas _ -> "cas"
+          | Event.A_bit (op, _) -> "bit:" ^ Ops.to_string op ))
+      (Trace.accesses_of ~pid:0 out.Runner.trace)
+  in
+  let prefix =
+    accesses (fun solo -> List.iter (fun f -> f ()) solo.Subjects.context)
+  in
+  let full =
+    accesses (fun solo ->
+        List.iter (fun f -> f ()) solo.Subjects.context;
+        solo.Subjects.body ())
+  in
+  (* The context prefix is deterministic, so the body's accesses are the
+     suffix beyond it. *)
+  List.filteri (fun i _ -> i >= List.length prefix) full
+
+let subjects_with_variants =
+  lazy
+    (List.concat_map
+       (fun (s : Subjects.t) ->
+         List.map (fun v -> (s, v)) s.Subjects.variants)
+       (Subjects.registry ()))
+
+let prop_sym_matches_sim =
+  QCheck.Test.make ~count:300
+    ~name:"analysis: symbolic solo visits the simulated access sequence"
+    QCheck.(int_bound (List.length (Lazy.force subjects_with_variants) - 1))
+    (fun i ->
+      let s, v = List.nth (Lazy.force subjects_with_variants) i in
+      let sym = sym_signature v and sim = sim_signature v in
+      if sym <> sim then
+        QCheck.Test.fail_reportf "%s %s %s: symbolic %s <> simulated %s"
+          (Subjects.family_name s.Subjects.family)
+          s.Subjects.alg_name v.Subjects.v_label
+          (String.concat ";"
+             (List.map (fun (r, c) -> Printf.sprintf "%d:%s" r c) sym))
+          (String.concat ";"
+             (List.map (fun (r, c) -> Printf.sprintf "%d:%s" r c) sim))
+      else true)
+
+(* ------------------------------------------------------------------ *)
+(* Spin-structure classification                                       *)
+(* ------------------------------------------------------------------ *)
+
+let find_row name config =
+  List.find
+    (fun (r : Lint.row) ->
+      let s = r.Lint.report.Analyze.subject in
+      s.Subjects.alg_name = name && s.Subjects.config = config)
+    (Lazy.force outcome).Lint.rows
+
+let test_spin_classes () =
+  (* The two shapes the §1.2 remote-access discussion contrasts, pinned:
+     the queue lock spins on a register written only in straight-line
+     code, the test-and-set locks spin on the contended bit itself.
+     (The native benchmark measures the same split from saturated
+     rmr/acq; BENCH_native.json records both labels side by side.) *)
+  List.iter
+    (fun (name, expected) ->
+      let row = find_row name "n=2" in
+      Alcotest.(check string)
+        (name ^ " spin class") expected
+        (Analyze.spin_class_name row.Lint.report.Analyze.spin_class))
+    [ ("mcs-lock", "local-spin");
+      ("tas-lock", "spin-on-shared");
+      ("recoverable-tas", "spin-on-shared") ];
+  (* The one-shot families never busy-wait. *)
+  List.iter
+    (fun (row : Lint.row) ->
+      match row.Lint.report.Analyze.subject.Subjects.family with
+      | Subjects.Mutex -> ()
+      | Subjects.Detector | Subjects.Naming | Subjects.Consensus
+      | Subjects.Renaming ->
+        check_bool
+          (row_label row ^ " wait-free")
+          true
+          (row.Lint.report.Analyze.spin_class = Analyze.Wait_free))
+    (Lazy.force outcome).Lint.rows
+
+(* ------------------------------------------------------------------ *)
+(* Replay safety: static classification = dynamic scheduler flag       *)
+(* ------------------------------------------------------------------ *)
+
+let test_replay_safety_agreement () =
+  List.iter
+    (fun (row : Lint.row) ->
+      let s = row.Lint.report.Analyze.subject in
+      check_bool (row_label row ^ " replay safety")
+        (s.Subjects.dynamic_replay_safe ())
+        row.Lint.report.Analyze.replay_safe)
+    (Lazy.force outcome).Lint.rows
+
+let test_swallows_fixture_detected () =
+  let row = find_row "fixture-swallows" "n=2" in
+  check_bool "statically replay-unsafe" false
+    row.Lint.report.Analyze.replay_safe;
+  check_bool "warned" true
+    (List.exists
+       (fun (v : Lint.violation) ->
+         v.Lint.code = "replay-unsafe" && v.Lint.severity = Lint.Warning)
+       row.Lint.violations)
+
+(* ------------------------------------------------------------------ *)
+(* The lint gate                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_lint_gate () =
+  let o = Lazy.force outcome in
+  (* Every error-severity finding comes from a deliberately broken
+     fixture — i.e. the real registry lints clean and the CI gate only
+     trips on genuine violations. *)
+  List.iter
+    (fun (row : Lint.row) ->
+      if not (is_fixture row) then
+        check_bool
+          (row_label row ^ " clean")
+          true
+          (List.for_all
+             (fun (v : Lint.violation) -> v.Lint.severity <> Lint.Error)
+             row.Lint.violations))
+    o.Lint.rows;
+  check_bool "fixtures trip the gate" true (o.Lint.errors > 0);
+  check "gate exit code" 1 (Lint.exit_code o);
+  let wide = find_row "fixture-wide-spin" "n=2" in
+  check_bool "wide-spin atomicity error" true
+    (List.exists
+       (fun (v : Lint.violation) ->
+         v.Lint.code = "atomicity" && v.Lint.severity = Lint.Error)
+       wide.Lint.violations);
+  (* The JSON report round-trips the headline numbers. *)
+  let json = Lint.to_json o in
+  check_bool "json mentions schema" true
+    (let sub = "\"schema\": \"cfc-lint/1\"" in
+     let len = String.length sub in
+     let rec scan i =
+       i + len <= String.length json
+       && (String.sub json i len = sub || scan (i + 1))
+     in
+     scan 0)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism source scan                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_sources_deterministic () =
+  (* The library tree itself must be clean (seeded [Random.State] only —
+     the deterministic-by-default convention, now enforced). *)
+  check "lib/ clean" 0
+    (List.length (Lazy.force outcome).Lint.source_findings)
+
+let test_scan_detects_global_random () =
+  let root = Filename.temp_file "cfc_lint" "" in
+  Sys.remove root;
+  Unix.mkdir root 0o755;
+  Unix.mkdir (Filename.concat root "lib") 0o755;
+  let write name contents =
+    let oc = open_out (Filename.concat (Filename.concat root "lib") name) in
+    output_string oc contents;
+    close_out oc
+  in
+  write "bad.ml" "let roll () = Random.int 6\n";
+  write "good.ml"
+    "let roll st = Random.State.int st 6\nlet mk () = Random.State.make [| 7 |]\n";
+  let findings = Lint.scan_sources ~root in
+  check "one finding" 1 (List.length findings);
+  let v = List.hd findings in
+  Alcotest.(check string) "code" "nondeterminism" v.Lint.code;
+  check_bool "names the file" true
+    (let sub = "bad.ml" in
+     let len = String.length sub in
+     let msg = v.Lint.detail in
+     let rec scan i =
+       i + len <= String.length msg
+       && (String.sub msg i len = sub || scan (i + 1))
+     in
+     scan 0)
+
+let () =
+  Alcotest.run "cfc_analysis"
+    [ ( "agreement",
+        [ Alcotest.test_case "static = closed form = measured" `Quick
+            test_three_way_agreement;
+          Alcotest.test_case "battery covers every family" `Quick
+            test_battery_covers_families;
+          QCheck_alcotest.to_alcotest prop_sym_matches_sim ] );
+      ( "classification",
+        [ Alcotest.test_case "spin classes" `Quick test_spin_classes;
+          Alcotest.test_case "replay safety static = dynamic" `Quick
+            test_replay_safety_agreement;
+          Alcotest.test_case "swallows fixture detected" `Quick
+            test_swallows_fixture_detected ] );
+      ( "gate",
+        [ Alcotest.test_case "fixtures fail, registry passes" `Quick
+            test_lint_gate;
+          Alcotest.test_case "lib/ sources deterministic" `Quick
+            test_sources_deterministic;
+          Alcotest.test_case "scanner catches global Random" `Quick
+            test_scan_detects_global_random ] ) ]

@@ -620,6 +620,36 @@ let prop_replay_deterministic =
       in
       run () = run ())
 
+(* ------------------------------------------------------------------ *)
+(* Access-time width enforcement                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_width_errors_descriptive () =
+  let m = Memory.create () in
+  let r = Memory.alloc ~name:"wide" ~width:4 ~init:0 m in
+  check_invalid "write" "write value 16 does not fit in declared width 4"
+    (fun () -> Register.write r 16);
+  check_invalid "fetch_and_store"
+    "fetch_and_store value 99 does not fit in declared width 4" (fun () ->
+      ignore (Register.fetch_and_store r 99));
+  check_invalid "compare_and_set"
+    "compare_and_set value 31 does not fit in declared width 4" (fun () ->
+      ignore (Register.compare_and_set r ~expected:0 31));
+  check_invalid "names the register" "register wide" (fun () ->
+      Register.write r 16)
+
+let test_corrupted_bit_diagnosed () =
+  (* [restore] deliberately bypasses the width check (the model checker
+     and the symbolic analyzer use it to re-seat snapshots); a bit cell
+     corrupted through it must still be diagnosed descriptively at the
+     next operation — previously this tripped a bare assert, which
+     [-noassert] silently removes. *)
+  let m = Memory.create () in
+  let b = Memory.alloc ~name:"bit" ~width:1 ~init:0 m in
+  Register.restore b 3;
+  check_invalid "corrupted bit" "value 3 is not a bit" (fun () ->
+      ignore (Register.bit_op b Ops.Read))
+
 let () =
   Alcotest.run "cfc_runtime"
     [ ( "registers",
@@ -628,7 +658,11 @@ let () =
             test_register_model_enforced;
           Alcotest.test_case "bit op semantics" `Quick test_bit_ops_semantics;
           Alcotest.test_case "dual involution" `Quick test_dual_involution;
-          Alcotest.test_case "dual semantics" `Quick test_dual_semantics ] );
+          Alcotest.test_case "dual semantics" `Quick test_dual_semantics;
+          Alcotest.test_case "width errors descriptive" `Quick
+            test_width_errors_descriptive;
+          Alcotest.test_case "corrupted bit diagnosed" `Quick
+            test_corrupted_bit_diagnosed ] );
       ( "scheduler",
         [ Alcotest.test_case "round robin interleaving" `Quick
             test_round_robin_interleaving;
