@@ -3,11 +3,25 @@
    results to BENCH_mcheck.json so successive PRs accumulate a perf
    trajectory (states, states/sec, wall time per entry).
 
-   Every configuration runs on both engines — [replay] (re-execute the
-   schedule prefix at every node; the pre-incremental behavior) and
-   [incremental] (live system + checkpoint/undo) — so the JSON carries
-   the speedup directly, and the identical state counts act as a
-   cross-check that the faster engine explores exactly the same space. *)
+   Mutex configurations run on three engines — [replay] (re-execute the
+   schedule prefix at every node; the pre-incremental behavior),
+   [incremental] (live system + checkpoint/undo) and [por] (incremental
+   plus the access-graph partial-order reduction) — so the JSON carries
+   both speedups directly.  Identical state counts between replay and
+   incremental, and identical verdicts between por and incremental, act
+   as cross-checks that the faster engines answer the same question.
+
+   The n sweep is explicit: every supported (algorithm, n) pair in the
+   sweep gets a row, and rows that hit a bound say which bound
+   ([trunc_reason]), so a config that stops producing n=3 rows is a
+   visible regression rather than a silent cap.  The replay engine is
+   skipped at n >= 3 — it is the reference implementation, pinned at
+   n=2, and re-executing prefixes over tens of thousands of states adds
+   minutes for no extra signal.
+
+   [--quick] times each entry once instead of min-of-reps; states,
+   verdicts and prune counts are deterministic either way, so CI diffs
+   quick output against the committed file. *)
 
 open Cfc_mutex
 open Cfc_mcheck
@@ -21,25 +35,37 @@ type entry = {
   verdict : string;
   runs : int;
   states : int;
-  pruned : int;
+  pruned_dedup : int;
+  pruned_por : int;
   truncated : bool;
+  trunc_reason : string;  (* "" | "max-states" | "depth-or-steps" *)
   wall_s : float;
+  wall_hint_s : float option;
+      (* same run with the memo table pre-sized via [seen_hint] *)
 }
+
+let quick = Array.exists (( = ) "--quick") Sys.argv
 
 (* Most registry configurations finish in single-digit milliseconds, so a
    single timing is dominated by allocator/GC warmup; repeat within a small
    time budget and keep the fastest repetition (the run is deterministic,
-   so the minimum is the right estimator). *)
+   so the minimum is the right estimator).  Entries that already exceed
+   the budget run once — n=3 state spaces are big enough that warmup
+   noise is irrelevant.  [--quick] always runs once. *)
 let time f =
   let budget = 0.5 and max_iters = 50 in
   let best = ref infinity in
   let result = ref None in
   let started = Unix.gettimeofday () in
   let iters = ref 0 in
-  while
-    !iters < 3
-    || (!iters < max_iters && Unix.gettimeofday () -. started < budget)
-  do
+  let continue () =
+    !iters = 0
+    || (not quick)
+       && !iters < max_iters
+       && !best < budget
+       && (!iters < 3 || Unix.gettimeofday () -. started < budget)
+  in
+  while continue () do
     incr iters;
     let t0 = Unix.gettimeofday () in
     let r = f () in
@@ -53,15 +79,41 @@ let stats_of = function
   | Explore.Ok s -> ("ok", s)
   | Explore.Violation { stats; _ } -> ("violation", stats)
 
-let engines = [ ("replay", Explore.Replay); ("incremental", Explore.Incremental) ]
+let reason (config : Explore.config) (s : Explore.stats) =
+  if not s.Explore.truncated then ""
+  else if s.Explore.states >= config.Explore.max_states then "max-states"
+  else "depth-or-steps"
 
-let entry ~name ~kind ~engine ~n ~extra f =
+(* [hint], when given, re-times the same run with the memo table
+   pre-sized to the measured state count (the [seen_hint] perf knob):
+   the pair of wall times in the JSON is the before/after of table
+   rehashing. *)
+let entry ?hint ~config ~name ~kind ~engine ~n ~extra f =
   let r, wall_s = time f in
   let verdict, s = stats_of r in
-  Printf.printf "%-28s %-8s %-12s %8d states %9.0f states/s %8.3f s  %s\n%!"
-    name kind engine s.Explore.states
+  let wall_hint_s =
+    match hint with
+    | None -> None
+    | Some g ->
+      let r', w = time (fun () -> g ~seen_hint:s.Explore.states) in
+      let verdict', s' = stats_of r' in
+      if (verdict', s') <> (verdict, s) then begin
+        Printf.eprintf "seen_hint changed the result on %s (%s, n=%d)\n"
+          name kind n;
+        exit 1
+      end;
+      Some w
+  in
+  Printf.printf
+    "%-28s %-8s %-12s n=%d %8d states %9.0f states/s %8.3f s%s  %s%s\n%!"
+    name kind engine n s.Explore.states
     (float_of_int s.Explore.states /. wall_s)
-    wall_s verdict;
+    wall_s
+    (match wall_hint_s with
+    | None -> ""
+    | Some w -> Printf.sprintf " (hinted %.3f s)" w)
+    verdict
+    (match reason config s with "" -> "" | r -> " [" ^ r ^ "]");
   {
     name;
     kind;
@@ -71,30 +123,80 @@ let entry ~name ~kind ~engine ~n ~extra f =
     verdict;
     runs = s.Explore.runs;
     states = s.Explore.states;
-    pruned = s.Explore.pruned;
+    pruned_dedup = s.Explore.pruned_dedup;
+    pruned_por = s.Explore.pruned_por;
     truncated = s.Explore.truncated;
+    trunc_reason = reason config s;
     wall_s;
+    wall_hint_s;
   }
+
+(* n=3 state spaces are 1–2 orders of magnitude bigger; cap them so the
+   bench stays a bench.  Rows that hit the cap carry "max-states". *)
+let config_of_n n =
+  if n <= 2 then Explore.default_config
+  else
+    { Explore.max_depth = 90; max_steps_per_proc = 25; max_states = 150_000 }
+
+let mutex_ns = [ 2; 3 ]
 
 let mutex_entries () =
   List.concat_map
     (fun (module A : Mutex_intf.ALG) ->
-      let p = Mutex_intf.params 2 in
-      if A.supports p then
-        List.map
-          (fun (ename, e) ->
-            entry ~name:A.name ~kind:"mutex" ~engine:ename ~n:2 ~extra:[]
-              (fun () -> Props.check_mutex ~engine:e (module A) p))
-          engines
-      else [])
+      List.concat_map
+        (fun n ->
+          let p = Mutex_intf.params n in
+          if not (A.supports p) then []
+          else begin
+            let config = config_of_n n in
+            let run ?independence ?seen_hint ~engine () =
+              Props.check_mutex ~config ~engine ?independence ?seen_hint
+                (module A) p
+            in
+            let replay_rows =
+              if n > 2 then []
+              else
+                [
+                  entry ~config ~name:A.name ~kind:"mutex" ~engine:"replay"
+                    ~n ~extra:[]
+                    (fun () -> run ~engine:Explore.Replay ());
+                ]
+            in
+            let inc =
+              entry ~config ~name:A.name ~kind:"mutex" ~engine:"incremental"
+                ~n ~extra:[]
+                ~hint:(fun ~seen_hint ->
+                  run ~engine:Explore.Incremental ~seen_hint ())
+                (fun () -> run ~engine:Explore.Incremental ())
+            in
+            let por_rows =
+              match Independence.mutex (module A) p with
+              | None ->
+                Printf.eprintf "note: no independence model for %s n=%d\n%!"
+                  A.name n;
+                []
+              | Some independence ->
+                [
+                  entry ~config ~name:A.name ~kind:"mutex" ~engine:"por" ~n
+                    ~extra:[]
+                    (fun () ->
+                      run ~engine:Explore.Incremental ~independence ());
+                ]
+            in
+            replay_rows @ (inc :: por_rows)
+          end)
+        mutex_ns)
     Registry.all
+
+let engines =
+  [ ("replay", Explore.Replay); ("incremental", Explore.Incremental) ]
 
 let fault_entries () =
   List.concat_map
     (fun pairs ->
       List.map
         (fun (ename, e) ->
-          entry
+          entry ~config:Explore.default_config
             ~name:(Printf.sprintf "recoverable-tas pairs=%d" pairs)
             ~kind:"faults" ~engine:ename ~n:2
             ~extra:[ ("pairs", pairs) ]
@@ -112,7 +214,8 @@ let naming_entries () =
           if A.supports ~n then
             List.map
               (fun (ename, e) ->
-                entry ~name:A.name ~kind:"naming" ~engine:ename ~n ~extra:[]
+                entry ~config:Explore.default_config ~name:A.name
+                  ~kind:"naming" ~engine:ename ~n ~extra:[]
                   (fun () -> Props.check_naming ~engine:e (module A) ~n))
               engines
           else [])
@@ -126,38 +229,57 @@ let json_of_entry e =
   in
   Printf.sprintf
     "    {\"name\": %S, \"kind\": %S, \"engine\": %S, \"n\": %d%s, \
-     \"verdict\": %S, \"runs\": %d, \"states\": %d, \"pruned\": %d, \
-     \"truncated\": %b, \"wall_s\": %.6f, \"states_per_sec\": %.1f}"
-    e.name e.kind e.engine e.n extra e.verdict e.runs e.states e.pruned
-    e.truncated e.wall_s
+     \"verdict\": %S, \"runs\": %d, \"states\": %d, \"pruned_dedup\": %d, \
+     \"pruned_por\": %d, \"truncated\": %b, \"trunc_reason\": %S, \
+     \"wall_s\": %.6f%s, \"states_per_sec\": %.1f}"
+    e.name e.kind e.engine e.n extra e.verdict e.runs e.states e.pruned_dedup
+    e.pruned_por e.truncated e.trunc_reason e.wall_s
+    (match e.wall_hint_s with
+    | None -> ""
+    | Some w -> Printf.sprintf ", \"wall_hint_s\": %.6f" w)
     (float_of_int e.states /. e.wall_s)
+
+let find_engine entries e engine =
+  List.find_opt
+    (fun e' ->
+      e'.engine = engine && e'.name = e.name && e'.kind = e.kind
+      && e'.n = e.n && e'.extra = e.extra)
+    entries
 
 let () =
   let entries = mutex_entries () @ fault_entries () @ naming_entries () in
-  (* Cross-check: both engines must agree on verdict and exact stats for
-     every configuration. *)
+  (* Cross-checks: replay and incremental must agree on verdict and
+     exact stats wherever both ran; por must agree with incremental on
+     the verdict (it explores a reduced space, so states differ — that
+     is the point). *)
   List.iter
     (fun e ->
       if e.engine = "incremental" then begin
-        let r =
-          List.find
-            (fun e' ->
-              e'.engine = "replay" && e'.name = e.name && e'.kind = e.kind
-              && e'.n = e.n && e'.extra = e.extra)
-            entries
-        in
-        if
-          (e.verdict, e.runs, e.states, e.pruned, e.truncated)
-          <> (r.verdict, r.runs, r.states, r.pruned, r.truncated)
-        then begin
-          Printf.eprintf "engine mismatch on %s (%s, n=%d)\n" e.name e.kind e.n;
-          exit 1
-        end
+        (match find_engine entries e "replay" with
+        | None -> ()
+        | Some r ->
+          if
+            (e.verdict, e.runs, e.states, e.pruned_dedup, e.truncated)
+            <> (r.verdict, r.runs, r.states, r.pruned_dedup, r.truncated)
+          then begin
+            Printf.eprintf "engine mismatch on %s (%s, n=%d)\n" e.name e.kind
+              e.n;
+            exit 1
+          end);
+        match find_engine entries e "por" with
+        | None -> ()
+        | Some p ->
+          if e.verdict <> p.verdict then begin
+            Printf.eprintf "por verdict mismatch on %s (%s, n=%d)\n" e.name
+              e.kind e.n;
+            exit 1
+          end
       end)
     entries;
   let oc = open_out "BENCH_mcheck.json" in
   Printf.fprintf oc
-    "{\n  \"schema\": \"cfc-mcheck-bench/2\",\n  \"entries\": [\n%s\n  ]\n}\n"
+    "{\n  \"schema\": \"cfc-mcheck-bench/3\",\n  \"entries\": [\n%s\n  ]\n}\n"
     (String.concat ",\n" (List.map json_of_entry entries));
   close_out oc;
-  Printf.printf "\nwrote BENCH_mcheck.json (%d entries)\n" (List.length entries)
+  Printf.printf "\nwrote BENCH_mcheck.json (%d entries)\n"
+    (List.length entries)

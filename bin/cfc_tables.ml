@@ -155,7 +155,15 @@ let mcheck_cmd =
       value & opt int 60
       & info [ "depth" ] ~docv:"D" ~doc:"Max scheduler steps per run.")
   in
-  let run name n l depth domains engine =
+  let no_por_arg =
+    Arg.(
+      value & flag
+      & info [ "no-por" ]
+          ~doc:
+            "Disable the access-graph partial-order reduction (explore \
+             every interleaving the memoization alone would).")
+  in
+  let run name n l depth domains engine no_por =
     let alg = find_supported_alg name { Mutex_intf.n; l } in
     let config =
       { Cfc_mcheck.Explore.max_depth = depth; max_steps_per_proc = depth;
@@ -174,16 +182,23 @@ let mcheck_cmd =
             "note: statically replay-unsafe; using the replay engine\n";
         report.Cfc_analysis.Analyze.replay_safe
     in
+    (* The same analysis family also yields the independence hint that
+       drives the partial-order reduction. *)
+    let independence =
+      if no_por then None
+      else Cfc_mcheck.Independence.mutex alg { Mutex_intf.n; l }
+    in
     match
-      Cfc_mcheck.Props.check_mutex ~config ~engine ~domains ~replay_safe alg
-        { Mutex_intf.n; l }
+      Cfc_mcheck.Props.check_mutex ~config ~engine ~domains ~replay_safe
+        ?independence alg { Mutex_intf.n; l }
     with
     | Cfc_mcheck.Explore.Ok stats ->
       Printf.printf
         "OK: no violation within bounds (%d maximal runs, %d states \
-         explored, %d pruned%s)\n"
+         explored, %d deduped, %d por-pruned%s)\n"
         stats.Cfc_mcheck.Explore.runs stats.Cfc_mcheck.Explore.states
-        stats.Cfc_mcheck.Explore.pruned
+        stats.Cfc_mcheck.Explore.pruned_dedup
+        stats.Cfc_mcheck.Explore.pruned_por
         (if stats.Cfc_mcheck.Explore.truncated then ", some branches truncated"
          else "")
     | Cfc_mcheck.Explore.Violation { schedule; violation; _ } ->
@@ -197,7 +212,7 @@ let mcheck_cmd =
        ~doc:"Bounded-exhaustive mutual exclusion verification.")
     Term.(
       const run $ alg_arg $ n_arg $ l_arg $ depth_arg $ domains_arg
-      $ engine_arg)
+      $ engine_arg $ no_por_arg)
 
 let trace_cmd =
   let seed_arg =
@@ -271,7 +286,7 @@ let faults_cmd =
       Printf.printf
         "mcheck: recoverable mutual exclusion holds within bounds (%d \
          states, %d pruned%s)\n"
-        stats.Cfc_mcheck.Explore.states stats.Cfc_mcheck.Explore.pruned
+        stats.Cfc_mcheck.Explore.states stats.Cfc_mcheck.Explore.pruned_dedup
         (if stats.Cfc_mcheck.Explore.truncated then ", truncated" else "")
     | Cfc_mcheck.Explore.Violation { schedule; violation; _ } ->
       Format.printf "mcheck VIOLATION: %a@.schedule: %s@."

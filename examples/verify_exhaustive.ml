@@ -13,8 +13,9 @@ open Cfc_mcheck
 let report name = function
   | Explore.Ok stats ->
     Printf.printf
-      "  %-28s OK  (%6d runs, %7d states, %6d pruned%s)\n%!" name
-      stats.Explore.runs stats.Explore.states stats.Explore.pruned
+      "  %-28s OK  (%6d runs, %7d states, %6d deduped, %6d por-pruned%s)\n%!"
+      name stats.Explore.runs stats.Explore.states stats.Explore.pruned_dedup
+      stats.Explore.pruned_por
       (if stats.Explore.truncated then ", truncated" else "")
   | Explore.Violation { schedule; violation; _ } ->
     Format.printf "  %-28s VIOLATION %a@.    schedule: %s@.%!" name
@@ -27,7 +28,9 @@ let () =
     (fun alg ->
       let (module A : Mutex_intf.ALG) = alg in
       let p = Mutex_intf.params 2 in
-      if A.supports p then report A.name (Props.check_mutex alg p))
+      if A.supports p then
+        let independence = Independence.mutex alg p in
+        report A.name (Props.check_mutex ?independence alg p))
     Registry.all;
 
   print_endline "\ncontention detection, n=3:";

@@ -20,6 +20,7 @@ type node = {
   mutable n_write : bool;
   mutable n_observes : bool;
   mutable n_cycle : bool;
+  mutable n_may_end : bool;
   mutable n_baseline : int;
   mutable n_baseline_write : bool;
 }
@@ -129,9 +130,10 @@ let observes : Sym_mem.op -> bool = function
    occurrence along the path), so re-executions of the same instruction
    in a loop become distinct nodes up to the point where the cycle was
    recognized; [cycle] holds the trace indices of the detected period. *)
-let merge_path g ~baseline ~cycle steps =
+let merge_path g ~baseline ~ended ~cycle steps =
   let occs = Hashtbl.create 16 in
   let in_cycle i = List.exists (fun (s : Sym_mem.step) -> s.s_index = i) cycle in
+  let nsteps = List.length steps in
   let prev = ref None in
   let first_cycle_key = ref None in
   let last_cycle_key = ref None in
@@ -159,6 +161,7 @@ let merge_path g ~baseline ~cycle steps =
               n_write = false;
               n_observes = false;
               n_cycle = false;
+              n_may_end = false;
               n_baseline = -1;
               n_baseline_write = false;
             }
@@ -173,6 +176,7 @@ let merge_path g ~baseline ~cycle steps =
         if !first_cycle_key = None then first_cycle_key := Some k;
         last_cycle_key := Some k
       end;
+      if ended && pos = nsteps - 1 then node.n_may_end <- true;
       if baseline then begin
         node.n_baseline <- pos;
         node.n_baseline_write <- s.s_write
@@ -220,7 +224,8 @@ let explore ~config (v : Subjects.variant) =
     if not infeasible then begin
       if swallowed ctx ending then natural_swallow := true;
       let cycle = Option.value ~default:[] (Sym_mem.spin_cycle ctx) in
-      merge_path g ~baseline:is_baseline ~cycle steps;
+      let ended = match ending with P_done -> true | P_cut _ | P_raised _ -> false in
+      merge_path g ~baseline:is_baseline ~ended ~cycle steps;
       if List.length plan < config.max_forks then begin
         let last =
           match List.rev plan with [] -> -1 | (i, _) :: _ -> i

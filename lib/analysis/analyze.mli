@@ -38,6 +38,10 @@ type node = {
   mutable n_write : bool;  (** writes the register on some path *)
   mutable n_observes : bool;  (** returns a value read from it *)
   mutable n_cycle : bool;  (** lies on a detected busy-wait cycle *)
+  mutable n_may_end : bool;
+      (** is the last access of some path on which the body returned —
+          executing it can complete the variant (and, under a harness,
+          trigger the post-body decision/region change) *)
   mutable n_baseline : int;
       (** position on the contention-free baseline path, [-1] if the
           node is reachable only under contention *)

@@ -75,6 +75,68 @@ let of_mutex ?l ~n (module A : Cfc_mutex.Mutex_intf.ALG) =
             Scheduler.replay_safe out.Runner.scheduler);
       }
 
+(* The model-checked mutex system is not the bare [lock; unlock] solo the
+   §2.2 measures quantify over: [Mutex_harness.instantiate] additionally
+   allocates a critical-section witness register (after the algorithm
+   instance, so ids shift by nothing) and exercises it between lock and
+   unlock.  Static facts about the checked system — the independence
+   relation the model checker's partial-order reduction consumes — must
+   come from a subject with the same arena layout and the same access
+   sequence, so this builder mirrors the harness body exactly (minus the
+   region annotations, which perform no shared accesses). *)
+let of_mutex_checked ?l ~n (module A : Cfc_mutex.Mutex_intf.ALG) =
+  let p = Cfc_mutex.Mutex_intf.params ?l n in
+  if not (A.supports p) then None
+  else
+    let variants =
+      List.map
+        (fun me ->
+          {
+            v_label = Printf.sprintf "p%d" me;
+            make =
+              (fun mem ->
+                let module M = (val mem : Mem_intf.MEM) in
+                let module L = A.Make (M) in
+                let t = L.create p in
+                let witness =
+                  M.alloc ~name:"cs.witness"
+                    ~width:(Ixmath.bits_needed (max 1 (n - 1)))
+                    ~init:0 ()
+                in
+                {
+                  context = [];
+                  body =
+                    (fun () ->
+                      L.lock t ~me;
+                      M.write witness me;
+                      if M.read witness <> me then
+                        raise (Mutex_harness.Critical_section_trampled me);
+                      L.unlock t ~me);
+                });
+          })
+        (Mutex_harness.sample_pids n)
+    in
+    Some
+      {
+        family = Mutex;
+        alg_name = A.name;
+        config = Printf.sprintf "n=%d checked" n;
+        n;
+        declared_atomicity = Some (A.atomicity p);
+        predicted_steps = None;
+        predicted_registers = None;
+        variants;
+        measured =
+          (fun () ->
+            (Mutex_harness.contention_free (module A) p).Mutex_harness.max);
+        dynamic_replay_safe =
+          (fun () ->
+            let out =
+              Mutex_harness.run ~pick:(Schedule.round_robin ()) (module A) p
+            in
+            Scheduler.replay_safe out.Runner.scheduler);
+      }
+
 let of_detector ~n (module D : Cfc_mutex.Mutex_intf.DETECTOR) =
   let p = Cfc_mutex.Mutex_intf.params n in
   if not (D.supports p) then None

@@ -49,6 +49,17 @@ type t = {
     parameters. *)
 
 val of_mutex : ?l:int -> n:int -> Cfc_mutex.Registry.alg -> t option
+
+val of_mutex_checked : ?l:int -> n:int -> Cfc_mutex.Registry.alg -> t option
+(** Like {!of_mutex}, but the solo mirrors the system
+    [Mutex_harness.instantiate] actually model-checks: a critical-section
+    witness register is allocated after the algorithm instance (so
+    register ids align with the checked arena) and written/verified
+    between [lock] and [unlock].  Use this — not {!of_mutex} — when
+    deriving static facts (footprints, independence) about the checked
+    system; its baseline measures include the witness accesses and must
+    not be compared against the §2.2 closed forms. *)
+
 val of_detector : n:int -> Cfc_mutex.Registry.detector -> t option
 val of_naming : n:int -> Cfc_naming.Registry.alg -> t option
 val of_consensus : n:int -> Cfc_consensus.Registry.alg -> t option

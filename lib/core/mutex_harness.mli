@@ -12,6 +12,13 @@
 open Cfc_runtime
 open Cfc_mutex
 
+exception Critical_section_trampled of int
+(** Raised by a checked process (argument: its pid) when the
+    critical-section witness register no longer holds the value it just
+    wrote — the constructive mutual-exclusion violation the model
+    checker detects.  Exported so mirrors of the checked body (the
+    analysis subjects) raise the same exception. *)
+
 type cf_result = {
   max : Measures.sample;  (** componentwise max over processes *)
   per_process : Measures.sample array;

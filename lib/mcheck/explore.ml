@@ -6,7 +6,13 @@ type config = { max_depth : int; max_steps_per_proc : int; max_states : int }
 let default_config =
   { max_depth = 60; max_steps_per_proc = 25; max_states = 500_000 }
 
-type stats = { runs : int; states : int; pruned : int; truncated : bool }
+type stats = {
+  runs : int;
+  states : int;
+  pruned_dedup : int;
+  pruned_por : int;
+  truncated : bool;
+}
 
 type engine = Incremental | Replay
 
@@ -73,9 +79,31 @@ exception Fallback
    observation replay cannot rebuild such a process, so the incremental
    engine bails out and the exploration re-runs on the replay engine. *)
 
+(* Per-state memo payload.  Without reduction it is never read (presence
+   alone prunes, as before, via the shared [dummy_memo]).  With reduction
+   a stored exploration covers a revisit only if it explored at least as
+   much: it slept on no more transitions ([m_sleep] a subset of the new
+   sleep set) and had at least as much per-process step budget left
+   ([m_steps] componentwise at most the new steps-taken vector) — the
+   spin-history canonicalization merges keys of states whose budgets
+   differ, so budget coverage must be checked, not assumed.  A revisit
+   that is not covered re-explores and overwrites the payload.
+   [m_open] counts in-progress expansions of the state on the DFS stack
+   — the cycle proviso: a singleton ample set must not step onto a state
+   still being expanded, or a reduced cycle could defer the other
+   processes forever. *)
+type memo = {
+  mutable m_sleep : int;
+  mutable m_steps : int array;
+  mutable m_open : int;
+}
+
+let dummy_memo = { m_sleep = 0; m_steps = [||]; m_open = 0 }
+
 (* The memo table: compact structural keys ({!State_key.t} plus the crash
-   budget already used), hashed deeply.  Pre-sized from the state budget so
-   the hot loop never pays for resizes. *)
+   budget already used), hashed deeply.  Pre-sized from the state budget
+   (or the caller's [seen_hint]) so the hot loop never pays for
+   resizes. *)
 module Tbl = Hashtbl.Make (struct
   type t = State_key.t * int
 
@@ -83,20 +111,25 @@ module Tbl = Hashtbl.Make (struct
   let hash ((k, u) : t) = State_key.hash k + u
 end)
 
-let tbl_size config = max 64 (min config.max_states 65_536)
+let tbl_size ?hint config =
+  match hint with
+  | Some n when n > 0 -> max 64 (min n config.max_states)
+  | Some _ | None -> max 64 (min config.max_states 65_536)
 
 type counters = {
   mutable runs : int;
   mutable states : int;
-  mutable pruned : int;
+  mutable pruned_dedup : int;
+  mutable pruned_por : int;
   mutable truncated : bool;
 }
 
-let new_counters () = { runs = 0; states = 0; pruned = 0; truncated = false }
+let new_counters () =
+  { runs = 0; states = 0; pruned_dedup = 0; pruned_por = 0; truncated = false }
 
 let stats_of c : stats =
-  { runs = c.runs; states = c.states; pruned = c.pruned;
-    truncated = c.truncated }
+  { runs = c.runs; states = c.states; pruned_dedup = c.pruned_dedup;
+    pruned_por = c.pruned_por; truncated = c.truncated }
 
 (* Scheduler choices offered at the current state, in the canonical order
    shared by both engines: steps (runnable pids ascending, within the step
@@ -158,10 +191,10 @@ let bump_used used a = match a with Crash _ -> used + 1 | Step _ | Recover _ -> 
 (* The replay engine: dscheck-style re-execution of the whole schedule
    prefix at every node.  Kept as the reference implementation (the
    equivalence tests pin the incremental engine to it) and as the
-   fallback for replay-unsafe processes. *)
+   fallback for replay-unsafe processes.  Never reduced. *)
 
-let run_replay ~config ~symmetric ~pairs ~system ~check () =
-  let seen = Tbl.create (tbl_size config) in
+let run_replay ~config ?seen_hint ~symmetric ~pairs ~system ~check () =
+  let seen = Tbl.create (tbl_size ?hint:seen_hint config) in
   let c = new_counters () in
   (* The process count is a property of the system shape, not of any
      particular node: hoist the pid list out of the per-node work. *)
@@ -195,9 +228,9 @@ let run_replay ~config ~symmetric ~pairs ~system ~check () =
     | Some v -> raise (Found (List.rev schedule, v))
     | None -> ());
     let key = (State_key.of_system memory sched trace, used) in
-    if Tbl.mem seen key then c.pruned <- c.pruned + 1
+    if Tbl.mem seen key then c.pruned_dedup <- c.pruned_dedup + 1
     else begin
-      Tbl.add seen key ();
+      Tbl.add seen key dummy_memo;
       let candidates =
         candidates_of sched ~config ~symmetric ~pairs ~nprocs ~used
       in
@@ -231,6 +264,23 @@ let run_replay ~config ~symmetric ~pairs ~system ~check () =
    (exactly the [obs] lists maintained here, which double as the state
    key's per-process component). *)
 
+(* Partial-order reduction state, present only when an independence hint
+   is active.  [p_canon]/[p_meta] are the canonical observation lists the
+   memo key uses instead of the raw ones: completed busy-wait iterations
+   are dropped (see [drop_reentry]), so states differing only in how long
+   a process spun before the loop let it through share a key.  This leans
+   on the same memoryless-spin reading of busy-wait loops the analyzer's
+   cycle cut already assumes — a spin iteration that kept the process in
+   the loop left no trace in its local state (DESIGN.md §2 records the
+   assumption).  The raw [i_obs] lists are untouched — they feed the
+   scheduler's rebuild oracle and must remain the exact history. *)
+type por_state = {
+  p_tr : Independence.tracker;
+  p_canon : State_key.cell list array;  (* per pid, newest first *)
+  p_meta : (int * bool) list array;
+      (* parallel to [p_canon]: (hash after this cell, cycle-member) *)
+}
+
 type inc_state = {
   i_config : config;
   i_symmetric : bool;
@@ -242,8 +292,9 @@ type inc_state = {
   i_obs_hash : int array;  (* per pid, rolling State_key.cell_hash fold *)
   i_nprocs : int;
   i_inc : Inc.run;
-  i_seen : unit Tbl.t;
+  i_seen : memo Tbl.t;
   i_c : counters;
+  i_por : por_state option;
 }
 
 type checkpoint = {
@@ -253,20 +304,61 @@ type checkpoint = {
   ck_obs : State_key.cell list array;
   ck_obs_hash : int array;
   ck_inc : unit -> unit;
+  ck_por :
+    (State_key.cell list array * (int * bool) list array * Independence.snap)
+    option;
 }
 
-let make_inc_state ~config ~symmetric ~pairs ~system ~inc ~seen ~c =
+let make_inc_state ~config ~symmetric ~pairs ~system ~inc ~ind ~seen ~c =
   let memory, procs = system () in
   let trace = Trace.create () in
   let obs = Array.make (Array.length procs) [] in
   let oracle pid = List.rev_map (fun cl -> cl.State_key.kind) obs.(pid) in
   let sched = Scheduler.create ~oracle ~memory ~trace procs in
   let nprocs = Scheduler.nprocs sched in
+  let por =
+    match ind with
+    | None -> None
+    | Some t ->
+      Some
+        { p_tr = Independence.track t ~nprocs;
+          p_canon = Array.make nprocs [];
+          p_meta = Array.make nprocs [] }
+  in
   { i_config = config; i_symmetric = symmetric; i_pairs = pairs;
     i_memory = memory; i_sched = sched; i_trace = trace; i_obs = obs;
     i_obs_hash = Array.make (Array.length procs) 0; i_nprocs = nprocs;
-    i_inc = Inc.start inc ~nprocs; i_seen = seen; i_c = c }
+    i_inc = Inc.start inc ~nprocs; i_seen = seen; i_c = c; i_por = por }
 
+(* ---- spin-history canonicalization (lists newest first) ---- *)
+
+(* A busy-wait access re-entering its cycle at a (register, op class) the
+   trailing run of cycle cells already contains means the run back to that
+   cell was one completed spin iteration: the guard held, the process went
+   around, and (memoryless-spin, DESIGN.md §2) its local state is as if
+   the iteration never happened.  Drop the iteration from the canonical
+   observations before appending the new cell.  Values are deliberately
+   ignored — whatever the wasted iteration read only fed the guard, and
+   any effect a spin-loop write had on shared state is carried by the
+   register values in the key.  The scan stops at the first non-cycle
+   cell, so loop exits and later re-entries (harness rounds) never
+   collapse across. *)
+let drop_reentry obs meta ~reg ~cls =
+  let rec scan obs meta =
+    match (obs, meta) with
+    | cl :: obs', (_, true) :: meta' ->
+      if
+        cl.State_key.reg = reg
+        && String.equal (Independence.class_of_kind cl.State_key.kind) cls
+      then Some (obs', meta')
+      else scan obs' meta'
+    | _, _ -> None
+  in
+  scan obs meta
+
+(* Apply one action to the live system.  Returns the shared access the
+   step performed, if any (a step performs at most one; pause steps and
+   crash/recover perform none). *)
 let apply st a =
   let before = Trace.length st.i_trace in
   (match a with
@@ -276,6 +368,7 @@ let apply st a =
   if not (Scheduler.replay_safe st.i_sched) then raise Fallback;
   (* Fold the new events into the per-process observation lists (a crash
      wipes local state, so the observation history restarts). *)
+  let access = ref None in
   for i = before to Trace.length st.i_trace - 1 do
     let e = Trace.get st.i_trace i in
     match e.Event.body with
@@ -283,12 +376,34 @@ let apply st a =
       let pid = e.Event.pid in
       let cl = State_key.cell r k in
       st.i_obs.(pid) <- cl :: st.i_obs.(pid);
-      st.i_obs_hash.(pid) <- State_key.cell_hash st.i_obs_hash.(pid) cl
+      st.i_obs_hash.(pid) <- State_key.cell_hash st.i_obs_hash.(pid) cl;
+      access := Some (pid, r, k);
+      (match st.i_por with
+      | None -> ()
+      | Some por ->
+        Independence.observe por.p_tr ~pid ~reg:r.Register.id ~kind:k;
+        let is_cyc =
+          Independence.cycle_member por.p_tr ~pid ~reg:r.Register.id ~kind:k
+        in
+        let obs0, meta0 =
+          if is_cyc then
+            match
+              drop_reentry por.p_canon.(pid) por.p_meta.(pid)
+                ~reg:r.Register.id ~cls:(Independence.class_of_kind k)
+            with
+            | Some om -> om
+            | None -> (por.p_canon.(pid), por.p_meta.(pid))
+          else (por.p_canon.(pid), por.p_meta.(pid))
+        in
+        let h = match meta0 with [] -> 0 | (h, _) :: _ -> h in
+        por.p_canon.(pid) <- cl :: obs0;
+        por.p_meta.(pid) <- (State_key.cell_hash h cl, is_cyc) :: meta0)
     | Event.Crash ->
       st.i_obs.(e.Event.pid) <- [];
       st.i_obs_hash.(e.Event.pid) <- 0
     | Event.Region_change _ | Event.Recover -> ()
-  done
+  done;
+  !access
 
 let save st ~regvals ~tracelen =
   { ck_sched = Scheduler.snapshot st.i_sched;
@@ -296,7 +411,15 @@ let save st ~regvals ~tracelen =
     ck_tracelen = tracelen;
     ck_obs = Array.copy st.i_obs;
     ck_obs_hash = Array.copy st.i_obs_hash;
-    ck_inc = st.i_inc.Inc.save () }
+    ck_inc = st.i_inc.Inc.save ();
+    ck_por =
+      (match st.i_por with
+      | None -> None
+      | Some por ->
+        Some
+          ( Array.copy por.p_canon,
+            Array.copy por.p_meta,
+            Independence.snapshot por.p_tr )) }
 
 let rollback st ck =
   Scheduler.restore st.i_sched ck.ck_sched;
@@ -304,22 +427,168 @@ let rollback st ck =
   Trace.truncate st.i_trace ck.ck_tracelen;
   Array.blit ck.ck_obs 0 st.i_obs 0 st.i_nprocs;
   Array.blit ck.ck_obs_hash 0 st.i_obs_hash 0 st.i_nprocs;
-  ck.ck_inc ()
+  ck.ck_inc ();
+  match (st.i_por, ck.ck_por) with
+  | Some por, Some (canon, meta, snap) ->
+    Array.blit canon 0 por.p_canon 0 st.i_nprocs;
+    Array.blit meta 0 por.p_meta 0 st.i_nprocs;
+    Independence.restore por.p_tr snap
+  | _, _ -> ()
 
 let state_key_of st ~regvals ~used =
+  let obs, obs_hash =
+    match st.i_por with
+    | Some por ->
+      ( (fun pid -> por.p_canon.(pid)),
+        fun pid ->
+          match por.p_meta.(pid) with [] -> 0 | (h, _) :: _ -> h )
+    | None -> ((fun pid -> st.i_obs.(pid)), fun pid -> st.i_obs_hash.(pid))
+  in
   ( { State_key.k_regvals = regvals;
       k_procs =
         Array.init st.i_nprocs (fun pid ->
             { State_key.k_status =
                 State_key.status_tag (Scheduler.status st.i_sched pid);
               k_region = Scheduler.region st.i_sched pid;
-              k_obs_hash = st.i_obs_hash.(pid);
-              k_obs = st.i_obs.(pid) }) },
+              k_obs_hash = obs_hash pid;
+              k_obs = obs pid }) },
     used )
 
+(* ---- reduction helpers ---- *)
+
+let steps_vector st = Array.init st.i_nprocs (Scheduler.steps_taken st.i_sched)
+
+let covers m ~sleep ~steps =
+  m.m_sleep land lnot sleep = 0
+  && (let ok = ref true in
+      Array.iteri (fun i s -> if s < m.m_steps.(i) then ok := false) steps;
+      !ok)
+
+(* Which sleeping processes stay asleep across the executed access: those
+   whose next step provably commutes with it.  A pause step (no access)
+   commutes with everything, and so does the value-aware footprint of an
+   access that changed nothing ([before] is the register-value array at
+   the parent node).  An unknown next step wakes the sleeper. *)
+let filter_sleep st por sleep access ~before =
+  if sleep = 0 then 0
+  else
+    match access with
+    | None -> sleep
+    | Some (_, r, k) ->
+      let changed = Memory.values st.i_memory <> before in
+      let afp = Independence.fp_of_access ~changed ~reg:r.Register.id k in
+      let s = ref 0 in
+      for t = 0 to st.i_nprocs - 1 do
+        if sleep land (1 lsl t) <> 0 then
+          match Independence.next_fp por.p_tr t with
+          | Some nfp when not (Independence.conflict nfp afp) ->
+            s := !s lor (1 lsl t)
+          | Some _ | None -> ()
+      done;
+      !s
+
+(* The static side of the singleton-ample check: a process degraded to
+   unknown (its accesses stopped matching its graph) is never picked as
+   a singleton, preserving "statically unanalyzable ⇒ full expansion". *)
+let singleton_prefilter por a =
+  match a with
+  | Crash _ | Recover _ -> false
+  | Step p -> Independence.known por.p_tr p
+
+(* Did the events appended since [from] include a region change?  The
+   property checkers consume exactly region changes (protocol regions,
+   decisions, halting) — so this is the dynamic visibility of the step
+   just applied, checked on the real transition rather than approximated
+   statically. *)
+let step_visible st ~from =
+  let n = Trace.length st.i_trace in
+  let rec scan i =
+    i < n
+    &&
+    match (Trace.get st.i_trace i).Event.body with
+    | Event.Region_change _ -> true
+    | Event.Access _ | Event.Crash | Event.Recover -> scan (i + 1)
+  in
+  scan from
+
+exception Sub_conflict
+exception Sub_budget
+
+(* The dynamic side of the singleton-ample check: a bounded exhaustive
+   exploration of the others-only subsystem (every process but [p],
+   crash-free — reduction is gated to pairs = 0) from the current state,
+   which is the CHILD state s·a of the step under probe.  [Step p] may
+   stand alone for the whole ample set only if no access any other
+   process can reach without p's help conflicts with a's footprint
+   [afp]: an others-only path from the parent s that behaves differently
+   than from s·a must first read a register a wrote, and that very read
+   occurs (at the same position) along the probe, tripping the conflict
+   check.  Paths that need p to move again are covered by the child's
+   own subtree.
+
+   When a itself was visible ([a_visible]), the property monitors — all
+   of which consume only the trace's region-change events, and detect a
+   violation from the interleaved region sequence — additionally depend
+   on the order of a against other visible steps, so the probe also
+   fails on any reachable others-only region change.  (Two invisible
+   steps, or one visible and one invisible, are monitor-independent: the
+   region sequence the checkers consume is the same either way.)
+
+   The probe restores the entry state on normal return and may leave it
+   dirty on a negative answer — callers roll back to their own
+   checkpoint before trying anything else. *)
+let others_commute st ~p ~afp ~a_visible ~used =
+  let config = st.i_config in
+  let seen = Tbl.create 256 in
+  let budget = ref 4096 in
+  let rec go () =
+    decr budget;
+    if !budget <= 0 then raise Sub_budget;
+    let regvals = Memory.values st.i_memory in
+    let key = state_key_of st ~regvals ~used in
+    if not (Tbl.mem seen key) then begin
+      Tbl.add seen key dummy_memo;
+      let cands =
+        candidates_of st.i_sched ~config ~symmetric:false ~pairs:0
+          ~nprocs:st.i_nprocs ~used
+        |> List.filter (function
+             | Step q -> q <> p
+             | Crash _ | Recover _ -> false)
+      in
+      match cands with
+      | [] -> ()
+      | cands ->
+        let tracelen = Trace.length st.i_trace in
+        let ck = save st ~regvals ~tracelen in
+        List.iter
+          (fun a ->
+            (match apply st a with
+            | Some (_, r, k) ->
+              let changed = Memory.values st.i_memory <> regvals in
+              if
+                Independence.conflict
+                  (Independence.fp_of_access ~changed ~reg:r.Register.id k)
+                  afp
+              then raise Sub_conflict
+            | None -> ());
+            if a_visible && step_visible st ~from:tracelen then
+              raise Sub_conflict;
+            go ();
+            rollback st ck)
+          cands
+    end
+  in
+  match go () with
+  | () -> true
+  | exception Sub_conflict -> false
+  | exception Sub_budget -> false
+
 (* [from] is the trace length at the parent node: the incremental check
-   consumes only the events the arriving action appended. *)
-let rec expand_inc st schedule depth used ~from =
+   consumes only the events the arriving action appended.  [sleep] is the
+   sleep set as a pid bitmask (always 0 without reduction); [pre] carries
+   the child's key and register values when the parent's singleton probe
+   already computed them. *)
+let rec expand_inc st schedule depth used ~from ~sleep ~pre =
   let config = st.i_config and c = st.i_c in
   if c.states >= config.max_states then begin
     c.truncated <- true;
@@ -343,52 +612,198 @@ let rec expand_inc st schedule depth used ~from =
   (match st.i_inc.Inc.feed st.i_trace ~from with
   | Some v -> raise (Found (List.rev schedule, v))
   | None -> ());
-  let regvals = Memory.values st.i_memory in
-  let key = state_key_of st ~regvals ~used in
-  (* Membership test and insert in one hashing pass: [replace] on a
-     present key leaves the size unchanged. *)
-  let population = Tbl.length st.i_seen in
-  Tbl.replace st.i_seen key ();
-  if Tbl.length st.i_seen = population then c.pruned <- c.pruned + 1
-  else begin
+  let key, regvals =
+    match pre with
+    | Some (key, regvals) -> (key, regvals)
+    | None ->
+      let regvals = Memory.values st.i_memory in
+      (state_key_of st ~regvals ~used, regvals)
+  in
+  let proceed =
+    match st.i_por with
+    | None ->
+      (* Membership test and insert in one hashing pass: [replace] on a
+         present key leaves the size unchanged. *)
+      let population = Tbl.length st.i_seen in
+      Tbl.replace st.i_seen key dummy_memo;
+      if Tbl.length st.i_seen = population then begin
+        c.pruned_dedup <- c.pruned_dedup + 1;
+        None
+      end
+      else Some dummy_memo
+    | Some _ -> (
+      let steps = steps_vector st in
+      match Tbl.find_opt st.i_seen key with
+      | Some m when covers m ~sleep ~steps ->
+        c.pruned_dedup <- c.pruned_dedup + 1;
+        None
+      | Some m ->
+        m.m_sleep <- sleep;
+        m.m_steps <- steps;
+        Some m
+      | None ->
+        let m = { m_sleep = sleep; m_steps = steps; m_open = 0 } in
+        Tbl.add st.i_seen key m;
+        Some m)
+  in
+  match proceed with
+  | None -> ()
+  | Some m -> begin
+    (* Stack tracking is only consulted (and only safe to mutate — the
+       POR-off path shares [dummy_memo] across domains) under
+       reduction. *)
+    let tracked = Option.is_some st.i_por in
+    if tracked then m.m_open <- m.m_open + 1;
+    Fun.protect
+      ~finally:(fun () -> if tracked then m.m_open <- m.m_open - 1)
+    @@ fun () ->
     let candidates =
       candidates_of st.i_sched ~config ~symmetric:st.i_symmetric
         ~pairs:st.i_pairs ~nprocs:st.i_nprocs ~used
     in
-    match candidates with
-    | [] ->
-      if not (Scheduler.all_quiescent st.i_sched) then c.truncated <- true;
-      c.runs <- c.runs + 1
-    | _ when depth >= config.max_depth ->
-      c.truncated <- true;
-      c.runs <- c.runs + 1
-    | [ a ] ->
-      (* A chain: no sibling will ever need this state back, so no
-         checkpoint is taken. *)
-      apply st a;
-      expand_inc st (a :: schedule) (depth + 1) (bump_used used a)
-        ~from:trace_len
-    | candidates ->
-      (* Checkpoint once; restore between siblings only — the last child
-         leaves the state dirty, and the nearest branching ancestor's
-         (absolute) restore repairs it. *)
-      let ck = save st ~regvals ~tracelen:trace_len in
-      List.iteri
-        (fun i a ->
-          if i > 0 then rollback st ck;
-          apply st a;
-          expand_inc st (a :: schedule) (depth + 1) (bump_used used a)
-            ~from:trace_len)
-        candidates
+    match st.i_por with
+    | Some por -> expand_por st por schedule depth used ~trace_len ~regvals ~sleep candidates
+    | None -> (
+      match candidates with
+      | [] ->
+        if not (Scheduler.all_quiescent st.i_sched) then c.truncated <- true;
+        c.runs <- c.runs + 1
+      | _ when depth >= config.max_depth ->
+        c.truncated <- true;
+        c.runs <- c.runs + 1
+      | [ a ] ->
+        (* A chain: no sibling will ever need this state back, so no
+           checkpoint is taken. *)
+        ignore (apply st a);
+        expand_inc st (a :: schedule) (depth + 1) (bump_used used a)
+          ~from:trace_len ~sleep:0 ~pre:None
+      | candidates ->
+        (* Checkpoint once; restore between siblings only — the last child
+           leaves the state dirty, and the nearest branching ancestor's
+           (absolute) restore repairs it. *)
+        let ck = save st ~regvals ~tracelen:trace_len in
+        List.iteri
+          (fun i a ->
+            if i > 0 then rollback st ck;
+            ignore (apply st a);
+            expand_inc st (a :: schedule) (depth + 1) (bump_used used a)
+              ~from:trace_len ~sleep:0 ~pre:None)
+          candidates)
   end
 
-let run_inc_seq ~config ~symmetric ~pairs ~system ~inc () =
+(* The reduced node expansion.  Sleeping processes' steps are covered by
+   commuted schedules under an earlier sibling, so they are dropped up
+   front.  Among the rest the node tries a singleton ample set — one
+   process whose applied step changes no region (dynamic invisibility),
+   does not land on an already-covered state (the proviso: reduced
+   cycles cannot starve the other processes), and whose footprint no
+   other process can reach a conflicting access for on its own
+   ([others_commute]).  If no such process exists the node expands
+   fully, accumulating prior siblings into each child's sleep set. *)
+and expand_por st por schedule depth used ~trace_len ~regvals ~sleep candidates =
+  let config = st.i_config and c = st.i_c in
+  let live, slept =
+    List.partition
+      (function
+        | Step p -> sleep land (1 lsl p) = 0
+        | Crash _ | Recover _ -> true (* reduction is gated to pairs = 0 *))
+      candidates
+  in
+  c.pruned_por <- c.pruned_por + List.length slept;
+  match live with
+  | [] ->
+    if candidates = [] then begin
+      if not (Scheduler.all_quiescent st.i_sched) then c.truncated <- true;
+      c.runs <- c.runs + 1
+    end
+    (* otherwise every enabled step is asleep: each is explored, after
+       commuting, under an earlier sibling of some ancestor *)
+  | _ when depth >= config.max_depth ->
+    c.truncated <- true;
+    c.runs <- c.runs + 1
+  | [ a ] ->
+    (* a chain, as in the unreduced engine: no checkpoint *)
+    let access = apply st a in
+    expand_inc st (a :: schedule) (depth + 1) (bump_used used a)
+      ~from:trace_len
+      ~sleep:(filter_sleep st por sleep access ~before:regvals)
+      ~pre:None
+  | live ->
+    let nlive = List.length live in
+    let ck = save st ~regvals ~tracelen:trace_len in
+    let dirty = ref false in
+    let chosen = ref None in
+    let rec pick = function
+      | [] -> ()
+      | a :: rest ->
+        if not (singleton_prefilter por a) then pick rest
+        else begin
+          if !dirty then rollback st ck;
+          dirty := true;
+          let access = apply st a in
+          let child_regvals = Memory.values st.i_memory in
+          let child_used = bump_used used a in
+          let child_key = state_key_of st ~regvals:child_regvals ~used:child_used in
+          let child_sleep = filter_sleep st por sleep access ~before:regvals in
+          (* the cycle proviso: never step a singleton onto a state still
+             being expanded on the DFS stack — the other processes' steps
+             would be deferred around the cycle forever.  A child already
+             fully explored is fine: its (completed) subtree carried the
+             deferred steps. *)
+          let child_open =
+            match Tbl.find_opt st.i_seen child_key with
+            | Some m -> m.m_open > 0
+            | None -> false
+          in
+          let ok =
+            (not child_open)
+            &&
+            match (a, access) with
+            | Step p, Some (_, r, k) ->
+              others_commute st ~p
+                ~afp:
+                  (Independence.fp_of_access
+                     ~changed:(child_regvals <> regvals)
+                     ~reg:r.Register.id k)
+                ~a_visible:(step_visible st ~from:trace_len)
+                ~used:child_used
+            | _, None -> false (* a pause child shares the parent's key *)
+            | (Crash _ | Recover _), _ -> false
+          in
+          if ok then chosen := Some (a, child_key, child_regvals, child_sleep)
+          else pick rest
+        end
+    in
+    pick live;
+    (match !chosen with
+    | Some (a, child_key, child_regvals, child_sleep) ->
+      (* the state already carries [a] applied (the probe's work) *)
+      c.pruned_por <- c.pruned_por + (nlive - 1);
+      expand_inc st (a :: schedule) (depth + 1) (bump_used used a)
+        ~from:trace_len ~sleep:child_sleep
+        ~pre:(Some (child_key, child_regvals))
+    | None ->
+      let sleep_now = ref sleep in
+      List.iteri
+        (fun i a ->
+          if i > 0 || !dirty then rollback st ck;
+          let access = apply st a in
+          expand_inc st (a :: schedule) (depth + 1) (bump_used used a)
+            ~from:trace_len
+            ~sleep:(filter_sleep st por !sleep_now access ~before:regvals)
+            ~pre:None;
+          match a with
+          | Step p -> sleep_now := !sleep_now lor (1 lsl p)
+          | Crash _ | Recover _ -> ())
+        live)
+
+let run_inc_seq ~config ?seen_hint ~symmetric ~pairs ~system ~inc ~ind () =
   let c = new_counters () in
   let st =
-    make_inc_state ~config ~symmetric ~pairs ~system ~inc
-      ~seen:(Tbl.create (tbl_size config)) ~c
+    make_inc_state ~config ~symmetric ~pairs ~system ~inc ~ind
+      ~seen:(Tbl.create (tbl_size ?hint:seen_hint config)) ~c
   in
-  match expand_inc st [] 0 0 ~from:0 with
+  match expand_inc st [] 0 0 ~from:0 ~sleep:0 ~pre:None with
   | () -> Ok (stats_of c)
   | exception Budget -> Ok (stats_of c)
   | exception Found (schedule, violation) ->
@@ -405,28 +820,42 @@ let run_inc_seq ~config ~symmetric ~pairs ~system ~inc () =
    candidate order, i.e. the same branch the sequential DFS enters first.
 
    The per-branch memo tables cannot share prunes across branches, so
-   [states]/[pruned] exceed the sequential engine's on diamond-heavy
-   state spaces (each branch re-discovers states the sequential search
-   reaches first through an earlier branch); DESIGN.md §2 records this
-   deviation.  Each branch also gets the full [max_states] budget. *)
+   [states]/[pruned_dedup] exceed the sequential engine's on
+   diamond-heavy state spaces (each branch re-discovers states the
+   sequential search reaches first through an earlier branch); DESIGN.md
+   §2 records this deviation.  Each branch also gets the full
+   [max_states] budget.
+
+   Under reduction the root expands fully, and branch [i] starts with the
+   prior branches' pids asleep (filtered through its own first action),
+   mirroring the sequential sleep propagation. *)
 
 type branch_result =
   | B_ok of stats
   | B_viol of action list * Cfc_core.Spec.violation * stats
   | B_fallback
 
-let run_branch ~config ~symmetric ~pairs ~system ~inc a =
+let run_branch ~config ?seen_hint ~symmetric ~pairs ~system ~inc ~ind
+    ~sleep0 a =
   let c = new_counters () in
   let st =
-    make_inc_state ~config ~symmetric ~pairs ~system ~inc
-      ~seen:(Tbl.create (tbl_size config)) ~c
+    make_inc_state ~config ~symmetric ~pairs ~system ~inc ~ind
+      ~seen:(Tbl.create (tbl_size ?hint:seen_hint config)) ~c
   in
   (* Seed the memo with the initial state's key so a schedule that loops
      back to it is pruned exactly as in the sequential search. *)
-  Tbl.add st.i_seen (state_key_of st ~regvals:(Memory.values st.i_memory) ~used:0) ();
+  let regvals0 = Memory.values st.i_memory in
+  Tbl.add st.i_seen
+    (state_key_of st ~regvals:regvals0 ~used:0)
+    { m_sleep = sleep0; m_steps = Array.make st.i_nprocs 0; m_open = 0 };
   match
-    apply st a;
-    expand_inc st [ a ] 1 (bump_used 0 a) ~from:0
+    let access = apply st a in
+    let sleep =
+      match st.i_por with
+      | None -> 0
+      | Some por -> filter_sleep st por sleep0 access ~before:regvals0
+    in
+    expand_inc st [ a ] 1 (bump_used 0 a) ~from:0 ~sleep ~pre:None
   with
   | () -> B_ok (stats_of c)
   | exception Budget -> B_ok (stats_of c)
@@ -434,13 +863,14 @@ let run_branch ~config ~symmetric ~pairs ~system ~inc a =
     B_viol (schedule, violation, stats_of c)
   | exception Fallback -> B_fallback
 
-let run_inc_par ~config ~symmetric ~pairs ~system ~inc ~domains () =
+let run_inc_par ~config ?seen_hint ~symmetric ~pairs ~system ~inc ~ind
+    ~domains () =
   (* The root node is processed by the coordinator (it is the common
      prefix of every branch); its counter contributions mirror the
      sequential engine's. *)
   let c = new_counters () in
   let st =
-    make_inc_state ~config ~symmetric ~pairs ~system ~inc
+    make_inc_state ~config ~symmetric ~pairs ~system ~inc ~ind
       ~seen:(Tbl.create 64) ~c
   in
   c.states <- 1;
@@ -461,6 +891,19 @@ let run_inc_par ~config ~symmetric ~pairs ~system ~inc ~domains () =
   | candidates ->
     let jobs = Array.of_list candidates in
     let njobs = Array.length jobs in
+    (* sleep seed per branch: the pids of the branches before it *)
+    let sleeps = Array.make njobs 0 in
+    (match ind with
+    | None -> ()
+    | Some _ ->
+      let acc = ref 0 in
+      Array.iteri
+        (fun i a ->
+          sleeps.(i) <- !acc;
+          match a with
+          | Step p -> acc := !acc lor (1 lsl p)
+          | Crash _ | Recover _ -> ())
+        jobs);
     let results = Array.make njobs (B_ok (stats_of (new_counters ()))) in
     let next = Atomic.make 0 in
     let worker () =
@@ -468,7 +911,8 @@ let run_inc_par ~config ~symmetric ~pairs ~system ~inc ~domains () =
         let i = Atomic.fetch_and_add next 1 in
         if i < njobs then begin
           results.(i) <-
-            run_branch ~config ~symmetric ~pairs ~system ~inc jobs.(i);
+            run_branch ~config ?seen_hint ~symmetric ~pairs ~system ~inc
+              ~ind ~sleep0:sleeps.(i) jobs.(i);
           loop ()
         end
       in
@@ -503,7 +947,8 @@ let run_inc_par ~config ~symmetric ~pairs ~system ~inc ~domains () =
       in
       c.runs <- c.runs + s.runs;
       c.states <- c.states + s.states;
-      c.pruned <- c.pruned + s.pruned;
+      c.pruned_dedup <- c.pruned_dedup + s.pruned_dedup;
+      c.pruned_por <- c.pruned_por + s.pruned_por;
       c.truncated <- c.truncated || s.truncated
     done;
     (match !first_viol with
@@ -519,32 +964,46 @@ let run_inc_par ~config ~symmetric ~pairs ~system ~inc ~domains () =
    point, crashing any started runnable process (while crashes remain in
    the budget) and recovering any crashed one. *)
 let run_gen ?(config = default_config) ?(symmetric = false)
-    ?(engine = Incremental) ?(domains = 1) ?(replay_safe = true) ?inc ~pairs
-    ~system ~check () =
+    ?(engine = Incremental) ?(domains = 1) ?(replay_safe = true)
+    ?independence ?seen_hint ?inc ~pairs ~system ~check () =
   let inc = match inc with Some i -> i | None -> Inc.of_whole check in
+  (* Reduction applies only where its soundness argument does: the plain
+     interleaving exploration (no crash branches — a crash wipes local
+     state asynchronously and commutes with nothing the model sees), no
+     symmetry reduction (the two prunings pick different representative
+     schedules), and only for systems with at least one usable model. *)
+  let ind =
+    match independence with
+    | Some t when pairs = 0 && (not symmetric) && Independence.usable t ->
+      Some t
+    | Some _ | None -> None
+  in
   match engine with
-  | Replay -> run_replay ~config ~symmetric ~pairs ~system ~check ()
+  | Replay -> run_replay ~config ?seen_hint ~symmetric ~pairs ~system ~check ()
   | Incremental when not replay_safe ->
     (* A static analysis (or a previous run) already knows some process
        swallows mid-access discontinuation; the incremental engine would
        only rediscover that and raise [Fallback] mid-search.  Skip the
        wasted work and start on the replay engine directly. *)
-    run_replay ~config ~symmetric ~pairs ~system ~check ()
+    run_replay ~config ?seen_hint ~symmetric ~pairs ~system ~check ()
   | Incremental -> (
     try
-      if domains <= 1 then run_inc_seq ~config ~symmetric ~pairs ~system ~inc ()
-      else run_inc_par ~config ~symmetric ~pairs ~system ~inc ~domains ()
+      if domains <= 1 then
+        run_inc_seq ~config ?seen_hint ~symmetric ~pairs ~system ~inc ~ind ()
+      else
+        run_inc_par ~config ?seen_hint ~symmetric ~pairs ~system ~inc ~ind
+          ~domains ()
     with Fallback ->
       (* Some process caught a register-op exception and continued; its
          local state is invisible to observation replay.  Start over on
          the (always sound) replay engine. *)
-      run_replay ~config ~symmetric ~pairs ~system ~check ())
+      run_replay ~config ?seen_hint ~symmetric ~pairs ~system ~check ())
 
-let run ?config ?symmetric ?engine ?domains ?replay_safe ?inc ~system ~check ()
-    =
+let run ?config ?symmetric ?engine ?domains ?replay_safe ?independence
+    ?seen_hint ?inc ~system ~check () =
   match
-    run_gen ?config ?symmetric ?engine ?domains ?replay_safe ?inc ~pairs:0
-      ~system ~check ()
+    run_gen ?config ?symmetric ?engine ?domains ?replay_safe ?independence
+      ?seen_hint ?inc ~pairs:0 ~system ~check ()
   with
   | Ok stats -> Ok stats
   | Violation { schedule; violation; stats } ->
@@ -557,7 +1016,7 @@ let run ?config ?symmetric ?engine ?domains ?replay_safe ?inc ~system ~check ()
     in
     Violation { schedule = pids; violation; stats }
 
-let run_faults ?config ?symmetric ?engine ?domains ?replay_safe ?inc
-    ?(pairs = 2) ~system ~check () =
-  run_gen ?config ?symmetric ?engine ?domains ?replay_safe ?inc ~pairs ~system
-    ~check ()
+let run_faults ?config ?symmetric ?engine ?domains ?replay_safe ?independence
+    ?seen_hint ?inc ?(pairs = 2) ~system ~check () =
+  run_gen ?config ?symmetric ?engine ?domains ?replay_safe ?independence
+    ?seen_hint ?inc ~pairs ~system ~check ()

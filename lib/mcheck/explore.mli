@@ -28,13 +28,41 @@
     the search.  The crash count joins the memo key, so pruning stays
     sound across fault branches.
 
+    {b Partial-order reduction} ([independence] hint, incremental engine
+    only): a static may-conflict relation between per-process next steps,
+    derived from the {!Independence} access-graph models, lets a node
+    schedule a single process when its next step provably commutes with
+    everything every other live process may still do — the skipped
+    interleavings reach the same states modulo commutation.  Three
+    guards keep it sound: the chosen step must pass a {e dynamic}
+    commutation probe (an exhaustive bounded walk of the others-only
+    subsystem from the child state, failing on any value-aware footprint
+    conflict with the chosen access — and, when the chosen step changed
+    a protocol region, on any reachable other-process region change,
+    since region sequences are all the property monitors consume); it
+    must not land on a state currently open on the DFS stack (the
+    ignoring-problem cycle proviso); and sleeping processes ({e sleep
+    sets}: already explored under an earlier sibling after
+    commuting) wake as soon as a conflicting access executes.  Under
+    reduction the memo stores what each exploration assumed (sleep set
+    and per-process step budget) and a revisit re-explores unless
+    covered.  States differing only in how many times a process re-read
+    an unchanged busy-wait register are merged (spin-period
+    canonicalization) — sound under the memoryless-spin reading of
+    busy-wait loops the analyzer's cycle detection already assumes
+    (DESIGN.md §2).  Reduction is gated off under fault injection
+    ([pairs > 0]), under [symmetric], and for processes whose dynamic
+    accesses leave their static graph (conservative degradation, per
+    process).  The reduced and unreduced searches are asserted to agree
+    on every registry system and every broken fixture by the test suite.
+
     {b Domain parallelism} ([domains > 1], incremental engine only): the
     root node's candidate actions are independent subtrees fanned out
     over [Domain.spawn] workers, each with its own system and memo
     table.  Results merge by branch index, so the verdict, the reported
     counterexample schedule and the stats are deterministic — identical
     for every [domains > 1] — but the per-branch memo tables cannot share
-    prunes, so [states]/[pruned] exceed (never undercount) the
+    prunes, so [states]/[pruned_dedup] exceed (never undercount) the
     sequential engine's on state spaces where branches reconverge, and
     each branch gets the full [max_states] budget.  [domains = 1] (the
     default) is exactly the sequential search.
@@ -61,7 +89,11 @@ val default_config : config
 type stats = {
   runs : int;  (** maximal schedules explored *)
   states : int;  (** search nodes visited *)
-  pruned : int;  (** prefixes cut by the memoization *)
+  pruned_dedup : int;  (** prefixes cut by the memoization *)
+  pruned_por : int;
+      (** enabled transitions skipped by the partial-order reduction
+          (sleeping processes, plus the siblings a singleton ample set
+          dropped); always 0 without an [independence] hint *)
   truncated : bool;  (** some branch hit a bound *)
 }
 
@@ -95,6 +127,8 @@ val run :
   ?engine:engine ->
   ?domains:int ->
   ?replay_safe:bool ->
+  ?independence:Independence.t ->
+  ?seen_hint:int ->
   ?inc:Cfc_core.Spec.Inc.t ->
   system:(unit -> Cfc_runtime.Memory.t * (unit -> unit) array) ->
   check:(Cfc_runtime.Trace.t -> nprocs:int -> Cfc_core.Spec.violation option) ->
@@ -125,7 +159,17 @@ val run :
     the replay engine directly instead of discovering the problem and
     falling back mid-search.  Passing [false] for a replay-safe system is
     sound — only slower; passing [true] for an unsafe one merely restores
-    the dynamic fallback. *)
+    the dynamic fallback.
+
+    [independence] (see {!Independence.mutex}) switches the incremental
+    engine to the partial-order-reduced search described in the module
+    docstring; the verdict is unchanged, [states] shrinks, [pruned_por]
+    counts the skipped work.  Ignored under [symmetric], under fault
+    injection, on the replay engine and when no per-process model is
+    usable.
+
+    [seen_hint] pre-sizes the memo table (pass a previous run's [states]
+    to avoid rehashing on repeated runs); purely a performance hint. *)
 
 val run_faults :
   ?config:config ->
@@ -133,6 +177,8 @@ val run_faults :
   ?engine:engine ->
   ?domains:int ->
   ?replay_safe:bool ->
+  ?independence:Independence.t ->
+  ?seen_hint:int ->
   ?inc:Cfc_core.Spec.Inc.t ->
   ?pairs:int ->
   system:(unit -> Cfc_runtime.Memory.t * (unit -> unit) array) ->
@@ -143,7 +189,8 @@ val run_faults :
     scheduler choices, up to [pairs] (default 2) crash–recovery pairs per
     run.  Crashing a process that has not yet taken a step is skipped
     (indistinguishable from not crashing it).  With [pairs = 0] this is
-    exactly {!run} modulo the schedule type. *)
+    exactly {!run} modulo the schedule type — including the reduction,
+    which is otherwise gated off under fault injection. *)
 
 val replay :
   system:(unit -> Cfc_runtime.Memory.t * (unit -> unit) array) ->

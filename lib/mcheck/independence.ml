@@ -1,0 +1,285 @@
+open Cfc_runtime
+
+(* ------------------------------------------------------------------ *)
+(* Footprints: which registers a step may read or write, as bitmasks
+   over register ids (allocation order).  Conflict is the §POR may-not-
+   commute relation: a write on a register some other step touches. *)
+
+type fp = { f_read : int; f_write : int }
+
+let fp_empty = { f_read = 0; f_write = 0 }
+
+let fp_union a b =
+  { f_read = a.f_read lor b.f_read; f_write = a.f_write lor b.f_write }
+
+let fp_equal a b = a.f_read = b.f_read && a.f_write = b.f_write
+
+let conflict a b =
+  a.f_write land (b.f_read lor b.f_write) <> 0
+  || b.f_write land a.f_read <> 0
+
+(* The widest register id a bitmask can carry without touching the sign
+   bit of a 63-bit OCaml int. *)
+let max_reg_bits = 62
+
+let class_of_kind : Event.access_kind -> string = function
+  | Event.A_read _ -> "read"
+  | Event.A_write _ -> "write"
+  | Event.A_field _ -> "write-field"
+  | Event.A_xchg _ -> "xchg"
+  | Event.A_cas _ -> "cas"
+  | Event.A_bit (op, _) -> "bit:" ^ Cfc_base.Ops.to_string op
+
+let fp_of_access ?(changed = true) ~reg (kind : Event.access_kind) =
+  let bit = 1 lsl reg in
+  let writes =
+    changed
+    &&
+    match kind with
+    (* A failed CAS records as a read ([Event.is_write] is
+       success-dependent), but whether it succeeds depends on the
+       interleaving, so for commutation it must count as a write. *)
+    | Event.A_cas _ -> true
+    | k -> Event.is_write k
+  in
+  { f_read = bit; f_write = (if writes then bit else 0) }
+
+(* ------------------------------------------------------------------ *)
+(* The static model of one process: its access graph
+   ([Cfc_analysis.Analyze]), re-indexed as arrays, with the footprint of
+   every node and the fixpoint union of footprints reachable from it. *)
+
+type ninfo = {
+  i_reg : int;
+  i_cls : string;
+  i_fp : fp;
+  i_cycle : bool;
+  i_may_end : bool;
+}
+
+type model = {
+  m_entry : int list;  (* nodes with baseline position 0 *)
+  m_info : ninfo array;
+  m_succ : int array array;
+  m_future : fp array;  (* [i_fp] unioned over graph-reachable nodes *)
+  m_cycset : (int * string, unit) Hashtbl.t;
+      (* (register, op class) pairs appearing on a detected busy-wait
+         cycle, occurrence-independent: the dynamic search prunes spin
+         unrolling long before it reaches the occurrence indices the
+         symbolic engine flagged, so membership must not depend on how
+         many times the instruction already executed *)
+}
+
+type t = { models : model option array }
+
+let usable t = Array.exists Option.is_some t.models
+
+let model_of_graph (g : Cfc_analysis.Analyze.graph) =
+  let open Cfc_analysis.Analyze in
+  let keys =
+    List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) g.g_nodes [])
+  in
+  let keys = Array.of_list keys in
+  let nn = Array.length keys in
+  if nn = 0 then None
+  else begin
+    let index = Hashtbl.create nn in
+    Array.iteri (fun i k -> Hashtbl.replace index k i) keys;
+    let node i = Hashtbl.find g.g_nodes keys.(i) in
+    let overflow = ref false in
+    let info =
+      Array.init nn (fun i ->
+          let n = node i in
+          if n.n_reg >= max_reg_bits then overflow := true;
+          let bit = 1 lsl n.n_reg in
+          {
+            i_reg = n.n_reg;
+            i_cls = n.n_class;
+            i_fp =
+              {
+                f_read = bit;
+                (* anything but a plain read may write: CAS and bit ops
+                   conservatively so, since success is value-dependent *)
+                f_write = (if n.n_class = "read" then 0 else bit);
+              };
+            i_cycle = n.n_cycle;
+            i_may_end = n.n_may_end;
+          })
+    in
+    let entry = ref [] in
+    Array.iteri
+      (fun i _ -> if (node i).n_baseline = 0 then entry := i :: !entry)
+      keys;
+    if !overflow || !entry = [] then None
+    else begin
+      let succ = Array.make nn [] in
+      Hashtbl.iter
+        (fun (a, b) () ->
+          match (Hashtbl.find_opt index a, Hashtbl.find_opt index b) with
+          | Some ia, Some ib -> succ.(ia) <- ib :: succ.(ia)
+          | _ -> ())
+        g.g_edges;
+      let succ =
+        Array.map (fun l -> Array.of_list (List.sort_uniq compare l)) succ
+      in
+      let future = Array.map (fun inf -> inf.i_fp) info in
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        for i = 0 to nn - 1 do
+          let f =
+            Array.fold_left
+              (fun acc j -> fp_union acc future.(j))
+              future.(i) succ.(i)
+          in
+          if not (fp_equal f future.(i)) then begin
+            future.(i) <- f;
+            changed := true
+          end
+        done
+      done;
+      let cycset = Hashtbl.create 8 in
+      Array.iter
+        (fun inf -> if inf.i_cycle then Hashtbl.replace cycset (inf.i_reg, inf.i_cls) ())
+        info;
+      Some
+        {
+          m_entry = List.sort compare !entry;
+          m_info = info;
+          m_succ = succ;
+          m_future = future;
+          m_cycset = cycset;
+        }
+    end
+  end
+
+let of_report (report : Cfc_analysis.Analyze.report) =
+  {
+    models =
+      Array.of_list
+        (List.map
+           (fun vr -> model_of_graph vr.Cfc_analysis.Analyze.vr_graph)
+           report.Cfc_analysis.Analyze.variants);
+  }
+
+let build subject_opt ~config =
+  match subject_opt with
+  | None -> None
+  | Some subject -> (
+    match Cfc_analysis.Analyze.analyze ?config subject with
+    | report ->
+      let t = of_report report in
+      if usable t then Some t else None
+    | exception _ -> None)
+
+let mutex ?config alg (p : Cfc_mutex.Mutex_intf.params) =
+  (* [of_mutex_checked], not [of_mutex]: the checked arena has the
+     critical-section witness register, and footprints are bit positions
+     in allocation order. *)
+  build
+    (Cfc_analysis.Subjects.of_mutex_checked ~l:p.Cfc_mutex.Mutex_intf.l
+       ~n:p.Cfc_mutex.Mutex_intf.n alg)
+    ~config
+
+let detector ?config det (p : Cfc_mutex.Mutex_intf.params) =
+  build
+    (Cfc_analysis.Subjects.of_detector ~n:p.Cfc_mutex.Mutex_intf.n det)
+    ~config
+
+(* ------------------------------------------------------------------ *)
+(* Dynamic position tracking: the set of graph nodes a process's next
+   access may correspond to, advanced on every observed access.  A
+   process whose accesses stop matching its graph (the bounded symbolic
+   exploration under-covered its behavior) degrades permanently to [Top]
+   — no static claim is made about it again, and the exploration around
+   it falls back to full expansion. *)
+
+type pos = Top | Nodes of int list  (* nonempty *)
+
+type tracker = { t : t; pos : pos array }
+type snap = pos array
+
+let track t ~nprocs =
+  {
+    t;
+    pos =
+      Array.init nprocs (fun pid ->
+          if pid < Array.length t.models then
+            match t.models.(pid) with
+            | Some m -> Nodes m.m_entry
+            | None -> Top
+          else Top);
+  }
+
+let snapshot tr = Array.copy tr.pos
+let restore tr s = Array.blit s 0 tr.pos 0 (Array.length tr.pos)
+
+let model tr pid =
+  if pid < Array.length tr.t.models then tr.t.models.(pid) else None
+
+let observe tr ~pid ~reg ~kind =
+  match tr.pos.(pid) with
+  | Top -> ()
+  | Nodes pos -> (
+    match model tr pid with
+    | None -> tr.pos.(pid) <- Top
+    | Some m -> (
+      let cls = class_of_kind kind in
+      let matched =
+        List.filter
+          (fun i -> m.m_info.(i).i_reg = reg && m.m_info.(i).i_cls = cls)
+          pos
+      in
+      match matched with
+      | [] -> tr.pos.(pid) <- Top
+      | _ ->
+        let next =
+          List.sort_uniq compare
+            (List.concat_map
+               (fun i -> Array.to_list m.m_succ.(i))
+               matched)
+        in
+        (* Past the last graph node the process either halts (and is
+           never consulted again) or starts its body over (the harness
+           [rounds] loop): restart the position at the entry. *)
+        let next = if next = [] then m.m_entry else next in
+        tr.pos.(pid) <- Nodes next))
+
+let cycle_member tr ~pid ~reg ~kind =
+  match model tr pid with
+  | None -> false
+  | Some m -> Hashtbl.mem m.m_cycset (reg, class_of_kind kind)
+
+let next_fp tr pid =
+  match tr.pos.(pid) with
+  | Top -> None
+  | Nodes pos -> (
+    match model tr pid with
+    | None -> None
+    | Some m ->
+      Some
+        (List.fold_left
+           (fun acc i -> fp_union acc m.m_info.(i).i_fp)
+           fp_empty pos))
+
+let future_fp tr pid =
+  match tr.pos.(pid) with
+  | Top -> None
+  | Nodes pos -> (
+    match model tr pid with
+    | None -> None
+    | Some m ->
+      Some
+        (List.fold_left
+           (fun acc i -> fp_union acc m.m_future.(i))
+           fp_empty pos))
+
+let known tr pid = match tr.pos.(pid) with Top -> false | Nodes _ -> true
+
+let next_may_end tr pid =
+  match tr.pos.(pid) with
+  | Top -> true
+  | Nodes pos -> (
+    match model tr pid with
+    | None -> true
+    | Some m -> List.exists (fun i -> m.m_info.(i).i_may_end) pos)

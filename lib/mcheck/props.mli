@@ -3,14 +3,20 @@
     checker supplies the incremental form of its property
     ({!Cfc_core.Spec.Inc}), so the default {!Explore.Incremental} engine
     pays O(new events) per node instead of a whole-trace rescan;
-    [engine]/[domains]/[replay_safe] are forwarded to
-    {!Explore.run}/{!Explore.run_faults} — pass [replay_safe:false] when
-    static analysis says the algorithm swallows discontinuation, so the
-    search starts on the replay engine instead of falling back. *)
+    [engine]/[domains]/[replay_safe]/[independence]/[seen_hint] are
+    forwarded to {!Explore.run}/{!Explore.run_faults} — pass
+    [replay_safe:false] when static analysis says the algorithm swallows
+    discontinuation, so the search starts on the replay engine instead of
+    falling back, and [independence] (from {!Independence.mutex} /
+    {!Independence.detector}) to enable the partial-order reduction.
+    Consensus, renaming and naming take no [independence]: no
+    ready-made constructor builds their hint yet (use {!Explore.run}
+    with {!Independence.of_report} directly if needed), and naming's
+    default symmetry reduction would gate it off anyway. *)
 
 val check_mutex :
   ?config:Explore.config -> ?engine:Explore.engine -> ?domains:int ->
-  ?replay_safe:bool ->
+  ?replay_safe:bool -> ?independence:Independence.t -> ?seen_hint:int ->
   ?rounds:int -> Cfc_mutex.Registry.alg ->
   Cfc_mutex.Mutex_intf.params -> Explore.result
 (** Exhaustively (within bounds) verify mutual exclusion — including the
@@ -19,7 +25,7 @@ val check_mutex :
 
 val check_mutex_recoverable :
   ?config:Explore.config -> ?engine:Explore.engine -> ?domains:int ->
-  ?replay_safe:bool ->
+  ?replay_safe:bool -> ?independence:Independence.t -> ?seen_hint:int ->
   ?pairs:int -> ?rounds:int ->
   Cfc_mutex.Registry.alg -> Cfc_mutex.Mutex_intf.params ->
   Explore.fault_result
@@ -32,14 +38,14 @@ val check_mutex_recoverable :
 
 val check_detector :
   ?config:Explore.config -> ?engine:Explore.engine -> ?domains:int ->
-  ?replay_safe:bool ->
+  ?replay_safe:bool -> ?independence:Independence.t -> ?seen_hint:int ->
   Cfc_mutex.Registry.detector ->
   Cfc_mutex.Mutex_intf.params -> Explore.result
 (** Verify the at-most-one-winner property of a contention detector. *)
 
 val check_consensus :
   ?config:Explore.config -> ?engine:Explore.engine -> ?domains:int ->
-  ?replay_safe:bool ->
+  ?replay_safe:bool -> ?seen_hint:int ->
   Cfc_consensus.Registry.alg -> n:int ->
   inputs:int array -> Explore.result
 (** Verify agreement + validity of a consensus algorithm for the given
@@ -47,14 +53,14 @@ val check_consensus :
 
 val check_renaming :
   ?config:Explore.config -> ?engine:Explore.engine -> ?domains:int ->
-  ?replay_safe:bool ->
+  ?replay_safe:bool -> ?seen_hint:int ->
   Cfc_renaming.Registry.alg -> n:int ->
   Explore.result
 (** Verify distinct in-range new names (full participation bound). *)
 
 val check_naming :
   ?config:Explore.config -> ?engine:Explore.engine -> ?domains:int ->
-  ?replay_safe:bool ->
+  ?replay_safe:bool -> ?seen_hint:int ->
   ?symmetric:bool -> Cfc_naming.Registry.alg ->
   n:int -> Explore.result
 (** Verify unique in-range names.  [symmetric] (default true — naming

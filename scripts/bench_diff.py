@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_mcheck.json files and fail on model-checker regressions.
+
+Usage: bench_diff.py BASELINE CURRENT [--delta OUT.json]
+
+The bench's verdicts, state counts and prune counts are deterministic
+(seeded exploration, fixed configs), so compared against a committed
+baseline:
+
+  - a verdict change on any (name, kind, engine, n, extra) entry fails;
+  - growth in states explored fails (the memoization or the
+    partial-order reduction lost ground);
+  - an entry present in the baseline but missing from the current run
+    fails (a silent sweep cap crept back in);
+  - new entries and wall-time changes are reported, never asserted
+    (CI runners are noisy).
+
+Exit status 0 = no regression, 1 = regression, 2 = usage/IO error.
+Stdlib only.
+"""
+
+import argparse
+import json
+import sys
+
+
+def key(entry):
+    extra = tuple(
+        sorted(
+            (k, v)
+            for k, v in entry.items()
+            if k
+            not in (
+                "name",
+                "kind",
+                "engine",
+                "n",
+                "verdict",
+                "runs",
+                "states",
+                "pruned",
+                "pruned_dedup",
+                "pruned_por",
+                "truncated",
+                "trunc_reason",
+                "wall_s",
+                "wall_hint_s",
+                "states_per_sec",
+            )
+        )
+    )
+    return (entry["name"], entry["kind"], entry["engine"], entry["n"], extra)
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    entries = {}
+    for e in doc.get("entries", []):
+        entries[key(e)] = e
+    return doc.get("schema", "?"), entries
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--delta", help="write a JSON delta report here")
+    args = ap.parse_args()
+
+    try:
+        base_schema, base = load(args.baseline)
+        cur_schema, cur = load(args.current)
+    except (OSError, json.JSONDecodeError, KeyError) as exc:
+        print(f"bench_diff: cannot read inputs: {exc}", file=sys.stderr)
+        return 2
+
+    regressions = []
+    changes = []
+
+    for k, b in sorted(base.items()):
+        label = "{} {} engine={} n={} {}".format(*k)
+        c = cur.get(k)
+        if c is None:
+            regressions.append(f"{label}: entry disappeared from the sweep")
+            continue
+        if c["verdict"] != b["verdict"]:
+            regressions.append(
+                f"{label}: verdict {b['verdict']} -> {c['verdict']}"
+            )
+        if c["states"] > b["states"]:
+            regressions.append(
+                f"{label}: states explored grew {b['states']} -> {c['states']}"
+            )
+        elif c["states"] != b["states"]:
+            changes.append(
+                f"{label}: states {b['states']} -> {c['states']}"
+            )
+        if c.get("truncated") and not b.get("truncated"):
+            regressions.append(
+                f"{label}: now truncated ({c.get('trunc_reason', '?')})"
+            )
+
+    added = [k for k in cur if k not in base]
+    for k in sorted(added):
+        changes.append("{} {} engine={} n={} {}: new entry".format(*k))
+
+    report = {
+        "baseline_schema": base_schema,
+        "current_schema": cur_schema,
+        "regressions": regressions,
+        "changes": changes,
+        "status": "fail" if regressions else "ok",
+    }
+    if args.delta:
+        with open(args.delta, "w") as f:
+            json.dump(report, f, indent=2)
+            f.write("\n")
+
+    for line in changes:
+        print(f"note: {line}")
+    for line in regressions:
+        print(f"REGRESSION: {line}")
+    print(
+        f"bench_diff: {len(base)} baseline entries, {len(cur)} current, "
+        f"{len(regressions)} regression(s)"
+    )
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
