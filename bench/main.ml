@@ -105,21 +105,27 @@ let recoverable () =
   section
     "EXP-REC: recoverable lock — crash-free contention-free cost and \
      solo crash-point sweep (predicted / measured)";
+  (* [recoverable_table] skips unsupported sizes per lock (the packed
+     queue word caps the queue lock at n <= 15 for l = 1). *)
   Texttab.print (Cfc_core.Report.recoverable_table ~ns:[ 2; 4; 8; 16; 64 ]);
-  section
-    "EXP-REC: seeded crash-recovery chaos (recoverable-tas, n=4, 2 \
-     crash-recovery pairs per run)";
-  let t, worst =
-    Cfc_core.Report.faults_table ~alg:Registry.rec_tas ~n:4 ~pairs:2
-      ~seeds:[ 1; 2; 3; 4; 5 ]
-  in
-  Texttab.print t;
-  match worst with
-  | None -> ()
-  | Some out ->
-    (* A run that did not reach quiescence: print the structured
-       post-mortem instead of a bare "completed = false". *)
-    Format.printf "%a@." Cfc_runtime.Runner.pp_diagnosis out
+  List.iter
+    (fun ((module A : Mutex_intf.ALG) as alg) ->
+      section
+        (Printf.sprintf
+           "EXP-REC: seeded crash-recovery chaos (%s, n=4, 2 crash-recovery \
+            pairs per run)"
+           A.name);
+      let t, worst =
+        Cfc_core.Report.faults_table ~alg ~n:4 ~pairs:2 ~seeds:[ 1; 2; 3; 4; 5 ]
+      in
+      Texttab.print t;
+      match worst with
+      | None -> ()
+      | Some out ->
+        (* A run that did not reach quiescence: print the structured
+           post-mortem instead of a bare "completed = false". *)
+        Format.printf "%a@." Cfc_runtime.Runner.pp_diagnosis out)
+    Registry.recoverable
 
 let remote_access () =
   section
@@ -275,6 +281,8 @@ let bech_mutex () =
         ("bakery n=64", Registry.bakery, Mutex_intf.params 64);
         ("tas-lock n=64", Registry.tas_lock, Mutex_intf.params 64);
         ("recoverable-tas n=64", Registry.rec_tas, Mutex_intf.params 64);
+        (* the packed queue word caps the queue lock below n=64 *)
+        ("recoverable-queue n=8", Registry.rec_queue, Mutex_intf.params 8);
         ("lamport-fast n=1024", Registry.lamport_fast,
          Mutex_intf.params 1024);
         ("lamport-packed n=1024", Registry.ms_packed,

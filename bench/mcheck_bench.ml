@@ -191,20 +191,32 @@ let mutex_entries () =
 let engines =
   [ ("replay", Explore.Replay); ("incremental", Explore.Incremental) ]
 
+(* Every recoverable registry lock plus the deliberately broken queue
+   fixture (expected verdict: violation — the diff gate fails the build
+   if a change ever makes the checker miss it again). *)
+let fault_algs : (string * Registry.alg) list =
+  List.map
+    (fun ((module A : Mutex_intf.ALG) as alg) -> (A.name, alg))
+    Registry.recoverable
+  @ [ ("fixture-broken-recovery-queue", Cfc_mcheck.Fixtures.broken_recovery_queue) ]
+
 let fault_entries () =
   List.concat_map
-    (fun pairs ->
-      List.map
-        (fun (ename, e) ->
-          entry ~config:Explore.default_config
-            ~name:(Printf.sprintf "recoverable-tas pairs=%d" pairs)
-            ~kind:"faults" ~engine:ename ~n:2
-            ~extra:[ ("pairs", pairs) ]
-            (fun () ->
-              Props.check_mutex_recoverable ~engine:e ~pairs Registry.rec_tas
-                (Mutex_intf.params 2)))
-        engines)
-    [ 1; 2 ]
+    (fun (name, alg) ->
+      List.concat_map
+        (fun pairs ->
+          List.map
+            (fun (ename, e) ->
+              entry ~config:Explore.default_config
+                ~name:(Printf.sprintf "%s pairs=%d" name pairs)
+                ~kind:"faults" ~engine:ename ~n:2
+                ~extra:[ ("pairs", pairs) ]
+                (fun () ->
+                  Props.check_mutex_recoverable ~engine:e ~pairs alg
+                    (Mutex_intf.params 2)))
+            engines)
+        [ 1; 2 ])
+    fault_algs
 
 let naming_entries () =
   List.concat_map
@@ -274,6 +286,26 @@ let () =
               e.kind e.n;
             exit 1
           end
+      end)
+    entries;
+  (* Negative-fixture gate: the broken recovery queue must come back
+     refuted on every fault row, and the real recoverable locks clean —
+     fail the bench (and with it CI) on the spot, not just on diff. *)
+  List.iter
+    (fun e ->
+      if e.kind = "faults" then begin
+        let broken =
+          String.length e.name >= 7 && String.sub e.name 0 7 = "fixture"
+        in
+        if broken && e.verdict <> "violation" then begin
+          Printf.eprintf "broken fixture NOT refuted: %s (%s)\n" e.name
+            e.engine;
+          exit 1
+        end;
+        if (not broken) && e.verdict <> "ok" then begin
+          Printf.eprintf "recoverable lock refuted: %s (%s)\n" e.name e.engine;
+          exit 1
+        end
       end)
     entries;
   let oc = open_out "BENCH_mcheck.json" in

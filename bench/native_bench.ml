@@ -53,7 +53,7 @@ let sim_solo_rmr (module A : Mutex_intf.ALG) ~rounds ~cs_len =
 
 let run_one (module A : Mutex_intf.ALG) ~domains ~mean_think ~rounds ~cs_len =
   let config =
-    { Lock_service.domains; rounds; mean_think; cs_len; seed = 42 }
+    { Lock_service.domains; rounds; mean_think; cs_len; seed = 42; crash_every = 0 }
   in
   let r = Lock_service.run (module A) config in
   if not r.Lock_service.exclusion_ok then begin
@@ -93,6 +93,59 @@ let json_of_entry e =
     | Some s -> Printf.sprintf ", \"sim_rmr_per_acq\": %.4f" s
     | None -> "")
     e.r.Lock_service.exclusion_ok
+
+(* Crash-injection sweep over every recoverable registry lock: seeded
+   cooperative crashes while holding (see Lock_service.crash_every),
+   with the crash also evicting the domain's cache-validity bits so the
+   per-recovery RMR is the cold-cache figure the closed forms and the
+   simulated sweep predict.  The RMR columns are deterministic (the
+   recovery re-entry is a fixed access sequence and the eviction makes
+   each distinct register remote exactly once); the latency columns are
+   wall-clock and recorded for the record only. *)
+type rec_entry = {
+  re_name : string;
+  re_domains : int;
+  re_crash_every : int;
+  re_rounds : int;
+  re_r : Lock_service.result;
+  re_predicted_rmr_held : int;  (* rec_registers_held: the closed form *)
+}
+
+let run_recoverable (module A : Mutex_intf.ALG) ~domains ~rounds =
+  let config =
+    { Lock_service.domains; rounds; mean_think = 0; cs_len = 3; seed = 42;
+      crash_every = 4 }
+  in
+  let r = Lock_service.run (module A) config in
+  if not r.Lock_service.exclusion_ok then begin
+    Printf.eprintf "mutual exclusion violated under crashes: %s domains=%d\n"
+      A.name domains;
+    exit 1
+  end;
+  let forms = Option.get (A.recovery (Mutex_intf.params (max 2 domains))) in
+  Printf.printf
+    "%-18s d=%d crashes=%-4d rec p50=%-7.0f p99=%-7.0f rec rmr mean=%.2f \
+     max=%d (predicted %d)\n%!"
+    A.name domains r.Lock_service.recoveries r.Lock_service.recovery_p50_ns
+    r.Lock_service.recovery_p99_ns r.Lock_service.recovery_rmr_mean
+    r.Lock_service.recovery_rmr_max forms.Mutex_intf.rec_registers_held;
+  { re_name = A.name; re_domains = domains; re_crash_every = 4;
+    re_rounds = rounds; re_r = r;
+    re_predicted_rmr_held = forms.Mutex_intf.rec_registers_held }
+
+let json_of_rec_entry e =
+  Printf.sprintf
+    "    {\"name\": %S, \"domains\": %d, \"crash_every\": %d, \
+     \"rounds\": %d, \"recoveries\": %d, \"recovery_p50_ns\": %.1f, \
+     \"recovery_p99_ns\": %.1f, \"recovery_max_ns\": %d, \
+     \"recovery_rmr_mean\": %.4f, \"recovery_rmr_max\": %d, \
+     \"predicted_rmr_held\": %d, \"exclusion_ok\": %b}"
+    e.re_name e.re_domains e.re_crash_every e.re_rounds
+    e.re_r.Lock_service.recoveries e.re_r.Lock_service.recovery_p50_ns
+    e.re_r.Lock_service.recovery_p99_ns e.re_r.Lock_service.recovery_max_ns
+    e.re_r.Lock_service.recovery_rmr_mean
+    e.re_r.Lock_service.recovery_rmr_max e.re_predicted_rmr_held
+    e.re_r.Lock_service.exclusion_ok
 
 (* The symbolic analyzer's prediction of the same distinction, from the
    access graph alone (no execution under contention): a register spun
@@ -165,6 +218,18 @@ let () =
           domain_counts)
       Registry.all
   in
+  print_newline ();
+  let rec_entries =
+    List.concat_map
+      (fun ((module A : Mutex_intf.ALG) as alg) ->
+        List.filter_map
+          (fun domains ->
+            if A.supports (Mutex_intf.params (max 2 domains)) then
+              Some (run_recoverable alg ~domains ~rounds)
+            else None)
+          domain_counts)
+      Registry.recoverable
+  in
   let styles = classify entries in
   let json_styles =
     String.concat ",\n"
@@ -179,10 +244,13 @@ let () =
   in
   let oc = open_out "BENCH_native.json" in
   Printf.fprintf oc
-    "{\n  \"schema\": \"cfc-native-bench/1\",\n  \"quick\": %b,\n  \
-     \"entries\": [\n%s\n  ],\n  \"spin_styles\": [\n%s\n  ]\n}\n"
+    "{\n  \"schema\": \"cfc-native-bench/2\",\n  \"quick\": %b,\n  \
+     \"entries\": [\n%s\n  ],\n  \"spin_styles\": [\n%s\n  ],\n  \
+     \"recoverable\": [\n%s\n  ]\n}\n"
     quick
     (String.concat ",\n" (List.map json_of_entry entries))
-    json_styles;
+    json_styles
+    (String.concat ",\n" (List.map json_of_rec_entry rec_entries));
   close_out oc;
-  Printf.printf "\nwrote BENCH_native.json (%d entries)\n" (List.length entries)
+  Printf.printf "\nwrote BENCH_native.json (%d entries, %d recoverable)\n"
+    (List.length entries) (List.length rec_entries)

@@ -272,51 +272,89 @@ let faults_cmd =
       & info [ "pairs" ] ~docv:"K"
           ~doc:"Crash-recovery pairs injected per run.")
   in
+  (* Default: every recoverable lock in the registry; a new recoverable
+     algorithm is exercised by this subcommand the moment it registers.
+     [-a NAME] restricts to one lock (which must be recoverable). *)
+  let rec_alg_arg =
+    let names =
+      String.concat ", "
+        (List.map
+           (fun (module A : Mutex_intf.ALG) -> A.name)
+           Registry.recoverable)
+    in
+    Arg.(
+      value & opt (some string) None
+      & info [ "algorithm"; "a" ] ~docv:"NAME"
+          ~doc:
+            (Printf.sprintf
+               "Restrict to one recoverable lock (one of %s); default: all."
+               names))
+  in
   let run name n pairs seeds domains =
     let p = Mutex_intf.params n in
-    let alg = find_supported_alg name p in
-    Texttab.print (Cfc_core.Report.recoverable_table ~ns:(List.sort_uniq compare [ 2; 4; 8; n ]));
-    print_newline ();
-    (* Bounded-exhaustive verification under the fault model, ahead of the
-       randomized chaos schedules below. *)
-    (match
-       Cfc_mcheck.Props.check_mutex_recoverable ~domains ~pairs alg p
-     with
-    | Cfc_mcheck.Explore.Ok stats ->
-      Printf.printf
-        "mcheck: recoverable mutual exclusion holds within bounds (%d \
-         states, %d pruned%s)\n"
-        stats.Cfc_mcheck.Explore.states stats.Cfc_mcheck.Explore.pruned_dedup
-        (if stats.Cfc_mcheck.Explore.truncated then ", truncated" else "")
-    | Cfc_mcheck.Explore.Violation { schedule; violation; _ } ->
-      Format.printf "mcheck VIOLATION: %a@.schedule: %s@."
-        Cfc_core.Spec.pp_violation violation
-        (String.concat ","
-           (List.map
-              (Format.asprintf "%a" Cfc_mcheck.Explore.pp_action)
-              schedule));
-      exit 1);
-    print_newline ();
-    Printf.printf "chaos runs: %s, n=%d, %d crash-recovery pairs per seed\n"
-      name n pairs;
-    let table, stalled =
-      Cfc_core.Report.faults_table ~alg ~n ~pairs ~seeds
+    let algs =
+      match name with
+      | Some name ->
+        let ((module A : Mutex_intf.ALG) as alg) = find_supported_alg name p in
+        if A.recovery p = None then begin
+          Printf.eprintf "%s is not a recoverable lock\n" A.name;
+          exit 2
+        end;
+        [ alg ]
+      | None ->
+        List.filter
+          (fun (module A : Mutex_intf.ALG) -> A.supports p)
+          Registry.recoverable
     in
-    Texttab.print table;
-    match stalled with
-    | None -> ()
-    | Some out ->
-      print_newline ();
-      print_string "diagnosis of the first stalled run:\n";
-      Format.printf "%a@." Cfc_runtime.Runner.pp_diagnosis out
+    Texttab.print
+      (Cfc_core.Report.recoverable_table
+         ~ns:(List.sort_uniq compare [ 2; 4; 8; n ]));
+    List.iter
+      (fun ((module A : Mutex_intf.ALG) as alg) ->
+        print_newline ();
+        (* Bounded-exhaustive verification under the fault model, ahead of
+           the randomized chaos schedules below. *)
+        (match
+           Cfc_mcheck.Props.check_mutex_recoverable ~domains ~pairs alg p
+         with
+        | Cfc_mcheck.Explore.Ok stats ->
+          Printf.printf
+            "mcheck %s: recoverable mutual exclusion holds within bounds \
+             (%d states, %d pruned%s)\n"
+            A.name stats.Cfc_mcheck.Explore.states
+            stats.Cfc_mcheck.Explore.pruned_dedup
+            (if stats.Cfc_mcheck.Explore.truncated then ", truncated" else "")
+        | Cfc_mcheck.Explore.Violation { schedule; violation; _ } ->
+          Format.printf "mcheck %s VIOLATION: %a@.schedule: %s@." A.name
+            Cfc_core.Spec.pp_violation violation
+            (String.concat ","
+               (List.map
+                  (Format.asprintf "%a" Cfc_mcheck.Explore.pp_action)
+                  schedule));
+          exit 1);
+        print_newline ();
+        Printf.printf
+          "chaos runs: %s, n=%d, %d crash-recovery pairs per seed\n" A.name n
+          pairs;
+        let table, stalled =
+          Cfc_core.Report.faults_table ~alg ~n ~pairs ~seeds
+        in
+        Texttab.print table;
+        match stalled with
+        | None -> ()
+        | Some out ->
+          print_newline ();
+          print_string "diagnosis of the first stalled run:\n";
+          Format.printf "%a@." Cfc_runtime.Runner.pp_diagnosis out)
+      algs
   in
   Cmd.v
     (Cmd.info "faults"
        ~doc:
-         "Crash-recovery fault injection: the recoverable lock's \
+         "Crash-recovery fault injection: every recoverable lock's \
           predicted-vs-measured recovery paths, seeded chaos schedules, \
           and stall diagnostics.")
-    Term.(const run $ alg_arg $ n_arg $ pairs_arg $ seeds_arg $ domains_arg)
+    Term.(const run $ rec_alg_arg $ n_arg $ pairs_arg $ seeds_arg $ domains_arg)
 
 let native_cmd =
   let domains_list_arg =
@@ -352,7 +390,7 @@ let native_cmd =
               let r =
                 Cfc_native.Lock_service.run alg
                   { Cfc_native.Lock_service.domains; rounds; mean_think;
-                    cs_len = 3; seed = 42 }
+                    cs_len = 3; seed = 42; crash_every = 0 }
               in
               let open Cfc_native.Lock_service in
               Texttab.add_row t

@@ -11,6 +11,7 @@ module Wide_spin : Mutex_intf.ALG = struct
   let atomicity _ = 1
   let predicted_cf_steps _ = Some 2
   let predicted_cf_registers _ = Some 1
+  let recovery _ = None
 
   module Make (M : Mem_intf.MEM) = struct
     type t = { flag : M.reg }
@@ -41,6 +42,7 @@ module Swallows : Mutex_intf.ALG = struct
   let atomicity _ = 1
   let predicted_cf_steps _ = Some 2
   let predicted_cf_registers _ = Some 1
+  let recovery _ = None
 
   module Make (M : Mem_intf.MEM) = struct
     type t = { bit : M.reg; narrow : M.reg }

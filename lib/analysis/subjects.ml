@@ -137,6 +137,94 @@ let of_mutex_checked ?l ~n (module A : Cfc_mutex.Mutex_intf.ALG) =
             Scheduler.replay_safe out.Runner.scheduler);
       }
 
+(* The recovery path as a static subject: in the Golab–Ramaraju model a
+   restarted process re-runs [lock] from the top against whatever the
+   crashed incarnation left in shared memory.  The [context] mechanism
+   reproduces exactly that persistent pre-crash state — concretely and
+   unrecorded — and the recorded [body] is the recovery re-entry:
+   [held] runs lock-after-lock (the crashed incarnation held the lock),
+   [not_held] runs lock-after-lock+unlock (it did not).  The static
+   measures of these subjects are the access-graph recovery costs,
+   asserted by the battery against the algorithm's closed forms and the
+   crash-point sweep's trace-measured paths; the register count doubles
+   as the static recovery RMR (cold cache: every distinct register on
+   the solo path is remote exactly once). *)
+let of_mutex_recovery ~held ~n (module A : Cfc_mutex.Mutex_intf.ALG) =
+  let p = Cfc_mutex.Mutex_intf.params n in
+  if not (A.supports p) then None
+  else
+    match A.recovery p with
+    | None -> None
+    | Some forms ->
+      let variants =
+        List.map
+          (fun me ->
+            {
+              v_label = Printf.sprintf "p%d" me;
+              make =
+                (fun mem ->
+                  let module M = (val mem : Mem_intf.MEM) in
+                  let module L = A.Make (M) in
+                  let t = L.create p in
+                  {
+                    context =
+                      (if held then [ (fun () -> L.lock t ~me) ]
+                       else
+                         [ (fun () -> L.lock t ~me);
+                           (fun () -> L.unlock t ~me) ]);
+                    body = (fun () -> L.lock t ~me);
+                  });
+            })
+          (Mutex_harness.sample_pids n)
+      in
+      let crashed_in region =
+        (* The sweep points whose measured path this subject models:
+           crashes while holding for [held], crashes in the entry
+           protocol for [not_held].  (Mid-exit crashes are ambiguous
+           between the two and asserted separately by the core tests.) *)
+        match (held, region) with
+        | true, Cfc_runtime.Event.Critical -> true
+        | false, (Cfc_runtime.Event.Trying | Cfc_runtime.Event.Remainder) ->
+          true
+        | _ -> false
+      in
+      Some
+        {
+          family = Mutex;
+          alg_name = A.name;
+          config =
+            Printf.sprintf "n=%d recovery-%s" n
+              (if held then "held" else "not-held");
+          n;
+          declared_atomicity = Some (A.atomicity p);
+          predicted_steps =
+            Some
+              (if held then forms.Cfc_mutex.Mutex_intf.rec_steps_held
+               else forms.Cfc_mutex.Mutex_intf.rec_steps_not_held);
+          predicted_registers =
+            Some
+              (if held then forms.Cfc_mutex.Mutex_intf.rec_registers_held
+               else forms.Cfc_mutex.Mutex_intf.rec_registers_not_held);
+          variants;
+          measured =
+            (fun () ->
+              List.fold_left
+                (fun acc (pt : Recovery_harness.sweep_point) ->
+                  match pt.Recovery_harness.outcome with
+                  | Recovery_harness.Recovered { path; _ }
+                    when crashed_in pt.Recovery_harness.crash_region ->
+                    Measures.max_sample acc path
+                  | _ -> acc)
+                Measures.zero
+                (Recovery_harness.solo_sweep (module A : Cfc_mutex.Mutex_intf.ALG) p));
+          dynamic_replay_safe =
+            (fun () ->
+              let out =
+                Mutex_harness.run ~pick:(Schedule.round_robin ()) (module A) p
+              in
+              Scheduler.replay_safe out.Runner.scheduler);
+        }
+
 let of_detector ~n (module D : Cfc_mutex.Mutex_intf.DETECTOR) =
   let p = Cfc_mutex.Mutex_intf.params n in
   if not (D.supports p) then None
@@ -305,6 +393,14 @@ let registry () =
     (List.concat_map
        (fun alg -> [ of_mutex ~n:2 alg; of_mutex ~n:8 alg ])
        Cfc_mutex.Registry.all
+    @ List.concat_map
+        (fun alg ->
+          List.concat_map
+            (fun n ->
+              [ of_mutex_recovery ~held:true ~n alg;
+                of_mutex_recovery ~held:false ~n alg ])
+            [ 2; 8 ])
+        Cfc_mutex.Registry.recoverable
     @ List.concat_map
         (fun d -> [ of_detector ~n:2 d; of_detector ~n:8 d ])
         Cfc_mutex.Registry.detectors

@@ -60,6 +60,24 @@ val of_mutex_checked : ?l:int -> n:int -> Cfc_mutex.Registry.alg -> t option
     system; its baseline measures include the witness accesses and must
     not be compared against the §2.2 closed forms. *)
 
+val of_mutex_recovery :
+  held:bool -> n:int -> Cfc_mutex.Registry.alg -> t option
+(** The recovery path as a static subject, for recoverable locks
+    ([None] when [A.recovery] is [None]).  The unrecorded [context]
+    reproduces the shared state a crashed incarnation leaves behind —
+    a completed [lock] for [held:true], a completed [lock]; [unlock]
+    cycle for [held:false] — and the measured [body] is the restarted
+    incarnation's [lock] re-entry, exactly what the Golab–Ramaraju
+    model re-runs after a crash.  [predicted_steps]/[predicted_registers]
+    are the algorithm's [recovery] closed forms for that crash mode, and
+    [measured] is the componentwise max over the matching
+    {!Cfc_core.Recovery_harness.solo_sweep} points (crashes in
+    [Critical] for [held], in [Trying]/[Remainder] for [not-held]) — so
+    the battery's three-way agreement covers recovery paths too.  The
+    register count doubles as the static recovery RMR: the restarted
+    incarnation's cache is cold, so each distinct register on the solo
+    recovery path costs exactly one remote reference. *)
+
 val of_detector : n:int -> Cfc_mutex.Registry.detector -> t option
 val of_naming : n:int -> Cfc_naming.Registry.alg -> t option
 val of_consensus : n:int -> Cfc_consensus.Registry.alg -> t option
@@ -70,4 +88,5 @@ val registry : unit -> t list
     (including the deliberately broken consensus constructions, which
     are contention-free-sound) at the standard analysis sizes
     (n ∈ {2, 8} for mutex/detectors, {2, 4, 8} for naming, consensus at
-    its [n_max], renaming at n ∈ {2, 4}). *)
+    its [n_max], renaming at n ∈ {2, 4}), plus both recovery subjects
+    ({!of_mutex_recovery}) for every recoverable lock at n ∈ {2, 8}. *)

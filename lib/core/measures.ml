@@ -216,6 +216,51 @@ let recovery_paths trace ~nprocs =
     trace;
   List.rev !out
 
+let recovery_rmr trace ~nprocs =
+  ignore nprocs;
+  (* Same write-invalidate holder tracking as [remote_accesses], with the
+     crash–recovery refinement: a crash destroys the dying incarnation's
+     cache, so the restarted one starts cold (every register is remote
+     until re-read).  Fragments open and close exactly as in
+     [recovery_paths].  Holders are pid sets rather than
+     [remote_accesses]'s bitmasks: the recoverable sweep runs at the
+     CLI's default n = 64, past the 62-bit fast path. *)
+  let module S = Set.Make (Int) in
+  let valid : (int, S.t) Hashtbl.t = Hashtbl.create 64 in
+  let open_rmr = Hashtbl.create 8 in
+  let out = ref [] in
+  Trace.iter
+    (fun e ->
+      match e.Event.body with
+      | Event.Crash ->
+        Hashtbl.filter_map_inplace
+          (fun _ h -> Some (S.remove e.Event.pid h))
+          valid;
+        Hashtbl.remove open_rmr e.Event.pid
+      | Event.Recover -> Hashtbl.replace open_rmr e.Event.pid 0
+      | Event.Region_change Event.Critical -> (
+        match Hashtbl.find_opt open_rmr e.Event.pid with
+        | Some rmr ->
+          Hashtbl.remove open_rmr e.Event.pid;
+          out := (e.Event.pid, rmr) :: !out
+        | None -> ())
+      | Event.Access (r, k) ->
+        let pid = e.Event.pid in
+        let holders =
+          Option.value ~default:S.empty (Hashtbl.find_opt valid r.Register.id)
+        in
+        (if not (S.mem pid holders) then
+           match Hashtbl.find_opt open_rmr pid with
+           | Some rmr -> Hashtbl.replace open_rmr pid (rmr + 1)
+           | None -> ());
+        let holders' =
+          if Event.is_write k then S.singleton pid else S.add pid holders
+        in
+        Hashtbl.replace valid r.Register.id holders'
+      | Event.Region_change _ -> ())
+    trace;
+  List.rev !out
+
 let decisions trace ~nprocs =
   ignore nprocs;
   Trace.fold

@@ -73,6 +73,17 @@ val recovery_paths : Trace.t -> nprocs:int -> (int * sample) list
     order; recoveries that crash again or never reach the critical
     section contribute nothing. *)
 
+val recovery_rmr : Trace.t -> nprocs:int -> (int * int) list
+(** Remote memory references of each completed recovery path, under the
+    {!remote_accesses} write-invalidate model extended to crashes: a
+    crash destroys the dying incarnation's cached copies (the
+    Golab–Ramaraju restarted process starts with a cold cache), so a
+    register is remote on the recovery path until first re-accessed.
+    Returns [(pid, rmr)] per completed recovery, in the same order and
+    one-to-one with {!recovery_paths} (both open at [Recover], are
+    abandoned by a second [Crash], and close at the next entry to
+    [Critical]). *)
+
 val remote_accesses : Trace.t -> nprocs:int -> int array
 (** Per-process {e remote memory references} under the write-invalidate
     coherent-cache model the paper's §1.2 appeals to (after [YA93]): a

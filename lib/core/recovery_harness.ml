@@ -1,15 +1,73 @@
 open Cfc_runtime
 open Cfc_mutex
 
+type recovery =
+  | Recovered of { path : Measures.sample; rmr : int }
+  | Stalled
+
 type sweep_point = {
   crash_step : int;
   crash_region : Event.region;
-  path : Measures.sample;
+  outcome : recovery;
 }
+
+type double_point = {
+  first_crash : int;
+  second_crash : int;
+  second_region : Event.region;
+  final : recovery;
+}
+
+let pp_recovery ppf = function
+  | Recovered { path; rmr } ->
+    Format.fprintf ppf "%a rmr=%d" Measures.pp_sample path rmr
+  | Stalled -> Format.fprintf ppf "STALLED"
 
 let pp_sweep_point ppf p =
   Format.fprintf ppf "crash@@%d (%a): %a" p.crash_step Event.pp_region
-    p.crash_region Measures.pp_sample p.path
+    p.crash_region pp_recovery p.outcome
+
+let pp_double_point ppf p =
+  Format.fprintf ppf "crash@@%d+%d (%a): %a" p.first_crash p.second_crash
+    Event.pp_region p.second_region pp_recovery p.final
+
+(* Sequence numbers of [pid]'s Crash events, in trace order. *)
+let crash_seqs trace ~pid =
+  List.rev
+    (Trace.fold
+       (fun acc e ->
+         match e.Event.body with
+         | Event.Crash when e.Event.pid = pid -> e.Event.seq :: acc
+         | _ -> acc)
+       [] trace)
+
+(* The outcome of the recovery opened by [pid]'s last Recover: its path
+   and RMR if it completed (re-entered the critical section), [Stalled]
+   otherwise.  [recovery_paths] reports only completed recoveries, so
+   "the last one completed" is detected by comparing the pid's last
+   Critical entry against its last Recover. *)
+let last_recovery trace ~nprocs ~pid =
+  let last_recover, last_critical =
+    Trace.fold
+      (fun (r, c) e ->
+        if e.Event.pid <> pid then (r, c)
+        else
+          match e.Event.body with
+          | Event.Recover -> (e.Event.seq, c)
+          | Event.Region_change Event.Critical -> (r, e.Event.seq)
+          | _ -> (r, c))
+      (-1, -1) trace
+  in
+  if last_critical < last_recover then Stalled
+  else
+    let paths =
+      List.filter (fun (p, _) -> p = pid) (Measures.recovery_paths trace ~nprocs)
+    and rmrs =
+      List.filter (fun (p, _) -> p = pid) (Measures.recovery_rmr trace ~nprocs)
+    in
+    match (List.rev paths, List.rev rmrs) with
+    | (_, path) :: _, (_, rmr) :: _ -> Recovered { path; rmr }
+    | _ -> Stalled
 
 let solo_sweep ?(rounds = 1) ?(pid = 0) alg (p : Mutex_intf.params) =
   let n = p.Mutex_intf.n in
@@ -25,30 +83,61 @@ let solo_sweep ?(rounds = 1) ?(pid = 0) alg (p : Mutex_intf.params) =
           Fault.recover ~step:crash_step ~pid ]
       in
       let out = Mutex_harness.run ~rounds ~faults ~pick:(pick ()) alg p in
-      (* Locate the crash to report the region the process died in. *)
-      let crash_seq =
-        Trace.fold
-          (fun acc e ->
-            match (acc, e.Event.body) with
-            | None, Event.Crash when e.Event.pid = pid -> Some e.Event.seq
-            | _ -> acc)
-          None out.Runner.trace
-      in
-      match
-        (crash_seq, Measures.recovery_paths out.Runner.trace ~nprocs:n)
-      with
-      | Some seq, (p', path) :: _ when p' = pid ->
+      match crash_seqs out.Runner.trace ~pid with
+      | [] -> None (* the crash never fired: not a run of the sweep *)
+      | seq :: _ ->
         let crash_region =
           (Trace.regions_at out.Runner.trace seq ~nprocs:n).(pid)
         in
-        Some { crash_step; crash_region; path }
-      | _ -> None)
+        (* A restarted incarnation that never re-enters the critical
+           section — a recoverable-to-deadlocking regression — must be a
+           visible [Stalled] point, not a silently dropped run. *)
+        let outcome = last_recovery out.Runner.trace ~nprocs:n ~pid in
+        Some { crash_step; crash_region; outcome })
+    (List.init total Fun.id)
+
+let double_sweep ?(rounds = 1) ?(pid = 0) ?window alg (p : Mutex_intf.params) =
+  let n = p.Mutex_intf.n in
+  let pick () = Schedule.solo pid in
+  let baseline = Mutex_harness.run ~rounds ~pick:(pick ()) alg p in
+  let total = baseline.Runner.total_steps in
+  (* The second crash lands up to [window] scheduler steps after the
+     first — far enough to hit every step of the restarted incarnation's
+     recovery path (and a little beyond, crashing just after it). *)
+  let window = match window with Some w -> w | None -> total + 2 in
+  List.concat_map
+    (fun first_crash ->
+      List.filter_map
+        (fun d ->
+          let second = first_crash + d in
+          let faults =
+            [ Fault.crash ~step:first_crash ~pid;
+              Fault.recover ~step:first_crash ~pid;
+              Fault.crash ~step:second ~pid;
+              Fault.recover ~step:second ~pid ]
+          in
+          let out = Mutex_harness.run ~rounds ~faults ~pick:(pick ()) alg p in
+          match crash_seqs out.Runner.trace ~pid with
+          | [ _; seq2 ] ->
+            let second_region =
+              (Trace.regions_at out.Runner.trace seq2 ~nprocs:n).(pid)
+            in
+            let final = last_recovery out.Runner.trace ~nprocs:n ~pid in
+            Some { first_crash; second_crash = second; second_region; final }
+          | _ -> None (* the second crash fell past the halt: no new run *))
+        (List.init window (fun d -> d + 1)))
     (List.init total Fun.id)
 
 let max_path points =
   List.fold_left
-    (fun acc p -> Measures.max_sample acc p.path)
+    (fun acc p ->
+      match p.outcome with
+      | Recovered { path; _ } -> Measures.max_sample acc path
+      | Stalled -> acc)
     Measures.zero points
+
+let stalled points =
+  List.filter (fun p -> p.outcome = Stalled) points
 
 let split_held points =
   (* A crash is "held" when the dying incarnation had reached its

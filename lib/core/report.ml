@@ -225,29 +225,76 @@ let detection_table ~ns ~ls =
   t
 
 let recoverable_table ~ns =
+  (* Every recoverable lock in the registry (not a hard-coded one), each
+     against its own closed forms; RMR is the recovery remote-reference
+     count under the cold-cache model, uniform across crash points for
+     both current locks.  A [stalled] count other than 0 is a
+     recoverable-to-deadlocking regression. *)
   let t =
     Texttab.create
-      ~header:[ "n"; "cf steps (pred/meas)"; "cf regs (pred/meas)";
-                "recovery held (pred/meas)"; "recovery ~held (pred/meas)";
-                "crash points" ]
+      ~header:[ "algorithm"; "n"; "cf steps (pred/meas)";
+                "cf regs (pred/meas)"; "recovery held (pred/meas)";
+                "recovery ~held (pred/meas)"; "recovery rmr (pred/meas)";
+                "crash points"; "stalled" ]
   in
   List.iter
-    (fun n ->
-      let p = Mutex_intf.params n in
-      let cf = Mutex_harness.contention_free Registry.rec_tas p in
-      let sweep = Recovery_harness.solo_sweep Registry.rec_tas p in
-      let held, not_held = Recovery_harness.split_held sweep in
-      let pm pred meas = Printf.sprintf "%d / %d" pred meas in
-      Texttab.add_row t
-        [ string_of_int n;
-          pm 3 cf.Mutex_harness.max.Measures.steps;
-          pm 1 cf.Mutex_harness.max.Measures.registers;
-          pm Rec_tas.recovery_steps_held
-            (Recovery_harness.max_path held).Measures.steps;
-          pm Rec_tas.recovery_steps_not_held
-            (Recovery_harness.max_path not_held).Measures.steps;
-          string_of_int (List.length sweep) ])
-    ns;
+    (fun (module A : Mutex_intf.ALG) ->
+      List.iter
+        (fun n ->
+          let p = Mutex_intf.params n in
+          if A.supports p then begin
+            let forms = Option.get (A.recovery p) in
+            let cf = Mutex_harness.contention_free (module A : Mutex_intf.ALG) p in
+            let sweep = Recovery_harness.solo_sweep (module A) p in
+            (* The held/not-held columns use the same region mapping as
+               the static recovery subjects: a crash in [Critical] is
+               the held form, a crash in [Trying]/[Remainder] the
+               not-held form.  Mid-exit crashes sit between the two
+               (the release may or may not have completed) — they count
+               toward the rmr column and the crash-point total, and the
+               core tests assert each one matches one of the forms. *)
+            let in_regions rs =
+              List.filter
+                (fun (pt : Recovery_harness.sweep_point) ->
+                  List.mem pt.Recovery_harness.crash_region rs)
+                sweep
+            in
+            let held = in_regions [ Cfc_runtime.Event.Critical ]
+            and not_held =
+              in_regions
+                [ Cfc_runtime.Event.Trying; Cfc_runtime.Event.Remainder ]
+            in
+            let pm pred meas = Printf.sprintf "%d / %d" pred meas in
+            let opt_pred = function Some v -> string_of_int v | None -> "-" in
+            let max_rmr pts =
+              List.fold_left
+                (fun acc (pt : Recovery_harness.sweep_point) ->
+                  match pt.Recovery_harness.outcome with
+                  | Recovery_harness.Recovered { rmr; _ } -> max acc rmr
+                  | Recovery_harness.Stalled -> acc)
+                0 pts
+            in
+            Texttab.add_row t
+              [ A.name; string_of_int n;
+                Printf.sprintf "%s / %d"
+                  (opt_pred (A.predicted_cf_steps p))
+                  cf.Mutex_harness.max.Measures.steps;
+                Printf.sprintf "%s / %d"
+                  (opt_pred (A.predicted_cf_registers p))
+                  cf.Mutex_harness.max.Measures.registers;
+                pm forms.Mutex_intf.rec_steps_held
+                  (Recovery_harness.max_path held).Measures.steps;
+                pm forms.Mutex_intf.rec_steps_not_held
+                  (Recovery_harness.max_path not_held).Measures.steps;
+                pm
+                  (max forms.Mutex_intf.rec_registers_held
+                     forms.Mutex_intf.rec_registers_not_held)
+                  (max_rmr sweep);
+                string_of_int (List.length sweep);
+                string_of_int (List.length (Recovery_harness.stalled sweep)) ]
+          end)
+        ns)
+    Registry.recoverable;
   t
 
 let faults_table ~alg ~n ~pairs ~seeds =

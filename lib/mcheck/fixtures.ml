@@ -1,0 +1,116 @@
+(** Deliberately broken constructions the fault-aware checker must
+    refute — negative fixtures for the crash–recovery battery, shared by
+    the test suite and the benchmark so the "still refuted" gate and the
+    committed baselines exercise the very same modules. *)
+
+open Cfc_base
+open Cfc_mutex
+
+(** An MCS queue lock "made recoverable" the tempting-but-wrong way: the
+    process records its intent to enter in a per-process [inq] flag and,
+    after a restart, trusts [inq]=1 ∧ [locked]=0 as proof that its
+    previous incarnation already owned the lock.
+
+    The mistake is the order of announcements.  [inq] is raised {e
+    before} the node is published to the queue ([fetch_and_store] on
+    the tail), so a crash in that window leaves a grant-shaped footprint
+    for an acquisition that never happened: the restarted incarnation
+    takes the fast path straight into the critical section while the
+    queue — which never saw it — admits somebody else.  This is the
+    same information-loss bug as persisting the [fetch_and_store]
+    return value too late (the predecessor edge exists only in the lost
+    return value): the recovery log must be written by the same atomic
+    step that changes the queue, which is exactly what the packed-word
+    encoding of the real recoverable queue lock does.
+
+    Crash-free the fast path is unreachable ([unlock] lowers [inq]
+    before releasing, so every fresh [lock] call sees [inq]=0) and the
+    algorithm is plain MCS — the crash-free checker must find nothing,
+    and the fault-aware checker must refute it with a single
+    crash–recovery pair at n = 2. *)
+module Broken_recovery_queue : Mutex_intf.ALG = struct
+  let name = "fixture-broken-recovery-queue"
+  let supports (p : Mutex_intf.params) = p.Mutex_intf.n >= 1
+  let atomicity (p : Mutex_intf.params) = Ixmath.bits_needed p.Mutex_intf.n
+  (* Solo cycle: read inq, raise inq/entering, clear next, arm flag,
+     exchange tail, lower entering (entry = 7) + lower inq, read next,
+     compare-and-swap tail (exit = 3). *)
+  let predicted_cf_steps (_ : Mutex_intf.params) = Some 10
+  let predicted_cf_registers (_ : Mutex_intf.params) = Some 5
+
+  (* The forms the construction {e claims}: a held restart revalidates in
+     2 steps over 2 registers, a not-held restart re-runs the 7-step
+     entry after the failed fast-path read.  The claim is the bug — the
+     checker's counterexample shows the "revalidation" admits a second
+     process. *)
+  let recovery (_ : Mutex_intf.params) =
+    Some
+      { Mutex_intf.rec_steps_held = 2;
+        rec_steps_not_held = 7;
+        rec_registers_held = 2;
+        rec_registers_not_held = 5 }
+
+  module Make (M : Mem_intf.MEM) = struct
+    type t = {
+      tail : M.reg;
+      next : M.reg array;
+      locked : M.reg array;  (** MCS spin flag, written by the predecessor *)
+      inq : M.reg array;  (** the broken "I am in the queue" intent flag *)
+      entering : M.reg array;
+          (** raised while the entry protocol is still running — the
+              fast path reads it as "my last incarnation got past the
+              queue", which the crash window below makes a lie *)
+    }
+
+    let create (p : Mutex_intf.params) =
+      let n = p.Mutex_intf.n in
+      let width = Ixmath.bits_needed n in
+      {
+        tail = M.alloc ~name:"brq.tail" ~width ~init:0 ();
+        next = M.alloc_array ~name:"brq.next" ~width ~init:0 n;
+        locked = M.alloc_array ~name:"brq.locked" ~width:1 ~init:0 n;
+        inq = M.alloc_array ~name:"brq.inq" ~width:1 ~init:0 n;
+        entering = M.alloc_array ~name:"brq.entering" ~width:1 ~init:0 n;
+      }
+
+    let lock t ~me =
+      let id = me + 1 in
+      if M.read t.inq.(me) = 1 && M.read t.entering.(me) = 0 then
+        (* "Recovery": the footprint says the previous incarnation was
+           past the entry protocol and never released — so the lock must
+           still be ours.  A crash between the two writes below forges
+           exactly this footprint without any enqueue. *)
+        ()
+      else begin
+        M.write t.inq.(me) 1;
+        (* <-- a crash here leaves inq=1, entering=0: a forged grant *)
+        M.write t.entering.(me) 1;
+        M.write t.next.(me) 0;
+        M.write t.locked.(me) 1;
+        let pred = M.fetch_and_store t.tail id in
+        if pred <> 0 then begin
+          M.write t.next.(pred - 1) id;
+          while M.read t.locked.(me) = 1 do
+            M.pause ()
+          done
+        end;
+        M.write t.entering.(me) 0
+      end
+
+    let unlock t ~me =
+      let id = me + 1 in
+      M.write t.inq.(me) 0;
+      let succ = M.read t.next.(me) in
+      if succ <> 0 then M.write t.locked.(succ - 1) 0
+      else if not (M.compare_and_set t.tail ~expected:id 0) then begin
+        let succ = ref (M.read t.next.(me)) in
+        while !succ = 0 do
+          M.pause ();
+          succ := M.read t.next.(me)
+        done;
+        M.write t.locked.(!succ - 1) 0
+      end
+  end
+end
+
+let broken_recovery_queue : Registry.alg = (module Broken_recovery_queue)

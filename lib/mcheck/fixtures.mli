@@ -1,0 +1,14 @@
+(** Deliberately broken constructions the fault-aware checker must
+    refute.  Kept in the library (not the test suite) so the tests and
+    the benchmark's committed baselines refute the {e same} modules. *)
+
+(** An MCS queue lock with an intent-flag "recovery" fast path: the
+    [inq] flag is raised before the node is published to the queue, so a
+    crash in between forges a grant and the restarted incarnation enters
+    the critical section alongside the real queue head.  Crash-free it
+    is plain MCS and verifies; one crash–recovery pair at n = 2 refutes
+    it.  See the implementation header for why this is the
+    lost-exchange-return information bug in disguise. *)
+module Broken_recovery_queue : Cfc_mutex.Mutex_intf.ALG
+
+val broken_recovery_queue : Cfc_mutex.Registry.alg

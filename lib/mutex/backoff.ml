@@ -21,6 +21,8 @@ let predicted_cf_registers = Lamport_fast.predicted_cf_registers
 (* Delay doubles with each failed attempt, capped at [max_exponent]. *)
 let max_exponent = 10
 
+let recovery (_ : Mutex_intf.params) = None
+
 module Make (M : Mem_intf.MEM) = struct
   module N = Lamport_fast.Node (M)
 

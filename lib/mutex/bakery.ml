@@ -25,6 +25,8 @@ let predicted_cf_steps (p : Mutex_intf.params) =
 
 let predicted_cf_registers (p : Mutex_intf.params) = Some (2 * p.Mutex_intf.n)
 
+let recovery (_ : Mutex_intf.params) = None
+
 module Make (M : Mem_intf.MEM) = struct
   type t = { n : int; choosing : M.reg array; ticket : M.reg array }
 

@@ -126,6 +126,8 @@ let atomicity (p : Mutex_intf.params) = Ixmath.bits_needed p.Mutex_intf.n
 let predicted_cf_steps (_ : Mutex_intf.params) = Some 7
 let predicted_cf_registers (_ : Mutex_intf.params) = Some 3
 
+let recovery (_ : Mutex_intf.params) = None
+
 module Make (M : Mem_intf.MEM) = struct
   module N = Node (M)
 

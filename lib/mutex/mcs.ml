@@ -27,6 +27,8 @@ let atomicity (p : Mutex_intf.params) = Ixmath.bits_needed p.Mutex_intf.n
 let predicted_cf_steps (_ : Mutex_intf.params) = Some 5
 let predicted_cf_registers (_ : Mutex_intf.params) = Some 3
 
+let recovery (_ : Mutex_intf.params) = None
+
 module Make (M : Mem_intf.MEM) = struct
   type t = { tail : M.reg; next : M.reg array; locked : M.reg array }
 

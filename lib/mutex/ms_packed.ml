@@ -26,6 +26,8 @@ let atomicity (p : Mutex_intf.params) =
 let predicted_cf_steps (_ : Mutex_intf.params) = Some 7
 let predicted_cf_registers (_ : Mutex_intf.params) = Some 3
 
+let recovery (_ : Mutex_intf.params) = None
+
 module Make (M : Mem_intf.MEM) = struct
   module C = Lamport_fast.Core (M)
 

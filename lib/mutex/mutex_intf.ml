@@ -18,6 +18,23 @@ let params ?l n =
   let l = match l with Some l -> l | None -> Ixmath.bits_needed n in
   { n; l }
 
+(** Predicted solo recovery-path complexity of a recoverable lock, in
+    the Golab–Ramaraju crash–recovery model: the cost for a restarted
+    incarnation to get back into its critical section, split by whether
+    the crashed incarnation held the lock (crash in [Critical]) or not
+    (crash in [Trying]).  Crashes in [Exiting] are ambiguous — the
+    release may or may not have taken effect — so a sweep point there
+    must cost one of the two forms, never more.  Registers double as the
+    predicted recovery RMR: a crash invalidates the incarnation's cached
+    copies, so solo every distinct register on the path is one remote
+    reference (the §1.2 claim, extended to recovery). *)
+type recovery_forms = {
+  rec_steps_held : int;
+  rec_steps_not_held : int;
+  rec_registers_held : int;
+  rec_registers_not_held : int;
+}
+
 (** A mutual exclusion algorithm. *)
 module type ALG = sig
   val name : string
@@ -25,6 +42,14 @@ module type ALG = sig
   val supports : params -> bool
   (** Whether the algorithm is defined for these parameters (e.g. a
       2-process algorithm supports only [n <= 2]). *)
+
+  val recovery : params -> recovery_forms option
+  (** [Some forms] iff the lock is recoverable (a restarted incarnation
+      re-runs [lock] from the top and re-enters instead of deadlocking);
+      the exact solo recovery closed forms are asserted against
+      {!Cfc_core.Measures.recovery_paths} by tests and benches.  [None]
+      for ordinary locks, for which a crash while holding blocks the
+      system. *)
 
   val atomicity : params -> int
   (** The width in bits of the widest register the algorithm accesses —

@@ -25,6 +25,8 @@ let atomicity (_ : Mutex_intf.params) = 1
 let predicted_cf_steps (p : Mutex_intf.params) = Some (p.Mutex_intf.n + 1)
 let predicted_cf_registers (p : Mutex_intf.params) = Some p.Mutex_intf.n
 
+let recovery (_ : Mutex_intf.params) = None
+
 module Make (M : Mem_intf.MEM) = struct
   type t = { n : int; b : M.reg array }
 

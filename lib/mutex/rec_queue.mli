@@ -1,0 +1,5 @@
+(** See the header comment in the implementation for the algorithm, the
+    crash–recovery model, the packed-queue encoding and its exact
+    contention-free and recovery-path costs. *)
+
+include Mutex_intf.ALG

@@ -34,6 +34,15 @@ let predicted_cf_registers (_ : Mutex_intf.params) = Some 1
 let recovery_steps_held = 1
 let recovery_steps_not_held = 2
 
+let recovery (_ : Mutex_intf.params) =
+  Some
+    {
+      Mutex_intf.rec_steps_held = recovery_steps_held;
+      rec_steps_not_held = recovery_steps_not_held;
+      rec_registers_held = 1;
+      rec_registers_not_held = 1;
+    }
+
 module Make (M : Mem_intf.MEM) = struct
   type t = { owner : M.reg }
 

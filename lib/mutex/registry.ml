@@ -12,6 +12,7 @@ let dekker_tournament : alg = (module Tournament.Dekker_tournament)
 let bakery : alg = (module Bakery)
 let tas_lock : alg = (module Tas_lock)
 let rec_tas : alg = (module Rec_tas)
+let rec_queue : alg = (module Rec_queue)
 let backoff : alg = (module Backoff)
 let ms_packed : alg = (module Ms_packed)
 let mcs : alg = (module Mcs)
@@ -19,8 +20,13 @@ let one_bit : alg = (module One_bit)
 
 let all : alg list =
   [ lamport_fast; tree; peterson_tournament; kessels_tournament;
-    dekker_tournament; bakery; one_bit; tas_lock; rec_tas; backoff;
-    ms_packed; mcs ]
+    dekker_tournament; bakery; one_bit; tas_lock; rec_tas; rec_queue;
+    backoff; ms_packed; mcs ]
+
+let is_recoverable (module A : Mutex_intf.ALG) =
+  A.recovery (Mutex_intf.params 2) <> None
+
+let recoverable : alg list = List.filter is_recoverable all
 
 (** The algorithms within the paper's atomic-register model (excludes the
     RMW-based {!Tas_lock} and the CAS-based {!Rec_tas}), i.e. those the

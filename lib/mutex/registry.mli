@@ -14,7 +14,10 @@ val one_bit : alg
 val tas_lock : alg
 
 val rec_tas : alg
-(** The recoverable (crash–recovery) lock; see {!Rec_tas}. *)
+(** The recoverable (crash–recovery) test-and-set lock; see {!Rec_tas}. *)
+
+val rec_queue : alg
+(** The recoverable queue lock; see {!Rec_queue}. *)
 
 val backoff : alg
 val ms_packed : alg
@@ -22,6 +25,14 @@ val mcs : alg
 
 val all : alg list
 (** Every algorithm, for sweeps. *)
+
+val is_recoverable : alg -> bool
+(** Whether the algorithm declares recovery closed forms
+    ([ALG.recovery] is [Some _]). *)
+
+val recoverable : alg list
+(** The recoverable sublist of {!all} — what the faults test battery,
+    [cfc-tables faults] and the bench's recoverable section enumerate. *)
 
 val register_model : alg list
 (** The algorithms within the paper's atomic-register model (excludes

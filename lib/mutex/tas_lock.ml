@@ -15,6 +15,8 @@ let atomicity (_ : Mutex_intf.params) = 1
 let predicted_cf_steps (_ : Mutex_intf.params) = Some 2
 let predicted_cf_registers (_ : Mutex_intf.params) = Some 1
 
+let recovery (_ : Mutex_intf.params) = None
+
 module Make (M : Mem_intf.MEM) = struct
   type t = { bit : M.reg }
 

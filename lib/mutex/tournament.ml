@@ -23,6 +23,8 @@ module Make (T : Mutex_intf.TWO) = struct
   let predicted_cf_registers (p : Mutex_intf.params) =
     Some (T.cf_registers * depth p.Mutex_intf.n)
 
+  let recovery (_ : Mutex_intf.params) = None
+
   module Make (M : Mem_intf.MEM) = struct
     module L = T.Make (M)
 

@@ -35,6 +35,8 @@ let predicted_cf_steps (p : Mutex_intf.params) =
 let predicted_cf_registers (p : Mutex_intf.params) =
   Some (3 * depth ~n:p.Mutex_intf.n ~l:p.Mutex_intf.l)
 
+let recovery (_ : Mutex_intf.params) = None
+
 module Make (M : Mem_intf.MEM) = struct
   module N = Lamport_fast.Node (M)
 

@@ -44,12 +44,17 @@ type t = {
   counts : int array;
   key : int Domain.DLS.key;
   arena : Mem_intf.mem;
+  all_holders : int Atomic.t list ref;
+      (* every register's holders mask, for [evict]; registers are
+         allocated before the workers spawn, so the list itself is never
+         mutated concurrently *)
 }
 
 let create ~nprocs =
   if nprocs < 1 || nprocs > 62 then
     invalid_arg "Instr_mem.create: nprocs outside 1..62";
   let counts = Array.make (nprocs * stride) 0 in
+  let all_holders = ref [] in
   let key = Domain.DLS.new_key (fun () -> -1) in
   let me () =
     let v = Domain.DLS.get key in
@@ -81,7 +86,10 @@ let create ~nprocs =
     (module struct
       type reg = { base : N.reg; holders : int Atomic.t }
 
-      let wrap base = { base; holders = Atomic.make 0 }
+      let wrap base =
+        let holders = Atomic.make 0 in
+        all_holders := holders :: !all_holders;
+        { base; holders }
       let alloc ?name ~width ~init () = wrap (N.alloc ?name ~width ~init ())
 
       let alloc_bit ?name ~model ~init () =
@@ -139,9 +147,28 @@ let create ~nprocs =
       let pause () = N.pause ()
     end : Mem_intf.MEM)
   in
-  { nprocs; counts; key; arena }
+  { nprocs; counts; key; arena; all_holders }
 
 let mem t = t.arena
+
+let evict t ~me =
+  if me < 0 || me >= t.nprocs then
+    invalid_arg "Instr_mem.evict: me outside 0..nprocs-1";
+  (* A crash destroys the process's cache: drop [me]'s bit from every
+     register's holders mask, so the restarted incarnation's accesses
+     count as remote exactly as in [Measures.recovery_rmr]'s cold-cache
+     model.  The CAS loop races benignly with concurrent mask updates —
+     same conservativity argument as [touch]. *)
+  let bit = 1 lsl me in
+  List.iter
+    (fun h ->
+      let rec clear () =
+        let v = Atomic.get h in
+        if v land bit <> 0 && not (Atomic.compare_and_set h v (v land lnot bit))
+        then clear ()
+      in
+      clear ())
+    !(t.all_holders)
 
 let register_worker t ~me =
   if me < 0 || me >= t.nprocs then

@@ -54,6 +54,15 @@ val register_worker : t -> me:int -> unit
 (** Bind the calling domain to worker slot [me] (domain-local).  An
     access from an unregistered domain raises [Failure]. *)
 
+val evict : t -> me:int -> unit
+(** Drop worker [me]'s bit from every register's holders mask — the
+    cache of a crashed process dies with it, so a crash–restart's
+    subsequent accesses count as remote exactly as in the cold-cache
+    model of [Cfc_core.Measures.recovery_rmr].  Called by the
+    crash-injecting lock service at each injected crash point.  Benign
+    races with concurrent accesses keep the estimate conservative, as
+    for ordinary accesses. *)
+
 val per_domain : t -> counters array
 (** Per-worker counters.  Only coherent once the workers have been
     joined (plain stores; [Domain.join] is the synchronization). *)

@@ -7,10 +7,11 @@ type config = {
   mean_think : int;
   cs_len : int;
   seed : int;
+  crash_every : int;
 }
 
 let default = { domains = 2; rounds = 2_000; mean_think = 10; cs_len = 3;
-                seed = 42 }
+                seed = 42; crash_every = 0 }
 
 type result = {
   acquisitions : int;
@@ -23,6 +24,12 @@ type result = {
   counters : Instr_mem.counters;
   rmr_per_acq : float;
   exclusion_ok : bool;
+  recoveries : int;
+  recovery_p50_ns : float;
+  recovery_p99_ns : float;
+  recovery_max_ns : int;
+  recovery_rmr_mean : float;
+  recovery_rmr_max : int;
 }
 
 let now () = Monotonic_clock.now ()
@@ -30,12 +37,17 @@ let now () = Monotonic_clock.now ()
 let run ?(instrument = true) (module A : Mutex_intf.ALG) config =
   if config.domains < 1 then invalid_arg "Lock_service.run: domains < 1";
   if config.rounds < 0 then invalid_arg "Lock_service.run: rounds < 0";
+  if config.crash_every < 0 then
+    invalid_arg "Lock_service.run: crash_every < 0";
   (* Algorithms are parameterized by n >= 2; a solo service still
      instantiates for two so the code path is the real one. *)
   let n = max 2 config.domains in
   let p = Mutex_intf.params n in
   if not (A.supports p) then
     invalid_arg (Printf.sprintf "%s: unsupported params" A.name);
+  if config.crash_every > 0 && A.recovery p = None then
+    invalid_arg
+      (Printf.sprintf "%s: crash injection needs a recoverable lock" A.name);
   let instr = Instr_mem.create ~nprocs:n in
   (* The off switch is using the plain backend: nothing on Native_mem's
      hot path ever consults an instrumentation flag. *)
@@ -56,9 +68,16 @@ let run ?(instrument = true) (module A : Mutex_intf.ALG) config =
   let go = Atomic.make false in
   let witness = ref 0 in
   let hists = Array.init config.domains (fun _ -> Latency_hist.create ()) in
+  let rec_hists = Array.init config.domains (fun _ -> Latency_hist.create ()) in
+  let rec_rmr_tot = Array.make config.domains 0 in
+  let rec_rmr_max = Array.make config.domains 0 in
+  let rec_counts = Array.make config.domains 0 in
   let worker me () =
     Instr_mem.register_worker instr ~me;
     let st = Random.State.make [| config.seed; me |] in
+    (* A separate stream for crash points so adding injection does not
+       perturb the think-time sequence of crash-free runs. *)
+    let crash_st = Random.State.make [| config.seed; me; 0x0c |] in
     let hist = hists.(me) in
     Atomic.incr ready;
     while not (Atomic.get go) do
@@ -78,6 +97,31 @@ let run ?(instrument = true) (module A : Mutex_intf.ALG) config =
       L.lock inst ~me;
       let t1 = now () in
       Latency_hist.record hist (Int64.to_int (Int64.sub t1 t0));
+      (* Cooperative crash-while-holding: a domain cannot be killed, but
+         the Golab–Ramaraju model only requires that the incarnation's
+         {e local} state is lost and the process re-runs [lock] from the
+         top — which is exactly what abandoning the acquisition (the
+         completed call's locals are dead anyway) and calling [lock]
+         again does.  The re-entry is the recovery path; its latency and
+         its RMR delta (own Instr_mem slot, written by this very domain,
+         so coherent mid-run) are recorded separately.  The witness still
+         increments once per critical section. *)
+      if
+        config.crash_every > 0
+        && Random.State.int crash_st config.crash_every = 0
+      then begin
+        (* The crash also destroys the incarnation's cache. *)
+        Instr_mem.evict instr ~me;
+        let rmr0 = (Instr_mem.per_domain instr).(me).Instr_mem.rmr in
+        let r0 = now () in
+        L.lock inst ~me;
+        let r1 = now () in
+        Latency_hist.record rec_hists.(me) (Int64.to_int (Int64.sub r1 r0));
+        let d = (Instr_mem.per_domain instr).(me).Instr_mem.rmr - rmr0 in
+        rec_rmr_tot.(me) <- rec_rmr_tot.(me) + d;
+        if d > rec_rmr_max.(me) then rec_rmr_max.(me) <- d;
+        rec_counts.(me) <- rec_counts.(me) + 1
+      end;
       witness := !witness + 1;
       for k = 1 to config.cs_len do
         M.write scratch (k land 255)
@@ -98,6 +142,9 @@ let run ?(instrument = true) (module A : Mutex_intf.ALG) config =
   let elapsed_ns = Int64.to_int (Int64.sub (now ()) t_start) in
   let merged = Latency_hist.create () in
   Array.iter (fun h -> Latency_hist.merge_into ~into:merged h) hists;
+  let rec_merged = Latency_hist.create () in
+  Array.iter (fun h -> Latency_hist.merge_into ~into:rec_merged h) rec_hists;
+  let recoveries = Array.fold_left ( + ) 0 rec_counts in
   let acquisitions = config.domains * config.rounds in
   let counters = Instr_mem.totals instr in
   let per_acq v =
@@ -117,4 +164,14 @@ let run ?(instrument = true) (module A : Mutex_intf.ALG) config =
     counters;
     rmr_per_acq = per_acq counters.Instr_mem.rmr;
     exclusion_ok = !witness = acquisitions;
+    recoveries;
+    recovery_p50_ns = Latency_hist.percentile rec_merged 0.50;
+    recovery_p99_ns = Latency_hist.percentile rec_merged 0.99;
+    recovery_max_ns = Latency_hist.max_ns rec_merged;
+    recovery_rmr_mean =
+      (if recoveries = 0 then 0.0
+       else
+         Float.of_int (Array.fold_left ( + ) 0 rec_rmr_tot)
+         /. Float.of_int recoveries);
+    recovery_rmr_max = Array.fold_left max 0 rec_rmr_max;
   }

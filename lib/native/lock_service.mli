@@ -22,6 +22,16 @@ type config = {
   mean_think : int;  (** mean geometric think, in [cpu_relax] turns *)
   cs_len : int;  (** shared writes inside the critical section *)
   seed : int;
+  crash_every : int;
+      (** 0 (default) = no crash injection.  Otherwise each acquisition
+          crashes with probability [1/crash_every] (seeded, per-domain
+          stream): the worker abandons the completed [lock] call —
+          cooperatively losing the incarnation's local state, which is
+          all a Golab–Ramaraju crash destroys, since domains cannot be
+          killed — and re-runs [lock] from the top as the restarted
+          incarnation.  The re-entry (the crash-while-holding recovery
+          path) is timed into a separate histogram and its per-call RMR
+          delta recorded.  Requires a recoverable lock. *)
 }
 
 val default : config
@@ -37,8 +47,18 @@ type result = {
   counters : Instr_mem.counters;  (** totals; zero when uninstrumented *)
   rmr_per_acq : float;  (** [counters.rmr / acquisitions] *)
   exclusion_ok : bool;  (** non-atomic witness saw no lost update *)
+  recoveries : int;  (** injected crash–recovery re-entries (0 without injection) *)
+  recovery_p50_ns : float;  (** recovery-path latency percentiles *)
+  recovery_p99_ns : float;
+  recovery_max_ns : int;
+  recovery_rmr_mean : float;
+      (** mean instrumented RMR per recovery re-entry; zero when
+          uninstrumented *)
+  recovery_rmr_max : int;  (** worst single re-entry *)
 }
 
 val run : ?instrument:bool -> (module Mutex_intf.ALG) -> config -> result
 (** Raises [Invalid_argument] if the algorithm does not support
-    [max 2 domains] processes, [domains < 1], or [rounds < 0]. *)
+    [max 2 domains] processes, [domains < 1], [rounds < 0],
+    [crash_every < 0], or [crash_every > 0] on a lock whose [recovery]
+    is [None]. *)

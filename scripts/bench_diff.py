@@ -1,11 +1,14 @@
 #!/usr/bin/env python3
-"""Diff two BENCH_mcheck.json files and fail on model-checker regressions.
+"""Diff two bench JSON files and fail on deterministic regressions.
 
 Usage: bench_diff.py BASELINE CURRENT [--delta OUT.json]
 
-The bench's verdicts, state counts and prune counts are deterministic
-(seeded exploration, fixed configs), so compared against a committed
-baseline:
+Both inputs must carry the same kind of schema; the mode is picked from
+it automatically.
+
+cfc-mcheck-bench (BENCH_mcheck.json): verdicts, state counts and prune
+counts are deterministic (seeded exploration, fixed configs), so against
+a committed baseline:
 
   - a verdict change on any (name, kind, engine, n, extra) entry fails;
   - growth in states explored fails (the memoization or the
@@ -14,6 +17,18 @@ baseline:
     fails (a silent sweep cap crept back in);
   - new entries and wall-time changes are reported, never asserted
     (CI runners are noisy).
+
+cfc-native-bench (BENCH_native.json): wall-clock columns are noisy on CI
+runners and never asserted, but two families of fields are deterministic
+and gated on every row present in both files (a --quick run sweeps a
+subset of the full baseline, so missing rows are only noted):
+
+  - "entries": an exclusion_ok flip fails (the witness saw a lost
+    update);
+  - "recoverable": an exclusion_ok flip under crash injection, growth of
+    recovery_rmr_max (the cold-cache recovery path got more expensive),
+    or a change of predicted_rmr_held (the closed form silently moved)
+    fails.
 
 Exit status 0 = no regression, 1 = regression, 2 = usage/IO error.
 Stdlib only.
@@ -55,28 +70,19 @@ def key(entry):
 def load(path):
     with open(path) as f:
         doc = json.load(f)
-    entries = {}
-    for e in doc.get("entries", []):
-        entries[key(e)] = e
-    return doc.get("schema", "?"), entries
+    return doc
 
 
-def main():
-    ap = argparse.ArgumentParser()
-    ap.add_argument("baseline")
-    ap.add_argument("current")
-    ap.add_argument("--delta", help="write a JSON delta report here")
-    args = ap.parse_args()
+def index(rows, key_fn):
+    out = {}
+    for e in rows:
+        out[key_fn(e)] = e
+    return out
 
-    try:
-        base_schema, base = load(args.baseline)
-        cur_schema, cur = load(args.current)
-    except (OSError, json.JSONDecodeError, KeyError) as exc:
-        print(f"bench_diff: cannot read inputs: {exc}", file=sys.stderr)
-        return 2
 
-    regressions = []
-    changes = []
+def diff_mcheck(base_doc, cur_doc, regressions, changes):
+    base = index(base_doc.get("entries", []), key)
+    cur = index(cur_doc.get("entries", []), key)
 
     for k, b in sorted(base.items()):
         label = "{} {} engine={} n={} {}".format(*k)
@@ -104,6 +110,103 @@ def main():
     added = [k for k in cur if k not in base]
     for k in sorted(added):
         changes.append("{} {} engine={} n={} {}: new entry".format(*k))
+    return len(base), len(cur)
+
+
+# The native sweep's size depends on the run mode (--quick sweeps fewer
+# domain counts and rounds than the committed full baseline), so keys
+# deliberately exclude [rounds] and a baseline row absent from the
+# current run is a note, not a failure.  Only rows present in both are
+# gated, and only on their deterministic fields.
+def native_entry_key(e):
+    return (e["name"], e["domains"], e["mean_think"])
+
+
+def native_rec_key(e):
+    return (e["name"], e["domains"], e["crash_every"])
+
+
+def diff_native(base_doc, cur_doc, regressions, changes):
+    base = index(base_doc.get("entries", []), native_entry_key)
+    cur = index(cur_doc.get("entries", []), native_entry_key)
+    for k, b in sorted(base.items()):
+        label = "{} domains={} think={}".format(*k)
+        c = cur.get(k)
+        if c is None:
+            changes.append(f"{label}: not in current sweep (mode mismatch?)")
+            continue
+        if b["exclusion_ok"] and not c["exclusion_ok"]:
+            regressions.append(f"{label}: exclusion_ok flipped true -> false")
+    for k in sorted(set(cur) - set(base)):
+        changes.append("{} domains={} think={}: new entry".format(*k))
+
+    rbase = index(base_doc.get("recoverable", []), native_rec_key)
+    rcur = index(cur_doc.get("recoverable", []), native_rec_key)
+    for k, b in sorted(rbase.items()):
+        label = "recoverable {} domains={} crash_every={}".format(*k)
+        c = rcur.get(k)
+        if c is None:
+            changes.append(f"{label}: not in current sweep (mode mismatch?)")
+            continue
+        if b["exclusion_ok"] and not c["exclusion_ok"]:
+            regressions.append(
+                f"{label}: exclusion_ok flipped true -> false under crashes"
+            )
+        if c["recovery_rmr_max"] > b["recovery_rmr_max"]:
+            regressions.append(
+                f"{label}: recovery_rmr_max grew "
+                f"{b['recovery_rmr_max']} -> {c['recovery_rmr_max']}"
+            )
+        if c["predicted_rmr_held"] != b["predicted_rmr_held"]:
+            regressions.append(
+                f"{label}: predicted_rmr_held changed "
+                f"{b['predicted_rmr_held']} -> {c['predicted_rmr_held']}"
+            )
+        if c["recoveries"] != b["recoveries"]:
+            changes.append(
+                f"{label}: recoveries {b['recoveries']} -> {c['recoveries']}"
+            )
+    for k in sorted(set(rcur) - set(rbase)):
+        changes.append(
+            "recoverable {} domains={} crash_every={}: new entry".format(*k)
+        )
+    return len(base) + len(rbase), len(cur) + len(rcur)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--delta", help="write a JSON delta report here")
+    args = ap.parse_args()
+
+    try:
+        base_doc = load(args.baseline)
+        cur_doc = load(args.current)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"bench_diff: cannot read inputs: {exc}", file=sys.stderr)
+        return 2
+
+    base_schema = base_doc.get("schema", "?")
+    cur_schema = cur_doc.get("schema", "?")
+    base_family = base_schema.split("/")[0]
+    if base_family != cur_schema.split("/")[0]:
+        print(
+            f"bench_diff: schema mismatch {base_schema} vs {cur_schema}",
+            file=sys.stderr,
+        )
+        return 2
+
+    regressions = []
+    changes = []
+    try:
+        if base_family == "cfc-native-bench":
+            n_base, n_cur = diff_native(base_doc, cur_doc, regressions, changes)
+        else:
+            n_base, n_cur = diff_mcheck(base_doc, cur_doc, regressions, changes)
+    except KeyError as exc:
+        print(f"bench_diff: malformed entry, missing {exc}", file=sys.stderr)
+        return 2
 
     report = {
         "baseline_schema": base_schema,
@@ -122,7 +225,7 @@ def main():
     for line in regressions:
         print(f"REGRESSION: {line}")
     print(
-        f"bench_diff: {len(base)} baseline entries, {len(cur)} current, "
+        f"bench_diff: {n_base} baseline entries, {n_cur} current, "
         f"{len(regressions)} regression(s)"
     )
     return 1 if regressions else 0

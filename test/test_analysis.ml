@@ -169,7 +169,22 @@ let test_spin_classes () =
         (Analyze.spin_class_name row.Lint.report.Analyze.spin_class))
     [ ("mcs-lock", "local-spin");
       ("tas-lock", "spin-on-shared");
-      ("recoverable-tas", "spin-on-shared") ];
+      ("recoverable-tas", "spin-on-shared");
+      ("recoverable-queue", "local-spin") ];
+  (* The recovery-path subjects go through the same classifier.  The
+     symbolic exploration of the [lock] re-entry still covers the
+     signal-cell busy-wait branch (even though the concrete solo
+     recovery path is straight-line), and that cell is written only in
+     straight-line release code — so recovery keeps the local-spin
+     class, which is exactly the property the RMR bound needs. *)
+  List.iter
+    (fun config ->
+      let row = find_row "recoverable-queue" config in
+      Alcotest.(check string)
+        ("recoverable-queue " ^ config ^ " spin class")
+        "local-spin"
+        (Analyze.spin_class_name row.Lint.report.Analyze.spin_class))
+    [ "n=2 recovery-held"; "n=2 recovery-not-held" ];
   (* The one-shot families never busy-wait. *)
   List.iter
     (fun (row : Lint.row) ->

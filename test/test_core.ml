@@ -145,32 +145,140 @@ let test_recovery_paths () =
     Alcotest.failf "expected one completed path per pid, got %d"
       (List.length paths)
 
-(* The recoverable lock's exact recovery costs, via the harness (which
-   itself goes through [Measures.recovery_paths]): every crash point of
-   the 5-step solo cycle yields a completed recovery, costing
-   [recovery_steps_held] if the crash hit while holding the lock and
-   [recovery_steps_not_held] otherwise. *)
-let test_rec_tas_recovery_exact () =
-  let p = Mutex_intf.params 4 in
-  let sweep = Recovery_harness.solo_sweep Registry.rec_tas p in
-  (* Solo cycle: owner read + CAS (entry), witness write + read (CS),
-     owner release (exit) — five accesses, so five crash points. *)
-  check "one sweep point per solo access" 5 (List.length sweep);
-  let held, not_held = Recovery_harness.split_held sweep in
-  check_bool "both classes hit" true (held <> [] && not_held <> []);
+(* Recovery RMR: same fragment windows as [recovery_paths] (one-to-one),
+   under the cold-cache rule — the crash invalidates the dying
+   incarnation's copies, so a register cached before the crash is remote
+   again on the recovery path; another process's write invalidates as
+   usual. *)
+let test_recovery_rmr () =
+  let r1, r2 = mk_regs () in
+  let t = Trace.create () in
+  let ev pid body = ignore (Trace.record t ~pid body) in
+  ev 0 (Event.Region_change Event.Trying);
+  ev 0 (Event.Access (r1, Event.A_write 1)); (* p0 caches r1... *)
+  ev 0 Event.Crash;                          (* ...and loses it *)
+  ev 0 Event.Recover;
+  ev 0 (Event.Access (r1, Event.A_read 1));  (* remote: cold cache *)
+  ev 0 (Event.Access (r1, Event.A_read 1));  (* local: just re-cached *)
+  ev 0 (Event.Access (r2, Event.A_write 2)); (* remote: first touch *)
+  ev 0 (Event.Region_change Event.Critical);
+  let paths = Measures.recovery_paths t ~nprocs:2 in
+  let rmrs = Measures.recovery_rmr t ~nprocs:2 in
+  check "one path" 1 (List.length paths);
+  (match (paths, rmrs) with
+  | [ (0, s) ], [ (0, rmr) ] ->
+    check "path steps" 3 s.Measures.steps;
+    check "rmr counts cold registers, not steps" 2 rmr
+  | _ -> Alcotest.fail "recovery_rmr disagrees with recovery_paths");
+  (* A second crash–recover pair on the same process: the re-cached r1
+     is lost again, and the completed fragments stay one-to-one. *)
+  ev 0 (Event.Region_change Event.Exiting);
+  ev 0 Event.Crash;
+  ev 0 Event.Recover;
+  ev 0 (Event.Access (r1, Event.A_read 1));  (* remote again *)
+  ev 1 (Event.Access (r1, Event.A_write 7)); (* p1 invalidates p0 *)
+  ev 0 (Event.Access (r1, Event.A_read 7));  (* remote: invalidated *)
+  ev 0 (Event.Region_change Event.Critical);
+  let paths = Measures.recovery_paths t ~nprocs:2 in
+  let rmrs = Measures.recovery_rmr t ~nprocs:2 in
+  Alcotest.(check (list (pair int int)))
+    "per-incarnation rmr" [ (0, 2); (0, 2) ] rmrs;
+  check "still one path per completed recovery" 2 (List.length paths);
+  (* The second incarnation's fragment counts only its own accesses — the
+     pre-crash fragment is not double-attributed. *)
+  (match List.rev paths with
+  | (0, s) :: _ -> check "second path steps" 2 s.Measures.steps
+  | _ -> Alcotest.fail "missing second path")
+
+(* Every recoverable lock's exact recovery costs, via the harness (which
+   itself goes through [Measures.recovery_paths]): every crash point
+   yields a completed recovery ([Stalled] would be a deadlock
+   regression), costing exactly the closed form of its crash region —
+   [rec_steps_held] in [Critical], [rec_steps_not_held] outside the
+   critical/exit code, and one of the two in the ambiguous [Exiting]
+   (the release may or may not have taken effect).  The recovery RMR
+   equals the path's register count: the restarted incarnation starts
+   with a cold cache, so solo every distinct register is remote once —
+   the §1.2 registers-equal-remotes claim extended to recovery. *)
+let test_recoverable_recovery_exact () =
   List.iter
-    (fun pt ->
-      check
-        (Printf.sprintf "held crash@%d" pt.Recovery_harness.crash_step)
-        Rec_tas.recovery_steps_held pt.Recovery_harness.path.Measures.steps)
-    held;
+    (fun (module A : Mutex_intf.ALG) ->
+      let p = Mutex_intf.params 4 in
+      let forms = Option.get (A.recovery p) in
+      let sweep = Recovery_harness.solo_sweep (module A : Mutex_intf.ALG) p in
+      check_bool (A.name ^ ": sweep non-empty") true (sweep <> []);
+      Alcotest.(check int) (A.name ^ ": no stalled points") 0
+        (List.length (Recovery_harness.stalled sweep));
+      List.iter
+        (fun (pt : Recovery_harness.sweep_point) ->
+          match pt.Recovery_harness.outcome with
+          | Recovery_harness.Stalled -> ()
+          | Recovery_harness.Recovered { path; rmr } ->
+            let label what =
+              Printf.sprintf "%s: crash@%d (%s) %s" A.name
+                pt.Recovery_harness.crash_step
+                (Format.asprintf "%a" Event.pp_region
+                   pt.Recovery_harness.crash_region)
+                what
+            in
+            (match pt.Recovery_harness.crash_region with
+            | Event.Critical ->
+              check (label "steps = held form")
+                forms.Mutex_intf.rec_steps_held path.Measures.steps;
+              check (label "registers = held form")
+                forms.Mutex_intf.rec_registers_held path.Measures.registers
+            | Event.Exiting ->
+              check_bool (label "steps within forms") true
+                (path.Measures.steps = forms.Mutex_intf.rec_steps_held
+                || path.Measures.steps = forms.Mutex_intf.rec_steps_not_held)
+            | _ ->
+              check (label "steps = not-held form")
+                forms.Mutex_intf.rec_steps_not_held path.Measures.steps;
+              check (label "registers = not-held form")
+                forms.Mutex_intf.rec_registers_not_held
+                  path.Measures.registers);
+            check (label "rmr = cold-cache registers") path.Measures.registers
+              rmr)
+        sweep)
+    Registry.recoverable
+
+(* Crash during recovery: re-crash the restarted incarnation at every
+   step of (and just past) its recovery path.  The final incarnation
+   must still recover, at a cost that is itself one of the closed
+   forms — recovery code re-entered from the top is just another
+   recovery. *)
+let test_double_crash_sweep () =
   List.iter
-    (fun pt ->
-      check
-        (Printf.sprintf "not-held crash@%d" pt.Recovery_harness.crash_step)
-        Rec_tas.recovery_steps_not_held
-        pt.Recovery_harness.path.Measures.steps)
-    not_held
+    (fun (module A : Mutex_intf.ALG) ->
+      let p = Mutex_intf.params 3 in
+      let forms = Option.get (A.recovery p) in
+      let points = Recovery_harness.double_sweep (module A : Mutex_intf.ALG) p in
+      check_bool (A.name ^ ": double sweep non-empty") true (points <> []);
+      check_bool (A.name ^ ": some re-crash hit the recovery path") true
+        (List.exists
+           (fun (pt : Recovery_harness.double_point) ->
+             pt.Recovery_harness.second_crash
+             > pt.Recovery_harness.first_crash)
+           points);
+      List.iter
+        (fun (pt : Recovery_harness.double_point) ->
+          match pt.Recovery_harness.final with
+          | Recovery_harness.Stalled ->
+            Alcotest.failf "%s: stalled after crash@%d+%d" A.name
+              pt.Recovery_harness.first_crash
+              pt.Recovery_harness.second_crash
+          | Recovery_harness.Recovered { path; rmr } ->
+            check_bool
+              (Printf.sprintf "%s: crash@%d+%d cost is a closed form" A.name
+                 pt.Recovery_harness.first_crash
+                 pt.Recovery_harness.second_crash)
+              true
+              (path.Measures.steps = forms.Mutex_intf.rec_steps_held
+              || path.Measures.steps = forms.Mutex_intf.rec_steps_not_held);
+            check "double-crash rmr = cold-cache registers"
+              path.Measures.registers rmr)
+        points)
+    Registry.recoverable
 
 (* ------------------------------------------------------------------ *)
 (* Occupancy windows across crash–recovery                             *)
@@ -460,8 +568,12 @@ let () =
           Alcotest.test_case "repeated entries" `Quick test_repeated_entries;
           Alcotest.test_case "decisions" `Quick test_decisions;
           Alcotest.test_case "recovery paths" `Quick test_recovery_paths;
-          Alcotest.test_case "rec-tas exact recovery cost" `Quick
-            test_rec_tas_recovery_exact;
+          Alcotest.test_case "recovery rmr (cold cache, per incarnation)"
+            `Quick test_recovery_rmr;
+          Alcotest.test_case "exact recovery cost (all recoverable locks)"
+            `Quick test_recoverable_recovery_exact;
+          Alcotest.test_case "double-crash sweep (crash during recovery)"
+            `Quick test_double_crash_sweep;
           Alcotest.test_case "winner fragment survives mid-exit crash"
             `Quick test_winner_fragment_survives_fault;
           QCheck_alcotest.to_alcotest prop_local_spin_vs_shared_spin ] );

@@ -215,20 +215,30 @@ let prop_safety_random_crashes =
           end)
         Registry.all)
 
-(* The recoverable lock also survives full crash–recovery chaos: crashed
-   processes restart from the top and the recoverable mutual exclusion
-   property (crashing inside the critical section does not release it)
-   holds on every seeded plan. *)
-let prop_rec_tas_chaos =
+(* Every recoverable lock in the registry also survives full
+   crash–recovery chaos: crashed processes restart from the top and the
+   recoverable mutual exclusion property (crashing inside the critical
+   section does not release it) holds on every seeded plan, for every
+   lock — so a new recoverable algorithm is covered the moment it
+   registers. *)
+let prop_recoverable_chaos =
   QCheck.Test.make ~count:80
-    ~name:"recoverable-tas: safety under seeded crash-recovery chaos"
+    ~name:"recoverable locks: safety under seeded crash-recovery chaos"
     QCheck.(triple (int_bound 100_000) (int_range 2 5) (int_range 1 3))
     (fun (seed, n, pairs) ->
       let p = Mutex_intf.params n in
-      let _, _, violation =
-        Recovery_harness.chaos ~seed ~pairs Registry.rec_tas p
-      in
-      violation = None)
+      List.for_all
+        (fun alg ->
+          let module A = (val alg : Mutex_intf.ALG) in
+          (not (A.supports p))
+          ||
+          let _, plan, violation = Recovery_harness.chaos ~seed ~pairs alg p in
+          match violation with
+          | None -> true
+          | Some v ->
+            QCheck.Test.fail_reportf "%s n=%d: %a under %a" A.name n
+              Spec.pp_violation v Cfc_runtime.Fault.pp_plan plan)
+        Registry.recoverable)
 
 (* ------------------------------------------------------------------ *)
 (* Worst case                                                          *)
@@ -652,9 +662,12 @@ let test_splitter_tree_wc () =
 (* ------------------------------------------------------------------ *)
 
 let test_registry () =
-  check "algorithm count" 12 (List.length Registry.all);
+  check "algorithm count" 13 (List.length Registry.all);
+  check "recoverable count" 2 (List.length Registry.recoverable);
   check_bool "find recoverable" true
     (Registry.find "recoverable-tas" <> None);
+  check_bool "find recoverable queue" true
+    (Registry.find "recoverable-queue" <> None);
   check_bool "find lamport" true (Registry.find "lamport-fast" <> None);
   check_bool "find nonsense" true (Registry.find "nonsense" = None);
   let names = List.map alg_name Registry.all in
@@ -675,7 +688,7 @@ let () =
           QCheck_alcotest.to_alcotest prop_safety_random;
           QCheck_alcotest.to_alcotest prop_safety_biased;
           QCheck_alcotest.to_alcotest prop_safety_random_crashes;
-          QCheck_alcotest.to_alcotest prop_rec_tas_chaos ] );
+          QCheck_alcotest.to_alcotest prop_recoverable_chaos ] );
       ( "worst-case",
         [ Alcotest.test_case "kessels wc registers O(log n)" `Quick
             test_kessels_wc_registers;

@@ -156,7 +156,7 @@ let test_instr_matches_sim_solo () =
           Cfc_native.Lock_service.run
             (module A)
             { Cfc_native.Lock_service.domains = 1; rounds; mean_think = 0;
-              cs_len; seed = 1 }
+              cs_len; seed = 1; crash_every = 0 }
         in
         let c = r.Cfc_native.Lock_service.counters in
         let steps, reads, writes, rmr =
@@ -255,7 +255,7 @@ let test_lock_service_passthrough () =
   let r =
     Cfc_native.Lock_service.run ~instrument:false Registry.mcs
       { Cfc_native.Lock_service.domains = 1; rounds = 200; mean_think = 0;
-        cs_len = 3; seed = 7 }
+        cs_len = 3; seed = 7; crash_every = 0 }
   in
   check "acquisitions" 200 r.Cfc_native.Lock_service.acquisitions;
   check_bool "exclusion" true r.Cfc_native.Lock_service.exclusion_ok;
@@ -278,7 +278,7 @@ let test_lock_service_contended () =
           Cfc_native.Lock_service.run
             (module A)
             { Cfc_native.Lock_service.domains; rounds; mean_think = 5;
-              cs_len = 3; seed = 3 }
+              cs_len = 3; seed = 3; crash_every = 0 }
         in
         check (A.name ^ " acquisitions") (domains * rounds)
           r.Cfc_native.Lock_service.acquisitions;
@@ -296,6 +296,55 @@ let test_lock_service_contended () =
            >= domains * rounds * 3)
       end)
     Registry.all
+
+(* Crash injection: every recoverable registry lock, solo and contended.
+   Solo the recovery path is a fixed access sequence and the crash
+   evicts the domain's cache bits, so the instrumented per-recovery RMR
+   must equal the rec_registers_held closed form exactly — the native
+   end of the static = predicted = measured chain.  Under contention it
+   may only grow conservatively, never violate exclusion. *)
+let test_lock_service_crash_injection () =
+  List.iter
+    (fun ((module A : Mutex_intf.ALG) as alg) ->
+      let forms = Option.get (A.recovery (Mutex_intf.params 2)) in
+      let r =
+        Cfc_native.Lock_service.run alg
+          { Cfc_native.Lock_service.domains = 1; rounds = 400;
+            mean_think = 0; cs_len = 2; seed = 9; crash_every = 4 }
+      in
+      check_bool (A.name ^ " solo exclusion under crashes") true
+        r.Cfc_native.Lock_service.exclusion_ok;
+      check_bool (A.name ^ " recoveries injected") true
+        (r.Cfc_native.Lock_service.recoveries > 0);
+      check
+        (A.name ^ " solo recovery rmr max = closed form")
+        forms.Mutex_intf.rec_registers_held
+        r.Cfc_native.Lock_service.recovery_rmr_max;
+      check_bool
+        (A.name ^ " solo recovery rmr mean = closed form")
+        true
+        (r.Cfc_native.Lock_service.recovery_rmr_mean
+        = float_of_int forms.Mutex_intf.rec_registers_held);
+      let domains = min 4 (max 2 (Domain.recommended_domain_count () - 1)) in
+      let rc =
+        Cfc_native.Lock_service.run alg
+          { Cfc_native.Lock_service.domains; rounds = 400; mean_think = 2;
+            cs_len = 2; seed = 9; crash_every = 4 }
+      in
+      check_bool (A.name ^ " contended exclusion under crashes") true
+        rc.Cfc_native.Lock_service.exclusion_ok;
+      check_bool (A.name ^ " contended recoveries injected") true
+        (rc.Cfc_native.Lock_service.recoveries > 0))
+    Registry.recoverable;
+  (* A non-recoverable lock must be rejected, not deadlocked. *)
+  check_bool "crash injection rejected for mcs" true
+    (match
+       Cfc_native.Lock_service.run Registry.mcs
+         { Cfc_native.Lock_service.domains = 1; rounds = 10; mean_think = 0;
+           cs_len = 1; seed = 1; crash_every = 2 }
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
 
 let () =
   Alcotest.run "cfc_native"
@@ -322,4 +371,6 @@ let () =
           Alcotest.test_case "passthrough when off" `Quick
             test_lock_service_passthrough;
           Alcotest.test_case "contended service" `Slow
-            test_lock_service_contended ] ) ]
+            test_lock_service_contended;
+          Alcotest.test_case "crash injection (recoverable locks)" `Slow
+            test_lock_service_crash_injection ] ) ]
