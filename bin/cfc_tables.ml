@@ -11,6 +11,7 @@
      cf         contention-free complexity of one algorithm
      faults     crash-recovery injection, chaos schedules, diagnostics
      native     domain-parallel lock service with RMR counters
+     scale      the O(active-set) event-wheel rig at large n
      lint       static access-graph analysis gate (CI fails on errors) *)
 
 open Cmdliner
@@ -491,6 +492,117 @@ let models_cmd =
        ~doc:"Classify all 256 operation models (the §3.3 exercise).")
     Term.(const run $ all_arg)
 
+let scale_cmd =
+  let n_arg =
+    Arg.(
+      value & opt int 4096
+      & info [ "n" ] ~docv:"N" ~doc:"Number of processes (clients).")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Root seed (think-time streams and the chaos plan).")
+  in
+  let chaos_arg =
+    Arg.(
+      value & flag
+      & info [ "chaos" ]
+          ~doc:
+            "Run the crash-recovery workload (recoverable locks only) \
+             instead of the contention-free curve.")
+  in
+  let pairs_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "pairs" ] ~docv:"K"
+          ~doc:"Crash-recovery pairs for --chaos (default: one per client).")
+  in
+  let scale_alg_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "algorithm"; "a" ] ~docv:"NAME"
+          ~doc:"Restrict to one algorithm; default: every supporting one.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Also write the rows as JSON (BENCH_scale.json row format).")
+  in
+  let run name n seed chaos pairs json =
+    let p = Mutex_intf.params n in
+    let algs =
+      match name with
+      | Some name ->
+        let ((module A : Mutex_intf.ALG) as alg) = find_supported_alg name p in
+        if chaos && A.recovery p = None then begin
+          Printf.eprintf "%s is not a recoverable lock\n" A.name;
+          exit 2
+        end;
+        [ alg ]
+      | None ->
+        List.filter
+          (fun (module A : Mutex_intf.ALG) ->
+            A.supports p && ((not chaos) || A.recovery p <> None))
+          (if chaos then Registry.recoverable else Registry.all)
+    in
+    if algs = [] then begin
+      Printf.eprintf "no algorithm supports n=%d%s\n" n
+        (if chaos then " with recovery" else "");
+      exit 2
+    end;
+    let open Cfc_workload in
+    let write_json rows =
+      match json with
+      | None -> ()
+      | Some path ->
+        let oc = open_out path in
+        Printf.fprintf oc "[\n%s\n]\n" (String.concat ",\n" rows);
+        close_out oc;
+        Printf.printf "wrote %s\n" path
+    in
+    if chaos then begin
+      let pairs = match pairs with Some k -> k | None -> n in
+      let sc =
+        { Workload.sc_n = n; sc_rounds = 2; sc_mean_think = 4 * n;
+          sc_cs_len = 3; sc_seed = seed; sc_chaos_pairs = pairs }
+      in
+      let rows = List.map (fun alg -> Workload_report.scale_chaos_row alg sc) algs in
+      Printf.printf
+        "chaos rig: n=%d clients, %d crash-recovery pairs, seed=%d \
+         (deterministic; the exclusion monitor runs streamed)\n"
+        n pairs seed;
+      Texttab.print (Workload_report.scale_chaos_table rows);
+      write_json (List.map Workload_report.json_of_scale_chaos_row rows)
+    end
+    else begin
+      let rows =
+        List.map (fun alg -> Workload_report.scale_cf_row alg ~n) algs
+      in
+      Printf.printf
+        "streaming contention-free curve at n=%d (event wheel, no trace; \
+         checked against the registered closed forms)\n"
+        n;
+      Texttab.print (Workload_report.scale_cf_table rows);
+      write_json (List.map Workload_report.json_of_scale_cf_row rows);
+      if List.exists (fun r -> not r.Workload_report.scf_ok) rows then begin
+        Printf.eprintf "closed-form mismatch (see the table)\n";
+        exit 1
+      end
+    end
+  in
+  Cmd.v
+    (Cmd.info "scale"
+       ~doc:
+         "The O(active-set) event-wheel rig: streaming contention-free \
+          measurements at large n, or ([--chaos]) thousands of seeded \
+          crash-recovering clients against a recoverable lock.")
+    Term.(
+      const run $ scale_alg_arg $ n_arg $ seed_arg $ chaos_arg $ pairs_arg
+      $ json_arg)
+
 let lint_cmd =
   let json_arg =
     Arg.(
@@ -541,4 +653,4 @@ let () =
           (Cmd.info "cfc-tables" ~version:"1.0.0" ~doc)
           [ mutex_cmd; naming_cmd; sweep_cmd; detect_cmd; unbounded_cmd;
             cf_cmd; mcheck_cmd; backoff_cmd; trace_cmd; faults_cmd;
-            native_cmd; models_cmd; lint_cmd ]))
+            native_cmd; scale_cmd; models_cmd; lint_cmd ]))

@@ -70,9 +70,25 @@ let geometric ~u ~mean =
        p = 1/(mean+1) is geometric on {0,1,2,...} with P(X >= k) =
        (1-p)^k and E[X] = (1-p)/p = mean.  log1p keeps precision for
        small p (large means). *)
-    let p = 1. /. float_of_int (mean + 1) in
+    (* [mean + 1] as a float sum, not an int sum: for [mean = max_int]
+       the int addition wraps to [min_int] and the draw went negative. *)
+    let p = 1. /. (float_of_int mean +. 1.) in
     let x = Float.log1p (-.u) /. Float.log1p (-.p) in
     (* Clamp: x is finite and >= 0 for valid inputs, but guard the
        int conversion anyway. *)
     if x >= float_of_int max_int then max_int else int_of_float x
   end
+
+let mix_seed root pid =
+  (* splitmix64 finalizer over the packed pair: full avalanche, so the
+     per-process streams [Random.State.make [| mix_seed root pid |]] are
+     decorrelated even for adjacent pids under one root — crucial when a
+     10^6-process rig derives a million streams from one seed.  The
+     result is truncated to a nonnegative OCaml int (62 bits kept). *)
+  let open Int64 in
+  let z = add (mul (of_int root) 0x9E3779B97F4A7C15L) (of_int pid) in
+  let z = add z 0x9E3779B97F4A7C15L in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = logxor z (shift_right_logical z 31) in
+  to_int (shift_right_logical z 2)

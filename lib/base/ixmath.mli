@@ -54,3 +54,11 @@ val geometric : u:float -> mean:int -> int
     yields 0.  Pure: callers draw [u] from their own seeded
     [Random.State], so the simulated workload and the native lock
     service share one think-time distribution. *)
+
+val mix_seed : int -> int -> int
+(** [mix_seed root pid] deterministically derives a per-process seed from
+    a root seed, with a splitmix64-style finalizer providing full
+    avalanche: adjacent pids yield decorrelated seeds, so a large rig can
+    give each of its processes an independent
+    [Random.State.make [| mix_seed root pid |]] stream instead of
+    serially advancing one global stream.  Always nonnegative; pure. *)

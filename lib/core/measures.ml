@@ -270,3 +270,247 @@ let decisions trace ~nprocs =
       | Event.Region_change _ | Event.Access _ | Event.Crash | Event.Recover -> acc)
     [] trace
   |> List.rev
+
+(* ------------------------------------------------------------------ *)
+(* Streaming measures                                                  *)
+
+module Online = struct
+  module S = Set.Make (Int)
+
+  (* A mutable counterpart of [sample] under construction. *)
+  type acc = {
+    mutable a_steps : int;
+    mutable a_reads : int;
+    mutable a_writes : int;
+    a_seen : (int, unit) Hashtbl.t;
+    a_seen_r : (int, unit) Hashtbl.t;
+    a_seen_w : (int, unit) Hashtbl.t;
+  }
+
+  let acc_create () =
+    { a_steps = 0; a_reads = 0; a_writes = 0;
+      a_seen = Hashtbl.create 8; a_seen_r = Hashtbl.create 8;
+      a_seen_w = Hashtbl.create 8 }
+
+  let acc_reset a =
+    a.a_steps <- 0;
+    a.a_reads <- 0;
+    a.a_writes <- 0;
+    Hashtbl.reset a.a_seen;
+    Hashtbl.reset a.a_seen_r;
+    Hashtbl.reset a.a_seen_w
+
+  let acc_add a (r : Register.t) k =
+    a.a_steps <- a.a_steps + 1;
+    Hashtbl.replace a.a_seen r.Register.id ();
+    if Event.is_write k then begin
+      a.a_writes <- a.a_writes + 1;
+      Hashtbl.replace a.a_seen_w r.Register.id ()
+    end
+    else begin
+      a.a_reads <- a.a_reads + 1;
+      Hashtbl.replace a.a_seen_r r.Register.id ()
+    end
+
+  let acc_sample a =
+    { steps = a.a_steps;
+      registers = Hashtbl.length a.a_seen;
+      read_steps = a.a_reads;
+      write_steps = a.a_writes;
+      read_registers = Hashtbl.length a.a_seen_r;
+      write_registers = Hashtbl.length a.a_seen_w }
+
+  type pstate = {
+    mutable region : Event.region;
+    total : acc;        (* whole-run, = per_process_samples *)
+    cf : acc;           (* accesses while own region is Trying/Exiting *)
+    entry : acc;        (* current §2.2 entry window candidate *)
+    mutable entry_gen : int;
+        (* [clear_gen] value at the last reset/add of [entry]: a mismatch
+           means some event with an occupied pre-state happened since, so
+           the accumulated accesses fall before the window start *)
+    exit_ : acc;        (* current exit fragment *)
+    rec_ : acc;         (* current recovery fragment *)
+    mutable rec_open : bool;
+    mutable rec_rmr : int;
+    mutable remote : int;
+  }
+
+  type t = {
+    o_nprocs : int;
+    procs : (int, pstate) Hashtbl.t;
+    mutable events : int;
+    mutable occupied : int;
+        (* processes whose region is Critical or Exiting — the §2.2
+           occupancy predicate over the pre-event state *)
+    mutable clear_gen : int;
+        (* bumped once per event whose pre-state is occupied; stands in
+           for the materialised scan's [last_occupied] without touching
+           every process's entry accumulator *)
+    mutable entries : (int * sample) list;  (* reversed *)
+    mutable exits : (int * sample) list;
+    mutable recs : (int * sample) list;
+    mutable rec_rmrs : (int * int) list;
+    mutable decs : (int * int) list;
+    valid : (int, S.t) Hashtbl.t;
+        (* write-invalidate holders, [remote_accesses] semantics: no
+           crash eviction.  Sets instead of bitmasks, so any n *)
+    rvalid : (int, S.t) Hashtbl.t;
+        (* holders under the crash-evicting [recovery_rmr] semantics *)
+    reg_touched : (int, Register.t) Hashtbl.t;
+  }
+
+  let create ~nprocs =
+    { o_nprocs = nprocs;
+      procs = Hashtbl.create 64;
+      events = 0; occupied = 0; clear_gen = 0;
+      entries = []; exits = []; recs = []; rec_rmrs = []; decs = [];
+      valid = Hashtbl.create 64;
+      rvalid = Hashtbl.create 64;
+      reg_touched = Hashtbl.create 64 }
+
+  let pstate t pid =
+    match Hashtbl.find_opt t.procs pid with
+    | Some p -> p
+    | None ->
+      if pid < 0 || pid >= t.o_nprocs then
+        invalid_arg "Measures.Online: pid out of range";
+      let p =
+        { region = Event.Remainder;
+          total = acc_create (); cf = acc_create ();
+          entry = acc_create (); entry_gen = 0;
+          exit_ = acc_create (); rec_ = acc_create ();
+          rec_open = false; rec_rmr = 0; remote = 0 }
+      in
+      Hashtbl.replace t.procs pid p;
+      p
+
+  let in_cs_or_exit = function
+    | Event.Critical | Event.Exiting -> true
+    | Event.Remainder | Event.Trying | Event.Decided _ | Event.Halted -> false
+
+  let feed t ~pid body =
+    let p = pstate t pid in
+    let pre = p.region in
+    (* Pre-state occupancy advances the window clock for every event,
+       mirroring the materialised scan's [last_occupied := e.seq]. *)
+    if t.occupied > 0 then t.clear_gen <- t.clear_gen + 1;
+    (match body with
+    | Event.Access (r, k) ->
+      Hashtbl.replace t.reg_touched r.Register.id r;
+      acc_add p.total r k;
+      (match pre with
+      | Event.Trying | Event.Exiting -> acc_add p.cf r k
+      | Event.Remainder | Event.Critical | Event.Decided _ | Event.Halted ->
+        ());
+      (* Entry-window candidate: only Trying accesses can land in a §2.2
+         window; an access is in the window iff no later event (itself
+         included) has an occupied pre-state, which the generation
+         counter tracks lazily. *)
+      (match pre with
+      | Event.Trying ->
+        if p.entry_gen <> t.clear_gen then begin
+          acc_reset p.entry;
+          p.entry_gen <- t.clear_gen
+        end;
+        if t.occupied = 0 then acc_add p.entry r k
+      | Event.Remainder | Event.Critical | Event.Exiting | Event.Decided _
+      | Event.Halted -> ());
+      (match pre with
+      | Event.Exiting -> acc_add p.exit_ r k
+      | Event.Remainder | Event.Trying | Event.Critical | Event.Decided _
+      | Event.Halted -> ());
+      if p.rec_open then acc_add p.rec_ r k;
+      (* remote_accesses semantics (no crash eviction) *)
+      let holders =
+        Option.value ~default:S.empty (Hashtbl.find_opt t.valid r.Register.id)
+      in
+      if not (S.mem pid holders) then p.remote <- p.remote + 1;
+      Hashtbl.replace t.valid r.Register.id
+        (if Event.is_write k then S.singleton pid else S.add pid holders);
+      (* recovery_rmr semantics (crash-evicted holders) *)
+      let rholders =
+        Option.value ~default:S.empty (Hashtbl.find_opt t.rvalid r.Register.id)
+      in
+      if (not (S.mem pid rholders)) && p.rec_open then
+        p.rec_rmr <- p.rec_rmr + 1;
+      Hashtbl.replace t.rvalid r.Register.id
+        (if Event.is_write k then S.singleton pid else S.add pid rholders)
+    | Event.Region_change r ->
+      (* Close §2.2 entry windows: Trying -> Critical. *)
+      (match r with
+      | Event.Critical when Event.region_equal pre Event.Trying ->
+        let s =
+          if p.entry_gen = t.clear_gen then acc_sample p.entry else zero
+        in
+        t.entries <- (pid, s) :: t.entries
+      | _ -> ());
+      (* Close exit fragments: any region change out of Exiting.  An
+         Exiting -> Exiting re-entry only restarts the fragment (same
+         pattern precedence as the materialised scan). *)
+      (match r with
+      | Event.Exiting -> acc_reset p.exit_
+      | _ when Event.region_equal pre Event.Exiting ->
+        t.exits <- (pid, acc_sample p.exit_) :: t.exits
+      | _ -> ());
+      (* Close recovery fragments: any entry to Critical. *)
+      (match r with
+      | Event.Critical when p.rec_open ->
+        p.rec_open <- false;
+        t.recs <- (pid, acc_sample p.rec_) :: t.recs;
+        t.rec_rmrs <- (pid, p.rec_rmr) :: t.rec_rmrs
+      | _ -> ());
+      (match r with
+      | Event.Trying ->
+        acc_reset p.entry;
+        p.entry_gen <- t.clear_gen
+      | _ -> ());
+      (match r with
+      | Event.Decided v -> t.decs <- (pid, v) :: t.decs
+      | _ -> ());
+      let was = in_cs_or_exit pre and now = in_cs_or_exit r in
+      if was && not now then t.occupied <- t.occupied - 1
+      else if now && not was then t.occupied <- t.occupied + 1;
+      p.region <- r
+    | Event.Crash ->
+      (* Fragments are abandoned and the dying incarnation's cached
+         copies destroyed ([recovery_rmr] semantics); the region stays
+         stale on purpose — strong occupancy, as in Trace.fold_states. *)
+      p.rec_open <- false;
+      Hashtbl.filter_map_inplace (fun _ h -> Some (S.remove pid h)) t.rvalid
+    | Event.Recover ->
+      p.rec_open <- true;
+      acc_reset p.rec_;
+      p.rec_rmr <- 0;
+      if in_cs_or_exit p.region then t.occupied <- t.occupied - 1;
+      p.region <- Event.Remainder);
+    t.events <- t.events + 1
+
+  let feed_trace t trace =
+    Trace.iter (fun e -> feed t ~pid:e.Event.pid e.Event.body) trace
+
+  let events_seen t = t.events
+
+  let sample_of t pid which =
+    match Hashtbl.find_opt t.procs pid with
+    | None -> zero
+    | Some p -> acc_sample (which p)
+
+  let contention_free t ~pid = sample_of t pid (fun p -> p.cf)
+  let per_process t = Array.init t.o_nprocs (fun pid -> sample_of t pid (fun p -> p.total))
+  let process_total t ~pid = sample_of t pid (fun p -> p.total)
+  let wc_entries t = List.rev t.entries
+  let wc_exits t = List.rev t.exits
+  let recovery_paths t = List.rev t.recs
+  let recovery_rmr t = List.rev t.rec_rmrs
+  let decisions t = List.rev t.decs
+
+  let remote t ~pid =
+    match Hashtbl.find_opt t.procs pid with Some p -> p.remote | None -> 0
+
+  let remote_accesses t = Array.init t.o_nprocs (fun pid -> remote t ~pid)
+
+  let touched t = Hashtbl.fold (fun _ r acc -> r :: acc) t.reg_touched []
+  let touched_count t = Hashtbl.length t.reg_touched
+  let spawned t = Hashtbl.length t.procs
+end

@@ -98,3 +98,84 @@ val remote_accesses : Trace.t -> nprocs:int -> int array
     reflects the number of remote accesses" — asserted by a qcheck
     property), and under contention it separates local-spin algorithms
     (MCS: bounded remotes per acquisition) from spin-on-shared ones. *)
+
+(** Streaming (online) counterpart of the trace measures above.
+
+    [Online.t] consumes events one at a time — typically as a
+    {!Cfc_runtime.Wheel.sink} — and maintains every §2.2/§3.2
+    accumulator incrementally, so a run never materialises its event
+    list.  For any event sequence, each query below returns {e exactly}
+    the value its materialised counterpart computes on the recorded
+    trace of the same run (asserted exhaustively by the equivalence
+    gate in the test battery), with one deliberate widening:
+    {!Online.remote_accesses} uses pid {e sets} for the write-invalidate
+    holder bookkeeping instead of the 62-bit masks of
+    {!remote_accesses}, so it has no [nprocs <= 62] restriction (same
+    semantics where both are defined; see DESIGN.md §2).
+
+    What the online fold {e cannot} give you is anything requiring
+    random access into the past: [Trace.regions_at], stall diagnosis
+    over recent events, or the model checker's truncate/undo — keep a
+    {!Cfc_runtime.Trace.t} sink for those (small n only).
+
+    Memory is O(active set + completed fragments): per-process state is
+    allocated lazily at a pid's first event, and the per-register
+    holder tables grow with registers actually touched, never with
+    [nprocs]. *)
+module Online : sig
+  type t
+
+  val create : nprocs:int -> t
+
+  val feed : t -> pid:int -> Event.body -> unit
+  (** Consume one event.  [feed t] is a valid [Wheel.sink].  Events must
+      arrive in emission order (the fold keeps its own implicit
+      sequence numbering).  Raises [Invalid_argument] on an
+      out-of-range pid. *)
+
+  val feed_trace : t -> Trace.t -> unit
+  (** Replay a recorded trace into the fold (the equivalence tests). *)
+
+  val events_seen : t -> int
+
+  val contention_free : t -> pid:int -> sample
+  (** = {!mutex_contention_free} of the run so far. *)
+
+  val per_process : t -> sample array
+  (** = {!per_process_samples}.  Allocates O(nprocs); at large n prefer
+      {!process_total}. *)
+
+  val process_total : t -> pid:int -> sample
+  (** One process's whole-run sample ({!per_process} cell), O(1). *)
+
+  val wc_entries : t -> (int * sample) list
+  (** = {!mutex_wc_entry}: completed §2.2 entry windows, trace order. *)
+
+  val wc_exits : t -> (int * sample) list
+  (** = {!mutex_wc_exit}. *)
+
+  val recovery_paths : t -> (int * sample) list
+  (** = {!recovery_paths}. *)
+
+  val recovery_rmr : t -> (int * int) list
+  (** = {!recovery_rmr}. *)
+
+  val decisions : t -> (int * int) list
+  (** = {!decisions}. *)
+
+  val remote : t -> pid:int -> int
+  (** = {!remote_accesses}[.(pid)], but valid at any [nprocs]. *)
+
+  val remote_accesses : t -> int array
+  (** = {!remote_accesses}.  Allocates O(nprocs). *)
+
+  val touched : t -> Cfc_runtime.Register.t list
+  (** Distinct registers accessed so far, in no particular order — the
+      streaming harness resets exactly these between solo runs instead
+      of scanning a trace. *)
+
+  val touched_count : t -> int
+
+  val spawned : t -> int
+  (** Number of pids whose state has materialised (= pids seen). *)
+end

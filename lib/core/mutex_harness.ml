@@ -102,6 +102,50 @@ let contention_free (module A : Mutex_intf.ALG) (p : Mutex_intf.params) =
     atomicity_observed = observed_width;
   }
 
+(* O(active-set) variant of [contention_free]: the same solo runs driven
+   by the event wheel with a streaming measures sink, so nothing is
+   O(n) per run — the arena is allocated once, exactly one process
+   record materialises per solo run (lazy spawn), no trace is recorded,
+   and the between-runs reset touches exactly the registers the online
+   fold saw.  This is what makes the n = 10^5..10^6 sweeps of
+   EXP-SCALE possible; equality with [contention_free] at small n is
+   asserted by the test battery. *)
+let contention_free_streaming (module A : Mutex_intf.ALG)
+    (p : Mutex_intf.params) =
+  let n = p.Mutex_intf.n in
+  let _memory, observed_width, proc = instantiate (module A) p in
+  let spawn me = proc ~me ~rounds:1 in
+  let per_process =
+    List.map
+      (fun me ->
+        let online = Measures.Online.create ~nprocs:n in
+        let wheel =
+          Wheel.create ~sink:(Measures.Online.feed online) ~nprocs:n ~spawn ()
+        in
+        Wheel.wake wheel me;
+        (match Wheel.run wheel with
+        | Wheel.Quiescent -> ()
+        | Wheel.Out_of_turns -> assert false (* no turn bound given *));
+        (match Wheel.first_error wheel with
+        | None -> ()
+        | Some (pid, error) ->
+          raise
+            (Runner.Process_error
+               { pid; steps = Wheel.steps_taken wheel pid; error;
+                 recent = [] }));
+        let s = Measures.Online.contention_free online ~pid:me in
+        List.iter Register.reset (Measures.Online.touched online);
+        s)
+      (sample_pids n)
+    |> Array.of_list
+  in
+  {
+    max = Array.fold_left Measures.max_sample Measures.zero per_process;
+    per_process;
+    atomicity_declared = A.atomicity p;
+    atomicity_observed = observed_width;
+  }
+
 let system ?(rounds = 1) (module A : Mutex_intf.ALG) (p : Mutex_intf.params)
     () =
   let memory, _, proc = instantiate (module A) p in

@@ -30,6 +30,14 @@ val contention_free : Registry.alg -> Mutex_intf.params -> cf_result
 (** Raises [Invalid_argument] if the algorithm does not support the
     parameters. *)
 
+val contention_free_streaming : Registry.alg -> Mutex_intf.params -> cf_result
+(** Same runs and same numbers as {!contention_free} (asserted by the
+    test battery), but driven by the {!Wheel} with a streaming
+    [Measures.Online] sink: no trace is materialised, only the measured
+    process is ever spawned, and the between-runs reset touches exactly
+    the registers the run accessed — per-run cost is O(solo path), not
+    O(n).  Use this for large [n] (the EXP-SCALE sweeps). *)
+
 val run :
   ?rounds:int ->
   ?max_steps:int ->

@@ -177,4 +177,29 @@ let chaos ?(rounds = 2) ?(pairs = 2) ?max_steps ~seed alg
           what = "process error: " ^ Printexc.to_string e }
     | None -> Spec.mutual_exclusion_recoverable out.Runner.trace ~nprocs:n
   in
+  (* Streaming equivalence gate: every chaos run doubles as a check that
+     the online fold and monitor agree exactly with the materialised
+     measures on a recovery-heavy trace.  A divergence here is a bug in
+     Measures.Online or Spec.Monitor, not in the algorithm under test. *)
+  let online = Measures.Online.create ~nprocs:n in
+  Measures.Online.feed_trace online out.Runner.trace;
+  let monitor = Spec.Monitor.mutual_exclusion_recoverable () in
+  Trace.iter
+    (fun e -> Spec.Monitor.feed monitor ~pid:e.Event.pid e.Event.body)
+    out.Runner.trace;
+  let gate what equal =
+    if not equal then
+      invalid_arg
+        ("Recovery_harness.chaos: streaming measures diverge from the \
+          materialised trace on " ^ what)
+  in
+  gate "recovery_paths"
+    (Measures.Online.recovery_paths online
+    = Measures.recovery_paths out.Runner.trace ~nprocs:n);
+  gate "recovery_rmr"
+    (Measures.Online.recovery_rmr online
+    = Measures.recovery_rmr out.Runner.trace ~nprocs:n);
+  gate "mutual_exclusion_recoverable"
+    (Spec.Monitor.result monitor
+    = Spec.mutual_exclusion_recoverable out.Runner.trace ~nprocs:n);
   (out, plan, violation)

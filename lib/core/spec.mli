@@ -61,6 +61,27 @@ module Inc : sig
       bit-vector state). *)
 end
 
+(** Event-fed safety monitors for streaming runs.  A monitor consumes
+    events as a [Wheel.sink] (partially apply {!Monitor.feed}) and keeps
+    occupancy in a sparse table, so checking a 10^5-process run costs
+    O(1) per event and O(active set) memory.  Fed the events of a
+    recorded trace in order, each monitor yields exactly the verdict of
+    its whole-trace counterpart (same [at]/[pids]/[what]); the first
+    violation is sticky. *)
+module Monitor : sig
+  type t
+
+  val mutual_exclusion : unit -> t
+  (** Streaming {!Spec.mutual_exclusion}. *)
+
+  val mutual_exclusion_recoverable : unit -> t
+  (** Streaming {!Spec.mutual_exclusion_recoverable}. *)
+
+  val feed : t -> pid:int -> Event.body -> unit
+
+  val result : t -> violation option
+end
+
 val mutex_progress : Runner.outcome -> violation option
 (** Deadlock-freedom evidence on a completed run: every process that
     halted went through its critical section at least once, and no

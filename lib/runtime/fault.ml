@@ -85,7 +85,10 @@ let chaos ~seed ~nprocs ~pairs ~horizon =
     let pid = Random.State.int st nprocs in
     let c = next.(pid) + Random.State.int st span in
     let r = c + Random.State.int st span in
-    next.(pid) <- r;
+    (* Strictly past [r]: with many pairs per pid the span draws can be
+       0, and a cursor left at [r] would let the next pair duplicate a
+       fault point (which [validate] rejects). *)
+    next.(pid) <- r + 1;
     plan := recover ~step:r ~pid :: crash ~step:c ~pid :: !plan
   done;
   validate ~nprocs (List.rev !plan)

@@ -9,6 +9,7 @@ type _ Effect.t +=
   | E_bit_op : Register.t * Ops.t -> int option Effect.t
   | E_region : Event.region -> unit Effect.t
   | E_pause : unit Effect.t
+  | E_sleep : int -> unit Effect.t
 
 exception Crashed
 
@@ -27,6 +28,7 @@ type suspension =
       Register.t * Ops.t * (int option, suspension) Effect.Deep.continuation
   | Region of Event.region * (unit, suspension) Effect.Deep.continuation
   | Pause of (unit, suspension) Effect.Deep.continuation
+  | Sleep of int * (unit, suspension) Effect.Deep.continuation
 
 let handler : (unit, suspension) Effect.Deep.handler =
   {
@@ -59,6 +61,9 @@ let handler : (unit, suspension) Effect.Deep.handler =
         | E_pause ->
           Some
             (fun (k : (a, suspension) Effect.Deep.continuation) -> Pause k)
+        | E_sleep d ->
+          Some (fun (k : (a, suspension) Effect.Deep.continuation) ->
+              Sleep (d, k))
         | _ -> None);
   }
 
@@ -66,3 +71,4 @@ let start f = Effect.Deep.match_with f () handler
 
 let region r = Effect.perform (E_region r)
 let decide v = region (Event.Decided v)
+let sleep d = Effect.perform (E_sleep d)

@@ -16,6 +16,7 @@ type _ Effect.t +=
   | E_bit_op : Register.t * Cfc_base.Ops.t -> int option Effect.t
   | E_region : Event.region -> unit Effect.t
   | E_pause : unit Effect.t
+  | E_sleep : int -> unit Effect.t
 
 exception Crashed
 (** Raised inside a process to unwind it when the scheduler injects a
@@ -37,6 +38,10 @@ type suspension =
       * (int option, suspension) Effect.Deep.continuation
   | Region of Event.region * (unit, suspension) Effect.Deep.continuation
   | Pause of (unit, suspension) Effect.Deep.continuation
+  | Sleep of int * (unit, suspension) Effect.Deep.continuation
+      (** like [Pause], but carries a requested delay in virtual ticks.
+          {!Scheduler} treats it as a plain pause (one turn); {!Wheel}
+          parks the process until the wheel clock reaches the wake tick. *)
 
 val start : (unit -> unit) -> suspension
 (** Run the function until its first suspension point (or completion). *)
@@ -47,3 +52,9 @@ val region : Event.region -> unit
 
 val decide : int -> unit
 (** [decide v] = [region (Decided v)]. *)
+
+val sleep : int -> unit
+(** Performs [E_sleep d] — yield for [d] virtual ticks of think time.
+    Free (no shared access is charged).  Under {!Scheduler} it behaves
+    exactly like a single pause; under {!Wheel} the process leaves the
+    active set until the wheel clock reaches [now + max 1 d]. *)

@@ -111,7 +111,7 @@ let rebuild t p =
     | Proc.Region (_, k) -> drive (Effect.Deep.continue k ())
     | _ when !remaining = 0 -> s
     | Proc.Done | Proc.Failed _ -> mismatch "process terminated early"
-    | Proc.Pause k ->
+    | Proc.Pause k | Proc.Sleep (_, k) ->
       decr remaining;
       drive (Effect.Deep.continue k ())
     | Proc.Read (_, k) -> begin
@@ -194,7 +194,7 @@ let step t pid =
         record t p (Event.Region_change r);
         settle (Effect.Deep.continue k ())
       | Proc.Read _ | Proc.Write _ | Proc.Write_field _ | Proc.Xchg _
-      | Proc.Cas _ | Proc.Bit_op _ | Proc.Pause _ ->
+      | Proc.Cas _ | Proc.Bit_op _ | Proc.Pause _ | Proc.Sleep _ ->
         Progress
     in
     let rec go s =
@@ -207,7 +207,9 @@ let step t pid =
         let s = Effect.Deep.continue k () in
         p.susp <- Some s;
         go s
-      | Proc.Pause k ->
+      | Proc.Pause k | Proc.Sleep (_, k) ->
+        (* The round-robin scheduler has no clock: a sleep degrades to a
+           single pause (one turn of the picker). *)
         p.calls <- p.calls + 1;
         settle (Effect.Deep.continue k ())
       | Proc.Read (r, k) -> begin
@@ -276,7 +278,8 @@ let step t pid =
       | Proc.Failed e -> finish t p (`Errored e)
       | Proc.Done -> finish t p `Halted
       | Proc.Read _ | Proc.Write _ | Proc.Write_field _ | Proc.Xchg _
-      | Proc.Cas _ | Proc.Bit_op _ | Proc.Region _ | Proc.Pause _ ->
+      | Proc.Cas _ | Proc.Bit_op _ | Proc.Region _ | Proc.Pause _
+      | Proc.Sleep _ ->
         (* The process caught the exception and kept going — that answer
            is invisible to observation replay, so rebuilds of this
            process would diverge. *)
@@ -304,6 +307,8 @@ let discontinue_susp s =
   | Proc.Region (_, k) ->
     (try ignore (Effect.Deep.discontinue k Proc.Crashed) with _ -> ())
   | Proc.Pause k ->
+    (try ignore (Effect.Deep.discontinue k Proc.Crashed) with _ -> ())
+  | Proc.Sleep (_, k) ->
     (try ignore (Effect.Deep.discontinue k Proc.Crashed) with _ -> ())
 
 let crash t pid =

@@ -21,7 +21,14 @@ val get : t -> int -> Event.t
 (** [get t i] is the event with sequence number [i]; O(1). *)
 
 val iter : (Event.t -> unit) -> t -> unit
+(** Stack-safe for traces of any length: a plain loop over the backing
+    array, no recursion (regression-tested on a million-event trace). *)
+
 val fold : ('a -> Event.t -> 'a) -> 'a -> t -> 'a
+(** Left fold in event order.  Iterative (built on {!iter}), so deep
+    recording runs cannot overflow the stack — same guarantee as
+    {!fold_states}. *)
+
 val to_list : t -> Event.t list
 
 val accesses_of : ?from:int -> ?until:int -> pid:int -> t ->

@@ -65,3 +65,54 @@ val contention_sweep :
   Registry.alg -> n:int -> rounds:int -> thinks:int list -> seed:int ->
   (int * result) list
 (** [run_mutex] across think times: the EXP-BACKOFF series. *)
+
+(** {2 The O(active-set) scale rig}
+
+    {!run_mutex} materialises a full trace and steps all [n] processes
+    round-robin — right for small [n], impossible for [n = 10^5].  The
+    scale rig drives the same think→lock→CS→unlock cycle through the
+    event wheel ({!Cfc_runtime.Wheel}) with streaming sinks
+    ([Measures.Online] + [Spec.Monitor]), so cost follows the active
+    set: sleeping processes are parked on the calendar queue, nothing
+    is ever recorded, and the chaos variant is a
+    Jepsen-in-one-process rig — thousands of crash-recovering clients
+    against one recoverable lock, fully deterministic in the seed. *)
+
+type scale_config = {
+  sc_n : int;
+  sc_rounds : int;  (** cycles per client per incarnation *)
+  sc_mean_think : int;
+      (** mean of the geometric think time in virtual ticks; large
+          values (≳ 4n) keep the active set — and hence cost — small *)
+  sc_cs_len : int;
+  sc_seed : int;
+  sc_chaos_pairs : int;
+      (** crash–recovery pairs injected from {!Cfc_runtime.Fault.chaos};
+          0 = crash-free.  Requires a recoverable lock when positive. *)
+}
+
+val scale_default : scale_config
+
+type scale_result = {
+  sr_acquisitions : int;  (** completed §2.2 entry windows *)
+  sr_crashes : int;
+  sr_recoveries : int;
+  sr_entry_steps_max : int;  (** max §2.2 entry-window step count *)
+  sr_entry_steps_mean : float;
+  sr_recovery_steps_max : int;  (** max completed recovery-path steps *)
+  sr_recovery_rmr_max : int;  (** max cold-cache recovery RMR *)
+  sr_events : int;  (** events streamed (never materialised) *)
+  sr_turns : int;  (** wheel turns consumed *)
+  sr_total_steps : int;  (** shared accesses across all processes *)
+  sr_spawned : int;  (** process records materialised *)
+  sr_live_peak : int;  (** calendar-queue high-water mark *)
+}
+
+val run_mutex_scale :
+  ?max_turns:int -> Registry.alg -> scale_config -> scale_result
+(** One deterministic scale run: same config + seed ⇒ identical result,
+    field for field.  Raises [Invalid_argument] on an unsupported
+    parameter set, on chaos over a non-recoverable lock, on a mutual
+    exclusion violation (streamed {!Spec.Monitor}; the recoverable
+    monitor under chaos), or a process error; raises {!Stalled} if the
+    turn budget (default [20_000 · n · rounds]) is exhausted. *)

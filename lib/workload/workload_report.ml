@@ -3,6 +3,7 @@
 
 open Cfc_base
 open Cfc_mutex
+open Cfc_core
 
 let backoff_table ~n ~rounds ~thinks ~seed ~algs =
   let t =
@@ -31,3 +32,136 @@ let backoff_table ~n ~rounds ~thinks ~seed ~algs =
       Texttab.add_sep t)
     algs;
   t
+
+(* ------------------------------------------------------------------ *)
+(* EXP-SCALE rows: shared by bench/scale_bench and [cfc-tables scale]. *)
+
+type scale_cf_row = {
+  scf_alg : string;
+  scf_n : int;
+  scf_sample : Measures.sample;
+  scf_predicted_steps : int option;
+  scf_predicted_registers : int option;
+  scf_ok : bool;
+  scf_wall_s : float;
+}
+
+let scale_cf_row alg ~n =
+  let (module A : Mutex_intf.ALG) = alg in
+  let p = Mutex_intf.params n in
+  let t0 = Sys.time () in
+  let cf = Mutex_harness.contention_free_streaming alg p in
+  let wall = Sys.time () -. t0 in
+  let s = cf.Mutex_harness.max in
+  let ps = A.predicted_cf_steps p and pr = A.predicted_cf_registers p in
+  let ok_of pred v = match pred with None -> true | Some x -> x = v in
+  {
+    scf_alg = A.name;
+    scf_n = n;
+    scf_sample = s;
+    scf_predicted_steps = ps;
+    scf_predicted_registers = pr;
+    scf_ok = ok_of ps s.Measures.steps && ok_of pr s.Measures.registers;
+    scf_wall_s = wall;
+  }
+
+type scale_chaos_row = {
+  sch_alg : string;
+  sch_n : int;
+  sch_pairs : int;
+  sch_result : Workload.scale_result;
+  sch_wall_s : float;
+}
+
+let scale_chaos_row ?max_turns alg (sc : Workload.scale_config) =
+  let (module A : Mutex_intf.ALG) = alg in
+  let t0 = Sys.time () in
+  let r = Workload.run_mutex_scale ?max_turns alg sc in
+  let wall = Sys.time () -. t0 in
+  {
+    sch_alg = A.name;
+    sch_n = sc.Workload.sc_n;
+    sch_pairs = sc.Workload.sc_chaos_pairs;
+    sch_result = r;
+    sch_wall_s = wall;
+  }
+
+let opt_pred = function None -> "-" | Some v -> string_of_int v
+
+let scale_cf_table rows =
+  let t =
+    Texttab.create
+      ~header:[ "algorithm"; "n"; "cf steps"; "predicted"; "cf registers";
+                "predicted"; "ok"; "wall s" ]
+  in
+  List.iter
+    (fun r ->
+      Texttab.add_row t
+        [ r.scf_alg; string_of_int r.scf_n;
+          string_of_int r.scf_sample.Measures.steps;
+          opt_pred r.scf_predicted_steps;
+          string_of_int r.scf_sample.Measures.registers;
+          opt_pred r.scf_predicted_registers;
+          (if r.scf_ok then "ok" else "MISMATCH");
+          Printf.sprintf "%.3f" r.scf_wall_s ])
+    rows;
+  t
+
+let scale_chaos_table rows =
+  let t =
+    Texttab.create
+      ~header:[ "algorithm"; "n"; "pairs"; "acquisitions"; "crashes";
+                "recoveries"; "entry max"; "rec steps max"; "rec rmr max";
+                "events"; "spawned"; "live peak"; "wall s" ]
+  in
+  List.iter
+    (fun row ->
+      let r = row.sch_result in
+      Texttab.add_row t
+        [ row.sch_alg; string_of_int row.sch_n; string_of_int row.sch_pairs;
+          string_of_int r.Workload.sr_acquisitions;
+          string_of_int r.Workload.sr_crashes;
+          string_of_int r.Workload.sr_recoveries;
+          string_of_int r.Workload.sr_entry_steps_max;
+          string_of_int r.Workload.sr_recovery_steps_max;
+          string_of_int r.Workload.sr_recovery_rmr_max;
+          string_of_int r.Workload.sr_events;
+          string_of_int r.Workload.sr_spawned;
+          string_of_int r.Workload.sr_live_peak;
+          Printf.sprintf "%.3f" row.sch_wall_s ])
+    rows;
+  t
+
+(* JSON rows, native_bench style: hand-rolled Printf, predictions as
+   null when no closed form is registered, wall clock carried as a note
+   column (bench_diff ignores it). *)
+
+let json_opt = function None -> "null" | Some v -> string_of_int v
+
+let json_of_scale_cf_row r =
+  Printf.sprintf
+    "    {\"name\": %S, \"n\": %d, \"cf_steps\": %d, \"cf_registers\": %d, \
+     \"cf_reads\": %d, \"cf_writes\": %d, \"predicted_steps\": %s, \
+     \"predicted_registers\": %s, \"ok\": %b, \"wall_s\": %.4f}"
+    r.scf_alg r.scf_n r.scf_sample.Measures.steps
+    r.scf_sample.Measures.registers r.scf_sample.Measures.read_steps
+    r.scf_sample.Measures.write_steps
+    (json_opt r.scf_predicted_steps)
+    (json_opt r.scf_predicted_registers)
+    r.scf_ok r.scf_wall_s
+
+let json_of_scale_chaos_row row =
+  let r = row.sch_result in
+  Printf.sprintf
+    "    {\"name\": %S, \"n\": %d, \"pairs\": %d, \"acquisitions\": %d, \
+     \"crashes\": %d, \"recoveries\": %d, \"entry_steps_max\": %d, \
+     \"entry_steps_mean\": %.4f, \"recovery_steps_max\": %d, \
+     \"recovery_rmr_max\": %d, \"events\": %d, \"turns\": %d, \
+     \"total_steps\": %d, \"spawned\": %d, \"live_peak\": %d, \
+     \"wall_s\": %.4f}"
+    row.sch_alg row.sch_n row.sch_pairs r.Workload.sr_acquisitions
+    r.Workload.sr_crashes r.Workload.sr_recoveries
+    r.Workload.sr_entry_steps_max r.Workload.sr_entry_steps_mean
+    r.Workload.sr_recovery_steps_max r.Workload.sr_recovery_rmr_max
+    r.Workload.sr_events r.Workload.sr_turns r.Workload.sr_total_steps
+    r.Workload.sr_spawned r.Workload.sr_live_peak row.sch_wall_s

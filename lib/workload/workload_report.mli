@@ -4,3 +4,51 @@
 val backoff_table :
   n:int -> rounds:int -> thinks:int list -> seed:int ->
   algs:Cfc_mutex.Registry.alg list -> Cfc_base.Texttab.t
+
+(** {2 EXP-SCALE rows}
+
+    Shared by [bench/scale_bench] and the [cfc-tables scale]
+    subcommand: one row per (algorithm, n) with the streaming
+    contention-free measurement checked against the registered closed
+    forms, and one row per chaos run of the Jepsen-in-one-process rig.
+    Wall-clock fields are recorded for the record only — the diff gate
+    ignores them. *)
+
+type scale_cf_row = {
+  scf_alg : string;
+  scf_n : int;
+  scf_sample : Cfc_core.Measures.sample;
+      (** componentwise max over the sampled pids *)
+  scf_predicted_steps : int option;  (** the registered closed form *)
+  scf_predicted_registers : int option;
+  scf_ok : bool;
+      (** every present closed form matched exactly (absent forms pass) *)
+  scf_wall_s : float;
+}
+
+val scale_cf_row : Cfc_mutex.Registry.alg -> n:int -> scale_cf_row
+(** One {!Cfc_core.Mutex_harness.contention_free_streaming} measurement
+    at [n], compared against [predicted_cf_steps]/[predicted_cf_registers].
+    Raises like the harness on unsupported parameters. *)
+
+type scale_chaos_row = {
+  sch_alg : string;
+  sch_n : int;
+  sch_pairs : int;
+  sch_result : Workload.scale_result;
+  sch_wall_s : float;
+}
+
+val scale_chaos_row :
+  ?max_turns:int -> Cfc_mutex.Registry.alg -> Workload.scale_config ->
+  scale_chaos_row
+(** One {!Workload.run_mutex_scale} chaos run, timed. *)
+
+val scale_cf_table : scale_cf_row list -> Cfc_base.Texttab.t
+val scale_chaos_table : scale_chaos_row list -> Cfc_base.Texttab.t
+
+val json_of_scale_cf_row : scale_cf_row -> string
+val json_of_scale_chaos_row : scale_chaos_row -> string
+(** One JSON object per row, 4-space indented — the BENCH_scale.json
+    row format ([wall_s] fields are informational; see
+    [scripts/bench_diff.py]). *)

@@ -30,6 +30,21 @@ subset of the full baseline, so missing rows are only noted):
     or a change of predicted_rmr_held (the closed form silently moved)
     fails.
 
+cfc-scale-bench (BENCH_scale.json): everything except wall_s is
+deterministic (seeded wheel runs, exact streaming measures), and a
+--quick run sweeps a subset of the n values, so missing rows are notes
+and rows present in both files are gated:
+
+  - "cf_entries" keyed (name, n): an ok flip or a false ok fails (a
+    measured contention-free count diverged from the registered closed
+    form); any change of cf_steps or cf_registers fails (the solo path
+    itself moved — intentional algorithm changes must refresh the
+    baseline);
+  - "chaos_entries" keyed (name, n): growth of entry_steps_max or
+    recovery_rmr_max fails (the crash-recovery curve regressed); other
+    deterministic field changes are noted;
+  - a determinism_ok flip to false fails on its own.
+
 Exit status 0 = no regression, 1 = regression, 2 = usage/IO error.
 Stdlib only.
 """
@@ -173,6 +188,72 @@ def diff_native(base_doc, cur_doc, regressions, changes):
     return len(base) + len(rbase), len(cur) + len(rcur)
 
 
+def scale_key(e):
+    return (e["name"], e["n"])
+
+
+def diff_scale(base_doc, cur_doc, regressions, changes):
+    base = index(base_doc.get("cf_entries", []), scale_key)
+    cur = index(cur_doc.get("cf_entries", []), scale_key)
+    for k, b in sorted(base.items()):
+        label = "cf {} n={}".format(*k)
+        c = cur.get(k)
+        if c is None:
+            changes.append(f"{label}: not in current sweep (mode mismatch?)")
+            continue
+        if not c["ok"]:
+            regressions.append(
+                f"{label}: closed-form mismatch (cf_steps={c['cf_steps']} "
+                f"predicted={c['predicted_steps']}, "
+                f"cf_registers={c['cf_registers']} "
+                f"predicted={c['predicted_registers']})"
+            )
+        for field in ("cf_steps", "cf_registers"):
+            if c[field] != b[field]:
+                regressions.append(
+                    f"{label}: {field} changed {b[field]} -> {c[field]} "
+                    f"(solo path moved; refresh the baseline if intended)"
+                )
+    for k in sorted(set(cur) - set(base)):
+        changes.append("cf {} n={}: new entry".format(*k))
+
+    cbase = index(base_doc.get("chaos_entries", []), scale_key)
+    ccur = index(cur_doc.get("chaos_entries", []), scale_key)
+    for k, b in sorted(cbase.items()):
+        label = "chaos {} n={}".format(*k)
+        c = ccur.get(k)
+        if c is None:
+            changes.append(f"{label}: not in current sweep (mode mismatch?)")
+            continue
+        for field in ("entry_steps_max", "recovery_rmr_max"):
+            if c[field] > b[field]:
+                regressions.append(
+                    f"{label}: {field} grew {b[field]} -> {c[field]}"
+                )
+        for field in (
+            "acquisitions",
+            "crashes",
+            "recoveries",
+            "recovery_steps_max",
+            "events",
+            "spawned",
+            "live_peak",
+        ):
+            if c[field] != b[field]:
+                changes.append(
+                    f"{label}: {field} {b[field]} -> {c[field]}"
+                )
+    for k in sorted(set(ccur) - set(cbase)):
+        changes.append("chaos {} n={}: new entry".format(*k))
+
+    if not cur_doc.get("determinism_ok", True):
+        regressions.append(
+            "determinism_ok is false: same seed no longer reproduces the "
+            "chaos run bit for bit"
+        )
+    return len(base) + len(cbase), len(cur) + len(ccur)
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("baseline")
@@ -202,6 +283,8 @@ def main():
     try:
         if base_family == "cfc-native-bench":
             n_base, n_cur = diff_native(base_doc, cur_doc, regressions, changes)
+        elif base_family == "cfc-scale-bench":
+            n_base, n_cur = diff_scale(base_doc, cur_doc, regressions, changes)
         else:
             n_base, n_cur = diff_mcheck(base_doc, cur_doc, regressions, changes)
     except KeyError as exc:

@@ -146,6 +146,50 @@ let prop_geometric_mean =
       let emp = float_of_int !sum /. float_of_int n in
       Float.abs (emp -. float_of_int mean) < 0.1 *. float_of_int mean +. 0.5)
 
+(* The success probability is computed in float space: an int [mean + 1]
+   would wrap at [mean = max_int] and yield a negative variate. *)
+let test_geometric_extreme_mean () =
+  List.iter
+    (fun mean ->
+      List.iter
+        (fun u ->
+          let v = Ixmath.geometric ~u ~mean in
+          Alcotest.(check bool)
+            (Printf.sprintf "geometric mean=%d u=%f nonnegative" mean u)
+            true (v >= 0))
+        [ 0.0; 0.5; 0.999_999 ])
+    [ 1; max_int / 2; max_int - 1; max_int ]
+
+(* mix_seed: deterministic, nonnegative, and a full-avalanche spread —
+   nearby (root, pid) pairs must not produce nearby or colliding seeds
+   (the scale rig derives one independent stream per process from it). *)
+let test_mix_seed () =
+  Alcotest.(check int)
+    "deterministic" (Ixmath.mix_seed 42 7) (Ixmath.mix_seed 42 7);
+  let seen = Hashtbl.create 4096 in
+  for root = 0 to 7 do
+    for pid = 0 to 511 do
+      let s = Ixmath.mix_seed root pid in
+      Alcotest.(check bool) "nonnegative" true (s >= 0);
+      (match Hashtbl.find_opt seen s with
+      | Some (root', pid') ->
+        Alcotest.failf "collision: (%d,%d) and (%d,%d) -> %d" root pid root'
+          pid' s
+      | None -> ());
+      Hashtbl.add seen s (root, pid)
+    done
+  done;
+  (* Adjacent pids flip roughly half the bits, not just the low ones. *)
+  let popcount x =
+    let rec go acc x = if x = 0 then acc else go (acc + (x land 1)) (x lsr 1) in
+    go 0 x
+  in
+  let d = popcount (Ixmath.mix_seed 42 0 lxor Ixmath.mix_seed 42 1) in
+  Alcotest.(check bool)
+    (Printf.sprintf "avalanche: %d bits differ" d)
+    true
+    (d > 15 && d < 50)
+
 let test_ops_strings () =
   List.iter
     (fun op ->
@@ -212,7 +256,11 @@ let () =
           QCheck_alcotest.to_alcotest prop_ceil_div_near_max;
           QCheck_alcotest.to_alcotest prop_ceil_log_near_max;
           QCheck_alcotest.to_alcotest prop_ipow_raises_or_exact;
-          QCheck_alcotest.to_alcotest prop_geometric_mean ] );
+          QCheck_alcotest.to_alcotest prop_geometric_mean;
+          Alcotest.test_case "geometric extreme means stay nonnegative"
+            `Quick test_geometric_extreme_mean;
+          Alcotest.test_case "mix_seed determinism + avalanche" `Quick
+            test_mix_seed ] );
       ( "ops+models",
         [ Alcotest.test_case "ops strings" `Quick test_ops_strings;
           Alcotest.test_case "model algebra" `Quick test_model_algebra;

@@ -560,6 +560,144 @@ let test_bits_accessed () =
         (float_of_int bits_touched >= Bounds.bits_accessed_lower ~n ~l))
     [ (16, 2); (256, 2); (256, 4); (4096, 3) ]
 
+(* ------------------------------------------------------------------ *)
+(* Streaming (Online) vs materialised measures                         *)
+(* ------------------------------------------------------------------ *)
+
+(* One contended run of [alg] at [n]; the trace is then replayed into
+   [Measures.Online] and [Spec.Monitor], and every streaming measure
+   with a materialised counterpart must agree EXACTLY — same samples,
+   same fragment lists, same order.  This is the gate that lets the
+   EXP-SCALE sweeps trust the streaming numbers at n where no trace can
+   be materialised. *)
+let assert_online_equals_materialised ?faults ~pick ~what alg n =
+  let (module A : Mutex_intf.ALG) = alg in
+  let p = Mutex_intf.params n in
+  let out = Mutex_harness.run ~rounds:2 ?faults ~pick:(pick ()) alg p in
+  let trace = out.Runner.trace in
+  let online = Measures.Online.create ~nprocs:n in
+  Measures.Online.feed_trace online trace;
+  let ctx tag = Printf.sprintf "%s n=%d %s: %s" A.name n what tag in
+  let eq tag a b = check_bool (ctx tag) true (a = b) in
+  eq "events_seen" (Measures.Online.events_seen online) (Trace.length trace);
+  eq "per_process"
+    (Array.to_list (Measures.Online.per_process online))
+    (Array.to_list (Measures.per_process_samples trace ~nprocs:n));
+  for pid = 0 to n - 1 do
+    eq "contention_free"
+      (Measures.Online.contention_free online ~pid)
+      (Measures.mutex_contention_free trace ~nprocs:n ~pid)
+  done;
+  eq "wc_entries"
+    (Measures.Online.wc_entries online)
+    (Measures.mutex_wc_entry trace ~nprocs:n);
+  eq "wc_exits"
+    (Measures.Online.wc_exits online)
+    (Measures.mutex_wc_exit trace ~nprocs:n);
+  eq "recovery_paths"
+    (Measures.Online.recovery_paths online)
+    (Measures.recovery_paths trace ~nprocs:n);
+  eq "recovery_rmr"
+    (Measures.Online.recovery_rmr online)
+    (Measures.recovery_rmr trace ~nprocs:n);
+  eq "decisions"
+    (Measures.Online.decisions online)
+    (Measures.decisions trace ~nprocs:n);
+  eq "remote_accesses"
+    (Array.to_list (Measures.Online.remote_accesses online))
+    (Array.to_list (Measures.remote_accesses trace ~nprocs:n));
+  (* The streaming exclusion monitors agree with the trace checkers —
+     the plain one only on crash-free runs (a crashed holder makes the
+     plain checker's verdict meaningless, matching Spec's own docs). *)
+  let feed_monitor m =
+    Trace.iter (fun e -> Spec.Monitor.feed m ~pid:e.Event.pid e.Event.body) trace;
+    Spec.Monitor.result m
+  in
+  if faults = None then
+    eq "mutual_exclusion"
+      (feed_monitor (Spec.Monitor.mutual_exclusion ()))
+      (Spec.mutual_exclusion trace ~nprocs:n);
+  eq "mutual_exclusion_recoverable"
+    (feed_monitor (Spec.Monitor.mutual_exclusion_recoverable ()))
+    (Spec.mutual_exclusion_recoverable trace ~nprocs:n)
+
+let schedules n =
+  [ ("round-robin", fun () -> Schedule.round_robin ());
+    ("random", fun () -> Schedule.random ~seed:(11 * n + 1)) ]
+
+(* Every registry algorithm, crash-free, at n in {2, 3, 8} under two
+   schedule families. *)
+let test_online_equals_materialised_registry () =
+  List.iter
+    (fun n ->
+      List.iter
+        (fun ((module A : Mutex_intf.ALG) as alg) ->
+          if A.supports (Mutex_intf.params n) then
+            List.iter
+              (fun (what, pick) ->
+                assert_online_equals_materialised ~pick ~what alg n)
+              (schedules n))
+        Registry.all)
+    [ 2; 3; 8 ]
+
+(* The recoverable locks again, now under seeded chaos plans: the
+   recovery-path and recovery-RMR accumulators must match through
+   crash eviction and restart. *)
+let test_online_equals_materialised_faults () =
+  List.iter
+    (fun n ->
+      List.iter
+        (fun ((module A : Mutex_intf.ALG) as alg) ->
+          let p = Mutex_intf.params n in
+          if A.supports p && A.recovery p <> None then
+            List.iter
+              (fun seed ->
+                let faults =
+                  Fault.chaos ~seed ~nprocs:n ~pairs:2 ~horizon:(40 * n)
+                in
+                List.iter
+                  (fun (what, pick) ->
+                    assert_online_equals_materialised ~faults ~pick
+                      ~what:(Printf.sprintf "%s chaos seed=%d" what seed)
+                      alg n)
+                  (schedules n))
+              [ 1; 2; 3 ])
+        Registry.recoverable)
+    [ 2; 3; 8 ]
+
+(* Randomized amplification: arbitrary seeds drive both the schedule and
+   the fault plan; a cheap spin lock and a recoverable lock cover the
+   plain and crash paths. *)
+let prop_online_equivalence =
+  QCheck.Test.make ~count:40 ~name:"online measures = materialised (seeded)"
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let pick = ("seeded", fun () -> Schedule.random ~seed) in
+      assert_online_equals_materialised ~pick:(snd pick) ~what:"qcheck"
+        Registry.lamport_fast 3;
+      let faults = Fault.chaos ~seed ~nprocs:3 ~pairs:2 ~horizon:60 in
+      assert_online_equals_materialised ~faults ~pick:(snd pick)
+        ~what:"qcheck chaos" Registry.rec_tas 3;
+      true)
+
+(* The wheel-driven streaming harness returns the exact same cf_result
+   as the trace-driven one, per process. *)
+let test_cf_streaming_equals_materialised () =
+  List.iter
+    (fun ((module A : Mutex_intf.ALG) as alg) ->
+      let p = Mutex_intf.params 8 in
+      if A.supports p then begin
+        let a = Mutex_harness.contention_free alg p in
+        let b = Mutex_harness.contention_free_streaming alg p in
+        check_bool (A.name ^ " max sample") true
+          (a.Mutex_harness.max = b.Mutex_harness.max);
+        check_bool (A.name ^ " per-process samples") true
+          (a.Mutex_harness.per_process = b.Mutex_harness.per_process);
+        check (A.name ^ " atomicity observed")
+          a.Mutex_harness.atomicity_observed b.Mutex_harness.atomicity_observed
+      end)
+    Registry.all
+
 let () =
   Alcotest.run "cfc_core"
     [ ( "measures",
@@ -577,6 +715,14 @@ let () =
           Alcotest.test_case "winner fragment survives mid-exit crash"
             `Quick test_winner_fragment_survives_fault;
           QCheck_alcotest.to_alcotest prop_local_spin_vs_shared_spin ] );
+      ( "streaming",
+        [ Alcotest.test_case "online = materialised (registry)" `Quick
+            test_online_equals_materialised_registry;
+          Alcotest.test_case "online = materialised (chaos faults)" `Quick
+            test_online_equals_materialised_faults;
+          QCheck_alcotest.to_alcotest prop_online_equivalence;
+          Alcotest.test_case "cf streaming harness = trace harness" `Quick
+            test_cf_streaming_equals_materialised ] );
       ( "bounds",
         [ Alcotest.test_case "spot values" `Quick test_bound_values;
           Alcotest.test_case "monotonicity" `Quick test_bound_monotone;

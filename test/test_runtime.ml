@@ -650,6 +650,176 @@ let test_corrupted_bit_diagnosed () =
   check_invalid "corrupted bit" "value 3 is not a bit" (fun () ->
       ignore (Register.bit_op b Ops.Read))
 
+(* ------------------------------------------------------------------ *)
+(* Event wheel                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let event_strings trace =
+  List.rev
+    (Trace.fold
+       (fun acc e -> Format.asprintf "%a" Event.pp e :: acc)
+       [] trace)
+
+(* A solo run through the wheel is event-for-event the scheduler's solo
+   run: same accesses, same region changes, same halt marker. *)
+let test_wheel_matches_scheduler_solo () =
+  let memory = Memory.create () in
+  let (module M) = Sim_mem.mem memory in
+  let r = M.alloc ~width:8 ~init:0 () in
+  let proc () =
+    Proc.region Event.Trying;
+    let v = M.read r in
+    M.write r (v + 1);
+    Proc.region Event.Critical;
+    M.write r 7;
+    Proc.region Event.Remainder
+  in
+  let sched = Runner.run ~memory ~pick:(Schedule.solo 0) [| proc |] in
+  Memory.reset memory;
+  let tr = Trace.create () in
+  let wheel =
+    Wheel.create ~sink:(Wheel.trace_sink tr) ~nprocs:1
+      ~spawn:(fun _ -> proc) ()
+  in
+  Wheel.wake wheel 0;
+  check_bool "quiescent" true (Wheel.run wheel = Wheel.Quiescent);
+  Alcotest.(check (list string))
+    "same event stream"
+    (event_strings sched.Runner.trace)
+    (event_strings tr);
+  check "total steps" sched.Runner.total_steps (Wheel.total_steps wheel)
+
+(* A sleeping process leaves the active set: the virtual clock jumps
+   over the delay instead of burning a turn per tick. *)
+let test_wheel_sleep_jumps_clock () =
+  let memory = Memory.create () in
+  let (module M) = Sim_mem.mem memory in
+  let r = M.alloc ~name:"r" ~width:8 ~init:0 () in
+  let proc () =
+    M.write r 1;
+    Proc.sleep 1_000_000;
+    M.write r 2
+  in
+  let wheel = Wheel.create ~nprocs:1 ~spawn:(fun _ -> proc) () in
+  Wheel.wake wheel 0;
+  check_bool "quiescent" true (Wheel.run wheel = Wheel.Quiescent);
+  check "write after wake" 2 (final_value memory "r");
+  check_bool "clock jumped past the delay" true (Wheel.now wheel >= 1_000_000);
+  check_bool "turns stayed O(accesses)" true (Wheel.turns wheel <= 5)
+
+(* Lazy spawn: a huge arena materialises only the processes actually
+   woken. *)
+let test_wheel_lazy_spawn () =
+  let memory = Memory.create () in
+  let (module M) = Sim_mem.mem memory in
+  let r = M.alloc ~width:8 ~init:0 () in
+  let calls = ref 0 in
+  let spawn _pid =
+    incr calls;
+    fun () -> M.write r 1
+  in
+  let wheel = Wheel.create ~nprocs:100_000 ~spawn () in
+  Wheel.wake wheel 5;
+  check_bool "quiescent" true (Wheel.run wheel = Wheel.Quiescent);
+  check "one spawn call" 1 !calls;
+  check "one record materialised" 1 (Wheel.spawned wheel);
+  check_bool "others never started" true (Wheel.status wheel 99_999 = Wheel.Runnable);
+  check_bool "woken one halted" true (Wheel.status wheel 5 = Wheel.Halted)
+
+(* Turn-keyed faults: a crash discards the incarnation's local state and
+   the recover restarts the thunk from the top, exactly like the
+   scheduler's fault convention. *)
+let test_wheel_fault_restart_fresh () =
+  let memory = Memory.create () in
+  let (module M) = Sim_mem.mem memory in
+  let r = M.alloc ~name:"r" ~width:8 ~init:0 () in
+  let proc () =
+    let v = M.read r in
+    M.write r (v + 1)
+  in
+  let crashes = ref 0 and recoveries = ref 0 in
+  let count ~pid:_ = function
+    | Event.Crash -> incr crashes
+    | Event.Recover -> incr recoveries
+    | Event.Access _ | Event.Region_change _ -> ()
+  in
+  let wheel =
+    Wheel.create ~sink:count
+      ~faults:[ Fault.crash ~step:1 ~pid:0; Fault.recover ~step:1 ~pid:0 ]
+      ~nprocs:1
+      ~spawn:(fun _ -> proc)
+      ()
+  in
+  Wheel.wake wheel 0;
+  check_bool "quiescent" true (Wheel.run wheel = Wheel.Quiescent);
+  check "one crash" 1 !crashes;
+  check "one recovery" 1 !recoveries;
+  (* First incarnation crashed between its read and its write; the
+     restart performed both against the unchanged register. *)
+  check "restart was fresh" 1 (final_value memory "r");
+  check "steps count both incarnations" 3 (Wheel.steps_taken wheel 0);
+  check_bool "halted" true (Wheel.status wheel 0 = Wheel.Halted)
+
+(* Same-tick pops are FIFO in wake order, and a full run (sleeps + chaos
+   faults) is bit-for-bit deterministic. *)
+let test_wheel_fifo_and_deterministic () =
+  let run () =
+    let memory = Memory.create () in
+    let (module M) = Sim_mem.mem memory in
+    let rs = Array.init 3 (fun i -> M.alloc ~name:(Printf.sprintf "r%d" i) ~width:8 ~init:0 ()) in
+    let spawn pid () =
+      M.write rs.(pid) 1;
+      Proc.sleep ((pid * 5) + 1);
+      M.write rs.(pid) 2
+    in
+    let tr = Trace.create () in
+    let wheel =
+      Wheel.create ~sink:(Wheel.trace_sink tr)
+        ~faults:(Fault.chaos ~seed:9 ~nprocs:3 ~pairs:2 ~horizon:30)
+        ~nprocs:3 ~spawn ()
+    in
+    Wheel.wake wheel 2;
+    Wheel.wake wheel 0;
+    Wheel.wake wheel 1;
+    check_bool "quiescent" true (Wheel.run wheel = Wheel.Quiescent);
+    (event_strings tr, Wheel.now wheel, Wheel.turns wheel,
+     Wheel.total_steps wheel)
+  in
+  let es1, now1, turns1, steps1 = run () in
+  let es2, now2, turns2, steps2 = run () in
+  (match es1 with
+  | first :: _ ->
+    let contains s sub =
+      let rec scan i =
+        i + String.length sub <= String.length s
+        && (String.sub s i (String.length sub) = sub || scan (i + 1))
+      in
+      scan 0
+    in
+    check_bool
+      ("first event from first-woken pid: " ^ first)
+      true (contains first "p2")
+  | [] -> Alcotest.fail "empty event stream");
+  Alcotest.(check (list string)) "same event stream" es1 es2;
+  check "same now" now1 now2;
+  check "same turns" turns1 turns2;
+  check "same steps" steps1 steps2
+
+(* Trace folds must be stack-safe on recording-scale traces: a million
+   events through fold and fold_states without overflow. *)
+let test_trace_fold_million_events () =
+  let tr = Trace.create () in
+  for i = 1 to 1_000_000 do
+    ignore
+      (Trace.record tr ~pid:(i land 1)
+         (Event.Region_change
+            (if i land 1 = 0 then Event.Trying else Event.Remainder)))
+  done;
+  check "length" 1_000_000 (Trace.length tr);
+  check "fold visits all" 1_000_000 (Trace.fold (fun acc _ -> acc + 1) 0 tr);
+  check "fold_states visits all" 1_000_000
+    (Trace.fold_states ~nprocs:2 (fun acc _ _ -> acc + 1) 0 tr)
+
 let () =
   Alcotest.run "cfc_runtime"
     [ ( "registers",
@@ -702,6 +872,18 @@ let () =
             test_trace_fragment_bounds;
           Alcotest.test_case "memory fingerprint" `Quick
             test_memory_fingerprint;
+          Alcotest.test_case "folds stack-safe at a million events" `Quick
+            test_trace_fold_million_events;
           QCheck_alcotest.to_alcotest prop_step_counts_independent;
           QCheck_alcotest.to_alcotest prop_fields_equal_bits;
-          QCheck_alcotest.to_alcotest prop_replay_deterministic ] ) ]
+          QCheck_alcotest.to_alcotest prop_replay_deterministic ] );
+      ( "wheel",
+        [ Alcotest.test_case "solo run matches the scheduler" `Quick
+            test_wheel_matches_scheduler_solo;
+          Alcotest.test_case "sleep jumps the clock" `Quick
+            test_wheel_sleep_jumps_clock;
+          Alcotest.test_case "lazy spawn" `Quick test_wheel_lazy_spawn;
+          Alcotest.test_case "fault restart is fresh" `Quick
+            test_wheel_fault_restart_fresh;
+          Alcotest.test_case "same-tick FIFO + determinism" `Quick
+            test_wheel_fifo_and_deterministic ] ) ]

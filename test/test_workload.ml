@@ -163,6 +163,77 @@ let test_deterministic () =
   check_bool "means equal" true
     (a.Workload.entry_steps_mean = b.Workload.entry_steps_mean)
 
+(* ------------------------------------------------------------------ *)
+(* The O(active-set) scale rig                                          *)
+(* ------------------------------------------------------------------ *)
+
+let scfg ?(n = 64) ?(rounds = 2) ?(think = 512) ?(seed = 42) ?(pairs = 0) () =
+  { Workload.sc_n = n; sc_rounds = rounds; sc_mean_think = think;
+    sc_cs_len = 3; sc_seed = seed; sc_chaos_pairs = pairs }
+
+(* Crash-free: every client completes every cycle, and the monitor saw
+   no exclusion violation (run_mutex_scale would have raised).  Kept at
+   n = 64: algorithms with unbounded-spin gates (tree-lamport) need
+   turns well past the default budget when all of a larger population
+   collides during warm-up — scale_bench covers the big n. *)
+let test_scale_all_acquisitions_complete () =
+  List.iter
+    (fun (module A : Mutex_intf.ALG) ->
+      let p = Mutex_intf.params 64 in
+      if A.supports p then begin
+        let r = Workload.run_mutex_scale (module A) (scfg ()) in
+        check (A.name ^ " acquisitions") (64 * 2) r.Workload.sr_acquisitions;
+        check (A.name ^ " crashes") 0 r.Workload.sr_crashes;
+        check (A.name ^ " spawned") 64 r.Workload.sr_spawned
+      end)
+    Registry.all
+
+(* Chaos: crashes and recoveries happen, clients still finish, and the
+   whole result record is reproducible from the seed alone. *)
+let test_scale_chaos_deterministic () =
+  let sc = scfg ~n:300 ~pairs:300 ~think:1200 () in
+  let a = Workload.run_mutex_scale Registry.rec_tas sc in
+  let b = Workload.run_mutex_scale Registry.rec_tas sc in
+  check_bool "identical result records" true (a = b);
+  check_bool "crashes happened" true (a.Workload.sr_crashes > 0);
+  check_bool "recoveries happened" true (a.Workload.sr_recoveries > 0);
+  check_bool "recovery paths measured" true (a.Workload.sr_recovery_steps_max > 0);
+  (* A different seed moves the curve: the plan and think times are
+     genuinely seed-driven, not fixed. *)
+  let c = Workload.run_mutex_scale Registry.rec_tas (scfg ~n:300 ~pairs:300 ~think:1200 ~seed:43 ()) in
+  check_bool "different seed differs" true (a <> c)
+
+(* Chaos over a non-recoverable lock must be rejected up front (a crash
+   while holding tas would deadlock the rig). *)
+let test_scale_chaos_needs_recovery () =
+  match Workload.run_mutex_scale Registry.tas_lock (scfg ~pairs:4 ()) with
+  | _ -> Alcotest.fail "chaos accepted on a non-recoverable lock"
+  | exception Invalid_argument _ -> ()
+
+(* The O(active-set) claim: simulation cost (wheel turns) is a function
+   of the work actually performed, not of virtual time.  Stretching the
+   mean think time 64x makes the virtual timeline 64x longer but must
+   leave the turn count essentially unchanged, because sleeping clients
+   are parked in the calendar queue and the clock jumps over them.
+   (sr_live_peak ~ n is expected here — every live client, runnable or
+   parked on a timer, holds one heap slot; only finished or never-woken
+   processes are free.) *)
+let test_scale_cost_independent_of_think () =
+  let n = 1000 in
+  let run think = Workload.run_mutex_scale Registry.mcs (scfg ~n ~think ()) in
+  let short = run 1_000 and long = run 64_000 in
+  check "all cycles done (short)" (n * 2) short.Workload.sr_acquisitions;
+  check "all cycles done (long)" (n * 2) long.Workload.sr_acquisitions;
+  check_bool
+    (Printf.sprintf "turns %d vs %d within 2x despite 64x think"
+       short.Workload.sr_turns long.Workload.sr_turns)
+    true
+    (long.Workload.sr_turns < 2 * short.Workload.sr_turns);
+  check_bool
+    (Printf.sprintf "live peak %d bounded by n=%d" long.Workload.sr_live_peak n)
+    true
+    (long.Workload.sr_live_peak <= n)
+
 let () =
   Alcotest.run "cfc_workload"
     [ ( "workload",
@@ -184,4 +255,13 @@ let () =
           Alcotest.test_case "empty run is well-defined" `Quick
             test_empty_run;
           Alcotest.test_case "step-budget exhaustion raises" `Quick
-            test_stall_raises ] ) ]
+            test_stall_raises ] );
+      ( "scale",
+        [ Alcotest.test_case "all acquisitions complete (wheel)" `Quick
+            test_scale_all_acquisitions_complete;
+          Alcotest.test_case "chaos deterministic in the seed" `Quick
+            test_scale_chaos_deterministic;
+          Alcotest.test_case "chaos requires a recoverable lock" `Quick
+            test_scale_chaos_needs_recovery;
+          Alcotest.test_case "cost independent of think time" `Quick
+            test_scale_cost_independent_of_think ] ) ]
