@@ -1,0 +1,209 @@
+(* EXP-KV bench: the sharded lock-backed KV service under Zipfian YCSB
+   traffic, on both drivers, written to BENCH_kv.json.
+
+   - Wheel grid: registry lock × θ ∈ {0, 0.6, 0.99} × mix ∈ {A, E} on
+     the deterministic event-wheel driver (Kv_sim).  The base grid
+     (256 clients) is identical in quick and full mode — like the scale
+     bench's chaos configs, identical keys are what lets bench_diff
+     compare a quick CI run against the committed baseline row by row;
+     full mode adds the same grid at 4096 clients.  Every field except
+     wall_s is deterministic in the seed.
+
+   - Native grid: the same locks × θ × mix A on Kv_service
+     (domain-parallel, Instr_mem-instrumented).  Wall-clock columns are
+     noisy on CI runners; the diff gate asserts only the exclusion
+     witnesses and a 50× throughput floor.
+
+   - Determinism: one wheel config re-run and compared field for field.
+
+   Witness failures (lost updates / torn scans) are exit-1 failures. *)
+
+open Cfc_mutex
+open Cfc_workload
+
+let locks =
+  [ Registry.tas_lock; Registry.mcs; Registry.backoff; Registry.tree;
+    Registry.peterson_tournament; Registry.kessels_tournament ]
+
+let thetas = [ 0.0; 0.6; 0.99 ]
+let wheel_mixes = [ Ycsb.mix_a; Ycsb.mix_e ]
+
+let wheel_config ~clients ~theta ~mix =
+  { Kv_sim.kc_clients = clients; kc_buckets = 16; kc_keys = 4096;
+    kc_ops = 4; kc_mean_think = 4 * clients; kc_theta = theta;
+    kc_mix = mix; kc_seed = 42 }
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+type wheel_row = {
+  wr_alg : string;
+  wr_clients : int;
+  wr_theta : float;
+  wr_mix : string;
+  wr_r : Kv_sim.kv_result;
+  wr_wall : float;
+}
+
+let wheel_row alg ~clients ~theta ~mix =
+  let (module A : Mutex_intf.ALG) = alg in
+  let kc = wheel_config ~clients ~theta ~mix in
+  let r, w = wall (fun () -> Kv_sim.run alg kc) in
+  Printf.printf
+    "wheel  %-24s n=%-5d th=%-4.2f mix=%s acq=%-6d lost=%d torn=%d \
+     hot=%.3f entmax=%-5d turns=%-8d %.3fs\n%!"
+    A.name clients theta mix.Ycsb.mix_name r.Kv_sim.kr_acquisitions
+    r.kr_lost_updates r.kr_torn_scans r.kr_hot_share r.kr_entry_steps_max
+    r.kr_turns w;
+  { wr_alg = A.name; wr_clients = clients; wr_theta = theta;
+    wr_mix = mix.Ycsb.mix_name; wr_r = r; wr_wall = w }
+
+(* The 2^12-client rows only carry the locks whose contended entry is
+   O(1)/O(log n); the O(n)-scan locks (lamport-fast derivatives, the
+   tree's spin) are already pinned by the 256-client grid and would
+   make the full sweep run for hours, not minutes. *)
+let big_locks =
+  [ Registry.tas_lock; Registry.mcs; Registry.peterson_tournament;
+    Registry.kessels_tournament ]
+
+let wheel_sweep ~quick =
+  let base =
+    List.concat_map
+      (fun alg ->
+        List.concat_map
+          (fun theta ->
+            List.map (fun mix -> wheel_row alg ~clients:256 ~theta ~mix)
+              wheel_mixes)
+          thetas)
+      locks
+  in
+  if quick then base
+  else
+    base
+    @ List.concat_map
+        (fun alg ->
+          List.map
+            (fun theta ->
+              wheel_row alg ~clients:4096 ~theta ~mix:Ycsb.mix_a)
+            [ 0.0; 0.99 ])
+        big_locks
+
+type native_row = {
+  nr_alg : string;
+  nr_domains : int;
+  nr_theta : float;
+  nr_mix : string;
+  nr_r : Cfc_native.Kv_service.result;
+  nr_wall : float;
+}
+
+let native_sweep ~quick =
+  let domains_list = if quick then [ 2 ] else [ 2; 4 ] in
+  let ops = if quick then 400 else 4_000 in
+  let keys = if quick then 1 lsl 16 else 1 lsl 20 in
+  List.concat_map
+    (fun domains ->
+      List.concat_map
+        (fun alg ->
+          let (module A : Mutex_intf.ALG) = alg in
+          List.map
+            (fun theta ->
+              let c =
+                { Cfc_native.Kv_service.domains; buckets = 16; keys; ops;
+                  mean_think = 10; theta; mix = Ycsb.mix_a; seed = 42 }
+              in
+              let r, w = wall (fun () -> Cfc_native.Kv_service.run alg c) in
+              Printf.printf
+                "native %-24s d=%-2d th=%-4.2f mix=A thr=%-9.0f excl=%-5b \
+                 hot=%.3f rmr/op=%-6.2f p99=%-8.0f %.3fs\n%!"
+                A.name domains theta r.Cfc_native.Kv_service.throughput
+                r.Cfc_native.Kv_service.exclusion_ok
+                r.Cfc_native.Kv_service.hot_share
+                r.Cfc_native.Kv_service.rmr_per_op
+                r.Cfc_native.Kv_service.p99_ns w;
+              { nr_alg = A.name; nr_domains = domains; nr_theta = theta;
+                nr_mix = "A"; nr_r = r; nr_wall = w })
+            thetas)
+        locks)
+    domains_list
+
+(* Same seed, same config: the whole wheel result record must be
+   identical — the determinism claim EXP-KV inherits from the wheel. *)
+let determinism_check () =
+  let kc = wheel_config ~clients:256 ~theta:0.99 ~mix:Ycsb.mix_a in
+  let a = Kv_sim.run Registry.mcs kc in
+  let b = Kv_sim.run Registry.mcs kc in
+  a = b
+
+let json_of_wheel_row w =
+  let r = w.wr_r in
+  Printf.sprintf
+    "    {\"name\": \"%s\", \"driver\": \"wheel\", \"clients\": %d, \
+     \"theta\": %.2f, \"mix\": \"%s\", \"ops\": %d, \"acquisitions\": %d, \
+     \"lost_updates\": %d, \"torn_scans\": %d, \"hot_share\": %.6f, \
+     \"entry_steps_max\": %d, \"turns\": %d, \"total_steps\": %d, \
+     \"spawned\": %d, \"live_peak\": %d, \"wall_s\": %.3f}"
+    w.wr_alg w.wr_clients w.wr_theta w.wr_mix r.Kv_sim.kr_ops
+    r.kr_acquisitions r.kr_lost_updates r.kr_torn_scans r.kr_hot_share
+    r.kr_entry_steps_max r.kr_turns r.kr_total_steps r.kr_spawned
+    r.kr_live_peak w.wr_wall
+
+let json_of_native_row n =
+  let r = n.nr_r in
+  Printf.sprintf
+    "    {\"name\": \"%s\", \"driver\": \"native\", \"domains\": %d, \
+     \"theta\": %.2f, \"mix\": \"%s\", \"ops\": %d, \"throughput\": %.0f, \
+     \"p50_ns\": %.0f, \"p99_ns\": %.0f, \"rmr_per_op\": %.3f, \
+     \"lost_updates\": %d, \"torn_scans\": %d, \"exclusion_ok\": %b, \
+     \"hot_share\": %.6f, \"wall_s\": %.3f}"
+    n.nr_alg n.nr_domains n.nr_theta n.nr_mix
+    r.Cfc_native.Kv_service.total_ops r.Cfc_native.Kv_service.throughput
+    r.Cfc_native.Kv_service.p50_ns r.Cfc_native.Kv_service.p99_ns
+    r.Cfc_native.Kv_service.rmr_per_op r.Cfc_native.Kv_service.lost_updates
+    r.Cfc_native.Kv_service.torn_scans r.Cfc_native.Kv_service.exclusion_ok
+    r.Cfc_native.Kv_service.hot_share n.nr_wall
+
+let () =
+  let quick = Array.exists (( = ) "--quick") Sys.argv in
+  print_endline "== EXP-KV: wheel driver (deterministic) ==";
+  let wheel_rows = wheel_sweep ~quick in
+  print_endline "== EXP-KV: native driver (domain-parallel) ==";
+  let native_rows = native_sweep ~quick in
+  let det = determinism_check () in
+  Printf.printf "determinism: %s\n%!" (if det then "ok" else "DIVERGED");
+  let oc = open_out "BENCH_kv.json" in
+  Printf.fprintf oc "{\n  \"schema\": \"cfc-kv-bench/1\",\n";
+  Printf.fprintf oc "  \"quick\": %b,\n" quick;
+  Printf.fprintf oc "  \"wheel_entries\": [\n%s\n  ],\n"
+    (String.concat ",\n" (List.map json_of_wheel_row wheel_rows));
+  Printf.fprintf oc "  \"native_entries\": [\n%s\n  ],\n"
+    (String.concat ",\n" (List.map json_of_native_row native_rows));
+  Printf.fprintf oc "  \"determinism_ok\": %b\n}\n" det;
+  close_out oc;
+  Printf.printf "wrote BENCH_kv.json (%d wheel rows, %d native rows)\n%!"
+    (List.length wheel_rows) (List.length native_rows);
+  let wheel_bad =
+    List.filter
+      (fun w ->
+        w.wr_r.Kv_sim.kr_lost_updates <> 0
+        || w.wr_r.Kv_sim.kr_torn_scans <> 0)
+      wheel_rows
+  in
+  let native_bad =
+    List.filter
+      (fun n -> not n.nr_r.Cfc_native.Kv_service.exclusion_ok)
+      native_rows
+  in
+  List.iter
+    (fun w ->
+      Printf.eprintf "witness failure: wheel %s theta=%.2f mix=%s\n" w.wr_alg
+        w.wr_theta w.wr_mix)
+    wheel_bad;
+  List.iter
+    (fun n ->
+      Printf.eprintf "witness failure: native %s domains=%d theta=%.2f\n"
+        n.nr_alg n.nr_domains n.nr_theta)
+    native_bad;
+  if wheel_bad <> [] || native_bad <> [] || not det then exit 1

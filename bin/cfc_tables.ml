@@ -603,6 +603,147 @@ let scale_cmd =
       const run $ scale_alg_arg $ n_arg $ seed_arg $ chaos_arg $ pairs_arg
       $ json_arg)
 
+let kv_cmd =
+  let alg_arg =
+    Arg.(
+      value & opt string "mcs-lock"
+      & info [ "algorithm"; "a" ] ~docv:"NAME"
+          ~doc:"The registry lock guarding every bucket.")
+  in
+  let driver_arg =
+    Arg.(
+      value
+      & opt (enum [ ("wheel", `Wheel); ("native", `Native) ]) `Wheel
+      & info [ "driver" ] ~docv:"DRIVER"
+          ~doc:
+            "$(b,wheel): deterministic event-wheel clients with per-shard \
+             streaming measures; $(b,native): domain-parallel with \
+             latency histograms and the RMR estimate.")
+  in
+  let clients_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "clients"; "n" ] ~docv:"N"
+          ~doc:"Simulated clients (wheel) or worker domains (native).")
+  in
+  let buckets_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "buckets" ] ~docv:"B" ~doc:"Shards, one lock each.")
+  in
+  let keys_arg =
+    Arg.(value & opt int 4096 & info [ "keys" ] ~docv:"K" ~doc:"Key space.")
+  in
+  let ops_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "ops" ] ~docv:"OPS" ~doc:"Operations per client.")
+  in
+  let theta_arg =
+    Arg.(
+      value & opt float 0.99
+      & info [ "theta" ] ~docv:"THETA"
+          ~doc:"Zipf skew: 0 uniform, 0.99 YCSB-zipfian.")
+  in
+  let mix_arg =
+    Arg.(
+      value & opt string "A"
+      & info [ "mix" ] ~docv:"MIX" ~doc:"YCSB mix: A, B, C or E.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Root seed.")
+  in
+  let run name driver clients buckets keys ops theta mix seed =
+    let open Cfc_workload in
+    let mix =
+      match Ycsb.mix_of_name mix with
+      | Some m -> m
+      | None ->
+        Printf.eprintf "unknown mix %s (A, B, C or E)\n" mix;
+        exit 2
+    in
+    let p = Mutex_intf.params (max 2 clients) in
+    let alg = find_supported_alg name p in
+    let pct x = Printf.sprintf "%.0f" x in
+    match driver with
+    | `Wheel ->
+      let kc =
+        { Kv_sim.kc_clients = clients; kc_buckets = buckets; kc_keys = keys;
+          kc_ops = ops; kc_mean_think = 4 * clients; kc_theta = theta;
+          kc_mix = mix; kc_seed = seed }
+      in
+      let r = Kv_sim.run alg kc in
+      Printf.printf
+        "sharded KV on the event wheel: %d clients, %d buckets, %d keys, \
+         mix %s, theta=%.2f, seed=%d (deterministic)\n\
+         ops=%d acquisitions=%d lost_updates=%d torn_scans=%d \
+         hot_share=%.3f turns=%d steps=%d live_peak=%d\n"
+        clients buckets keys mix.Ycsb.mix_name theta seed r.Kv_sim.kr_ops
+        r.kr_acquisitions r.kr_lost_updates r.kr_torn_scans r.kr_hot_share
+        r.kr_turns r.kr_total_steps r.kr_live_peak;
+      let t =
+        Texttab.create
+          ~header:
+            [ "shard"; "ops"; "read"; "upd"; "scan"; "rmw"; "acq";
+              "entry max"; "entry mean"; "events" ]
+      in
+      Array.iteri
+        (fun b (s : Kv_sim.shard_stat) ->
+          Texttab.add_row t
+            [ string_of_int b; string_of_int s.Kv_sim.ss_ops;
+              string_of_int s.ss_reads; string_of_int s.ss_updates;
+              string_of_int s.ss_scans; string_of_int s.ss_rmws;
+              string_of_int s.ss_acquisitions;
+              string_of_int s.ss_entry_steps_max;
+              Printf.sprintf "%.1f" s.ss_entry_steps_mean;
+              string_of_int s.ss_events ])
+        r.kr_shards;
+      Texttab.print t
+    | `Native ->
+      let c =
+        { Cfc_native.Kv_service.domains = clients; buckets; keys; ops;
+          mean_think = 10; theta; mix; seed }
+      in
+      let r = Cfc_native.Kv_service.run alg c in
+      let open Cfc_native.Kv_service in
+      Printf.printf
+        "sharded KV, domain-parallel: %d domains, %d buckets, %d keys, \
+         mix %s, theta=%.2f, seed=%d\n\
+         ops=%d throughput=%.0f/s p50=%.0fns p99=%.0fns rmr/op=%.3f \
+         lost_updates=%d torn_scans=%d exclusion=%s hot_share=%.3f\n"
+        clients buckets keys mix.Ycsb.mix_name theta seed r.total_ops
+        r.throughput r.p50_ns r.p99_ns r.rmr_per_op r.lost_updates
+        r.torn_scans
+        (if r.exclusion_ok then "ok" else "VIOLATED")
+        r.hot_share;
+      let t =
+        Texttab.create
+          ~header:
+            [ "shard"; "ops"; "read"; "upd"; "scan"; "rmw"; "p50 ns";
+              "p99 ns"; "max ns" ]
+      in
+      Array.iteri
+        (fun b s ->
+          Texttab.add_row t
+            [ string_of_int b; string_of_int s.ks_ops;
+              string_of_int s.ks_reads; string_of_int s.ks_updates;
+              string_of_int s.ks_scans; string_of_int s.ks_rmws;
+              pct s.ks_p50_ns; pct s.ks_p99_ns; string_of_int s.ks_max_ns ])
+        r.shards;
+      Texttab.print t;
+      if not r.exclusion_ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "kv"
+       ~doc:
+         "Sharded lock-backed KV service under Zipfian YCSB traffic \
+          (EXP-KV): every bucket guarded by one registry lock, driven \
+          deterministically on the event wheel or domain-parallel with \
+          the RMR estimate.")
+    Term.(
+      const run $ alg_arg $ driver_arg $ clients_arg $ buckets_arg
+      $ keys_arg $ ops_arg $ theta_arg $ mix_arg $ seed_arg)
+
 let lint_cmd =
   let json_arg =
     Arg.(
@@ -653,4 +794,4 @@ let () =
           (Cmd.info "cfc-tables" ~version:"1.0.0" ~doc)
           [ mutex_cmd; naming_cmd; sweep_cmd; detect_cmd; unbounded_cmd;
             cf_cmd; mcheck_cmd; backoff_cmd; trace_cmd; faults_cmd;
-            native_cmd; scale_cmd; models_cmd; lint_cmd ]))
+            native_cmd; scale_cmd; kv_cmd; models_cmd; lint_cmd ]))

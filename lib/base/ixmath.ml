@@ -79,6 +79,51 @@ let geometric ~u ~mean =
     if x >= float_of_int max_int then max_int else int_of_float x
   end
 
+(* Zipf(theta) over ranks 0..n-1 by exact CDF inversion: the cumulative
+   weights sum_{i<=k} (i+1)^-theta are precomputed (normalized, O(n) floats,
+   built once per population) and a draw is one binary search.  theta = 0
+   degenerates to the uniform distribution; theta ~ 0.99 is the classical
+   YCSB "zipfian" skew.  Pure draws: callers supply u from their own seeded
+   [Random.State], exactly as for [geometric]. *)
+type zipf = { z_n : int; z_theta : float; z_cum : float array }
+
+let zipf ~n ~theta =
+  if n < 1 then invalid_arg "Ixmath.zipf: n < 1";
+  if not (Float.is_finite theta) || theta < 0. then
+    invalid_arg "Ixmath.zipf: theta not finite and nonnegative";
+  let cum = Array.make n 0. in
+  let acc = ref 0. in
+  for k = 0 to n - 1 do
+    acc := !acc +. (Float.of_int (k + 1) ** -.theta);
+    cum.(k) <- !acc
+  done;
+  let total = cum.(n - 1) in
+  for k = 0 to n - 1 do
+    cum.(k) <- cum.(k) /. total
+  done;
+  (* Normalization can leave the top a hair under 1.0; pin it so a draw
+     at u -> 1 can never fall off the end of the search. *)
+  cum.(n - 1) <- 1.0;
+  { z_n = n; z_theta = theta; z_cum = cum }
+
+let zipf_n z = z.z_n
+let zipf_theta z = z.z_theta
+
+let zipf_cdf z k =
+  if k < 0 || k >= z.z_n then invalid_arg "Ixmath.zipf_cdf: rank outside 0..n-1";
+  z.z_cum.(k)
+
+let zipf_draw z ~u =
+  if not (u >= 0. && u < 1.) then
+    invalid_arg "Ixmath.zipf_draw: u outside [0, 1)";
+  (* Least k with cum.(k) > u: invariant cum.(hi) > u throughout. *)
+  let lo = ref 0 and hi = ref (z.z_n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if z.z_cum.(mid) > u then hi := mid else lo := mid + 1
+  done;
+  !lo
+
 let mix_seed root pid =
   (* splitmix64 finalizer over the packed pair: full avalanche, so the
      per-process streams [Random.State.make [| mix_seed root pid |]] are

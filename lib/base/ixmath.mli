@@ -55,6 +55,34 @@ val geometric : u:float -> mean:int -> int
     [Random.State], so the simulated workload and the native lock
     service share one think-time distribution. *)
 
+(** {2 Zipf sampling}
+
+    The skewed key-popularity distribution of the YCSB-style workloads:
+    rank [k ∈ 0..n-1] has weight [(k+1){^-theta}].  [theta = 0] is
+    uniform; [theta ≈ 0.99] is the classical YCSB "zipfian" skew.  The
+    sampler is exact (precomputed normalized CDF, one binary search per
+    draw) and pure — like {!geometric}, callers draw [u] from their own
+    seeded [Random.State], so the simulated and native KV drivers share
+    one key distribution verbatim. *)
+
+type zipf
+
+val zipf : n:int -> theta:float -> zipf
+(** Precompute the CDF over ranks [0..n-1].  O(n) time and floats, built
+    once per key population.  Raises [Invalid_argument] if [n < 1] or
+    [theta] is negative or not finite. *)
+
+val zipf_n : zipf -> int
+val zipf_theta : zipf -> float
+
+val zipf_cdf : zipf -> int -> float
+(** [zipf_cdf z k] is [P(rank <= k)] — exact, monotone in [k], and
+    [zipf_cdf z (n-1) = 1.0].  Raises on a rank outside [0..n-1]. *)
+
+val zipf_draw : zipf -> u:float -> int
+(** [zipf_draw z ~u] inverts the CDF at [u ∈ [0, 1)]: the least rank [k]
+    with [zipf_cdf z k > u].  Deterministic in [u]. *)
+
 val mix_seed : int -> int -> int
 (** [mix_seed root pid] deterministically derives a per-process seed from
     a root seed, with a splitmix64-style finalizer providing full

@@ -70,6 +70,19 @@ module Make (M : Mem_intf.MEM) = struct
 
   let create (p : Mutex_intf.params) =
     let n = p.Mutex_intf.n in
+    (* Fail loudly at the packing cap: without this check the oversized
+       allocation surfaces as a backend-specific width error
+       ("Register.make recq.q: width 80" on the simulator, a bare
+       "Native_mem: width" natively) that names neither the algorithm
+       nor the cap.  Registry-driven sweeps gate on [supports] and never
+       get here; a direct caller gets the full story. *)
+    if not (supports p) then
+      invalid_arg
+        (Printf.sprintf
+           "%s: n = %d exceeds the packed-word queue cap (n slots of \
+            bits_needed(n) bits each: %d * %d = %d bits > 62); the packed \
+            encoding supports n <= 15"
+           name n n (field_bits p) (queue_bits p));
     {
       n;
       fb = field_bits p;

@@ -1,0 +1,229 @@
+open Cfc_base
+open Cfc_mutex
+open Cfc_workload
+
+type config = {
+  domains : int;
+  buckets : int;
+  keys : int;
+  ops : int;
+  mean_think : int;
+  theta : float;
+  mix : Ycsb.mix;
+  seed : int;
+}
+
+let default =
+  { domains = 2; buckets = 16; keys = 1 lsl 20; ops = 2_000;
+    mean_think = 10; theta = 0.99; mix = Ycsb.mix_a; seed = 42 }
+
+type shard_stat = {
+  ks_ops : int;
+  ks_reads : int;
+  ks_updates : int;
+  ks_scans : int;
+  ks_rmws : int;
+  ks_p50_ns : float;
+  ks_p99_ns : float;
+  ks_max_ns : int;
+}
+
+type result = {
+  total_ops : int;
+  elapsed_ns : int;
+  throughput : float;
+  p50_ns : float;
+  p90_ns : float;
+  p99_ns : float;
+  max_ns : int;
+  counters : Instr_mem.counters;
+  rmr_per_op : float;
+  lost_updates : int;
+  torn_scans : int;
+  exclusion_ok : bool;
+  hot_share : float;
+  shards : shard_stat array;
+}
+
+let now () = Monotonic_clock.now ()
+
+(* Mirrors Kv_sim: 32-bit version counters, key k ↦ bucket [k mod
+   buckets], slot [k / buckets], scans wrap inside their bucket. *)
+let value_width = 32
+let value_mask = (1 lsl value_width) - 1
+
+let run ?(instrument = true) (module A : Mutex_intf.ALG) config =
+  if config.domains < 1 then invalid_arg "Kv_service.run: domains < 1";
+  if config.buckets < 1 then invalid_arg "Kv_service.run: buckets < 1";
+  if config.keys < 1 then invalid_arg "Kv_service.run: keys < 1";
+  if config.ops < 0 then invalid_arg "Kv_service.run: ops < 0";
+  let n = max 2 config.domains in
+  let nb = config.buckets in
+  let p = Mutex_intf.params n in
+  if not (A.supports p) then
+    invalid_arg (Printf.sprintf "%s: unsupported params" A.name);
+  let instr = Instr_mem.create ~nprocs:n in
+  let memory = if instrument then Instr_mem.mem instr else Native_mem.mem () in
+  let module M = (val memory) in
+  Instr_mem.register_worker instr ~me:0;
+  let module L = A.Make (M) in
+  let locks = Array.init nb (fun _ -> L.create p) in
+  let nslots = (config.keys + nb - 1) / nb in
+  (* Values live in plain (unsynchronized) int arrays guarded by the
+     bucket locks — at millions of keys the counted arena would swamp
+     the RMR estimate with store traffic that the paper's lock analysis
+     says nothing about.  The per-bucket version register stays in the
+     counted arena, so lock + version traffic is what the RMR numbers
+     cover (DESIGN.md §2), and its non-atomic read-then-write under the
+     lock doubles as the lost-update witness, exactly as in Kv_sim. *)
+  let values = Array.init nb (fun _ -> Array.make nslots 0) in
+  let versions = M.alloc_array ~name:"kv.ver" ~width:value_width ~init:0 nb in
+  let ready = Atomic.make 0 in
+  let go = Atomic.make false in
+  let hists =
+    Array.init config.domains (fun _ ->
+        Array.init nb (fun _ -> Latency_hist.create ()))
+  in
+  let ops_by_kind =
+    Array.init config.domains (fun _ -> Array.make_matrix nb 4 0)
+  in
+  let expected = Array.init config.domains (fun _ -> Array.make nb 0) in
+  let torn = Array.make config.domains 0 in
+  let worker me () =
+    Instr_mem.register_worker instr ~me;
+    (* Same split-seeded streams as the wheel driver: think times via
+       mix_seed (the Workload.think_stream discipline), operations via
+       Ycsb.stream — a (seed, client) pair replays the identical op
+       sequence on both backends. *)
+    let st = Random.State.make [| Ixmath.mix_seed config.seed me |] in
+    let ops = Ycsb.stream ~seed:config.seed ~client:me ~nkeys:config.keys
+        ~theta:config.theta config.mix
+    in
+    Atomic.incr ready;
+    while not (Atomic.get go) do
+      Domain.cpu_relax ()
+    done;
+    for i = 1 to config.ops do
+      if config.mean_think > 0 then begin
+        let k =
+          Ixmath.geometric ~u:(Random.State.float st 1.0)
+            ~mean:config.mean_think
+        in
+        for _ = 1 to k do
+          Domain.cpu_relax ()
+        done
+      end;
+      let op = Ycsb.next ops in
+      let key = Ycsb.key_of op in
+      let b = key mod nb and slot = key / nb in
+      let t0 = now () in
+      L.lock locks.(b) ~me;
+      let t1 = now () in
+      Latency_hist.record hists.(me).(b) (Int64.to_int (Int64.sub t1 t0));
+      (match op with
+      | Ycsb.Read _ ->
+        ops_by_kind.(me).(b).(0) <- ops_by_kind.(me).(b).(0) + 1;
+        ignore (Sys.opaque_identity values.(b).(slot))
+      | Ycsb.Update _ ->
+        ops_by_kind.(me).(b).(1) <- ops_by_kind.(me).(b).(1) + 1;
+        expected.(me).(b) <- expected.(me).(b) + 1;
+        values.(b).(slot) <- ((me lsl 16) lor (i land 0xffff)) land value_mask;
+        let v = M.read versions.(b) in
+        M.write versions.(b) ((v + 1) land value_mask)
+      | Ycsb.Scan (_, len) ->
+        ops_by_kind.(me).(b).(2) <- ops_by_kind.(me).(b).(2) + 1;
+        let v0 = M.read versions.(b) in
+        let acc = ref 0 in
+        for j = 0 to len - 1 do
+          acc := !acc + values.(b).((slot + j) mod nslots)
+        done;
+        ignore (Sys.opaque_identity !acc);
+        if M.read versions.(b) <> v0 then torn.(me) <- torn.(me) + 1
+      | Ycsb.Rmw _ ->
+        ops_by_kind.(me).(b).(3) <- ops_by_kind.(me).(b).(3) + 1;
+        expected.(me).(b) <- expected.(me).(b) + 1;
+        values.(b).(slot) <- (values.(b).(slot) + 1) land value_mask;
+        let v = M.read versions.(b) in
+        M.write versions.(b) ((v + 1) land value_mask));
+      L.unlock locks.(b) ~me
+    done
+  in
+  let spawned =
+    List.init (config.domains - 1) (fun i -> Domain.spawn (worker (i + 1)))
+  in
+  while Atomic.get ready < config.domains - 1 do
+    Domain.cpu_relax ()
+  done;
+  let t_start = now () in
+  Atomic.set go true;
+  worker 0 ();
+  List.iter Domain.join spawned;
+  let elapsed_ns = Int64.to_int (Int64.sub (now ()) t_start) in
+  let total_ops = config.domains * config.ops in
+  (* Witness audit, after the joins: each bucket's final version count
+     must equal the mutations performed on it, and no scan may have seen
+     the version move while it held the lock. *)
+  let lost = ref 0 in
+  for b = 0 to nb - 1 do
+    let exp = ref 0 in
+    for me = 0 to config.domains - 1 do
+      exp := !exp + expected.(me).(b)
+    done;
+    lost := !lost + (!exp - M.read versions.(b))
+  done;
+  let torn_scans = Array.fold_left ( + ) 0 torn in
+  let shard_hists =
+    Array.init nb (fun b ->
+        let h = Latency_hist.create () in
+        for me = 0 to config.domains - 1 do
+          Latency_hist.merge_into ~into:h hists.(me).(b)
+        done;
+        h)
+  in
+  let merged = Latency_hist.create () in
+  Array.iter (fun h -> Latency_hist.merge_into ~into:merged h) shard_hists;
+  let kind k b =
+    let t = ref 0 in
+    for me = 0 to config.domains - 1 do
+      t := !t + ops_by_kind.(me).(b).(k)
+    done;
+    !t
+  in
+  let shards =
+    Array.init nb (fun b ->
+        let h = shard_hists.(b) in
+        {
+          ks_ops = Latency_hist.count h;
+          ks_reads = kind 0 b;
+          ks_updates = kind 1 b;
+          ks_scans = kind 2 b;
+          ks_rmws = kind 3 b;
+          ks_p50_ns = Latency_hist.percentile h 0.50;
+          ks_p99_ns = Latency_hist.percentile h 0.99;
+          ks_max_ns = Latency_hist.max_ns h;
+        })
+  in
+  let hot = Array.fold_left (fun acc s -> max acc s.ks_ops) 0 shards in
+  let counters = Instr_mem.totals instr in
+  {
+    total_ops;
+    elapsed_ns;
+    throughput =
+      (if elapsed_ns <= 0 then 0.0
+       else Float.of_int total_ops /. (Float.of_int elapsed_ns /. 1e9));
+    p50_ns = Latency_hist.percentile merged 0.50;
+    p90_ns = Latency_hist.percentile merged 0.90;
+    p99_ns = Latency_hist.percentile merged 0.99;
+    max_ns = Latency_hist.max_ns merged;
+    counters;
+    rmr_per_op =
+      (if total_ops = 0 then 0.0
+       else Float.of_int counters.Instr_mem.rmr /. Float.of_int total_ops);
+    lost_updates = !lost;
+    torn_scans;
+    exclusion_ok = !lost = 0 && torn_scans = 0;
+    hot_share =
+      (if total_ops = 0 then 0.0
+       else Float.of_int hot /. Float.of_int total_ops);
+    shards;
+  }

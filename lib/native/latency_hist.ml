@@ -4,9 +4,15 @@
 
 let buckets = 63
 
-type t = { counts : int array; mutable max_ns : int; mutable total : int }
+type t = {
+  counts : int array;
+  mutable min_ns : int;  (* max_int when empty *)
+  mutable max_ns : int;
+  mutable total : int;
+}
 
-let create () = { counts = Array.make buckets 0; max_ns = 0; total = 0 }
+let create () =
+  { counts = Array.make buckets 0; min_ns = max_int; max_ns = 0; total = 0 }
 
 (* floor_log2 without Ixmath: ns can be 0 here and the loop below is the
    hot path, so keep it branch-light. *)
@@ -25,6 +31,7 @@ let record t ns =
   let ns = if ns < 0 then 0 else ns in
   let b = bucket_of ns in
   t.counts.(b) <- t.counts.(b) + 1;
+  if ns < t.min_ns then t.min_ns <- ns;
   if ns > t.max_ns then t.max_ns <- ns;
   t.total <- t.total + 1
 
@@ -32,11 +39,13 @@ let merge_into ~into t =
   for i = 0 to buckets - 1 do
     into.counts.(i) <- into.counts.(i) + t.counts.(i)
   done;
+  if t.min_ns < into.min_ns then into.min_ns <- t.min_ns;
   if t.max_ns > into.max_ns then into.max_ns <- t.max_ns;
   into.total <- into.total + t.total
 
 let count t = t.total
 let max_ns t = t.max_ns
+let min_ns t = if t.total = 0 then 0 else t.min_ns
 
 (* Arithmetic midpoint of the bucket's value range: 1.5 * 2^k (bucket 0
    reports 1).  Good to within a factor sqrt(2) by construction, which is
@@ -60,7 +69,13 @@ let percentile t q =
          end
        done
      with Exit -> ());
-    (* The top occupied bucket's midpoint can overshoot the observed
-       maximum; clamp so p100 <= max. *)
-    Float.min (bucket_mid !b) (Float.of_int t.max_ns)
+    (* The midpoint is only bucket-accurate: clamp it into the observed
+       [min_ns, max_ns] envelope so no reported percentile can exceed the
+       largest recorded sample (largest sample low in its bucket) or
+       undershoot the smallest (smallest sample high in its bucket).  In
+       particular a single-sample histogram reports the sample exactly at
+       every q. *)
+    Float.max
+      (Float.of_int t.min_ns)
+      (Float.min (bucket_mid !b) (Float.of_int t.max_ns))
   end

@@ -24,7 +24,13 @@ val count : t -> int
 val max_ns : t -> int
 (** Largest recorded sample, exact (0 when empty). *)
 
+val min_ns : t -> int
+(** Smallest recorded sample, exact (0 when empty). *)
+
 val percentile : t -> float -> float
 (** [percentile t q] for [q ∈ [0, 1]]: the midpoint of the bucket
-    holding the [⌈q·count⌉]-th smallest sample, clamped to {!max_ns};
+    holding the [⌈q·count⌉]-th smallest sample, clamped into the observed
+    [[{!min_ns}, {!max_ns}]] envelope — no percentile ever exceeds the
+    largest recorded sample or undershoots the smallest, and a
+    single-sample histogram reports the sample exactly at every [q].
     0 when empty. *)

@@ -74,10 +74,13 @@ let run ?(instrument = true) (module A : Mutex_intf.ALG) config =
   let rec_counts = Array.make config.domains 0 in
   let worker me () =
     Instr_mem.register_worker instr ~me;
-    let st = Random.State.make [| config.seed; me |] in
+    (* Split-seed mixing, verbatim the same stream as
+       Workload.think_stream ~seed ~pid:me — raw [| seed; me |] seeding
+       correlates adjacent workers. *)
+    let st = Random.State.make [| Ixmath.mix_seed config.seed me |] in
     (* A separate stream for crash points so adding injection does not
        perturb the think-time sequence of crash-free runs. *)
-    let crash_st = Random.State.make [| config.seed; me; 0x0c |] in
+    let crash_st = Random.State.make [| Ixmath.mix_seed config.seed me; 0x0c |] in
     let hist = hists.(me) in
     Atomic.incr ready;
     while not (Atomic.get go) do

@@ -25,9 +25,13 @@ type result = {
 
 (* Geometric think time (expectation [mean], seeded per process): one
    uniform draw inverted through Ixmath.geometric, so the distribution is
-   shared verbatim with the native lock service. *)
+   shared verbatim with the native lock service.  The per-pid state is
+   split-seeded through Ixmath.mix_seed — seeding with the raw
+   [| seed; pid |] pair correlates adjacent pids (the scale rig switched
+   for exactly this reason); the mixer's full avalanche decorrelates
+   them, and the native Lock_service derives its streams identically. *)
 let think_stream ~seed ~pid =
-  let st = Random.State.make [| seed; pid |] in
+  let st = Random.State.make [| Ixmath.mix_seed seed pid |] in
   fun ~mean ->
     if mean = 0 then 0
     else Ixmath.geometric ~u:(Random.State.float st 1.0) ~mean

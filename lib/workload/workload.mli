@@ -31,7 +31,13 @@ val think_stream : seed:int -> pid:int -> (mean:int -> int)
     with expectation [mean] ({!Cfc_base.Ixmath.geometric} over a seeded
     [Random.State]), so delays have the memoryless shape the
     "well-designed system" regime assumes — most waits short, a long
-    tail, mean exactly [mean].  [mean = 0] always returns 0. *)
+    tail, mean exactly [mean].  [mean = 0] always returns 0.
+
+    The per-pid state is [Random.State.make [| Ixmath.mix_seed seed pid |]]
+    (split-seed mixing, not the raw [(seed, pid)] pair, whose adjacent-pid
+    streams are correlated); the native {!Cfc_native.Lock_service} derives
+    its per-worker streams the same way, so the two backends draw
+    identical sequences for identical [(seed, pid)]. *)
 
 exception Stalled of { alg : string; stopped : Cfc_runtime.Runner.stopped;
                        acquisitions : int; max_steps : int }

@@ -1,0 +1,59 @@
+(** YCSB-style workload generator: seeded Zipfian key draws
+    ({!Cfc_base.Ixmath.zipf}) combined with read/update/scan/RMW
+    operation mixes modelled on the YCSB core workloads.  Both KV
+    drivers — the event-wheel {!Kv_sim} and the domain-parallel
+    [Cfc_native.Kv_service] — consume the same streams, so for a given
+    [(seed, client)] they replay identical operation sequences. *)
+
+type op =
+  | Read of int  (** read one key *)
+  | Update of int  (** overwrite one key *)
+  | Scan of int * int  (** [(start, len)]: read [len] consecutive keys *)
+  | Rmw of int  (** read-modify-write one key *)
+
+type mix = {
+  mix_name : string;
+  read : float;
+  update : float;
+  scan : float;
+  rmw : float;  (** probabilities; must sum to 1 *)
+  scan_len : int;  (** keys touched per scan *)
+}
+
+val mix_a : mix
+(** YCSB A: 50% read / 50% update ("update heavy"). *)
+
+val mix_b : mix
+(** YCSB B: 95% read / 5% update ("read mostly"). *)
+
+val mix_c : mix
+(** YCSB C: 100% read. *)
+
+val mix_e : mix
+(** YCSB E: 95% scan (16 keys) / 5% RMW — YCSB E's inserts become RMW
+    on existing keys because the store is fixed-size (DESIGN.md §2). *)
+
+val mixes : mix list
+(** The four presets, in order A, B, C, E. *)
+
+val mix_of_name : string -> mix option
+(** Case-insensitive lookup among {!mixes} ("a" … "e"). *)
+
+type stream
+(** Per-client deterministic operation stream. *)
+
+val stream :
+  seed:int -> client:int -> nkeys:int -> theta:float -> mix -> stream
+(** The client's state is seeded with
+    [Random.State.make [| Ixmath.mix_seed seed client; salt |]]
+    (split-seed mixing with an op-stream salt), so streams of distinct
+    clients are pairwise uncorrelated and disjoint from their think-time
+    streams.  Keys are ranks of [Ixmath.zipf ~n:nkeys ~theta] — rank 0
+    hottest; [theta = 0] uniform. *)
+
+val next : stream -> op
+(** Draw the next operation (two [Random.State.float] draws: key, then
+    op kind). *)
+
+val key_of : op -> int
+(** The (start) key an operation targets. *)

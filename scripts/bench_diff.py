@@ -30,6 +30,23 @@ subset of the full baseline, so missing rows are only noted):
     or a change of predicted_rmr_held (the closed form silently moved)
     fails.
 
+cfc-kv-bench (BENCH_kv.json): the sharded KV service on two drivers.
+
+  - "wheel_entries" keyed (name, clients, theta, mix) are fully
+    deterministic (seeded wheel runs) except wall_s: a nonzero
+    lost_updates/torn_scans fails (a bucket lock dropped a mutation), a
+    growth of entry_steps_max fails, any other deterministic field
+    change is noted; a baseline row missing from the current run fails
+    when both files were produced in the same mode (same "quick" flag)
+    and is a note otherwise (full baselines carry 4096-client rows a
+    --quick CI run does not sweep);
+  - "native_entries" keyed (name, domains, theta, mix): an exclusion_ok
+    flip fails; throughput is wall-clock and CI schedulers routinely
+    swing it 100x, so only a 1000x collapse against the baseline fails
+    (the total-collapse detector — a livelocked lock, not a noisy
+    neighbour);
+  - a determinism_ok flip to false fails on its own.
+
 cfc-scale-bench (BENCH_scale.json): everything except wall_s is
 deterministic (seeded wheel runs, exact streaming measures), and a
 --quick run sweeps a subset of the n values, so missing rows are notes
@@ -254,6 +271,90 @@ def diff_scale(base_doc, cur_doc, regressions, changes):
     return len(base) + len(cbase), len(cur) + len(ccur)
 
 
+def kv_wheel_key(e):
+    return (e["name"], e["clients"], e["theta"], e["mix"])
+
+
+def kv_native_key(e):
+    return (e["name"], e["domains"], e["theta"], e["mix"])
+
+
+KV_WHEEL_DET_FIELDS = (
+    "ops",
+    "acquisitions",
+    "hot_share",
+    "turns",
+    "total_steps",
+    "spawned",
+    "live_peak",
+)
+
+
+def diff_kv(base_doc, cur_doc, regressions, changes):
+    same_mode = base_doc.get("quick") == cur_doc.get("quick")
+    base = index(base_doc.get("wheel_entries", []), kv_wheel_key)
+    cur = index(cur_doc.get("wheel_entries", []), kv_wheel_key)
+    for k, b in sorted(base.items()):
+        label = "kv wheel {} clients={} theta={} mix={}".format(*k)
+        c = cur.get(k)
+        if c is None:
+            if same_mode:
+                regressions.append(f"{label}: entry disappeared from the sweep")
+            else:
+                changes.append(f"{label}: not in current sweep (mode differs)")
+            continue
+        if c["lost_updates"] != 0 or c["torn_scans"] != 0:
+            regressions.append(
+                f"{label}: witness failure (lost_updates={c['lost_updates']} "
+                f"torn_scans={c['torn_scans']})"
+            )
+        if c["entry_steps_max"] > b["entry_steps_max"]:
+            regressions.append(
+                f"{label}: entry_steps_max grew "
+                f"{b['entry_steps_max']} -> {c['entry_steps_max']}"
+            )
+        elif c["entry_steps_max"] != b["entry_steps_max"]:
+            changes.append(
+                f"{label}: entry_steps_max "
+                f"{b['entry_steps_max']} -> {c['entry_steps_max']}"
+            )
+        for field in KV_WHEEL_DET_FIELDS:
+            if c[field] != b[field]:
+                changes.append(f"{label}: {field} {b[field]} -> {c[field]}")
+    for k in sorted(set(cur) - set(base)):
+        changes.append("kv wheel {} clients={} theta={} mix={}: new entry".format(*k))
+
+    nbase = index(base_doc.get("native_entries", []), kv_native_key)
+    ncur = index(cur_doc.get("native_entries", []), kv_native_key)
+    for k, b in sorted(nbase.items()):
+        label = "kv native {} domains={} theta={} mix={}".format(*k)
+        c = ncur.get(k)
+        if c is None:
+            if same_mode:
+                regressions.append(f"{label}: entry disappeared from the sweep")
+            else:
+                changes.append(f"{label}: not in current sweep (mode differs)")
+            continue
+        if b["exclusion_ok"] and not c["exclusion_ok"]:
+            regressions.append(f"{label}: exclusion_ok flipped true -> false")
+        if b["throughput"] > 0 and c["throughput"] * 1000 < b["throughput"]:
+            regressions.append(
+                f"{label}: throughput collapsed "
+                f"{b['throughput']:.0f} -> {c['throughput']:.0f} ops/s (>1000x)"
+            )
+    for k in sorted(set(ncur) - set(nbase)):
+        changes.append(
+            "kv native {} domains={} theta={} mix={}: new entry".format(*k)
+        )
+
+    if not cur_doc.get("determinism_ok", True):
+        regressions.append(
+            "determinism_ok is false: same seed no longer reproduces the "
+            "wheel KV run bit for bit"
+        )
+    return len(base) + len(nbase), len(cur) + len(ncur)
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("baseline")
@@ -285,6 +386,8 @@ def main():
             n_base, n_cur = diff_native(base_doc, cur_doc, regressions, changes)
         elif base_family == "cfc-scale-bench":
             n_base, n_cur = diff_scale(base_doc, cur_doc, regressions, changes)
+        elif base_family == "cfc-kv-bench":
+            n_base, n_cur = diff_kv(base_doc, cur_doc, regressions, changes)
         else:
             n_base, n_cur = diff_mcheck(base_doc, cur_doc, regressions, changes)
     except KeyError as exc:

@@ -190,6 +190,91 @@ let test_mix_seed () =
     true
     (d > 15 && d < 50)
 
+let test_zipf_edges () =
+  (match Ixmath.zipf ~n:0 ~theta:1.0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "n=0 accepted");
+  (match Ixmath.zipf ~n:4 ~theta:(-0.5) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative theta accepted");
+  (match Ixmath.zipf ~n:4 ~theta:Float.nan with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "nan theta accepted");
+  let z = Ixmath.zipf ~n:1 ~theta:0.99 in
+  Alcotest.(check int) "n=1 always rank 0" 0 (Ixmath.zipf_draw z ~u:0.7);
+  Alcotest.(check (float 0.)) "n=1 cdf" 1.0 (Ixmath.zipf_cdf z 0);
+  (match Ixmath.zipf_draw z ~u:1.0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "u=1 accepted");
+  (match Ixmath.zipf_cdf z 1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "rank out of range accepted")
+
+(* The CDF is exactly the normalized partial sums of k^-theta, monotone,
+   ending at 1; a draw inverts it: cdf(k-1) <= u < cdf(k). *)
+let prop_zipf_cdf =
+  QCheck.Test.make ~count:200 ~name:"zipf cdf = normalized partial sums"
+    QCheck.(pair (int_range 1 200) (int_range 0 3))
+    (fun (n, ti) ->
+      let theta = [| 0.0; 0.6; 0.99; 2.5 |].(ti) in
+      let z = Ixmath.zipf ~n ~theta in
+      let total = ref 0. in
+      for k = 1 to n do
+        total := !total +. (float_of_int k ** -.theta)
+      done;
+      let acc = ref 0. and ok = ref true in
+      for k = 0 to n - 1 do
+        acc := !acc +. (float_of_int (k + 1) ** -.theta);
+        let expect = !acc /. !total in
+        if Float.abs (Ixmath.zipf_cdf z k -. expect) > 1e-9 then ok := false;
+        if k > 0 && Ixmath.zipf_cdf z k < Ixmath.zipf_cdf z (k - 1) then
+          ok := false
+      done;
+      !ok && Ixmath.zipf_cdf z (n - 1) = 1.0)
+
+let prop_zipf_draw_inverts =
+  QCheck.Test.make ~count:500 ~name:"zipf draw inverts the cdf"
+    QCheck.(triple (int_range 1 100) (int_range 0 2) (float_bound_exclusive 1.0))
+    (fun (n, ti, u) ->
+      let u = Float.abs u in
+      QCheck.assume (u < 1.0);
+      let theta = [| 0.0; 0.99; 1.8 |].(ti) in
+      let z = Ixmath.zipf ~n ~theta in
+      let k = Ixmath.zipf_draw z ~u in
+      0 <= k && k < n
+      && u < Ixmath.zipf_cdf z k
+      && (k = 0 || Ixmath.zipf_cdf z (k - 1) <= u))
+
+(* Empirical rank frequencies against the CDF masses: rank 0 of a
+   theta=0.99 space is drawn with its closed-form probability, and
+   theta=0 is uniform.  Seeded draws, so the check is deterministic. *)
+let prop_zipf_empirical =
+  QCheck.Test.make ~count:10 ~name:"zipf empirical rank frequency matches cdf"
+    QCheck.(pair (int_range 2 64) (int_range 0 2))
+    (fun (n, ti) ->
+      let theta = [| 0.0; 0.6; 0.99 |].(ti) in
+      let z = Ixmath.zipf ~n ~theta in
+      let st = Random.State.make [| Ixmath.mix_seed 7 (n + ti) |] in
+      let rounds = 40_000 in
+      let counts = Array.make n 0 in
+      for _ = 1 to rounds do
+        let k = Ixmath.zipf_draw z ~u:(Random.State.float st 1.0) in
+        counts.(k) <- counts.(k) + 1
+      done;
+      let mass k =
+        Ixmath.zipf_cdf z k -. (if k = 0 then 0. else Ixmath.zipf_cdf z (k - 1))
+      in
+      (* 4-sigma binomial envelope per rank, plus an absolute floor for
+         tiny masses. *)
+      let ok = ref true in
+      for k = 0 to n - 1 do
+        let p = mass k in
+        let emp = float_of_int counts.(k) /. float_of_int rounds in
+        let sigma = sqrt (p *. (1. -. p) /. float_of_int rounds) in
+        if Float.abs (emp -. p) > (4. *. sigma) +. 1e-3 then ok := false
+      done;
+      !ok)
+
 let test_ops_strings () =
   List.iter
     (fun op ->
@@ -260,7 +345,11 @@ let () =
           Alcotest.test_case "geometric extreme means stay nonnegative"
             `Quick test_geometric_extreme_mean;
           Alcotest.test_case "mix_seed determinism + avalanche" `Quick
-            test_mix_seed ] );
+            test_mix_seed;
+          Alcotest.test_case "zipf edge cases" `Quick test_zipf_edges;
+          QCheck_alcotest.to_alcotest prop_zipf_cdf;
+          QCheck_alcotest.to_alcotest prop_zipf_draw_inverts;
+          QCheck_alcotest.to_alcotest prop_zipf_empirical ] );
       ( "ops+models",
         [ Alcotest.test_case "ops strings" `Quick test_ops_strings;
           Alcotest.test_case "model algebra" `Quick test_model_algebra;

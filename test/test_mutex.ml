@@ -674,6 +674,37 @@ let test_registry () =
   check "names unique" (List.length names)
     (List.length (List.sort_uniq compare names))
 
+(* Packed-word cap boundary: the recoverable queue packs n slots of
+   bits_needed(n) bits into one register, so it tops out at n = 15
+   (15·4 = 60 <= 62, but 16·5 = 80 > 62).  [supports] must flip exactly
+   there, and a direct [create] past the cap must fail loudly with a
+   message naming the algorithm and the cap — not surface as a
+   backend-specific register-width error. *)
+let test_rec_queue_packing_cap () =
+  let contains hay needle =
+    let lh = String.length hay and ln = String.length needle in
+    let rec go i =
+      i + ln <= lh && (String.sub hay i ln = needle || go (i + 1))
+    in
+    go 0
+  in
+  let (module Q : Mutex_intf.ALG) =
+    Option.get (Registry.find "recoverable-queue")
+  in
+  check_bool "supports n=15" true (Q.supports (Mutex_intf.params 15));
+  check_bool "rejects n=16" false (Q.supports (Mutex_intf.params 16));
+  let memory = Cfc_runtime.Memory.create () in
+  let module M = (val Cfc_runtime.Sim_mem.mem memory) in
+  let module L = Q.Make (M) in
+  (* At the boundary itself allocation must still go through. *)
+  ignore (L.create (Mutex_intf.params 15));
+  match L.create (Mutex_intf.params 16) with
+  | exception Invalid_argument msg ->
+      check_bool "error names the algorithm" true
+        (contains msg "recoverable-queue");
+      check_bool "error states the cap" true (contains msg "n <= 15")
+  | _ -> Alcotest.fail "create past the packing cap was accepted"
+
 let () =
   Alcotest.run "cfc_mutex"
     [ ( "contention-free",
@@ -715,4 +746,7 @@ let () =
           QCheck_alcotest.to_alcotest prop_detector_wait_free;
           Alcotest.test_case "splitter tree wc" `Quick
             test_splitter_tree_wc ] );
-      ("registry", [ Alcotest.test_case "registry" `Quick test_registry ]) ]
+      ( "registry",
+        [ Alcotest.test_case "registry" `Quick test_registry;
+          Alcotest.test_case "rec-queue packing cap" `Quick
+            test_rec_queue_packing_cap ] ) ]

@@ -247,7 +247,52 @@ let test_latency_hist () =
   merge_into ~into:m h;
   merge_into ~into:m s;
   check "merged count" 1008 (count m);
-  check "merged max" 100_000 (max_ns m)
+  check "merged max" 100_000 (max_ns m);
+  check "merged min" 1 (min_ns m)
+
+(* Regression for the percentile envelope: the bucket midpoint is only
+   accurate to sqrt 2, so a single-sample histogram used to report
+   percentiles off the sample in both directions (midpoint 768 for a
+   sample of 1023; the max-clamp alone still allowed undershoot).  Every
+   percentile of a single-sample histogram must be the sample, exactly,
+   and on any histogram the reported value must stay inside the observed
+   [min_ns, max_ns] envelope. *)
+let test_latency_hist_percentile_envelope () =
+  let open Cfc_native.Latency_hist in
+  (* 1023 sits at the very top of bucket 9 (midpoint 768): without the
+     min-clamp p100 undershoots; 1025 sits at the very bottom of bucket
+     10 (midpoint 1536): without the max-clamp p100 overshoots. *)
+  List.iter
+    (fun sample ->
+      let h = create () in
+      record h sample;
+      check "single-sample min" sample (min_ns h);
+      check "single-sample max" sample (max_ns h);
+      List.iter
+        (fun q ->
+          Alcotest.(check (float 0.))
+            (Printf.sprintf "sample %d p%.0f exact" sample (100. *. q))
+            (float_of_int sample) (percentile h q))
+        [ 0.0; 0.5; 0.99; 1.0 ])
+    [ 0; 1; 2; 3; 100; 1023; 1024; 1025; 999_999 ];
+  (* Two-point histograms: every percentile within the envelope. *)
+  let h = create () in
+  record h 1023;
+  record h 1025;
+  List.iter
+    (fun q ->
+      let v = percentile h q in
+      check_bool
+        (Printf.sprintf "p%.0f=%.1f inside [1023, 1025]" (100. *. q) v)
+        true
+        (v >= 1023. && v <= 1025.))
+    [ 0.0; 0.5; 0.9; 1.0 ];
+  check "min tracked" 1023 (min_ns h);
+  (* Negative samples clamp to 0 and stay representable. *)
+  let n = create () in
+  record n (-5);
+  check "clamped min" 0 (min_ns n);
+  Alcotest.(check (float 0.)) "clamped percentile" 0.0 (percentile n 1.0)
 
 (* The off switch is the plain backend: a run without instrumentation
    still measures time and exclusion but reports all-zero counters. *)
@@ -346,13 +391,88 @@ let test_lock_service_crash_injection () =
     | exception Invalid_argument _ -> true
     | _ -> false)
 
+(* The recoverable queue's packed-word cap must fail identically on the
+   native arena: the check lives in the algorithm, so a direct [create]
+   at n = 16 names "recoverable-queue" and the n <= 15 cap instead of
+   surfacing a bare Native_mem width error (the sim twin of this test is
+   in test_mutex). *)
+let test_rec_queue_cap_native () =
+  let contains hay needle =
+    let lh = String.length hay and ln = String.length needle in
+    let rec go i =
+      i + ln <= lh && (String.sub hay i ln = needle || go (i + 1))
+    in
+    go 0
+  in
+  let (module Q : Mutex_intf.ALG) =
+    Option.get (Registry.find "recoverable-queue")
+  in
+  let module M = (val Cfc_native.Native_mem.mem ()) in
+  let module L = Q.Make (M) in
+  ignore (L.create (Mutex_intf.params 15));
+  match L.create (Mutex_intf.params 16) with
+  | exception Invalid_argument msg ->
+      check_bool "error names the algorithm" true
+        (contains msg "recoverable-queue");
+      check_bool "error states the cap" true (contains msg "n <= 15")
+  | _ -> Alcotest.fail "create past the packing cap was accepted natively"
+
+(* Sharded KV smoke: real domains against the bucketed store, mix A
+   (update-heavy, exercises the lost-update witness) and mix E
+   (scan-heavy, exercises the torn-snapshot witness).  Both witnesses
+   must come out clean, every op must land on exactly one shard, and
+   the per-shard kind counts must re-sum to the totals. *)
+let test_kv_service_smoke () =
+  let domains = 2 in
+  let ops = 300 in
+  List.iter
+    (fun (mix_name, mix) ->
+      let r =
+        Cfc_native.Kv_service.run Registry.mcs
+          { Cfc_native.Kv_service.domains; buckets = 8; keys = 1 lsl 12;
+            ops; mean_think = 2; theta = 0.99; mix; seed = 11 }
+      in
+      let open Cfc_native.Kv_service in
+      check (mix_name ^ " total ops") (domains * ops) r.total_ops;
+      check_bool (mix_name ^ " exclusion") true r.exclusion_ok;
+      check (mix_name ^ " lost updates") 0 r.lost_updates;
+      check (mix_name ^ " torn scans") 0 r.torn_scans;
+      check (mix_name ^ " shards") 8 (Array.length r.shards);
+      let sum f = Array.fold_left (fun a s -> a + f s) 0 r.shards in
+      check (mix_name ^ " shard ops resum") r.total_ops
+        (sum (fun s -> s.ks_ops));
+      check (mix_name ^ " shard kinds resum") r.total_ops
+        (sum (fun s -> s.ks_reads + s.ks_updates + s.ks_scans + s.ks_rmws));
+      check_bool (mix_name ^ " latency ordered") true
+        (r.p50_ns <= r.p99_ns && r.p99_ns <= float_of_int r.max_ns);
+      check_bool (mix_name ^ " counters active") true
+        (r.counters.Cfc_native.Instr_mem.ops > 0);
+      check_bool (mix_name ^ " hot share sane") true
+        (r.hot_share > 0.0 && r.hot_share <= 1.0))
+    [ ("mix A", Cfc_workload.Ycsb.mix_a); ("mix E", Cfc_workload.Ycsb.mix_e) ];
+  (* Uninstrumented path: witnesses still run, counters stay zero. *)
+  let r =
+    Cfc_native.Kv_service.run ~instrument:false Registry.mcs
+      { Cfc_native.Kv_service.domains; buckets = 4; keys = 1 lsl 10;
+        ops = 200; mean_think = 0; theta = 0.0;
+        mix = Cfc_workload.Ycsb.mix_a; seed = 5 }
+  in
+  check_bool "passthrough exclusion" true
+    r.Cfc_native.Kv_service.exclusion_ok;
+  check "passthrough counters" 0
+    r.Cfc_native.Kv_service.counters.Cfc_native.Instr_mem.ops;
+  check_bool "passthrough rmr zero" true
+    (r.Cfc_native.Kv_service.rmr_per_op = 0.0)
+
 let () =
   Alcotest.run "cfc_native"
     [ ( "semantics",
         [ Alcotest.test_case "register semantics" `Quick
             test_native_register_semantics;
           Alcotest.test_case "word rmw + fields" `Quick
-            test_native_word_rmw ] );
+            test_native_word_rmw;
+          Alcotest.test_case "rec-queue packing cap (native)" `Quick
+            test_rec_queue_cap_native ] );
       ( "parallel",
         [ Alcotest.test_case "uncontended smoke" `Quick
             test_uncontended_smoke;
@@ -368,9 +488,14 @@ let () =
           Alcotest.test_case "counter semantics" `Quick
             test_instr_counter_semantics;
           Alcotest.test_case "latency histogram" `Quick test_latency_hist;
+          Alcotest.test_case "percentile envelope" `Quick
+            test_latency_hist_percentile_envelope;
           Alcotest.test_case "passthrough when off" `Quick
             test_lock_service_passthrough;
           Alcotest.test_case "contended service" `Slow
             test_lock_service_contended;
           Alcotest.test_case "crash injection (recoverable locks)" `Slow
-            test_lock_service_crash_injection ] ) ]
+            test_lock_service_crash_injection ] );
+      ( "kv-service",
+        [ Alcotest.test_case "sharded smoke + witnesses" `Slow
+            test_kv_service_smoke ] ) ]

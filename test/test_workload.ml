@@ -4,6 +4,7 @@
    introduction's motivation — the fast algorithm beats the bakery when
    contention is rare. *)
 
+open Cfc_base
 open Cfc_mutex
 open Cfc_workload
 
@@ -134,6 +135,55 @@ let test_think_stream_geometric () =
   check "mean 0 is always 0" 0
     (List.fold_left ( + ) 0 (List.init 100 (fun _ -> z ~mean:0)))
 
+(* Regression for the think-stream seeding bug: the per-pid state must
+   be [Random.State.make [| Ixmath.mix_seed seed pid |]] — the raw
+   [| seed; pid |] pair correlates adjacent pids.  Pinning the exact
+   derivation is also the simulated/native parity contract: the native
+   Lock_service and Kv_service build their worker streams from the same
+   expression, so equality here is equality there. *)
+let test_think_stream_split_seeded () =
+  let mean = 10 in
+  List.iter
+    (fun (seed, pid) ->
+      let stream = Workload.think_stream ~seed ~pid in
+      let st = Random.State.make [| Ixmath.mix_seed seed pid |] in
+      let pinned () = Ixmath.geometric ~u:(Random.State.float st 1.0) ~mean in
+      for i = 1 to 200 do
+        check
+          (Printf.sprintf "seed=%d pid=%d draw %d pinned to mix_seed" seed
+             pid i)
+          (pinned ()) (stream ~mean)
+      done)
+    [ (42, 0); (42, 1); (7, 63); (123456789, 12) ];
+  (* Adjacent-pid streams are pairwise uncorrelated: the Pearson
+     coefficient over a long prefix stays near 0.  (With the raw
+     [| seed; pid |] seeding this check fails: adjacent states produce
+     visibly correlated sequences.) *)
+  let len = 4_000 in
+  let draws pid =
+    let s = Workload.think_stream ~seed:42 ~pid in
+    Array.init len (fun _ -> float_of_int (s ~mean))
+  in
+  let pearson a b =
+    let n = float_of_int len in
+    let mean x = Array.fold_left ( +. ) 0. x /. n in
+    let ma = mean a and mb = mean b in
+    let cov = ref 0. and va = ref 0. and vb = ref 0. in
+    for i = 0 to len - 1 do
+      cov := !cov +. ((a.(i) -. ma) *. (b.(i) -. mb));
+      va := !va +. ((a.(i) -. ma) ** 2.);
+      vb := !vb +. ((b.(i) -. mb) ** 2.)
+    done;
+    !cov /. sqrt (!va *. !vb)
+  in
+  for pid = 0 to 4 do
+    let r = pearson (draws pid) (draws (pid + 1)) in
+    check_bool
+      (Printf.sprintf "pids %d,%d uncorrelated (r=%.4f)" pid (pid + 1) r)
+      true
+      (Float.abs r < 0.06)
+  done
+
 (* rounds = 0 is a legal empty run: zero acquisitions and well-defined
    (non-NaN) statistics. *)
 let test_empty_run () =
@@ -234,6 +284,161 @@ let test_scale_cost_independent_of_think () =
     true
     (long.Workload.sr_live_peak <= n)
 
+(* ------------------------------------------------------------------ *)
+(* YCSB generator                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let count_kinds stream n =
+  let c = Array.make 4 0 in
+  for _ = 1 to n do
+    (match Ycsb.next stream with
+    | Ycsb.Read _ -> c.(0) <- c.(0) + 1
+    | Ycsb.Update _ -> c.(1) <- c.(1) + 1
+    | Ycsb.Scan _ -> c.(2) <- c.(2) + 1
+    | Ycsb.Rmw _ -> c.(3) <- c.(3) + 1)
+  done;
+  c
+
+(* Empirical op-kind frequencies of each preset match its declared
+   probabilities (seeded, hence deterministic). *)
+let test_ycsb_mix_frequencies () =
+  let n = 20_000 in
+  List.iter
+    (fun m ->
+      let s = Ycsb.stream ~seed:11 ~client:0 ~nkeys:1000 ~theta:0.6 m in
+      let c = count_kinds s n in
+      let freq i = float_of_int c.(i) /. float_of_int n in
+      List.iteri
+        (fun i expect ->
+          check_bool
+            (Printf.sprintf "mix %s kind %d freq %.3f ~ %.3f" m.Ycsb.mix_name
+               i (freq i) expect)
+            true
+            (Float.abs (freq i -. expect) < 0.01))
+        [ m.Ycsb.read; m.Ycsb.update; m.Ycsb.scan; m.Ycsb.rmw ])
+    Ycsb.mixes;
+  (* C is exactly read-only; E's scans carry the declared length. *)
+  let c = Ycsb.stream ~seed:3 ~client:1 ~nkeys:100 ~theta:0.0 Ycsb.mix_c in
+  for _ = 1 to 500 do
+    match Ycsb.next c with
+    | Ycsb.Read _ -> ()
+    | _ -> Alcotest.fail "mix C produced a non-read"
+  done;
+  let e = Ycsb.stream ~seed:3 ~client:1 ~nkeys:100 ~theta:0.0 Ycsb.mix_e in
+  for _ = 1 to 500 do
+    match Ycsb.next e with
+    | Ycsb.Scan (_, len) ->
+      check "scan length" Ycsb.mix_e.Ycsb.scan_len len
+    | Ycsb.Rmw _ -> ()
+    | _ -> Alcotest.fail "mix E produced a non-scan non-rmw"
+  done
+
+let test_ycsb_stream_seeding () =
+  let take s n = List.init n (fun _ -> Ycsb.next s) in
+  let mk client =
+    Ycsb.stream ~seed:42 ~client ~nkeys:4096 ~theta:0.99 Ycsb.mix_a
+  in
+  Alcotest.(check bool)
+    "same (seed, client) replays" true
+    (take (mk 3) 100 = take (mk 3) 100);
+  check_bool "distinct clients differ" true (take (mk 3) 100 <> take (mk 4) 100);
+  (* The op stream is salted away from the think stream: a client's key
+     draws must not replay its think-time uniform draws. *)
+  let ops = mk 5 in
+  let think = Workload.think_stream ~seed:42 ~pid:5 in
+  let keys = List.init 100 (fun _ -> Ycsb.key_of (Ycsb.next ops)) in
+  let thinks = List.init 100 (fun _ -> think ~mean:50) in
+  check_bool "op stream disjoint from think stream" true (keys <> thinks);
+  (* Zipf head: at theta = 0.99 the hottest rank dominates the coldest. *)
+  let z = Ycsb.stream ~seed:9 ~client:0 ~nkeys:64 ~theta:0.99 Ycsb.mix_c in
+  let hot = ref 0 and cold = ref 0 in
+  for _ = 1 to 10_000 do
+    match Ycsb.key_of (Ycsb.next z) with
+    | 0 -> incr hot
+    | 63 -> incr cold
+    | _ -> ()
+  done;
+  check_bool
+    (Printf.sprintf "rank 0 (%d) >> rank 63 (%d)" !hot !cold)
+    true
+    (!hot > 10 * max 1 !cold);
+  match Ycsb.stream ~seed:1 ~client:0 ~nkeys:0 ~theta:0.0 Ycsb.mix_a with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "nkeys=0 accepted"
+
+(* ------------------------------------------------------------------ *)
+(* The sharded KV service on the wheel                                  *)
+(* ------------------------------------------------------------------ *)
+
+let kcfg ?(clients = 32) ?(buckets = 8) ?(keys = 1024) ?(ops = 6)
+    ?(think = 128) ?(theta = 0.99) ?(mix = Ycsb.mix_a) ?(seed = 42) () =
+  { Kv_sim.kc_clients = clients; kc_buckets = buckets; kc_keys = keys;
+    kc_ops = ops; kc_mean_think = think; kc_theta = theta; kc_mix = mix;
+    kc_seed = seed }
+
+(* Every op completes as a monitored lock acquisition on its shard, the
+   per-shard tallies add up, and both witnesses come out clean — across
+   a spread of registry locks and all four mixes. *)
+let test_kv_complete_and_clean () =
+  List.iter
+    (fun alg ->
+      let (module A : Mutex_intf.ALG) = alg in
+      List.iter
+        (fun mix ->
+          let r = Kv_sim.run alg (kcfg ~mix ()) in
+          let label s = Printf.sprintf "%s/%s %s" A.name mix.Ycsb.mix_name s in
+          check (label "ops") (32 * 6) r.Kv_sim.kr_ops;
+          check (label "acquisitions") r.Kv_sim.kr_ops r.Kv_sim.kr_acquisitions;
+          check (label "lost updates") 0 r.Kv_sim.kr_lost_updates;
+          check (label "torn scans") 0 r.Kv_sim.kr_torn_scans;
+          check (label "spawned") 32 r.Kv_sim.kr_spawned;
+          let shard_ops =
+            Array.fold_left (fun acc s -> acc + s.Kv_sim.ss_ops) 0
+              r.Kv_sim.kr_shards
+          in
+          check (label "shard ops sum") r.Kv_sim.kr_ops shard_ops;
+          Array.iter
+            (fun s ->
+              check (label "kind sum")
+                s.Kv_sim.ss_ops
+                (s.Kv_sim.ss_reads + s.Kv_sim.ss_updates + s.Kv_sim.ss_scans
+               + s.Kv_sim.ss_rmws);
+              check (label "per-shard acq = ops") s.Kv_sim.ss_ops
+                s.Kv_sim.ss_acquisitions)
+            r.Kv_sim.kr_shards)
+        Ycsb.mixes)
+    [ Registry.mcs; Registry.tas_lock; Registry.lamport_fast ]
+
+let test_kv_deterministic () =
+  let kc = kcfg ~mix:Ycsb.mix_e () in
+  let a = Kv_sim.run Registry.mcs kc in
+  let b = Kv_sim.run Registry.mcs kc in
+  check_bool "identical result records" true (a = b);
+  let c = Kv_sim.run Registry.mcs { kc with Kv_sim.kc_seed = 43 } in
+  check_bool "different seed differs" true (a <> c)
+
+(* The Zipf dial reaches the service: a skewed key space concentrates
+   traffic on the hottest shard. *)
+let test_kv_theta_hot_share () =
+  let run theta =
+    Kv_sim.run Registry.mcs
+      (kcfg ~clients:64 ~ops:64 ~buckets:16 ~keys:4096 ~think:64 ~theta ())
+  in
+  let uniform = run 0.0 and skewed = run 0.99 in
+  check_bool
+    (Printf.sprintf "hot share %.3f (theta=0.99) > %.3f (theta=0)"
+       skewed.Kv_sim.kr_hot_share uniform.Kv_sim.kr_hot_share)
+    true
+    (skewed.Kv_sim.kr_hot_share > uniform.Kv_sim.kr_hot_share)
+
+let test_kv_rejects () =
+  (match Kv_sim.run Registry.mcs (kcfg ~clients:1 ()) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "clients=1 accepted");
+  match Kv_sim.run Registry.mcs (kcfg ~keys:0 ()) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "keys=0 accepted"
+
 let () =
   Alcotest.run "cfc_workload"
     [ ( "workload",
@@ -252,6 +457,8 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_deterministic;
           Alcotest.test_case "think stream is geometric" `Quick
             test_think_stream_geometric;
+          Alcotest.test_case "think stream split-seeding (regression)" `Quick
+            test_think_stream_split_seeded;
           Alcotest.test_case "empty run is well-defined" `Quick
             test_empty_run;
           Alcotest.test_case "step-budget exhaustion raises" `Quick
@@ -264,4 +471,17 @@ let () =
           Alcotest.test_case "chaos requires a recoverable lock" `Quick
             test_scale_chaos_needs_recovery;
           Alcotest.test_case "cost independent of think time" `Quick
-            test_scale_cost_independent_of_think ] ) ]
+            test_scale_cost_independent_of_think ] );
+      ( "ycsb",
+        [ Alcotest.test_case "mix frequencies" `Quick
+            test_ycsb_mix_frequencies;
+          Alcotest.test_case "stream seeding" `Quick test_ycsb_stream_seeding ] );
+      ( "kv",
+        [ Alcotest.test_case "complete and witness-clean" `Quick
+            test_kv_complete_and_clean;
+          Alcotest.test_case "deterministic in the seed" `Quick
+            test_kv_deterministic;
+          Alcotest.test_case "zipf skew concentrates the hot shard" `Quick
+            test_kv_theta_hot_share;
+          Alcotest.test_case "bad dimensions rejected" `Quick
+            test_kv_rejects ] ) ]
