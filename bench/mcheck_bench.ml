@@ -56,20 +56,21 @@ let time f =
   let budget = 0.5 and max_iters = 50 in
   let best = ref infinity in
   let result = ref None in
-  let started = Unix.gettimeofday () in
+  let started = Unix.gettimeofday () in (* lint-allow: wall-clock — benchmark timer *)
   let iters = ref 0 in
   let continue () =
     !iters = 0
     || (not quick)
        && !iters < max_iters
        && !best < budget
-       && (!iters < 3 || Unix.gettimeofday () -. started < budget)
+       && (!iters < 3
+          || (* lint-allow: wall-clock — benchmark timer *) Unix.gettimeofday () -. started < budget)
   in
   while continue () do
     incr iters;
-    let t0 = Unix.gettimeofday () in
+    let t0 = Unix.gettimeofday () in (* lint-allow: wall-clock — benchmark timer *)
     let r = f () in
-    let d = Unix.gettimeofday () -. t0 in
+    let d = Unix.gettimeofday () -. t0 in (* lint-allow: wall-clock — benchmark timer *)
     if d < !best then best := d;
     result := Some r
   done;

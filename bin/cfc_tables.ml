@@ -783,6 +783,105 @@ let lint_cmd =
           replay safety, and the determinism source scan.")
     Term.(const run $ json_arg $ fixtures_arg)
 
+let races_cmd =
+  let fixtures_arg =
+    Arg.(
+      value & flag
+      & info [ "fixtures" ]
+          ~doc:"Include the deliberately broken fixtures.")
+  in
+  let subject_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "subject" ] ~docv:"NAME"
+          ~doc:"Only subjects whose algorithm name contains $(docv).")
+  in
+  let verbose_arg =
+    Arg.(
+      value & flag
+      & info [ "verbose"; "v" ]
+          ~doc:"Print the full per-subject race/wakeup/register tables.")
+  in
+  let run fixtures subject verbose =
+    let subjects =
+      Cfc_analysis.Subjects.registry ()
+      @ (if fixtures then Cfc_analysis.Fixtures.subjects () else [])
+    in
+    let subjects =
+      match subject with
+      | None -> subjects
+      | Some s ->
+        let contains hay needle =
+          let nh = String.length hay and nn = String.length needle in
+          let rec at i =
+            i + nn <= nh && (String.sub hay i nn = needle || at (i + 1))
+          in
+          at 0
+        in
+        List.filter
+          (fun (x : Cfc_analysis.Subjects.t) -> contains x.alg_name s)
+          subjects
+    in
+    let harmful_total = ref 0 in
+    let summary =
+      Texttab.create
+        ~header:
+          [ "algorithm"; "config"; "liveness"; "races"; "harmful"; "benign";
+            "atomic-req" ]
+    in
+    List.iter
+      (fun (s : Cfc_analysis.Subjects.t) ->
+        let report = Cfc_analysis.Analyze.analyze s in
+        let p = Cfc_analysis.Product.of_report report in
+        let harmful = Cfc_analysis.Product.harmful p in
+        harmful_total := !harmful_total + List.length harmful;
+        let benign =
+          List.length
+            (List.filter
+               (fun (r : Cfc_analysis.Product.race) ->
+                 r.r_verdict <> Cfc_analysis.Product.Sync
+                 && r.r_verdict <> Cfc_analysis.Product.Harmful)
+               p.races)
+        in
+        let atomic_req =
+          List.filter
+            (fun (g : Cfc_analysis.Product.reg_verdict) ->
+              g.g_semantics = Cfc_analysis.Product.Atomic_required)
+            p.registers
+        in
+        Texttab.add_row summary
+          [
+            s.alg_name; s.config;
+            Cfc_analysis.Product.liveness_name p.liveness;
+            string_of_int (List.length p.races);
+            string_of_int (List.length harmful);
+            string_of_int benign;
+            String.concat ","
+              (List.map
+                 (fun (g : Cfc_analysis.Product.reg_verdict) -> g.g_name)
+                 atomic_req);
+          ];
+        if verbose then Cfc_analysis.Product.print p
+        else
+          List.iter
+            (fun (r : Cfc_analysis.Product.race) ->
+              Printf.printf "HARMFUL %s %s on %s: %s\n  %s: %s\n  %s: %s\n"
+                s.alg_name s.config r.r_name r.r_note r.r_left.p_group
+                r.r_left.p_path r.r_right.p_group r.r_right.p_path)
+            harmful)
+      subjects;
+    Texttab.print summary;
+    if !harmful_total > 0 then Stdlib.exit 1
+  in
+  Cmd.v
+    (Cmd.info "races"
+       ~doc:
+         "Pairwise product passes over the solo access graphs: race \
+          classification, spin-wakeup liveness skeleton, and \
+          weaker-register sensitivity per subject.")
+    Term.(const run $ fixtures_arg $ subject_arg $ verbose_arg)
+
 let () =
   let doc =
     "Reproduction of Alur & Taubenfeld, 'Contention-Free Complexity of \
@@ -794,4 +893,5 @@ let () =
           (Cmd.info "cfc-tables" ~version:"1.0.0" ~doc)
           [ mutex_cmd; naming_cmd; sweep_cmd; detect_cmd; unbounded_cmd;
             cf_cmd; mcheck_cmd; backoff_cmd; trace_cmd; faults_cmd;
-            native_cmd; scale_cmd; kv_cmd; models_cmd; lint_cmd ]))
+            native_cmd; scale_cmd; kv_cmd; models_cmd; lint_cmd;
+            races_cmd ]))

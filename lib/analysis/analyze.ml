@@ -23,9 +23,24 @@ type node = {
   mutable n_may_end : bool;
   mutable n_baseline : int;
   mutable n_baseline_write : bool;
+  mutable n_wvals : int list;
+  mutable n_wvals_exact : bool;
+  mutable n_spinvals : int list;
+  mutable n_spinvals_exact : bool;
 }
 
 type key = int * string * int
+
+(* Value sets on nodes are capped: past [max_vals] distinct values the
+   set is dropped and marked inexact, and every consumer must fall back
+   to "could be anything". *)
+let max_vals = 8
+
+let add_val vals exact v =
+  if not exact then (vals, false)
+  else if List.mem v vals then (vals, true)
+  else if List.length vals >= max_vals then ([], false)
+  else (v :: vals, true)
 
 type graph = {
   g_nodes : (key, node) Hashtbl.t;
@@ -37,6 +52,7 @@ type variant_report = {
   vr_graph : graph;
   vr_baseline : Measures.sample;
   vr_paths : int;
+  vr_completed : key list list;
   vr_spin_regs : (int * string) list;
   vr_writes_line : int list;
   vr_writes_cycle : int list;
@@ -126,15 +142,17 @@ let observes : Sym_mem.op -> bool = function
   | O_bit b -> Cfc_base.Ops.returns_value b
   | O_write | O_field _ -> false
 
-(* Merge one path into the graph.  Node identity is (register, op class,
-   occurrence along the path), so re-executions of the same instruction
-   in a loop become distinct nodes up to the point where the cycle was
-   recognized; [cycle] holds the trace indices of the detected period. *)
+(* Merge one path into the graph and return its key sequence.  Node
+   identity is (register, op class, occurrence along the path), so
+   re-executions of the same instruction in a loop become distinct nodes
+   up to the point where the cycle was recognized; [cycle] holds the
+   trace indices of the detected period. *)
 let merge_path g ~baseline ~ended ~cycle steps =
   let occs = Hashtbl.create 16 in
   let in_cycle i = List.exists (fun (s : Sym_mem.step) -> s.s_index = i) cycle in
   let nsteps = List.length steps in
   let prev = ref None in
+  let keys = ref [] in
   let first_cycle_key = ref None in
   let last_cycle_key = ref None in
   List.iteri
@@ -164,6 +182,10 @@ let merge_path g ~baseline ~ended ~cycle steps =
               n_may_end = false;
               n_baseline = -1;
               n_baseline_write = false;
+              n_wvals = [];
+              n_wvals_exact = true;
+              n_spinvals = [];
+              n_spinvals_exact = true;
             }
           in
           Hashtbl.add g.g_nodes k n;
@@ -171,8 +193,20 @@ let merge_path g ~baseline ~ended ~cycle steps =
       in
       node.n_write <- node.n_write || s.s_write;
       node.n_observes <- node.n_observes || observes s.s_op;
+      if s.s_write then begin
+        let vals, exact = add_val node.n_wvals node.n_wvals_exact s.s_post in
+        node.n_wvals <- vals;
+        node.n_wvals_exact <- exact
+      end;
       if in_cycle s.s_index then begin
         node.n_cycle <- true;
+        if observes s.s_op then begin
+          let vals, exact =
+            add_val node.n_spinvals node.n_spinvals_exact s.s_value
+          in
+          node.n_spinvals <- vals;
+          node.n_spinvals_exact <- exact
+        end;
         if !first_cycle_key = None then first_cycle_key := Some k;
         last_cycle_key := Some k
       end;
@@ -184,12 +218,14 @@ let merge_path g ~baseline ~ended ~cycle steps =
       (match !prev with
       | Some pk -> Hashtbl.replace g.g_edges (pk, k) ()
       | None -> ());
-      prev := Some k)
+      prev := Some k;
+      keys := k :: !keys)
     steps;
   (* the busy-wait back edge *)
-  match (!last_cycle_key, !first_cycle_key) with
+  (match (!last_cycle_key, !first_cycle_key) with
   | Some a, Some b -> Hashtbl.replace g.g_edges (a, b) ()
-  | _ -> ()
+  | _ -> ());
+  List.rev !keys
 
 (* ---------- per-variant exploration ---------- *)
 
@@ -203,6 +239,7 @@ let explore ~config (v : Subjects.variant) =
   let baseline = ref Measures.zero in
   let baseline_len = ref 0 in
   let natural_swallow = ref false in
+  let completed = ref [] in
   while (not (Queue.is_empty queue)) && !paths < config.max_paths do
     let plan = Queue.take queue in
     incr paths;
@@ -225,7 +262,8 @@ let explore ~config (v : Subjects.variant) =
       if swallowed ctx ending then natural_swallow := true;
       let cycle = Option.value ~default:[] (Sym_mem.spin_cycle ctx) in
       let ended = match ending with P_done -> true | P_cut _ | P_raised _ -> false in
-      merge_path g ~baseline:is_baseline ~ended ~cycle steps;
+      let keys = merge_path g ~baseline:is_baseline ~ended ~cycle steps in
+      if ended then completed := keys :: !completed;
       if List.length plan < config.max_forks then begin
         let last =
           match List.rev plan with [] -> -1 | (i, _) :: _ -> i
@@ -243,7 +281,7 @@ let explore ~config (v : Subjects.variant) =
       end
     end
   done;
-  (g, !baseline, !baseline_len, !paths, !natural_swallow)
+  (g, !baseline, !baseline_len, !paths, List.rev !completed, !natural_swallow)
 
 (* The replay-safety probe: discontinue each baseline access in turn and
    check the exception escapes (the process really stops). *)
@@ -258,7 +296,7 @@ let probe_replay_safe ~config (v : Subjects.variant) ~len =
   !safe
 
 let analyze_variant ~config (v : Subjects.variant) =
-  let g, baseline, baseline_len, paths, natural_swallow =
+  let g, baseline, baseline_len, paths, completed, natural_swallow =
     explore ~config v
   in
   let spin_regs = Hashtbl.create 8 in
@@ -279,6 +317,7 @@ let analyze_variant ~config (v : Subjects.variant) =
     vr_graph = g;
     vr_baseline = baseline;
     vr_paths = paths;
+    vr_completed = completed;
     vr_spin_regs =
       List.sort compare
         (Hashtbl.fold (fun r name l -> (r, name) :: l) spin_regs []);

@@ -46,6 +46,17 @@ type node = {
       (** position on the contention-free baseline path, [-1] if the
           node is reachable only under contention *)
   mutable n_baseline_write : bool;
+  mutable n_wvals : int list;
+      (** distinct values this access stored across explored paths
+          (post-access register content of writing executions) *)
+  mutable n_wvals_exact : bool;
+      (** [false] once the stored-value set overflowed the cap — the
+          access may then write anything *)
+  mutable n_spinvals : int list;
+      (** distinct values observed at this access while it was part of a
+          detected busy-wait cycle — the values the spin does {e not}
+          accept *)
+  mutable n_spinvals_exact : bool;
 }
 
 type key = int * string * int
@@ -61,6 +72,12 @@ type variant_report = {
   vr_baseline : Measures.sample;
       (** §2.2/§3.2 measures of the baseline path, from the graph *)
   vr_paths : int;  (** paths replayed (including discarded ones) *)
+  vr_completed : key list list;
+      (** the key sequence of every explored path on which the body
+          returned — exact witnesses for "can the variant complete
+          without executing node [k]?" questions, which the merged graph
+          cannot answer (merging fabricates cross-path walks no real
+          execution follows) *)
   vr_spin_regs : (int * string) list;
       (** registers observed inside busy-wait cycles *)
   vr_writes_line : int list;  (** registers written outside any cycle *)

@@ -7,6 +7,7 @@ type violation = { severity : severity; code : string; detail : string }
 
 type row = {
   report : Analyze.report;
+  product : Product.t;
   measured : Measures.sample;
   violations : violation list;
 }
@@ -20,10 +21,11 @@ type outcome = {
 
 let severity_name = function Error -> "error" | Warning -> "warning"
 
-(* ---------- the four per-algorithm checks ---------- *)
+(* ---------- the per-algorithm checks ---------- *)
 
 let check_subject ?config (subject : Subjects.t) =
   let report = Analyze.analyze ?config subject in
+  let product = Product.of_report ?config report in
   let measured = subject.Subjects.measured () in
   let v = ref [] in
   let push severity code detail = v := { severity; code; detail } :: !v in
@@ -55,12 +57,32 @@ let check_subject ?config (subject : Subjects.t) =
     push Warning "replay-unsafe"
       "a process can swallow a mid-access discontinuation and keep \
        running; the model checker must use the replay engine";
-  { report; measured; violations = List.rev !v }
+  List.iter
+    (fun (r : Product.race) ->
+      push Error "harmful-race"
+        (Printf.sprintf "on %s: %s | %s: %s | %s: %s" r.Product.r_name
+           r.Product.r_note r.Product.r_left.Product.p_group
+           r.Product.r_left.Product.p_path r.Product.r_right.Product.p_group
+           r.Product.r_right.Product.p_path))
+    (Product.harmful product);
+  if product.Product.liveness = Product.Deadlock_risk then
+    push Warning "liveness"
+      "every write that can break some busy-wait is guarded by a volatile \
+       register (the lost-wakeup shape); the protocol can deadlock";
+  { report; product; measured; violations = List.rev !v }
 
 (* ---------- determinism scan ---------- *)
 
-(* Assembled from pieces so the scanner never flags its own source. *)
-let forbidden = "Random" ^ "."
+(* Tokens assembled from pieces so the scanner never flags its own
+   source. *)
+let random_mod = "Random" ^ "."
+let unix_mod = "Unix" ^ "."
+let sys_mod = "Sys" ^ "."
+
+(* A wall-clock read is permitted only on a line carrying this marker —
+   used by the Bechamel-adjacent benchmark timers, where wall time is
+   the measurement itself, never an input to the system under test. *)
+let wall_clock_marker = "lint-allow: wall" ^ "-clock"
 
 let is_ident_char c =
   (c >= 'a' && c <= 'z')
@@ -68,34 +90,75 @@ let is_ident_char c =
   || (c >= '0' && c <= '9')
   || c = '_' || c = '\''
 
-let scan_line ~path ~lineno line acc =
-  let n = String.length line and fn = String.length forbidden in
-  let acc = ref acc in
+let line_contains line sub =
+  let n = String.length line and m = String.length sub in
+  let rec at i = i + m <= n && (String.sub line i m = sub || at (i + 1)) in
+  at 0
+
+(* Call [f member end_pos] for every occurrence of [prefix] (not preceded
+   by an identifier character) followed by the longest identifier run. *)
+let each_member line prefix f =
+  let n = String.length line and fn = String.length prefix in
   let i = ref 0 in
   while !i + fn <= n do
-    if String.sub line !i fn = forbidden then begin
-      (* the module path member following the dot *)
+    if
+      String.sub line !i fn = prefix
+      && (!i = 0 || not (is_ident_char line.[!i - 1]))
+    then begin
       let j = ref (!i + fn) in
       while !j < n && is_ident_char line.[!j] do
         incr j
       done;
-      let member = String.sub line (!i + fn) (!j - (!i + fn)) in
-      if member <> "State" then
-        acc :=
-          {
-            severity = Error;
-            code = "nondeterminism";
-            detail =
-              Printf.sprintf
-                "%s:%d: global randomness (%s%s); only seeded Random.State \
-                 is allowed"
-                path lineno forbidden member;
-          }
-          :: !acc;
-      i := !j
+      f (String.sub line (!i + fn) (!j - (!i + fn))) !j;
+      i := max (!i + 1) !j
     end
     else incr i
-  done;
+  done
+
+let scan_line ~path ~lineno line acc =
+  let acc = ref acc in
+  let push code detail =
+    acc :=
+      { severity = Error; code; detail = Printf.sprintf "%s:%d: %s" path lineno detail }
+      :: !acc
+  in
+  each_member line random_mod (fun member j ->
+      if member <> "State" then
+        push "nondeterminism"
+          (Printf.sprintf
+             "global randomness (%s%s); only seeded Random.State is allowed"
+             random_mod member)
+      else
+        (* State's make_self_init seeds from the environment — as
+           nondeterministic as the global functions. *)
+        let tail = "." ^ "make_self_init" in
+        let tn = String.length tail in
+        if
+          j + tn <= String.length line
+          && String.sub line j tn = tail
+          && (j + tn = String.length line || not (is_ident_char line.[j + tn]))
+        then
+          push "nondeterminism"
+            (Printf.sprintf
+               "environment-seeded randomness (%sState%s); use an explicit \
+                seed"
+               random_mod tail));
+  if not (line_contains line wall_clock_marker) then begin
+    each_member line unix_mod (fun member _ ->
+        if member = "gettimeofday" then
+          push "wall-clock"
+            (Printf.sprintf
+               "wall-clock read (%s%s) outside a benchmark timer; mark the \
+                line with '%s' if it only feeds a measurement"
+               unix_mod member wall_clock_marker));
+    each_member line sys_mod (fun member _ ->
+        if member = "time" then
+          push "wall-clock"
+            (Printf.sprintf
+               "wall-clock read (%s%s) outside a benchmark timer; mark the \
+                line with '%s' if it only feeds a measurement"
+               sys_mod member wall_clock_marker))
+  end;
   !acc
 
 let scan_file path acc =
@@ -112,6 +175,8 @@ let scan_file path acc =
   close_in ic;
   !acc
 
+let scanned_dirs = [ "lib"; "bench"; "bin"; "examples" ]
+
 let scan_sources ~root =
   let rec walk dir acc =
     Array.fold_left
@@ -126,7 +191,13 @@ let scan_sources ~root =
       acc
       (Sys.readdir dir)
   in
-  List.rev (walk (Filename.concat root "lib") [])
+  List.rev
+    (List.fold_left
+       (fun acc d ->
+         let dir = Filename.concat root d in
+         if Sys.file_exists dir && Sys.is_directory dir then walk dir acc
+         else acc)
+       [] scanned_dirs)
 
 let find_root () =
   let marker root = Filename.concat root (Filename.concat "lib" "base") in
@@ -174,7 +245,8 @@ let print outcome =
     Texttab.create
       ~header:
         [ "family"; "algorithm"; "cfg"; "static s/r"; "closed form";
-          "measured"; "l decl/max"; "spin"; "replay"; "graph n/e"; "issues" ]
+          "measured"; "l decl/max"; "spin"; "liveness"; "races h/t";
+          "replay"; "issues" ]
   in
   List.iter
     (fun r ->
@@ -193,8 +265,11 @@ let print outcome =
             (opt_int s.Subjects.declared_atomicity)
             r.report.Analyze.max_width;
           Analyze.spin_class_name r.report.Analyze.spin_class;
+          Product.liveness_name r.product.Product.liveness;
+          Printf.sprintf "%d/%d"
+            (List.length (Product.harmful r.product))
+            (List.length r.product.Product.races);
           (if r.report.Analyze.replay_safe then "safe" else "UNSAFE");
-          Printf.sprintf "%d/%d" r.report.Analyze.nodes r.report.Analyze.edges;
           string_of_int (List.length r.violations);
         ])
     outcome.rows;
@@ -239,19 +314,34 @@ let sample_json (s : Measures.sample) =
 
 let violation_json v =
   Printf.sprintf "{\"severity\": \"%s\", \"code\": \"%s\", \"detail\": \"%s\"}"
-    (severity_name v.severity) v.code (json_escape v.detail)
+    (severity_name v.severity) (json_escape v.code) (json_escape v.detail)
 
 let opt_json = function Some i -> string_of_int i | None -> "null"
 
 let to_json outcome =
   let row_json r =
     let s = r.report.Analyze.subject in
+    let p = r.product in
+    let count verdict =
+      List.length
+        (List.filter
+           (fun (x : Product.race) -> x.Product.r_verdict = verdict)
+           p.Product.races)
+    in
+    let register_json (g : Product.reg_verdict) =
+      Printf.sprintf "{\"name\": \"%s\", \"width\": %d, \"semantics\": \"%s\"}"
+        (json_escape g.Product.g_name)
+        g.Product.g_width
+        (Product.semantics_name g.Product.g_semantics)
+    in
     Printf.sprintf
       "    {\"family\": \"%s\", \"name\": \"%s\", \"config\": \"%s\", \
        \"static\": %s, \"measured\": %s, \"predicted_steps\": %s, \
        \"predicted_registers\": %s, \"declared_atomicity\": %s, \
        \"max_accessed_width\": %d, \"spin_class\": \"%s\", \
        \"replay_safe\": %b, \"graph_nodes\": %d, \"graph_edges\": %d, \
+       \"liveness\": \"%s\", \"races\": {\"total\": %d, \"harmful\": %d, \
+       \"sync\": %d, \"benign\": %d}, \"registers\": [%s], \
        \"violations\": [%s]}"
       (Subjects.family_name s.Subjects.family)
       (json_escape s.Subjects.alg_name)
@@ -265,10 +355,16 @@ let to_json outcome =
       (Analyze.spin_class_name r.report.Analyze.spin_class)
       r.report.Analyze.replay_safe r.report.Analyze.nodes
       r.report.Analyze.edges
+      (Product.liveness_name p.Product.liveness)
+      (List.length p.Product.races)
+      (count Product.Harmful) (count Product.Sync)
+      (count Product.Read_read + count Product.Same_value_write
+     + count Product.Failed_cas + count Product.Protected)
+      (String.concat ", " (List.map register_json p.Product.registers))
       (String.concat ", " (List.map violation_json r.violations))
   in
   Printf.sprintf
-    "{\n  \"schema\": \"cfc-lint/1\",\n  \"errors\": %d,\n  \"warnings\": \
+    "{\n  \"schema\": \"cfc-lint/2\",\n  \"errors\": %d,\n  \"warnings\": \
      %d,\n  \"source_findings\": [%s],\n  \"subjects\": [\n%s\n  ]\n}\n"
     outcome.errors outcome.warnings
     (String.concat ", " (List.map violation_json outcome.source_findings))

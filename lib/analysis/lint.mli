@@ -10,10 +10,12 @@ type severity = Error | Warning
 type violation = { severity : severity; code : string; detail : string }
 (** [code] is a stable machine-readable tag: ["cf-steps"],
     ["cf-registers"], ["static-vs-measured"], ["atomicity"],
-    ["replay-unsafe"], ["nondeterminism"]. *)
+    ["replay-unsafe"], ["harmful-race"], ["liveness"],
+    ["nondeterminism"], ["wall-clock"]. *)
 
 type row = {
   report : Analyze.report;
+  product : Product.t;  (** the pairwise product passes over [report] *)
   measured : Cfc_core.Measures.sample;
   violations : violation list;
 }
@@ -28,9 +30,12 @@ type outcome = {
 val check_subject : ?config:Analyze.config -> Subjects.t -> row
 
 val scan_sources : root:string -> violation list
-(** Scan every [.ml]/[.mli] under [root]/lib for uses of the global
-    [Random] module (anything but [Random.State]) — the deterministic-
-    by-default rule, enforced statically. *)
+(** Scan every [.ml]/[.mli] under [root]'s [lib], [bench], [bin] and
+    [examples] for determinism violations: uses of the global [Random]
+    module (anything but the seeded [State] sub-module), the
+    environment-seeded [make_self_init], and wall-clock reads (the Unix
+    [gettimeofday] and the Sys process timer) on lines not carrying the
+    benchmark-timer allow marker. *)
 
 val find_root : unit -> string option
 (** Walk up from the current directory to the first directory containing

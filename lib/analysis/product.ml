@@ -1,0 +1,629 @@
+open Cfc_base
+
+type verdict =
+  | Protected
+  | Read_read
+  | Same_value_write
+  | Failed_cas
+  | Sync
+  | Harmful
+
+let verdict_name = function
+  | Protected -> "protected"
+  | Read_read -> "read-read"
+  | Same_value_write -> "same-value-write"
+  | Failed_cas -> "failed-cas"
+  | Sync -> "sync"
+  | Harmful -> "HARMFUL"
+
+type party = {
+  p_group : string;
+  p_class : string;
+  p_writes : bool;
+  p_values : int list option;
+  p_path : string;
+}
+
+type race = {
+  r_reg : int;
+  r_name : string;
+  r_left : party;
+  r_right : party;
+  r_verdict : verdict;
+  r_note : string;
+}
+
+type wakeup = {
+  w_spinner : string;
+  w_reg : int;
+  w_name : string;
+  w_writers : string list;
+  w_suppressible : bool;
+}
+
+type liveness =
+  | Starvation_free_candidate
+  | Deadlock_free_candidate
+  | Deadlock_risk
+  | Unknown_liveness
+
+let liveness_name = function
+  | Starvation_free_candidate -> "starvation-free-candidate"
+  | Deadlock_free_candidate -> "deadlock-free-candidate"
+  | Deadlock_risk -> "DEADLOCK-RISK"
+  | Unknown_liveness -> "unknown"
+
+type semantics = Safe_ok | Regular_ok | Atomic_required
+
+let semantics_name = function
+  | Safe_ok -> "safe-ok"
+  | Regular_ok -> "regular-ok"
+  | Atomic_required -> "atomic-required"
+
+type reg_verdict = {
+  g_reg : int;
+  g_name : string;
+  g_width : int;
+  g_readers : string list;
+  g_writers : string list;
+  g_semantics : semantics;
+}
+
+type t = {
+  report : Analyze.report;
+  concurrent : bool;
+  races : race list;
+  wakeups : wakeup list;
+  liveness : liveness;
+  registers : reg_verdict list;
+}
+
+(* The harness's critical-section witness (see Subjects.of_mutex_checked)
+   is the one register the region annotations place entirely inside the
+   mutual-exclusion region: its cross-process pairs are discharged by the
+   protocol under analysis itself. *)
+let protected_names = [ "cs.witness" ]
+
+(* ---------- variant plumbing: groups, entries, reachability ---------- *)
+
+(* The process a variant models: its label up to a ['/'] (consensus
+   variants enumerate inputs per pid as "p0/in1").  Labels starting with
+   'p' are concurrently running processes; the naming family's "seq%d"
+   positions are sequential by construction and take no product. *)
+let group_of_label l =
+  match String.index_opt l '/' with
+  | Some i -> String.sub l 0 i
+  | None -> l
+
+let is_process_group g = String.length g > 0 && g.[0] = 'p'
+
+type vinfo = {
+  vr : Analyze.variant_report;
+  group : string;
+  entry : Analyze.key option;
+  succ : (Analyze.key, Analyze.key list) Hashtbl.t;
+}
+
+let vinfo_of (vr : Analyze.variant_report) =
+  let g = vr.Analyze.vr_graph in
+  let entry = ref None in
+  Hashtbl.iter
+    (fun k (n : Analyze.node) -> if n.Analyze.n_baseline = 0 then entry := Some k)
+    g.Analyze.g_nodes;
+  let succ = Hashtbl.create (Hashtbl.length g.Analyze.g_nodes) in
+  Hashtbl.iter
+    (fun (a, b) () ->
+      Hashtbl.replace succ a
+        (b :: Option.value ~default:[] (Hashtbl.find_opt succ a)))
+    g.Analyze.g_edges;
+  { vr; group = group_of_label vr.Analyze.vr_label; entry = !entry; succ }
+
+let node_of v k = Hashtbl.find v.vr.Analyze.vr_graph.Analyze.g_nodes k
+
+let render_node (n : Analyze.node) =
+  Printf.sprintf "%s:%s@%d" n.Analyze.n_name n.Analyze.n_class n.Analyze.n_occ
+
+(* A representative entry→target path (shortest, BFS parents), rendered
+   for race reports.  Falls back to the bare node when the target is
+   unreachable from the entry (contention-only node of a pruned path). *)
+let render_path v target =
+  match v.entry with
+  | None -> render_node (node_of v target)
+  | Some e ->
+    let parent = Hashtbl.create 64 in
+    let q = Queue.create () in
+    Hashtbl.add parent e e;
+    Queue.add e q;
+    let found = ref (e = target) in
+    while (not !found) && not (Queue.is_empty q) do
+      let k = Queue.take q in
+      List.iter
+        (fun k' ->
+          if not (Hashtbl.mem parent k') then begin
+            Hashtbl.add parent k' k;
+            if k' = target then found := true else Queue.add k' q
+          end)
+        (Option.value ~default:[] (Hashtbl.find_opt v.succ k))
+    done;
+    if not !found then render_node (node_of v target)
+    else begin
+      let rec walk k acc =
+        let p = Hashtbl.find parent k in
+        if p = k then k :: acc else walk p (k :: acc)
+      in
+      let keys = walk target [] in
+      let keys =
+        (* Elide the middle of long paths; ends carry the story. *)
+        let n = List.length keys in
+        if n <= 8 then List.map Option.some keys
+        else
+          List.filteri (fun i _ -> i < 4 || i >= n - 3) keys
+          |> List.map Option.some
+          |> fun l ->
+          List.concat [ List.filteri (fun i _ -> i < 4) l; [ None ];
+                        List.filteri (fun i _ -> i >= 4) l ]
+      in
+      String.concat " -> "
+        (List.map
+           (function None -> "..." | Some k -> render_node (node_of v k))
+           keys)
+    end
+
+(* ---------- per-(process, register, class) aggregation ---------- *)
+
+type agg = {
+  mutable a_write : bool;
+  mutable a_observes : bool;
+  mutable a_vals : int list;
+  mutable a_exact : bool;
+  mutable a_rep : (vinfo * Analyze.key) option;  (* prefers baseline nodes *)
+  mutable a_rep_baseline : bool;
+}
+
+let aggregate vinfos =
+  let by_cls : (string * int * string, agg) Hashtbl.t = Hashtbl.create 64 in
+  let reg_names = Hashtbl.create 16 in
+  List.iter
+    (fun v ->
+      Hashtbl.iter
+        (fun k (n : Analyze.node) ->
+          Hashtbl.replace reg_names n.Analyze.n_reg
+            (n.Analyze.n_name, n.Analyze.n_width);
+          let key = (v.group, n.Analyze.n_reg, n.Analyze.n_class) in
+          let a =
+            match Hashtbl.find_opt by_cls key with
+            | Some a -> a
+            | None ->
+              let a =
+                { a_write = false; a_observes = false; a_vals = [];
+                  a_exact = true; a_rep = None; a_rep_baseline = false }
+              in
+              Hashtbl.add by_cls key a;
+              a
+          in
+          a.a_write <- a.a_write || n.Analyze.n_write;
+          a.a_observes <- a.a_observes || n.Analyze.n_observes;
+          if n.Analyze.n_write then
+            if not n.Analyze.n_wvals_exact then a.a_exact <- false
+            else
+              List.iter
+                (fun v ->
+                  if not (List.mem v a.a_vals) then a.a_vals <- v :: a.a_vals)
+                n.Analyze.n_wvals;
+          let is_base = n.Analyze.n_baseline >= 0 in
+          if a.a_rep = None || (is_base && not a.a_rep_baseline) then begin
+            a.a_rep <- Some (v, k);
+            a.a_rep_baseline <- is_base
+          end)
+        v.vr.Analyze.vr_graph.Analyze.g_nodes)
+    vinfos;
+  (by_cls, reg_names)
+
+(* ---------- pass 2 support: volatile guards and suppressibility ---------- *)
+
+(* A register is a volatile guard when at least two processes blind-write
+   it on their contention-free baseline paths and the written values are
+   not provably one common value: whichever process writes last wins, in
+   any interleaving, with no observation in between to order them. *)
+let volatile_guards vinfos =
+  let per_reg = Hashtbl.create 16 in
+  List.iter
+    (fun v ->
+      Hashtbl.iter
+        (fun _ (n : Analyze.node) ->
+          if
+            n.Analyze.n_class = "write"
+            && n.Analyze.n_baseline >= 0
+            && not n.Analyze.n_observes
+          then begin
+            let groups, vals, exact =
+              Option.value ~default:([], [], true)
+                (Hashtbl.find_opt per_reg n.Analyze.n_reg)
+            in
+            let groups =
+              if List.mem v.group groups then groups else v.group :: groups
+            in
+            let vals = n.Analyze.n_wvals @ vals in
+            let exact = exact && n.Analyze.n_wvals_exact in
+            Hashtbl.replace per_reg n.Analyze.n_reg (groups, vals, exact)
+          end)
+        v.vr.Analyze.vr_graph.Analyze.g_nodes)
+    vinfos;
+  Hashtbl.fold
+    (fun reg (groups, vals, exact) acc ->
+      if List.length groups < 2 then acc
+      else if exact && List.length (List.sort_uniq compare vals) <= 1 then acc
+      else reg :: acc)
+    per_reg []
+
+(* Can overwriting guard register [g] steer [v] onto a completed path
+   that never performs the write at [wkey]?  Decided over the {e exact}
+   explored completed paths, not the merged graph: merging fabricates
+   cross-path walks (a fast-path prefix stitched to a slow-path suffix
+   through a shared node) that no execution follows, and graph
+   reachability over them flags unconditional unlock writes as
+   avoidable.  A completed path that never executes [wkey] but does
+   observe [g] is a real witness: the adversarial injection that drove
+   the explorer down it is precisely a remote overwrite of [g]. *)
+let suppressible v ~wkey ~guard =
+  List.exists
+    (fun path ->
+      (not (List.mem wkey path))
+      && List.exists
+           (fun k ->
+             let n = node_of v k in
+             n.Analyze.n_reg = guard && n.Analyze.n_observes)
+           path)
+    v.vr.Analyze.vr_completed
+
+(* The values a variant's busy-wait on [reg] was observed rejecting. *)
+let spin_values v reg =
+  Hashtbl.fold
+    (fun _ (n : Analyze.node) (vals, exact) ->
+      if n.Analyze.n_reg = reg && n.Analyze.n_cycle && n.Analyze.n_observes
+      then (n.Analyze.n_spinvals @ vals, exact && n.Analyze.n_spinvals_exact)
+      else (vals, exact))
+    v.vr.Analyze.vr_graph.Analyze.g_nodes ([], true)
+
+(* ---------- the passes ---------- *)
+
+let of_report ?(config = Analyze.default_config) (report : Analyze.report) =
+  let vinfos = List.map vinfo_of report.Analyze.variants in
+  let groups = List.sort_uniq compare (List.map (fun v -> v.group) vinfos) in
+  let concurrent =
+    List.length groups >= 2 && List.for_all is_process_group groups
+  in
+  let truncated =
+    List.exists
+      (fun v -> v.vr.Analyze.vr_paths >= config.Analyze.max_paths)
+      vinfos
+  in
+  let by_cls, reg_names = aggregate vinfos in
+  let protected_reg reg =
+    match Hashtbl.find_opt reg_names reg with
+    | Some (name, _) -> List.mem name protected_names
+    | None -> false
+  in
+  if not concurrent then begin
+    (* Sequential variants: no two accesses ever overlap.  Liveness is
+       only claimable when no path can spin at all. *)
+    let liveness =
+      if truncated then Unknown_liveness
+      else if report.Analyze.spin_class = Analyze.Wait_free then
+        Starvation_free_candidate
+      else Unknown_liveness
+    in
+    let registers =
+      Hashtbl.fold
+        (fun reg (name, width) acc ->
+          { g_reg = reg; g_name = name; g_width = width; g_readers = [];
+            g_writers = []; g_semantics = Safe_ok }
+          :: acc)
+        reg_names []
+      |> List.sort (fun a b -> compare a.g_reg b.g_reg)
+    in
+    { report; concurrent; races = []; wakeups = []; liveness; registers }
+  end
+  else begin
+    let volatile = volatile_guards vinfos in
+    (* Pass 2: one wakeup record per (spinning variant, spun register),
+       plus the corroborated lost-wakeup promotions for pass 1. *)
+    let promotions = ref [] in
+    (* A spin on a register no other process ever writes is a phantom:
+       the injections that sustained it model remote writes that cannot
+       occur in any real execution (the solo explorer is value- and
+       writer-blind; the product pass is where writer existence is
+       known).  Such spins are dropped rather than reported. *)
+    let remotely_written v reg =
+      List.exists
+        (fun w ->
+          w.group <> v.group
+          && Hashtbl.fold
+               (fun _ (n : Analyze.node) acc ->
+                 acc || (n.Analyze.n_reg = reg && n.Analyze.n_write))
+               w.vr.Analyze.vr_graph.Analyze.g_nodes false)
+        vinfos
+    in
+    let wakeups =
+      List.concat_map
+        (fun v ->
+          List.filter_map
+            (fun (reg, name) ->
+              if not (remotely_written v reg) then None
+              else
+              let spinvals, spin_exact = spin_values v reg in
+              let breaking = ref [] in
+              List.iter
+                (fun w ->
+                  if w.group <> v.group then
+                    Hashtbl.iter
+                      (fun k (n : Analyze.node) ->
+                        if
+                          n.Analyze.n_reg = reg && n.Analyze.n_write
+                          && ((not spin_exact)
+                             || (not n.Analyze.n_wvals_exact)
+                             || List.exists
+                                  (fun x -> not (List.mem x spinvals))
+                                  n.Analyze.n_wvals)
+                        then breaking := (w, k) :: !breaking)
+                      w.vr.Analyze.vr_graph.Analyze.g_nodes)
+                vinfos;
+              let suppressed_by (w, k) =
+                List.find_opt
+                  (fun g -> g <> reg && suppressible w ~wkey:k ~guard:g)
+                  (List.sort compare volatile)
+              in
+              let verdicts = List.map suppressed_by !breaking in
+              let all_suppressible =
+                !breaking <> [] && List.for_all Option.is_some verdicts
+              in
+              if all_suppressible then
+                List.iter2
+                  (fun (w, _) g ->
+                    match g with
+                    | Some g ->
+                      promotions :=
+                        ( g,
+                          Printf.sprintf
+                            "overwriting %s can suppress %s's wake-up of \
+                             %s's busy-wait on %s"
+                            (fst (Hashtbl.find reg_names g))
+                            w.vr.Analyze.vr_label v.vr.Analyze.vr_label name )
+                        :: !promotions
+                    | None -> ())
+                  !breaking verdicts;
+              Some
+                {
+                  w_spinner = v.vr.Analyze.vr_label;
+                  w_reg = reg;
+                  w_name = name;
+                  w_writers =
+                    List.sort_uniq compare
+                      (List.map (fun (w, _) -> w.group) !breaking);
+                  w_suppressible = all_suppressible;
+                })
+            v.vr.Analyze.vr_spin_regs)
+        vinfos
+    in
+    (* Pass 1: classify every cross-process pair on every register. *)
+    let party group reg cls =
+      let a = Hashtbl.find by_cls (group, reg, cls) in
+      {
+        p_group = group;
+        p_class = cls;
+        p_writes = a.a_write;
+        p_values =
+          (if a.a_exact then Some (List.sort_uniq compare a.a_vals) else None);
+        p_path =
+          (match a.a_rep with
+          | Some (v, k) -> render_path v k
+          | None -> "?");
+      }
+    in
+    let agg_of group reg cls = Hashtbl.find by_cls (group, reg, cls) in
+    let classes_on =
+      let tbl = Hashtbl.create 64 in
+      Hashtbl.iter
+        (fun (group, reg, cls) _ ->
+          Hashtbl.replace tbl (group, reg)
+            (cls :: Option.value ~default:[] (Hashtbl.find_opt tbl (group, reg))))
+        by_cls;
+      tbl
+    in
+    let races = ref [] in
+    let regs =
+      List.sort compare (Hashtbl.fold (fun r _ acc -> r :: acc) reg_names [])
+    in
+    List.iter
+      (fun reg ->
+        let rec pairs = function
+          | [] -> ()
+          | ga :: rest ->
+            List.iter
+              (fun gb ->
+                match
+                  ( Hashtbl.find_opt classes_on (ga, reg),
+                    Hashtbl.find_opt classes_on (gb, reg) )
+                with
+                | Some cas, Some cbs ->
+                  List.iter
+                    (fun ca ->
+                      List.iter
+                        (fun cb ->
+                          let aa = agg_of ga reg ca
+                          and ab = agg_of gb reg cb in
+                          let verdict =
+                            if protected_reg reg then Protected
+                            else if not (aa.a_write || ab.a_write) then
+                              if ca = "cas" || cb = "cas" then Failed_cas
+                              else Read_read
+                            else if
+                              ca = "write" && cb = "write"
+                              && (not aa.a_observes)
+                              && (not ab.a_observes)
+                              && aa.a_exact && ab.a_exact
+                              && List.length
+                                   (List.sort_uniq compare
+                                      (aa.a_vals @ ab.a_vals))
+                                 <= 1
+                            then Same_value_write
+                            else Sync
+                          in
+                          races :=
+                            {
+                              r_reg = reg;
+                              r_name = fst (Hashtbl.find reg_names reg);
+                              r_left = party ga reg ca;
+                              r_right = party gb reg cb;
+                              r_verdict = verdict;
+                              r_note = "";
+                            }
+                            :: !races)
+                        (List.sort compare cbs))
+                    (List.sort compare cas)
+                | _ -> ())
+              rest;
+            pairs rest
+        in
+        pairs groups)
+      regs;
+    let races =
+      List.rev_map
+        (fun r ->
+          if
+            r.r_verdict = Sync
+            && r.r_left.p_class = "write" && r.r_right.p_class = "write"
+          then
+            match List.find_opt (fun (g, _) -> g = r.r_reg) !promotions with
+            | Some (_, note) -> { r with r_verdict = Harmful; r_note = note }
+            | None -> r
+          else r)
+        !races
+    in
+    let liveness =
+      if truncated then Unknown_liveness
+      else if List.exists (fun w -> w.w_suppressible) wakeups then
+        Deadlock_risk
+      else if report.Analyze.spin_class = Analyze.Wait_free then
+        Starvation_free_candidate
+      else if List.exists (fun w -> w.w_writers = []) wakeups then
+        Unknown_liveness
+      else if report.Analyze.spin_class = Analyze.Local_spin then
+        Starvation_free_candidate
+      else Deadlock_free_candidate
+    in
+    (* Pass 3: per-register semantics demand. *)
+    let registers =
+      List.map
+        (fun reg ->
+          let name, width = Hashtbl.find reg_names reg in
+          let readers = ref [] and writers = ref [] in
+          Hashtbl.iter
+            (fun (group, r, _) a ->
+              if r = reg then begin
+                if a.a_observes && not (List.mem group !readers) then
+                  readers := group :: !readers;
+                if a.a_write && not (List.mem group !writers) then
+                  writers := group :: !writers
+              end)
+            by_cls;
+          let readers = List.sort compare !readers
+          and writers = List.sort compare !writers in
+          let overlap =
+            List.exists
+              (fun r -> List.exists (fun w -> w <> r) writers)
+              readers
+          in
+          let semantics =
+            if protected_reg reg then Safe_ok
+            else if not overlap then Safe_ok
+            else if List.length writers <= 1 then Regular_ok
+            else Atomic_required
+          in
+          { g_reg = reg; g_name = name; g_width = width;
+            g_readers = readers; g_writers = writers; g_semantics = semantics })
+        regs
+    in
+    { report; concurrent; races; wakeups; liveness; registers }
+  end
+
+let harmful t = List.filter (fun r -> r.r_verdict = Harmful) t.races
+
+let has_pair t ~reg ~cls_a ~cls_b =
+  List.exists
+    (fun r ->
+      r.r_reg = reg
+      && ((r.r_left.p_class = cls_a && r.r_right.p_class = cls_b)
+         || (r.r_left.p_class = cls_b && r.r_right.p_class = cls_a)))
+    t.races
+
+(* ---------- rendering ---------- *)
+
+let print t =
+  let s = t.report.Analyze.subject in
+  Printf.printf "%s %s: liveness %s%s\n" s.Subjects.alg_name s.Subjects.config
+    (liveness_name t.liveness)
+    (if t.concurrent then "" else " (sequential variants; no product)");
+  if t.wakeups <> [] then begin
+    let tab =
+      Texttab.create ~header:[ "spinner"; "spins on"; "woken by"; "wake-up" ]
+    in
+    List.iter
+      (fun w ->
+        Texttab.add_row tab
+          [
+            w.w_spinner;
+            w.w_name;
+            (if w.w_writers = [] then "-" else String.concat "," w.w_writers);
+            (if w.w_suppressible then "SUPPRESSIBLE"
+             else if w.w_writers = [] then "outside model"
+             else "reliable");
+          ])
+      t.wakeups;
+    Texttab.print tab
+  end;
+  if t.races <> [] then begin
+    let tab =
+      Texttab.create
+        ~header:[ "register"; "pair"; "classes"; "values"; "verdict" ]
+    in
+    List.iter
+      (fun r ->
+        let vals p =
+          match p.p_values with
+          | Some [] | None -> "?"
+          | Some vs -> String.concat "," (List.map string_of_int vs)
+        in
+        Texttab.add_row tab
+          [
+            r.r_name;
+            Printf.sprintf "%s/%s" r.r_left.p_group r.r_right.p_group;
+            Printf.sprintf "%s/%s" r.r_left.p_class r.r_right.p_class;
+            (if r.r_left.p_writes || r.r_right.p_writes then
+               Printf.sprintf "%s/%s" (vals r.r_left) (vals r.r_right)
+             else "-");
+            verdict_name r.r_verdict;
+          ])
+      t.races;
+    Texttab.print tab
+  end;
+  let tab =
+    Texttab.create ~header:[ "register"; "w"; "readers"; "writers"; "needs" ]
+  in
+  List.iter
+    (fun g ->
+      Texttab.add_row tab
+        [
+          g.g_name;
+          string_of_int g.g_width;
+          String.concat "," g.g_readers;
+          String.concat "," g.g_writers;
+          semantics_name g.g_semantics;
+        ])
+    t.registers;
+  Texttab.print tab;
+  List.iter
+    (fun r ->
+      Printf.printf "HARMFUL %s: %s\n  %s: %s\n  %s: %s\n" r.r_name r.r_note
+        r.r_left.p_group r.r_left.p_path r.r_right.p_group r.r_right.p_path)
+    (harmful t)

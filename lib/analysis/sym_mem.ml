@@ -14,6 +14,7 @@ type step = {
   s_reg : Register.t;
   s_op : op;
   s_value : int;
+  s_post : int;
   s_write : bool;
   s_injected : bool;
 }
@@ -186,6 +187,7 @@ let record t r op value ~write =
       s_reg = r;
       s_op = op;
       s_value = value;
+      s_post = r.Register.value;
       s_write = write;
       s_injected = t.injected_now;
     }

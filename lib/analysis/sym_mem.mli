@@ -36,6 +36,10 @@ type step = {
   s_value : int;
       (** observed pre-value for value-returning ops; written value for
           plain writes *)
+  s_post : int;
+      (** the register's content immediately after the access — what a
+          writing access actually stored (equals [s_value] for pure
+          reads and failed CAS) *)
   s_write : bool;  (** same convention as {!Cfc_runtime.Event.is_write} *)
   s_injected : bool;
 }

@@ -193,7 +193,8 @@ let bump_used used a = match a with Crash _ -> used + 1 | Step _ | Recover _ -> 
    equivalence tests pin the incremental engine to it) and as the
    fallback for replay-unsafe processes.  Never reduced. *)
 
-let run_replay ~config ?seen_hint ~symmetric ~pairs ~system ~check () =
+let run_replay ~config ?seen_hint ?observe ~symmetric ~pairs ~system ~check
+    () =
   let seen = Tbl.create (tbl_size ?hint:seen_hint config) in
   let c = new_counters () in
   (* The process count is a property of the system shape, not of any
@@ -208,6 +209,17 @@ let run_replay ~config ?seen_hint ~symmetric ~pairs ~system ~check () =
     c.states <- c.states + 1;
     (* [schedule] is kept reversed (most recent action first). *)
     let memory, sched, trace = exec_actions ~system (List.rev schedule) in
+    (* Re-executing a prefix replays its accesses; the observer sees each
+       one once per node that extends it.  Consumers dedup. *)
+    (match observe with
+    | None -> ()
+    | Some f ->
+      for i = 0 to Trace.length trace - 1 do
+        let e = Trace.get trace i in
+        match e.Event.body with
+        | Event.Access (r, k) -> f ~pid:e.Event.pid ~reg:r ~kind:k
+        | Event.Crash | Event.Recover | Event.Region_change _ -> ()
+      done);
     (* Process errors (assertion failures inside algorithms, the critical
        section witness, model violations) are violations in themselves. *)
     List.iter
@@ -295,6 +307,8 @@ type inc_state = {
   i_seen : memo Tbl.t;
   i_c : counters;
   i_por : por_state option;
+  i_observe :
+    (pid:int -> reg:Register.t -> kind:Event.access_kind -> unit) option;
 }
 
 type checkpoint = {
@@ -309,7 +323,8 @@ type checkpoint = {
     option;
 }
 
-let make_inc_state ~config ~symmetric ~pairs ~system ~inc ~ind ~seen ~c =
+let make_inc_state ~config ~symmetric ~pairs ~system ~inc ~ind ~seen ~c
+    ~observe =
   let memory, procs = system () in
   let trace = Trace.create () in
   let obs = Array.make (Array.length procs) [] in
@@ -328,7 +343,8 @@ let make_inc_state ~config ~symmetric ~pairs ~system ~inc ~ind ~seen ~c =
   { i_config = config; i_symmetric = symmetric; i_pairs = pairs;
     i_memory = memory; i_sched = sched; i_trace = trace; i_obs = obs;
     i_obs_hash = Array.make (Array.length procs) 0; i_nprocs = nprocs;
-    i_inc = Inc.start inc ~nprocs; i_seen = seen; i_c = c; i_por = por }
+    i_inc = Inc.start inc ~nprocs; i_seen = seen; i_c = c; i_por = por;
+    i_observe = observe }
 
 (* ---- spin-history canonicalization (lists newest first) ---- *)
 
@@ -378,6 +394,9 @@ let apply st a =
       st.i_obs.(pid) <- cl :: st.i_obs.(pid);
       st.i_obs_hash.(pid) <- State_key.cell_hash st.i_obs_hash.(pid) cl;
       access := Some (pid, r, k);
+      (match st.i_observe with
+      | Some f -> f ~pid ~reg:r ~kind:k
+      | None -> ());
       (match st.i_por with
       | None -> ()
       | Some por ->
@@ -797,11 +816,13 @@ and expand_por st por schedule depth used ~trace_len ~regvals ~sleep candidates 
           | Crash _ | Recover _ -> ())
         live)
 
-let run_inc_seq ~config ?seen_hint ~symmetric ~pairs ~system ~inc ~ind () =
+let run_inc_seq ~config ?seen_hint ?observe ~symmetric ~pairs ~system ~inc
+    ~ind () =
   let c = new_counters () in
   let st =
     make_inc_state ~config ~symmetric ~pairs ~system ~inc ~ind
       ~seen:(Tbl.create (tbl_size ?hint:seen_hint config)) ~c
+      ~observe
   in
   match expand_inc st [] 0 0 ~from:0 ~sleep:0 ~pre:None with
   | () -> Ok (stats_of c)
@@ -835,12 +856,13 @@ type branch_result =
   | B_viol of action list * Cfc_core.Spec.violation * stats
   | B_fallback
 
-let run_branch ~config ?seen_hint ~symmetric ~pairs ~system ~inc ~ind
-    ~sleep0 a =
+let run_branch ~config ?seen_hint ?observe ~symmetric ~pairs ~system ~inc
+    ~ind ~sleep0 a =
   let c = new_counters () in
   let st =
     make_inc_state ~config ~symmetric ~pairs ~system ~inc ~ind
       ~seen:(Tbl.create (tbl_size ?hint:seen_hint config)) ~c
+      ~observe
   in
   (* Seed the memo with the initial state's key so a schedule that loops
      back to it is pruned exactly as in the sequential search. *)
@@ -863,15 +885,15 @@ let run_branch ~config ?seen_hint ~symmetric ~pairs ~system ~inc ~ind
     B_viol (schedule, violation, stats_of c)
   | exception Fallback -> B_fallback
 
-let run_inc_par ~config ?seen_hint ~symmetric ~pairs ~system ~inc ~ind
-    ~domains () =
+let run_inc_par ~config ?seen_hint ?observe ~symmetric ~pairs ~system ~inc
+    ~ind ~domains () =
   (* The root node is processed by the coordinator (it is the common
      prefix of every branch); its counter contributions mirror the
      sequential engine's. *)
   let c = new_counters () in
   let st =
     make_inc_state ~config ~symmetric ~pairs ~system ~inc ~ind
-      ~seen:(Tbl.create 64) ~c
+      ~seen:(Tbl.create 64) ~c ~observe
   in
   c.states <- 1;
   (* No process has run at the root: no errors, nothing to feed. *)
@@ -911,8 +933,8 @@ let run_inc_par ~config ?seen_hint ~symmetric ~pairs ~system ~inc ~ind
         let i = Atomic.fetch_and_add next 1 in
         if i < njobs then begin
           results.(i) <-
-            run_branch ~config ?seen_hint ~symmetric ~pairs ~system ~inc
-              ~ind ~sleep0:sleeps.(i) jobs.(i);
+            run_branch ~config ?seen_hint ?observe ~symmetric ~pairs ~system
+              ~inc ~ind ~sleep0:sleeps.(i) jobs.(i);
           loop ()
         end
       in
@@ -965,7 +987,7 @@ let run_inc_par ~config ?seen_hint ~symmetric ~pairs ~system ~inc ~ind
    the budget) and recovering any crashed one. *)
 let run_gen ?(config = default_config) ?(symmetric = false)
     ?(engine = Incremental) ?(domains = 1) ?(replay_safe = true)
-    ?independence ?seen_hint ?inc ~pairs ~system ~check () =
+    ?independence ?seen_hint ?inc ?observe_access ~pairs ~system ~check () =
   let inc = match inc with Some i -> i | None -> Inc.of_whole check in
   (* Reduction applies only where its soundness argument does: the plain
      interleaving exploration (no crash branches — a crash wipes local
@@ -978,32 +1000,36 @@ let run_gen ?(config = default_config) ?(symmetric = false)
       Some t
     | Some _ | None -> None
   in
+  let observe = observe_access in
   match engine with
-  | Replay -> run_replay ~config ?seen_hint ~symmetric ~pairs ~system ~check ()
+  | Replay ->
+    run_replay ~config ?seen_hint ?observe ~symmetric ~pairs ~system ~check ()
   | Incremental when not replay_safe ->
     (* A static analysis (or a previous run) already knows some process
        swallows mid-access discontinuation; the incremental engine would
        only rediscover that and raise [Fallback] mid-search.  Skip the
        wasted work and start on the replay engine directly. *)
-    run_replay ~config ?seen_hint ~symmetric ~pairs ~system ~check ()
+    run_replay ~config ?seen_hint ?observe ~symmetric ~pairs ~system ~check ()
   | Incremental -> (
     try
       if domains <= 1 then
-        run_inc_seq ~config ?seen_hint ~symmetric ~pairs ~system ~inc ~ind ()
+        run_inc_seq ~config ?seen_hint ?observe ~symmetric ~pairs ~system
+          ~inc ~ind ()
       else
-        run_inc_par ~config ?seen_hint ~symmetric ~pairs ~system ~inc ~ind
-          ~domains ()
+        run_inc_par ~config ?seen_hint ?observe ~symmetric ~pairs ~system
+          ~inc ~ind ~domains ()
     with Fallback ->
       (* Some process caught a register-op exception and continued; its
          local state is invisible to observation replay.  Start over on
          the (always sound) replay engine. *)
-      run_replay ~config ?seen_hint ~symmetric ~pairs ~system ~check ())
+      run_replay ~config ?seen_hint ?observe ~symmetric ~pairs ~system ~check
+        ())
 
 let run ?config ?symmetric ?engine ?domains ?replay_safe ?independence
-    ?seen_hint ?inc ~system ~check () =
+    ?seen_hint ?inc ?observe_access ~system ~check () =
   match
     run_gen ?config ?symmetric ?engine ?domains ?replay_safe ?independence
-      ?seen_hint ?inc ~pairs:0 ~system ~check ()
+      ?seen_hint ?inc ?observe_access ~pairs:0 ~system ~check ()
   with
   | Ok stats -> Ok stats
   | Violation { schedule; violation; stats } ->
@@ -1017,6 +1043,6 @@ let run ?config ?symmetric ?engine ?domains ?replay_safe ?independence
     Violation { schedule = pids; violation; stats }
 
 let run_faults ?config ?symmetric ?engine ?domains ?replay_safe ?independence
-    ?seen_hint ?inc ?(pairs = 2) ~system ~check () =
+    ?seen_hint ?inc ?observe_access ?(pairs = 2) ~system ~check () =
   run_gen ?config ?symmetric ?engine ?domains ?replay_safe ?independence
-    ?seen_hint ?inc ~pairs ~system ~check ()
+    ?seen_hint ?inc ?observe_access ~pairs ~system ~check ()

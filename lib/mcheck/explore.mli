@@ -130,6 +130,11 @@ val run :
   ?independence:Independence.t ->
   ?seen_hint:int ->
   ?inc:Cfc_core.Spec.Inc.t ->
+  ?observe_access:
+    (pid:int ->
+    reg:Cfc_runtime.Register.t ->
+    kind:Cfc_runtime.Event.access_kind ->
+    unit) ->
   system:(unit -> Cfc_runtime.Memory.t * (unit -> unit) array) ->
   check:(Cfc_runtime.Trace.t -> nprocs:int -> Cfc_core.Spec.violation option) ->
   unit ->
@@ -169,7 +174,16 @@ val run :
     usable.
 
     [seen_hint] pre-sizes the memo table (pass a previous run's [states]
-    to avoid rehashing on repeated runs); purely a performance hint. *)
+    to avoid rehashing on repeated runs); purely a performance hint.
+
+    [observe_access] is called on every shared access the exploration
+    executes, as it happens.  The callback sees each distinct access many
+    times (once per node that performs or — on the replay engine —
+    re-executes it), so consumers must deduplicate; the set of (pid,
+    register, kind) triples delivered is the set of accesses in the
+    explored prefix tree, on either engine.  With [domains > 1] the
+    callback fires concurrently from worker domains and must be
+    thread-safe. *)
 
 val run_faults :
   ?config:config ->
@@ -180,6 +194,11 @@ val run_faults :
   ?independence:Independence.t ->
   ?seen_hint:int ->
   ?inc:Cfc_core.Spec.Inc.t ->
+  ?observe_access:
+    (pid:int ->
+    reg:Cfc_runtime.Register.t ->
+    kind:Cfc_runtime.Event.access_kind ->
+    unit) ->
   ?pairs:int ->
   system:(unit -> Cfc_runtime.Memory.t * (unit -> unit) array) ->
   check:(Cfc_runtime.Trace.t -> nprocs:int -> Cfc_core.Spec.violation option) ->

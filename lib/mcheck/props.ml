@@ -1,7 +1,9 @@
 open Cfc_core
 
-let check_mutex ?config ?engine ?domains ?replay_safe ?independence ?seen_hint ?rounds alg p =
+let check_mutex ?config ?engine ?domains ?replay_safe ?independence ?seen_hint
+    ?observe_access ?rounds alg p =
   Explore.run ?config ?engine ?domains ?replay_safe ?independence ?seen_hint
+    ?observe_access
     ~inc:Spec.Inc.mutual_exclusion
     ~system:(Mutex_harness.system ?rounds alg p)
     ~check:(fun trace ~nprocs -> Spec.mutual_exclusion trace ~nprocs)

@@ -17,11 +17,17 @@
 val check_mutex :
   ?config:Explore.config -> ?engine:Explore.engine -> ?domains:int ->
   ?replay_safe:bool -> ?independence:Independence.t -> ?seen_hint:int ->
+  ?observe_access:
+    (pid:int ->
+    reg:Cfc_runtime.Register.t ->
+    kind:Cfc_runtime.Event.access_kind ->
+    unit) ->
   ?rounds:int -> Cfc_mutex.Registry.alg ->
   Cfc_mutex.Mutex_intf.params -> Explore.result
 (** Exhaustively (within bounds) verify mutual exclusion — including the
     critical-section witness register — for the given algorithm and
-    parameters. *)
+    parameters.  [observe_access] (see {!Explore.run}) is the hook the
+    {!Conflicts} collector plugs into. *)
 
 val check_mutex_recoverable :
   ?config:Explore.config -> ?engine:Explore.engine -> ?domains:int ->

@@ -62,6 +62,21 @@ and rows present in both files are gated:
     deterministic field changes are noted;
   - a determinism_ok flip to false fails on its own.
 
+cfc-lint (lint_report.json): the static-analysis verdicts are fully
+deterministic, so every change against the committed baseline is
+intentional or a regression.  Subjects are keyed (family, name, config):
+
+  - a subject present in the baseline but missing from the current
+    report fails (the battery silently shrank);
+  - a flip of liveness, spin_class or replay_safe fails;
+  - growth of the harmful race count fails (total race count changes
+    are notes — adding a register legitimately adds Sync pairs);
+  - a register vanishing or changing its required semantics
+    (safe/regular/atomic) fails;
+  - growth of a subject's error-severity violation count, or of the
+    report-wide error total, fails;
+  - new subjects and new registers are notes.
+
 Exit status 0 = no regression, 1 = regression, 2 = usage/IO error.
 Stdlib only.
 """
@@ -355,6 +370,66 @@ def diff_kv(base_doc, cur_doc, regressions, changes):
     return len(base) + len(nbase), len(cur) + len(ncur)
 
 
+def lint_key(e):
+    return (e["family"], e["name"], e["config"])
+
+
+def diff_lint(base_doc, cur_doc, regressions, changes):
+    base = index(base_doc.get("subjects", []), lint_key)
+    cur = index(cur_doc.get("subjects", []), lint_key)
+    for k, b in sorted(base.items()):
+        label = "lint {} {} [{}]".format(*k)
+        c = cur.get(k)
+        if c is None:
+            regressions.append(f"{label}: subject vanished from the battery")
+            continue
+        for field in ("liveness", "spin_class", "replay_safe"):
+            if c[field] != b[field]:
+                regressions.append(
+                    f"{label}: {field} flipped {b[field]} -> {c[field]}"
+                )
+        if c["races"]["harmful"] > b["races"]["harmful"]:
+            regressions.append(
+                f"{label}: harmful races grew "
+                f"{b['races']['harmful']} -> {c['races']['harmful']}"
+            )
+        if c["races"]["total"] != b["races"]["total"]:
+            changes.append(
+                f"{label}: race count {b['races']['total']} -> "
+                f"{c['races']['total']}"
+            )
+        bsem = {r["name"]: r["semantics"] for r in b.get("registers", [])}
+        csem = {r["name"]: r["semantics"] for r in c.get("registers", [])}
+        for name, sem in sorted(bsem.items()):
+            if name not in csem:
+                regressions.append(f"{label}: register {name} vanished")
+            elif csem[name] != sem:
+                regressions.append(
+                    f"{label}: register {name} semantics flipped "
+                    f"{sem} -> {csem[name]}"
+                )
+        for name in sorted(set(csem) - set(bsem)):
+            changes.append(f"{label}: new register {name} ({csem[name]})")
+        berr = sum(
+            1 for v in b.get("violations", []) if v["severity"] == "error"
+        )
+        cerr = sum(
+            1 for v in c.get("violations", []) if v["severity"] == "error"
+        )
+        if cerr > berr:
+            regressions.append(
+                f"{label}: error violations grew {berr} -> {cerr}"
+            )
+    for k in sorted(set(cur) - set(base)):
+        changes.append("lint {} {} [{}]: new subject".format(*k))
+    if cur_doc.get("errors", 0) > base_doc.get("errors", 0):
+        regressions.append(
+            f"lint: report-wide errors grew {base_doc.get('errors', 0)} -> "
+            f"{cur_doc.get('errors', 0)}"
+        )
+    return len(base), len(cur)
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("baseline")
@@ -388,6 +463,8 @@ def main():
             n_base, n_cur = diff_scale(base_doc, cur_doc, regressions, changes)
         elif base_family == "cfc-kv-bench":
             n_base, n_cur = diff_kv(base_doc, cur_doc, regressions, changes)
+        elif base_family == "cfc-lint":
+            n_base, n_cur = diff_lint(base_doc, cur_doc, regressions, changes)
         else:
             n_base, n_cur = diff_mcheck(base_doc, cur_doc, regressions, changes)
     except KeyError as exc:

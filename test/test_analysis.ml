@@ -251,13 +251,130 @@ let test_lint_gate () =
   (* The JSON report round-trips the headline numbers. *)
   let json = Lint.to_json o in
   check_bool "json mentions schema" true
-    (let sub = "\"schema\": \"cfc-lint/1\"" in
+    (let sub = "\"schema\": \"cfc-lint/2\"" in
      let len = String.length sub in
      let rec scan i =
        i + len <= String.length json
        && (String.sub json i len = sub || scan (i + 1))
      in
      scan 0)
+
+(* ------------------------------------------------------------------ *)
+(* Product passes: races, liveness, register semantics                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The planted lost-wakeup lock must be refuted — a harmful race with
+   both access paths, plus the deadlock-risk liveness warning — while
+   its benign twin (identical spin/write shape, but the guard register
+   provably always holds one value) must come back completely clean.
+   The pair pins the classification to the value analysis, not to a
+   pattern match on the idiom. *)
+let test_lost_wakeup_refuted_benign_clean () =
+  let row = find_row "fixture-lost-wakeup" "n=2" in
+  check_bool "harmful race is an error" true
+    (List.exists
+       (fun (v : Lint.violation) ->
+         v.Lint.code = "harmful-race" && v.Lint.severity = Lint.Error)
+       row.Lint.violations);
+  check_bool "deadlock risk is warned" true
+    (List.exists
+       (fun (v : Lint.violation) ->
+         v.Lint.code = "liveness" && v.Lint.severity = Lint.Warning)
+       row.Lint.violations);
+  check_bool "product agrees" true
+    (Product.harmful row.Lint.product <> []
+    && row.Lint.product.Product.liveness = Product.Deadlock_risk);
+  (* Harmful races carry both parties' rendered access paths. *)
+  List.iter
+    (fun (r : Product.race) ->
+      check_bool "left path rendered" true
+        (String.length r.Product.r_left.Product.p_path > 0);
+      check_bool "right path rendered" true
+        (String.length r.Product.r_right.Product.p_path > 0))
+    (Product.harmful row.Lint.product);
+  let benign = find_row "fixture-lost-wakeup-benign" "n=2" in
+  check "benign twin lints clean" 0 (List.length benign.Lint.violations);
+  check_bool "benign twin has no harmful race" true
+    (Product.harmful benign.Lint.product = []);
+  check_bool "benign twin is not a deadlock risk" true
+    (benign.Lint.product.Product.liveness <> Product.Deadlock_risk)
+
+(* The real registry must clear all three product passes: no harmful
+   race and no deadlock-risk verdict anywhere (the lint-gate test
+   already implies this via severities; this pins the product fields
+   directly). *)
+let test_registry_products_clean () =
+  List.iter
+    (fun (row : Lint.row) ->
+      if not (is_fixture row) then begin
+        check_bool (row_label row ^ ": no harmful race") true
+          (Product.harmful row.Lint.product = []);
+        check_bool (row_label row ^ ": no deadlock risk") true
+          (row.Lint.product.Product.liveness <> Product.Deadlock_risk)
+      end)
+    (Lazy.force outcome).Lint.rows
+
+(* The recovery-path subjects go through the same product passes at
+   n=3 — one size beyond the registry's standard analysis points, the
+   smallest n where the pairwise construction showed a previously
+   "pairwise sound" registry algorithm broken. *)
+let test_recovery_products_n3 () =
+  let count = ref 0 in
+  List.iter
+    (fun alg ->
+      let (module A : Cfc_mutex.Mutex_intf.ALG) = alg in
+      List.iter
+        (fun held ->
+          match Subjects.of_mutex_recovery ~held ~n:3 alg with
+          | None -> ()
+          | Some s ->
+            incr count;
+            let p = Product.of_report (Analyze.analyze s) in
+            let label =
+              Printf.sprintf "%s recovery held=%b n=3" A.name held
+            in
+            check_bool (label ^ ": no harmful race") true
+              (Product.harmful p = []);
+            check_bool (label ^ ": no deadlock risk") true
+              (p.Product.liveness <> Product.Deadlock_risk);
+            check_bool (label ^ ": registers classified") true
+              (p.Product.registers <> []))
+        [ true; false ])
+    Cfc_mutex.Registry.recoverable;
+  check_bool "recovery subjects analyzed" true (!count >= 4)
+
+(* ------------------------------------------------------------------ *)
+(* JSON emission                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let contains_sub haystack sub =
+  let len = String.length sub in
+  let rec scan i =
+    i + len <= String.length haystack
+    && (String.sub haystack i len = sub || scan (i + 1))
+  in
+  scan 0
+
+(* Regression: the hand-rolled JSON emission must escape every string it
+   interpolates.  Violation details carry source lines and rendered
+   access paths, so quotes, backslashes and control characters all
+   occur in practice. *)
+let test_json_escaping () =
+  let v =
+    { Lint.severity = Lint.Error; code = "wall-clock";
+      detail = "tricky \"quoted\" back\\slash\nnewline\ttab" }
+  in
+  let o =
+    { Lint.rows = []; source_findings = [ v ]; errors = 1; warnings = 0 }
+  in
+  let json = Lint.to_json o in
+  check_bool "quote escaped" true
+    (contains_sub json "tricky \\\"quoted\\\"");
+  check_bool "backslash escaped" true (contains_sub json "back\\\\slash");
+  check_bool "newline escaped" true (contains_sub json "\\nnewline");
+  check_bool "tab escaped" true (contains_sub json "\\u0009tab");
+  check_bool "no raw newline inside the string" true
+    (not (contains_sub json "\nnewline"))
 
 (* ------------------------------------------------------------------ *)
 (* Determinism source scan                                             *)
@@ -310,10 +427,19 @@ let () =
             test_replay_safety_agreement;
           Alcotest.test_case "swallows fixture detected" `Quick
             test_swallows_fixture_detected ] );
+      ( "product",
+        [ Alcotest.test_case "lost-wakeup refuted, benign twin clean" `Quick
+            test_lost_wakeup_refuted_benign_clean;
+          Alcotest.test_case "registry clears the product passes" `Quick
+            test_registry_products_clean;
+          Alcotest.test_case "recovery subjects n=3" `Quick
+            test_recovery_products_n3 ] );
       ( "gate",
         [ Alcotest.test_case "fixtures fail, registry passes" `Quick
             test_lint_gate;
-          Alcotest.test_case "lib/ sources deterministic" `Quick
+          Alcotest.test_case "json strings escaped" `Quick
+            test_json_escaping;
+          Alcotest.test_case "sources deterministic" `Quick
             test_sources_deterministic;
           Alcotest.test_case "scanner catches global Random" `Quick
             test_scan_detects_global_random ] ) ]

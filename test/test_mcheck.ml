@@ -868,6 +868,96 @@ let test_commutation_coverage () =
     (Printf.sprintf "enough independent pairs exercised (%d)" !tested)
     true (!tested >= 25)
 
+(* ------------------------------------------------------------------ *)
+(* Static race enumeration vs dynamic conflicts: every cross-process
+   conflicting access pair the exhaustive n=2 search actually executes
+   must be matched by a race the static product enumeration reports on
+   the same register with the same unordered class pair.  The static
+   subject is [of_mutex_checked] — the solo that mirrors the checked
+   system, witness register included, so register ids align with the
+   checked arena. *)
+
+type coverage = {
+  cov_name : string;
+  cov_pairs : int;
+  cov_missing : Cfc_mcheck.Conflicts.pair list;
+}
+
+let conflict_coverage alg =
+  let (module A : Mutex_intf.ALG) = alg in
+  let subject =
+    match Cfc_analysis.Subjects.of_mutex_checked ~n:2 alg with
+    | Some s -> s
+    | None -> Alcotest.failf "%s: no checked subject at n=2" A.name
+  in
+  let product =
+    Cfc_analysis.Product.of_report (Cfc_analysis.Analyze.analyze subject)
+  in
+  let conflicts = Cfc_mcheck.Conflicts.create () in
+  (match
+     Props.check_mutex
+       ~observe_access:(Cfc_mcheck.Conflicts.observer conflicts)
+       alg (Mutex_intf.params 2)
+   with
+  | Explore.Ok _ -> ()
+  | Explore.Violation { violation; _ } ->
+    Alcotest.failf "%s refuted at n=2: %a" A.name
+      Cfc_core.Spec.pp_violation violation);
+  let pairs = Cfc_mcheck.Conflicts.pairs conflicts in
+  let missing =
+    List.filter
+      (fun (p : Cfc_mcheck.Conflicts.pair) ->
+        not
+          (Cfc_analysis.Product.has_pair product ~reg:p.Cfc_mcheck.Conflicts.rid
+             ~cls_a:p.cls_a ~cls_b:p.cls_b))
+      pairs
+  in
+  { cov_name = A.name; cov_pairs = List.length pairs; cov_missing = missing }
+
+let check_covered cov =
+  List.iter
+    (fun (p : Cfc_mcheck.Conflicts.pair) ->
+      Alcotest.failf
+        "%s: dynamic conflict on %s (pid %d %s / pid %d %s) has no static \
+         race"
+        cov.cov_name p.Cfc_mcheck.Conflicts.reg p.pid_a p.cls_a p.pid_b
+        p.cls_b)
+    cov.cov_missing
+
+(* Memoized per algorithm: the qcheck property samples the registry, the
+   deterministic sweep below guarantees every algorithm is hit and pins a
+   floor on how many conflict pairs the property actually exercises. *)
+let coverage_memo = Hashtbl.create 16
+
+let coverage_of alg =
+  let (module A : Mutex_intf.ALG) = alg in
+  match Hashtbl.find_opt coverage_memo A.name with
+  | Some c -> c
+  | None ->
+    let c = conflict_coverage alg in
+    Hashtbl.add coverage_memo A.name c;
+    c
+
+let prop_static_covers_dynamic =
+  QCheck.Test.make ~count:30
+    ~name:"static race set covers observed dynamic conflicts (n=2)"
+    QCheck.(int_bound 100_000)
+    (fun pick ->
+      let alg = List.nth Registry.all (pick mod List.length Registry.all) in
+      (coverage_of alg).cov_missing = [])
+
+let test_conflict_coverage_registry () =
+  let total = ref 0 in
+  List.iter
+    (fun alg ->
+      let cov = coverage_of alg in
+      check_covered cov;
+      total := !total + cov.cov_pairs)
+    Registry.all;
+  check_bool
+    (Printf.sprintf "enough dynamic conflict pairs exercised (%d)" !total)
+    true (!total >= 50)
+
 let () =
   Alcotest.run "cfc_mcheck"
     [ ( "finds-bugs",
@@ -926,6 +1016,10 @@ let () =
           QCheck_alcotest.to_alcotest prop_independent_steps_commute;
           Alcotest.test_case "commutation coverage floor" `Slow
             test_commutation_coverage ] );
+      ( "static-vs-dynamic-conflicts",
+        [ QCheck_alcotest.to_alcotest prop_static_covers_dynamic;
+          Alcotest.test_case "registry coverage floor" `Slow
+            test_conflict_coverage_registry ] );
       ( "mechanics",
         [ Alcotest.test_case "pruning observable" `Quick
             test_pruning_observable ] ) ]
