@@ -3,13 +3,19 @@
    results to BENCH_mcheck.json so successive PRs accumulate a perf
    trajectory (states, states/sec, wall time per entry).
 
-   Mutex configurations run on three engines — [replay] (re-execute the
+   Mutex configurations run on four engines — [replay] (re-execute the
    schedule prefix at every node; the pre-incremental behavior),
-   [incremental] (live system + checkpoint/undo) and [por] (incremental
-   plus the access-graph partial-order reduction) — so the JSON carries
-   both speedups directly.  Identical state counts between replay and
-   incremental, and identical verdicts between por and incremental, act
-   as cross-checks that the faster engines answer the same question.
+   [incremental] (live system + checkpoint/undo), [por] (incremental
+   plus the access-graph partial-order reduction) and [por+sym] (POR
+   composed with the pid-symmetry canonicalisation, for the algorithms
+   whose access graphs admit a group) — so the JSON carries the
+   speedups directly.  Identical state counts between replay and
+   incremental, and identical verdicts between the reduced engines and
+   incremental, act as cross-checks that the faster engines answer the
+   same question.  Two gated extras: the n=4 tournament-lock headline
+   (exhaustive, non-truncated, 500k state cap, hash-compacted seen set)
+   and a pooled-vs-private shared-seen-set pair at domains=4 whose
+   pooled row must explore strictly fewer states.
 
    The n sweep is explicit: every supported (algorithm, n) pair in the
    sweep gets a row, and rows that hit a bound say which bound
@@ -31,12 +37,16 @@ type entry = {
   kind : string;
   engine : string;
   n : int;
-  extra : (string * int) list;  (* l / pairs / domains *)
+  extra : (string * int) list;  (* l / pairs / domains / share_seen *)
   verdict : string;
   runs : int;
   states : int;
   pruned_dedup : int;
+  pruned_sym : int;
   pruned_por : int;
+  fp_collisions : int;
+  seen_pop : int;
+  seen_cap : int;
   truncated : bool;
   trunc_reason : string;  (* "" | "max-states" | "depth-or-steps" *)
   wall_s : float;
@@ -98,7 +108,9 @@ let entry ?hint ~config ~name ~kind ~engine ~n ~extra f =
     | Some g ->
       let r', w = time (fun () -> g ~seen_hint:s.Explore.states) in
       let verdict', s' = stats_of r' in
-      if (verdict', s') <> (verdict, s) then begin
+      (* the hint by design changes the initial capacity, nothing else *)
+      let scrub st = { st with Explore.seen_cap = 0 } in
+      if (verdict', scrub s') <> (verdict, scrub s) then begin
         Printf.eprintf "seen_hint changed the result on %s (%s, n=%d)\n"
           name kind n;
         exit 1
@@ -125,7 +137,11 @@ let entry ?hint ~config ~name ~kind ~engine ~n ~extra f =
     runs = s.Explore.runs;
     states = s.Explore.states;
     pruned_dedup = s.Explore.pruned_dedup;
+    pruned_sym = s.Explore.pruned_sym;
     pruned_por = s.Explore.pruned_por;
+    fp_collisions = s.Explore.fp_collisions;
+    seen_pop = s.Explore.seen_pop;
+    seen_cap = s.Explore.seen_cap;
     truncated = s.Explore.truncated;
     trunc_reason = reason config s;
     wall_s;
@@ -150,9 +166,9 @@ let mutex_entries () =
           if not (A.supports p) then []
           else begin
             let config = config_of_n n in
-            let run ?independence ?seen_hint ~engine () =
-              Props.check_mutex ~config ~engine ?independence ?seen_hint
-                (module A) p
+            let run ?independence ?symmetry ?seen_hint ~engine () =
+              Props.check_mutex ~config ~engine ?independence ?symmetry
+                ?seen_hint (module A) p
             in
             let replay_rows =
               if n > 2 then []
@@ -177,17 +193,104 @@ let mutex_entries () =
                   A.name n;
                 []
               | Some independence ->
-                [
+                let por =
                   entry ~config ~name:A.name ~kind:"mutex" ~engine:"por" ~n
                     ~extra:[]
                     (fun () ->
-                      run ~engine:Explore.Incremental ~independence ());
-                ]
+                      run ~engine:Explore.Incremental ~independence ())
+                in
+                (* Symmetry composed on top of POR, for the algorithms
+                   whose access graphs admit a non-trivial pid group
+                   (the pid-ordered scans — tree-lamport, the lamport
+                   fasts — and the context-dependent kessels writes
+                   admit none; that absence is itself pinned by the
+                   test suite). *)
+                let sym_rows =
+                  match Symmetry.mutex (module A) p with
+                  | None -> []
+                  | Some symmetry ->
+                    [
+                      entry ~config ~name:A.name ~kind:"mutex"
+                        ~engine:"por+sym" ~n ~extra:[]
+                        (fun () ->
+                          run ~engine:Explore.Incremental ~independence
+                            ~symmetry ());
+                    ]
+                in
+                por :: sym_rows
             in
             replay_rows @ (inc :: por_rows)
           end)
         mutex_ns)
     Registry.all
+
+(* The n=4 headline: the tournament locks — the paper's Theorem 3 tree
+   structure — verified exhaustively (non-truncated) within a 500k state
+   cap under the full reduction stack.  peterson composes all three
+   (symmetry x POR x compact); kessels has no sound pid group (its two
+   sides write the turn registers with different expressions), so its
+   exhaustive verdict comes from POR x compact alone.  tree-lamport's
+   POR-reduced space exceeds 2M states at n=4 (and its pid-ordered scan
+   admits no literal symmetry either), so it gets no row here — see
+   EXPERIMENTS.md EXP-SYM for the measurement. *)
+let n4_config =
+  { Explore.max_depth = 120; max_steps_per_proc = 120; max_states = 500_000 }
+
+let n4_headline =
+  [ ("peterson-2p-tournament", "por+sym+compact");
+    ("kessels-2p-tournament", "por+compact") ]
+
+let n4_entries () =
+  List.filter_map
+    (fun ((module A : Mutex_intf.ALG) as alg) ->
+      match List.assoc_opt A.name n4_headline with
+      | None -> None
+      | Some engine ->
+        let n = 4 in
+        let p = Mutex_intf.params n in
+        let independence = Independence.mutex alg p in
+        let symmetry =
+          if String.length engine >= 7 && String.sub engine 0 7 = "por+sym"
+          then Symmetry.mutex alg p
+          else None
+        in
+        if independence = None then begin
+          Printf.eprintf "no independence model for %s n=4\n" A.name;
+          exit 1
+        end;
+        Some
+          (entry ~config:n4_config ~name:A.name ~kind:"mutex" ~engine ~n
+             ~extra:[]
+             (fun () ->
+               Props.check_mutex ~config:n4_config
+                 ~engine:Explore.Incremental ?independence ?symmetry
+                 ~compact:true alg p)))
+    Registry.all
+
+(* Prune pooling: the same POR-reduced search fanned over 4 domains with
+   the shared seen set on and off.  With private per-branch tables the
+   branches re-discover each other's states, so the pooled row must
+   explore strictly fewer states — asserted in the main gate below.
+   Pooled stats depend on worker timing (the verdict and schedule do
+   not), so bench_diff treats share_seen=1 state counts as notes. *)
+let domains_entries () =
+  let ((module A : Mutex_intf.ALG) as alg) = Registry.tree in
+  let n = 3 in
+  let p = Mutex_intf.params n in
+  let config = config_of_n n in
+  match Independence.mutex alg p with
+  | None ->
+    Printf.eprintf "no independence model for %s n=%d\n" A.name n;
+    exit 1
+  | Some independence ->
+    List.map
+      (fun share ->
+        entry ~config ~name:A.name ~kind:"mutex" ~engine:"por" ~n
+          ~extra:[ ("domains", 4); ("share_seen", if share then 1 else 0) ]
+          (fun () ->
+            Props.check_mutex ~config ~engine:Explore.Incremental
+              ~independence ~domains:4 ~share_seen:share alg p))
+      [ true; false ]
 
 let engines =
   [ ("replay", Explore.Replay); ("incremental", Explore.Incremental) ]
@@ -243,10 +346,12 @@ let json_of_entry e =
   Printf.sprintf
     "    {\"name\": %S, \"kind\": %S, \"engine\": %S, \"n\": %d%s, \
      \"verdict\": %S, \"runs\": %d, \"states\": %d, \"pruned_dedup\": %d, \
-     \"pruned_por\": %d, \"truncated\": %b, \"trunc_reason\": %S, \
-     \"wall_s\": %.6f%s, \"states_per_sec\": %.1f}"
+     \"pruned_sym\": %d, \"pruned_por\": %d, \"fp_collisions\": %d, \
+     \"seen_pop\": %d, \"seen_cap\": %d, \"truncated\": %b, \
+     \"trunc_reason\": %S, \"wall_s\": %.6f%s, \"states_per_sec\": %.1f}"
     e.name e.kind e.engine e.n extra e.verdict e.runs e.states e.pruned_dedup
-    e.pruned_por e.truncated e.trunc_reason e.wall_s
+    e.pruned_sym e.pruned_por e.fp_collisions e.seen_pop e.seen_cap
+    e.truncated e.trunc_reason e.wall_s
     (match e.wall_hint_s with
     | None -> ""
     | Some w -> Printf.sprintf ", \"wall_hint_s\": %.6f" w)
@@ -260,11 +365,20 @@ let find_engine entries e engine =
     entries
 
 let () =
-  let entries = mutex_entries () @ fault_entries () @ naming_entries () in
+  let entries =
+    (* bind in order: [@] evaluates right-to-left, and the console log
+       should follow the JSON layout *)
+    let mutex = mutex_entries () in
+    let n4 = n4_entries () in
+    let domains = domains_entries () in
+    let faults = fault_entries () in
+    let naming = naming_entries () in
+    mutex @ n4 @ domains @ faults @ naming
+  in
   (* Cross-checks: replay and incremental must agree on verdict and
-     exact stats wherever both ran; por must agree with incremental on
-     the verdict (it explores a reduced space, so states differ — that
-     is the point). *)
+     exact stats wherever both ran; the reduced engines (por, por+sym)
+     must agree with incremental on the verdict (they explore a reduced
+     space, so states differ — that is the point). *)
   List.iter
     (fun e ->
       if e.engine = "incremental" then begin
@@ -279,16 +393,59 @@ let () =
               e.n;
             exit 1
           end);
-        match find_engine entries e "por" with
-        | None -> ()
-        | Some p ->
-          if e.verdict <> p.verdict then begin
-            Printf.eprintf "por verdict mismatch on %s (%s, n=%d)\n" e.name
-              e.kind e.n;
-            exit 1
-          end
+        List.iter
+          (fun engine ->
+            match find_engine entries e engine with
+            | None -> ()
+            | Some p ->
+              if e.verdict <> p.verdict then begin
+                Printf.eprintf "%s verdict mismatch on %s (%s, n=%d)\n"
+                  engine e.name e.kind e.n;
+                exit 1
+              end)
+          [ "por"; "por+sym" ]
       end)
     entries;
+  (* Headline gate: the tournament locks must come back exhaustive —
+     verdict ok and no truncation — at n=4 under the reduction stack.
+     A growth of the reduced state space past the 500k cap shows up
+     here, not as a silently truncated row. *)
+  List.iter
+    (fun (name, engine) ->
+      match
+        List.find_opt
+          (fun e -> e.name = name && e.engine = engine && e.n = 4)
+          entries
+      with
+      | None ->
+        Printf.eprintf "missing n=4 headline row %s/%s\n" name engine;
+        exit 1
+      | Some e ->
+        if e.verdict <> "ok" || e.truncated then begin
+          Printf.eprintf
+            "n=4 headline regressed: %s/%s verdict=%s truncated=%b (%s)\n"
+            name engine e.verdict e.truncated e.trunc_reason;
+          exit 1
+        end)
+    n4_headline;
+  (* Prune-pooling gate: with the shared seen set the 4-domain search
+     must explore strictly fewer states than with private per-branch
+     tables. *)
+  (match
+     List.filter
+       (fun e -> List.mem_assoc "share_seen" e.extra)
+       entries
+   with
+  | [ pooled; unpooled ] when List.assoc "share_seen" pooled.extra = 1 ->
+    if pooled.states >= unpooled.states then begin
+      Printf.eprintf
+        "prune pooling ineffective: shared %d states vs private %d\n"
+        pooled.states unpooled.states;
+      exit 1
+    end
+  | _ ->
+    Printf.eprintf "expected exactly one pooled/unpooled row pair\n";
+    exit 1);
   (* Negative-fixture gate: the broken recovery queue must come back
      refuted on every fault row, and the real recoverable locks clean —
      fail the bench (and with it CI) on the spot, not just on diff. *)
@@ -311,7 +468,7 @@ let () =
     entries;
   let oc = open_out "BENCH_mcheck.json" in
   Printf.fprintf oc
-    "{\n  \"schema\": \"cfc-mcheck-bench/3\",\n  \"entries\": [\n%s\n  ]\n}\n"
+    "{\n  \"schema\": \"cfc-mcheck-bench/4\",\n  \"entries\": [\n%s\n  ]\n}\n"
     (String.concat ",\n" (List.map json_of_entry entries));
   close_out oc;
   Printf.printf "\nwrote BENCH_mcheck.json (%d entries)\n"

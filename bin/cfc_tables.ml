@@ -164,7 +164,26 @@ let mcheck_cmd =
             "Disable the access-graph partial-order reduction (explore \
              every interleaving the memoization alone would).")
   in
-  let run name n l depth domains engine no_por =
+  let sym_arg =
+    Arg.(
+      value & flag
+      & info [ "sym" ]
+          ~doc:
+            "Enable the pid-symmetry reduction: memo keys are \
+             canonicalised under the admissible pid permutations derived \
+             from the access-graph analysis (a no-op when no non-trivial \
+             group is derivable, e.g. the pid-ordered tree scan).")
+  in
+  let compact_arg =
+    Arg.(
+      value & flag
+      & info [ "compact" ]
+          ~doc:
+            "Store 2x62-bit state fingerprints instead of full keys in \
+             the seen set (detected collisions are re-explored, counted, \
+             and reported).")
+  in
+  let run name n l depth domains engine no_por sym compact =
     let alg = find_supported_alg name { Mutex_intf.n; l } in
     let config =
       { Cfc_mcheck.Explore.max_depth = depth; max_steps_per_proc = depth;
@@ -189,17 +208,34 @@ let mcheck_cmd =
       if no_por then None
       else Cfc_mcheck.Independence.mutex alg { Mutex_intf.n; l }
     in
+    let symmetry =
+      if not sym then None
+      else
+        match Cfc_mcheck.Symmetry.mutex alg { Mutex_intf.n; l } with
+        | Some _ as s -> s
+        | None ->
+          Printf.printf
+            "note: no non-trivial symmetry group derivable; --sym is a \
+             no-op\n";
+          None
+    in
     match
       Cfc_mcheck.Props.check_mutex ~config ~engine ~domains ~replay_safe
-        ?independence alg { Mutex_intf.n; l }
+        ?independence ?symmetry ~compact alg { Mutex_intf.n; l }
     with
     | Cfc_mcheck.Explore.Ok stats ->
       Printf.printf
         "OK: no violation within bounds (%d maximal runs, %d states \
-         explored, %d deduped, %d por-pruned%s)\n"
+         explored, %d deduped, %d sym-merged, %d por-pruned, seen %d/%d%s%s)\n"
         stats.Cfc_mcheck.Explore.runs stats.Cfc_mcheck.Explore.states
         stats.Cfc_mcheck.Explore.pruned_dedup
+        stats.Cfc_mcheck.Explore.pruned_sym
         stats.Cfc_mcheck.Explore.pruned_por
+        stats.Cfc_mcheck.Explore.seen_pop stats.Cfc_mcheck.Explore.seen_cap
+        (if stats.Cfc_mcheck.Explore.fp_collisions > 0 then
+           Printf.sprintf ", %d fp collisions re-explored"
+             stats.Cfc_mcheck.Explore.fp_collisions
+         else "")
         (if stats.Cfc_mcheck.Explore.truncated then ", some branches truncated"
          else "")
     | Cfc_mcheck.Explore.Violation { schedule; violation; _ } ->
@@ -213,7 +249,7 @@ let mcheck_cmd =
        ~doc:"Bounded-exhaustive mutual exclusion verification.")
     Term.(
       const run $ alg_arg $ n_arg $ l_arg $ depth_arg $ domains_arg
-      $ engine_arg $ no_por_arg)
+      $ engine_arg $ no_por_arg $ sym_arg $ compact_arg)
 
 let trace_cmd =
   let seed_arg =

@@ -13,9 +13,10 @@ open Cfc_mcheck
 let report name = function
   | Explore.Ok stats ->
     Printf.printf
-      "  %-28s OK  (%6d runs, %7d states, %6d deduped, %6d por-pruned%s)\n%!"
+      "  %-28s OK  (%6d runs, %7d states, %6d deduped, %6d sym-merged, \
+       %6d por-pruned%s)\n%!"
       name stats.Explore.runs stats.Explore.states stats.Explore.pruned_dedup
-      stats.Explore.pruned_por
+      stats.Explore.pruned_sym stats.Explore.pruned_por
       (if stats.Explore.truncated then ", truncated" else "")
   | Explore.Violation { schedule; violation; _ } ->
     Format.printf "  %-28s VIOLATION %a@.    schedule: %s@.%!" name

@@ -17,7 +17,9 @@
     - {b Replay} (dscheck-style): every node re-executes the whole
       schedule prefix from a fresh system.  Kept as the reference
       implementation and the fallback; the test suite pins the
-      incremental engine's verdicts, schedules and stats to it.
+      incremental engine's verdicts, schedules and stats to it.  The
+      replay engine is never partial-order reduced and never
+      hash-compacted (always exact keys).
 
     The state space is pruned with a soundness-preserving memoization:
     two schedule prefixes that reach the same fingerprint
@@ -27,6 +29,17 @@
     so only the first is expanded.  Spin loops therefore do not blow up
     the search.  The crash count joins the memo key, so pruning stays
     sound across fault branches.
+
+    {b Symmetry reduction} ([symmetry] hint, both engines): memo keys
+    are canonicalised under the admissible pid permutations before
+    lookup (see {!Symmetry}), so states that are pid-renamings of each
+    other — registers, register contents and observation histories
+    remapped consistently — merge into one orbit representative.
+    Because the reduction acts on the key rather than on the candidate
+    schedule, it composes with the partial-order reduction (the memo
+    payload travels into canonical pid space by the witness permutation)
+    and stays on under fault injection.  [pruned_sym] counts prune hits
+    whose key the canonicalisation had rewritten.
 
     {b Partial-order reduction} ([independence] hint, incremental engine
     only): a static may-conflict relation between per-process next steps,
@@ -51,21 +64,38 @@
     canonicalization) — sound under the memoryless-spin reading of
     busy-wait loops the analyzer's cycle detection already assumes
     (DESIGN.md §2).  Reduction is gated off under fault injection
-    ([pairs > 0]), under [symmetric], and for processes whose dynamic
-    accesses leave their static graph (conservative degradation, per
-    process).  The reduced and unreduced searches are asserted to agree
-    on every registry system and every broken fixture by the test suite.
+    ([pairs > 0]) and for processes whose dynamic accesses leave their
+    static graph (conservative degradation, per process).  The reduced
+    and unreduced searches are asserted to agree on every registry
+    system and every broken fixture by the test suite.
+
+    {b Compact seen set} ([compact], incremental engine only): the memo
+    stores two independent 62-bit fingerprints of each key
+    ({!State_key.fingerprint}) instead of the full structural key —
+    a large constant-factor memory saving on big sweeps.  A first-lane
+    hit whose second lane mismatches is a {e detected} collision
+    (counted in [fp_collisions], explored without storing — sound,
+    merely slower); wrongly merging two distinct states would need both
+    lanes to collide at once (~124 bits).  The exact mode remains the
+    default and the tests cross-check compact verdicts against it.
 
     {b Domain parallelism} ([domains > 1], incremental engine only): the
     root node's candidate actions are independent subtrees fanned out
-    over [Domain.spawn] workers, each with its own system and memo
-    table.  Results merge by branch index, so the verdict, the reported
-    counterexample schedule and the stats are deterministic — identical
-    for every [domains > 1] — but the per-branch memo tables cannot share
-    prunes, so [states]/[pruned_dedup] exceed (never undercount) the
-    sequential engine's on state spaces where branches reconverge, and
-    each branch gets the full [max_states] budget.  [domains = 1] (the
-    default) is exactly the sequential search.
+    over [Domain.spawn] workers, each with its own system and counters.
+    By default ([share_seen]) the branches pool their prunes through one
+    shared, mutex-striped seen set; cross-branch pruning is gated on
+    subtree {e completion} (a state another branch finished exploring
+    without hitting any bound), which keeps the verdict and the reported
+    counterexample schedule deterministic — identical for every
+    [domains] value and every timing — while the stats (how much work
+    each branch happened to skip) may vary run to run.  Results merge by
+    branch index: the reported violation is the one in the earliest
+    branch in canonical candidate order, i.e. the same branch the
+    sequential DFS enters first.  [share_seen:false] reverts to fully
+    private per-branch tables (deterministic stats, but branches
+    re-discover each other's states).  Each branch gets the full
+    [max_states] budget either way; [domains = 1] (the default) is
+    exactly the sequential search.
 
     {!run_faults} additionally enumerates bounded crash–recovery faults
     ({!action}) as scheduler choices: at every decision point any started
@@ -89,11 +119,22 @@ val default_config : config
 type stats = {
   runs : int;  (** maximal schedules explored *)
   states : int;  (** search nodes visited *)
-  pruned_dedup : int;  (** prefixes cut by the memoization *)
+  pruned_dedup : int;
+      (** prefixes cut by the memoization on an unrewritten key *)
+  pruned_sym : int;
+      (** prefixes cut on a key the symmetry canonicalisation rewrote;
+          always 0 without a [symmetry] hint *)
   pruned_por : int;
       (** enabled transitions skipped by the partial-order reduction
           (sleeping processes, plus the siblings a singleton ample set
           dropped); always 0 without an [independence] hint *)
+  fp_collisions : int;
+      (** detected fingerprint collisions in compact mode (state explored
+          without storing); always 0 in exact mode *)
+  seen_pop : int;  (** seen-set entries at the end of the search *)
+  seen_cap : int;
+      (** seen-set initial capacity ([max_states] or the [seen_hint]);
+          with private per-branch tables, the sum over branches *)
   truncated : bool;  (** some branch hit a bound *)
 }
 
@@ -123,9 +164,11 @@ type fault_result = action list gen_result
 
 val run :
   ?config:config ->
-  ?symmetric:bool ->
+  ?symmetry:Symmetry.t ->
   ?engine:engine ->
   ?domains:int ->
+  ?share_seen:bool ->
+  ?compact:bool ->
   ?replay_safe:bool ->
   ?independence:Independence.t ->
   ?seen_hint:int ->
@@ -149,14 +192,25 @@ val run :
     events each action appends — supply one for per-node O(1) checking.
     The two must agree; the replay engine always uses [check].
 
-    [symmetric] (default false) is only sound when every process runs
-    literally identical code (the naming problem's setting): among
-    processes that have not yet taken a step, only the lowest-numbered is
-    scheduled — any other choice reaches an isomorphic state under a pid
-    permutation, and the checked properties are pid-symmetric.
+    [symmetry] switches on the canonicalisation-based symmetry reduction
+    described in the module docstring (build the group with
+    {!Symmetry.identical} for literally identical processes or
+    {!Symmetry.mutex}/{!Symmetry.of_report} for pid-specialised code).
+    Sound only when the checked property is pid-symmetric, which every
+    property in {!Props} is.  For a pure (identical-processes) group the
+    engines additionally restrict fresh-process candidates to the lowest
+    pid — the old candidate-level pruning — when no [independence] hint
+    is active.
 
     [domains] (default 1) fans the root branches over that many domains
-    (capped by the branch count; incremental engine only).
+    (capped by the branch count; incremental engine only); [share_seen]
+    (default [true]) pools prunes across branches through a shared
+    sharded seen set — see the module docstring for the determinism
+    story.
+
+    [compact] (default [false]) stores 2×62-bit fingerprints instead of
+    full keys in the incremental engine's seen set; collisions are
+    counted in [fp_collisions].  The replay engine ignores it.
 
     [replay_safe] (default [true]) is a hint from static analysis (see
     [Cfc_analysis.Analyze]): pass [false] when some process is known to
@@ -169,12 +223,13 @@ val run :
     [independence] (see {!Independence.mutex}) switches the incremental
     engine to the partial-order-reduced search described in the module
     docstring; the verdict is unchanged, [states] shrinks, [pruned_por]
-    counts the skipped work.  Ignored under [symmetric], under fault
-    injection, on the replay engine and when no per-process model is
-    usable.
+    counts the skipped work.  Composes with [symmetry].  Ignored under
+    fault injection, on the replay engine and when no per-process model
+    is usable.
 
-    [seen_hint] pre-sizes the memo table (pass a previous run's [states]
-    to avoid rehashing on repeated runs); purely a performance hint.
+    [seen_hint] pre-sizes the memo table below its [max_states] default
+    (pass a previous run's [seen_pop] to trim memory on repeated small
+    runs); purely a performance hint.
 
     [observe_access] is called on every shared access the exploration
     executes, as it happens.  The callback sees each distinct access many
@@ -187,9 +242,11 @@ val run :
 
 val run_faults :
   ?config:config ->
-  ?symmetric:bool ->
+  ?symmetry:Symmetry.t ->
   ?engine:engine ->
   ?domains:int ->
+  ?share_seen:bool ->
+  ?compact:bool ->
   ?replay_safe:bool ->
   ?independence:Independence.t ->
   ?seen_hint:int ->
@@ -209,7 +266,9 @@ val run_faults :
     run.  Crashing a process that has not yet taken a step is skipped
     (indistinguishable from not crashing it).  With [pairs = 0] this is
     exactly {!run} modulo the schedule type — including the reduction,
-    which is otherwise gated off under fault injection. *)
+    which is otherwise gated off under fault injection.  The symmetry
+    reduction stays on across fault branches (crash and recovery are
+    pid-equivariant). *)
 
 val replay :
   system:(unit -> Cfc_runtime.Memory.t * (unit -> unit) array) ->

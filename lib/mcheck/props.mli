@@ -3,19 +3,22 @@
     checker supplies the incremental form of its property
     ({!Cfc_core.Spec.Inc}), so the default {!Explore.Incremental} engine
     pays O(new events) per node instead of a whole-trace rescan;
-    [engine]/[domains]/[replay_safe]/[independence]/[seen_hint] are
-    forwarded to {!Explore.run}/{!Explore.run_faults} — pass
-    [replay_safe:false] when static analysis says the algorithm swallows
-    discontinuation, so the search starts on the replay engine instead of
-    falling back, and [independence] (from {!Independence.mutex} /
-    {!Independence.detector}) to enable the partial-order reduction.
+    [symmetry]/[engine]/[domains]/[share_seen]/[compact]/[replay_safe]/
+    [independence]/[seen_hint] are forwarded to
+    {!Explore.run}/{!Explore.run_faults} — pass [replay_safe:false] when
+    static analysis says the algorithm swallows discontinuation, so the
+    search starts on the replay engine instead of falling back,
+    [independence] (from {!Independence.mutex} /
+    {!Independence.detector}) to enable the partial-order reduction, and
+    [symmetry] (from {!Symmetry.mutex}) to canonicalise memo keys under
+    the admissible pid permutations; the two reductions compose.
     Consensus, renaming and naming take no [independence]: no
     ready-made constructor builds their hint yet (use {!Explore.run}
-    with {!Independence.of_report} directly if needed), and naming's
-    default symmetry reduction would gate it off anyway. *)
+    with {!Independence.of_report} directly if needed). *)
 
 val check_mutex :
-  ?config:Explore.config -> ?engine:Explore.engine -> ?domains:int ->
+  ?config:Explore.config -> ?symmetry:Symmetry.t -> ?engine:Explore.engine ->
+  ?domains:int -> ?share_seen:bool -> ?compact:bool ->
   ?replay_safe:bool -> ?independence:Independence.t -> ?seen_hint:int ->
   ?observe_access:
     (pid:int ->
@@ -30,7 +33,8 @@ val check_mutex :
     {!Conflicts} collector plugs into. *)
 
 val check_mutex_recoverable :
-  ?config:Explore.config -> ?engine:Explore.engine -> ?domains:int ->
+  ?config:Explore.config -> ?symmetry:Symmetry.t -> ?engine:Explore.engine ->
+  ?domains:int -> ?share_seen:bool -> ?compact:bool ->
   ?replay_safe:bool -> ?independence:Independence.t -> ?seen_hint:int ->
   ?pairs:int -> ?rounds:int ->
   Cfc_mutex.Registry.alg -> Cfc_mutex.Mutex_intf.params ->
@@ -43,7 +47,8 @@ val check_mutex_recoverable :
     restarted run re-enters the protocol. *)
 
 val check_detector :
-  ?config:Explore.config -> ?engine:Explore.engine -> ?domains:int ->
+  ?config:Explore.config -> ?symmetry:Symmetry.t -> ?engine:Explore.engine ->
+  ?domains:int -> ?share_seen:bool -> ?compact:bool ->
   ?replay_safe:bool -> ?independence:Independence.t -> ?seen_hint:int ->
   Cfc_mutex.Registry.detector ->
   Cfc_mutex.Mutex_intf.params -> Explore.result
@@ -51,7 +56,7 @@ val check_detector :
 
 val check_consensus :
   ?config:Explore.config -> ?engine:Explore.engine -> ?domains:int ->
-  ?replay_safe:bool -> ?seen_hint:int ->
+  ?share_seen:bool -> ?compact:bool -> ?replay_safe:bool -> ?seen_hint:int ->
   Cfc_consensus.Registry.alg -> n:int ->
   inputs:int array -> Explore.result
 (** Verify agreement + validity of a consensus algorithm for the given
@@ -59,16 +64,17 @@ val check_consensus :
 
 val check_renaming :
   ?config:Explore.config -> ?engine:Explore.engine -> ?domains:int ->
-  ?replay_safe:bool -> ?seen_hint:int ->
+  ?share_seen:bool -> ?compact:bool -> ?replay_safe:bool -> ?seen_hint:int ->
   Cfc_renaming.Registry.alg -> n:int ->
   Explore.result
 (** Verify distinct in-range new names (full participation bound). *)
 
 val check_naming :
   ?config:Explore.config -> ?engine:Explore.engine -> ?domains:int ->
-  ?replay_safe:bool -> ?seen_hint:int ->
+  ?share_seen:bool -> ?compact:bool -> ?replay_safe:bool -> ?seen_hint:int ->
   ?symmetric:bool -> Cfc_naming.Registry.alg ->
   n:int -> Explore.result
 (** Verify unique in-range names.  [symmetric] (default true — naming
-    processes are identical by construction) enables the pid-symmetry
-    reduction. *)
+    processes are identical by construction) builds the pure
+    {!Symmetry.identical} group and enables the canonicalisation-based
+    symmetry reduction. *)

@@ -53,3 +53,12 @@ val hash : t -> int
 (** O(nprocs + registers): combines the register values and each
     process's status, region and precomputed [k_obs_hash] without
     traversing the observation lists. *)
+
+val fingerprint : t -> int -> int * int
+(** [fingerprint t salt] digests the {e entire} key — every register
+    value, every observation with its full operand list — through two
+    independent 62-bit multiply–xorshift lanes seeded with [salt] (the
+    compact seen-set passes the crash-budget component of its memo key
+    there).  The pair gives ~124 bits of discrimination; a collision on
+    both lanes at once is what it takes for the compact mode to wrongly
+    merge two distinct states.  Deterministic across runs and domains. *)

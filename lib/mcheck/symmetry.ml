@@ -1,0 +1,614 @@
+open Cfc_runtime
+
+(* Pid-symmetry reduction: a canonicalisation pass on state keys.  Two
+   flavors share one interface:
+
+   - [identical]: the processes run literally the same closure (the
+     naming harness), so permuting pids permutes [k_procs] and touches
+     nothing else — the canonical form just sorts the per-process
+     records.
+
+   - derived ([of_report] / [mutex]): the processes run pid-specialised
+     code (mutex variants index flag arrays by [me] and write their pid
+     into the CS witness), so a pid permutation π must be accompanied by
+     a register bijection ρ and per-register value maps.  Both are
+     derived from the access-graph analyzer: ρ by positionally matching
+     the exact completed-path witnesses ([vr_completed]) of variant p
+     against variant π(p), the value maps by aligning the
+     written-value sets ([n_wvals]) — values only p writes to r must
+     correspond to values only π(p) writes to ρ(r).
+
+   A permutation for which no consistent (ρ, value maps) exists is
+   simply not in the group — tournament trees at n=4 get the order-8
+   tree-automorphism group, not S₄.  A permutation whose value map is
+   partial stays in the group but raises [Inapplicable] on states
+   holding unmapped values; such states keep their raw key, which is
+   always sound (fewer merges, never a wrong one).
+
+   Soundness is anchored the way this repo anchors every reduction
+   (see independence.mli): a qcheck congruence property (permuting the
+   pids of a live system yields the identical canonical key) plus
+   registry-wide verdict-equivalence sweeps against the unreduced
+   engine. *)
+
+exception Inapplicable
+
+type vmap = {
+  vm_dom : int array;  (* sorted *)
+  vm_img : int array;
+  vm_amb : int option;
+      (* a value that is both the register's initial value and a written
+         value whose alignment image differs from the target's initial
+         value: the key cannot tell the two provenances apart, so it maps
+         cleanly only where provenance is manifest (a write observation);
+         anywhere else — register contents, read results — it raises
+         [Inapplicable] *)
+}
+
+type regmap = {
+  rm_rho : int;  (* target register id *)
+  rm_vmap : vmap option;  (* [None] = identity *)
+}
+
+type remap = {
+  r_pi : int array;  (* pid [p] moves to canonical slot [r_pi.(p)] *)
+  r_regs : regmap array;  (* indexed by source register id *)
+}
+
+type t = {
+  s_nprocs : int;
+  s_pure : bool;  (* identical processes: canon = sort k_procs *)
+  s_perms : remap array;  (* non-identity members (empty when pure) *)
+}
+
+let nprocs t = t.s_nprocs
+let is_pure t = t.s_pure
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+    List.concat_map
+      (fun x ->
+        List.map (fun r -> x :: r) (permutations (List.filter (( <> ) x) l)))
+      l
+
+let pid_perms n =
+  permutations (List.init n Fun.id)
+  |> List.filter_map (fun l ->
+         let pi = Array.of_list l in
+         if Array.for_all2 ( = ) pi (Array.init n Fun.id) then None
+         else Some pi)
+
+let perms t =
+  if t.s_pure then pid_perms t.s_nprocs
+  else Array.to_list (Array.map (fun rm -> rm.r_pi) t.s_perms)
+
+let group_order t =
+  if t.s_pure then (
+    let f = ref 1 in
+    for i = 2 to t.s_nprocs do
+      f := !f * i
+    done;
+    !f)
+  else Array.length t.s_perms + 1
+
+let identical ~nprocs =
+  { s_nprocs = nprocs; s_pure = true; s_perms = [||] }
+
+(* ------------------------------------------------------------------ *)
+(* Applying a remap to a key. *)
+
+(* [apply_vmap] maps a value at a {e written} position (a write
+   observation — provenance is manifestly "written", so the alignment
+   applies even to an ambiguous value); [apply_vmap_obs] maps a value at
+   an {e observed} position (register contents, read results), where an
+   ambiguous value could be either the initial value or a written one
+   and must not be mapped at all. *)
+let apply_vmap vm v =
+  match vm with
+  | None -> v
+  | Some { vm_dom; vm_img; _ } ->
+    let lo = ref 0 and hi = ref (Array.length vm_dom - 1) in
+    let res = ref None in
+    while !res = None && !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      let d = vm_dom.(mid) in
+      if d = v then res := Some vm_img.(mid)
+      else if d < v then lo := mid + 1
+      else hi := mid - 1
+    done;
+    (match !res with Some v' -> v' | None -> raise Inapplicable)
+
+let apply_vmap_obs vm v =
+  (match vm with
+  | Some { vm_amb = Some a; _ } when a = v -> raise Inapplicable
+  | _ -> ());
+  apply_vmap vm v
+
+let remap_cell rm (c : State_key.cell) =
+  let m = rm.r_regs.(c.reg) in
+  let identity_v = m.rm_vmap = None in
+  let kind =
+    match c.kind with
+    | Event.A_read v -> Event.A_read (apply_vmap_obs m.rm_vmap v)
+    | Event.A_write v -> Event.A_write (apply_vmap m.rm_vmap v)
+    | Event.A_xchg (w, o) ->
+      Event.A_xchg (apply_vmap m.rm_vmap w, apply_vmap_obs m.rm_vmap o)
+    | Event.A_cas (e, d, ok) ->
+      Event.A_cas (apply_vmap_obs m.rm_vmap e, apply_vmap m.rm_vmap d, ok)
+    | Event.A_field _ ->
+      (* sub-word writes name bit offsets inside the register, and packed
+         layouts make the offset pid-dependent (process p writes the
+         p-th field) — the analyzer's path classes flatten the offset
+         away, so no correspondence can be derived and the cell never
+         carries across a pid renaming *)
+      raise Inapplicable
+    | Event.A_bit _ as k ->
+      (* bit results are not register contents; safe under a register
+         move, unsafe under a value remap *)
+      if identity_v then k else raise Inapplicable
+  in
+  { State_key.reg = m.rm_rho; kind }
+
+let remap_proc rm (p : State_key.proc_key) =
+  let obs = List.map (remap_cell rm) p.State_key.k_obs in
+  let obs_hash = List.fold_left State_key.cell_hash 0 (List.rev obs) in
+  { p with State_key.k_obs = obs; k_obs_hash = obs_hash }
+
+let remap_key_rm rm (key : State_key.t) : State_key.t =
+  let n = Array.length key.State_key.k_procs in
+  let procs = Array.make n key.State_key.k_procs.(0) in
+  for p = 0 to n - 1 do
+    procs.(rm.r_pi.(p)) <- remap_proc rm key.State_key.k_procs.(p)
+  done;
+  let nregs = Array.length key.State_key.k_regvals in
+  let regvals = Array.make nregs 0 in
+  (* [k_regvals] comes from [Memory.values], which lists registers in
+     reverse allocation order: key index [i] holds register id
+     [nregs - 1 - i].  The register maps speak in register ids. *)
+  for i = 0 to nregs - 1 do
+    let m = rm.r_regs.(nregs - 1 - i) in
+    regvals.(nregs - 1 - m.rm_rho) <-
+      apply_vmap_obs m.rm_vmap key.State_key.k_regvals.(i)
+  done;
+  { State_key.k_regvals = regvals; k_procs = procs }
+
+let permute_procs pi (key : State_key.t) =
+  let n = Array.length key.State_key.k_procs in
+  let procs = Array.make n key.State_key.k_procs.(0) in
+  for p = 0 to n - 1 do
+    procs.(pi.(p)) <- key.State_key.k_procs.(p)
+  done;
+  { key with State_key.k_procs = procs }
+
+let remap_key t pi key =
+  if t.s_pure then permute_procs pi key
+  else
+    match Array.find_opt (fun rm -> rm.r_pi = pi) t.s_perms with
+    | Some rm -> remap_key_rm rm key
+    | None -> invalid_arg "Symmetry.remap_key: not a group member"
+
+let canon_pure (key : State_key.t) =
+  let n = Array.length key.State_key.k_procs in
+  let idx = List.init n Fun.id in
+  let sorted =
+    List.sort
+      (fun a b ->
+        let c =
+          compare key.State_key.k_procs.(a) key.State_key.k_procs.(b)
+        in
+        if c <> 0 then c else compare a b)
+      idx
+  in
+  let pi = Array.make n 0 in
+  List.iteri (fun slot p -> pi.(p) <- slot) sorted;
+  if Array.for_all2 ( = ) pi (Array.of_list idx) then (key, None)
+  else
+    let procs = Array.make n key.State_key.k_procs.(0) in
+    Array.iteri (fun p slot -> procs.(slot) <- key.State_key.k_procs.(p)) pi;
+    ({ key with State_key.k_procs = procs }, Some pi)
+
+let canon t (key : State_key.t) =
+  if t.s_pure then canon_pure key
+  else begin
+    let best = ref key and best_pi = ref None in
+    Array.iter
+      (fun rm ->
+        match remap_key_rm rm key with
+        | k2 ->
+          if compare k2 !best < 0 then begin
+            best := k2;
+            best_pi := Some rm.r_pi
+          end
+        | exception Inapplicable -> ())
+      t.s_perms;
+    (!best, !best_pi)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Deriving the group from an analyzer report. *)
+
+module Iset = Set.Make (Int)
+
+type reg_info = {
+  ri_width : int;
+  ri_w : Iset.t array;  (* per variant: values it writes to this reg *)
+  ri_exact : bool;  (* every contributing node's value set was exact *)
+  ri_multi : bool array;
+      (* per variant: some single static access writes >= 2 distinct
+         values — the value written varies with the path taken *)
+  ri_obs : bool array;  (* per variant: observes (returns a value read
+                           from) this register *)
+}
+
+let collect_reg_info nregs (variants : Cfc_analysis.Analyze.variant_report list)
+    =
+  let n = List.length variants in
+  let info =
+    Array.init nregs (fun _ ->
+        { ri_width = 0;
+          ri_w = Array.make n Iset.empty;
+          ri_exact = true;
+          ri_multi = Array.make n false;
+          ri_obs = Array.make n false })
+  in
+  let ok = ref true in
+  List.iteri
+    (fun p vr ->
+      Hashtbl.iter
+        (fun _ (node : Cfc_analysis.Analyze.node) ->
+          let r = node.Cfc_analysis.Analyze.n_reg in
+          if r < 0 || r >= nregs then ok := false
+          else begin
+            let ri = info.(r) in
+            let multi = Array.copy ri.ri_multi in
+            if
+              node.n_write
+              && List.length (List.sort_uniq compare node.n_wvals) >= 2
+            then multi.(p) <- true;
+            let obs = Array.copy ri.ri_obs in
+            if node.n_observes then obs.(p) <- true;
+            info.(r) <-
+              { ri_width = max ri.ri_width node.n_width;
+                ri_w =
+                  (let w = Array.copy ri.ri_w in
+                   w.(p) <-
+                     List.fold_left
+                       (fun s v -> Iset.add v s)
+                       w.(p) node.n_wvals;
+                   w);
+                ri_exact = ri.ri_exact && node.n_wvals_exact;
+                ri_multi = multi;
+                ri_obs = obs }
+          end)
+        vr.Cfc_analysis.Analyze.vr_graph.Cfc_analysis.Analyze.g_nodes)
+    variants;
+  if !ok then Some info else None
+
+(* Positional path matching: the register correspondence forced by
+   requiring variant [p]'s completed solo paths to become variant [q]'s
+   under the renaming.  Paths are sorted by (shape, registers); shapes
+   must agree pairwise, and the zipped register sequences must form a
+   functional, injective, width-preserving map. *)
+let sigma widths (paths_p : (int * string * int) list list)
+    (paths_q : (int * string * int) list list) =
+  if List.length paths_p <> List.length paths_q then None
+  else begin
+    let shape path = List.map (fun (_, cls, occ) -> (cls, occ)) path in
+    let sort_paths ps =
+      List.sort
+        (fun a b ->
+          let c = compare (shape a) (shape b) in
+          if c <> 0 then c else compare a b)
+        ps
+    in
+    let ps = sort_paths paths_p and qs = sort_paths paths_q in
+    let map = Hashtbl.create 16 and img = Hashtbl.create 16 in
+    let ok = ref true in
+    List.iter2
+      (fun pa qa ->
+        if !ok then
+          if shape pa <> shape qa then ok := false
+          else
+            List.iter2
+              (fun (r1, _, _) (r2, _, _) ->
+                if !ok then
+                  match Hashtbl.find_opt map r1 with
+                  | Some r2' -> if r2' <> r2 then ok := false
+                  | None -> (
+                    match Hashtbl.find_opt img r2 with
+                    | Some _ -> ok := false
+                    | None ->
+                      if widths r1 <> widths r2 then ok := false
+                      else begin
+                        Hashtbl.add map r1 r2;
+                        Hashtbl.add img r2 ()
+                      end))
+              pa qa)
+      ps qs;
+    if !ok then Some map else None
+  end
+
+(* The value map for source register [r] → target register [t] under pid
+   permutation [pi], from the written-value sets: identity when every
+   variant's set carries over unchanged; otherwise align the
+   exclusively-written values of p with those of π(p) (sorted), the
+   common values with the common values, and route the initial value to
+   the initial value when it is not already covered. *)
+let derive_vmap ~init ~pi info r t =
+  let n = Array.length pi in
+  let src = info.(r) and tgt = info.(t) in
+  let identity_ok = ref true in
+  for p = 0 to n - 1 do
+    if not (Iset.equal src.ri_w.(p) tgt.ri_w.(pi.(p))) then
+      identity_ok := false
+  done;
+  if !identity_ok then
+    if init.(r) = init.(t) then Some None (* total identity *)
+    else None
+  else if not (src.ri_exact && tgt.ri_exact) then None
+  else begin
+    (* Align values by writer set: a value written exactly by the
+       variants in S must correspond to a target value written exactly
+       by π(S).  (An earlier exclusive/common split aligned the shared
+       values in sorted order, which is permutation-blind: the
+       tournament's top-level side register — left subtree writes 0,
+       right subtree writes 1, both values "common" at n=4 — needs 0↔1
+       under a cross-subtree permutation, not the identity.) *)
+    let writer_sets w =
+      let tbl = Hashtbl.create 16 in
+      Array.iteri
+        (fun p s ->
+          Iset.iter
+            (fun v ->
+              let ws =
+                match Hashtbl.find_opt tbl v with Some l -> l | None -> []
+              in
+              Hashtbl.replace tbl v (p :: ws))
+            s)
+        w;
+      tbl
+    in
+    let group tbl f =
+      let g = Hashtbl.create 16 in
+      Hashtbl.iter
+        (fun v ws ->
+          let key = List.sort compare (f ws) in
+          let vs =
+            match Hashtbl.find_opt g key with Some l -> l | None -> []
+          in
+          Hashtbl.replace g key (v :: vs))
+        tbl;
+      g
+    in
+    let gs =
+      group (writer_sets src.ri_w) (List.map (fun p -> pi.(p)))
+    and gt = group (writer_sets tgt.ri_w) Fun.id in
+    let pairs = ref [] in
+    let ok = ref (Hashtbl.length gs = Hashtbl.length gt) in
+    if !ok then
+      Hashtbl.iter
+        (fun key vs ->
+          match Hashtbl.find_opt gt key with
+          | None -> ok := false
+          | Some vt ->
+            let vs = List.sort compare vs
+            and vt = List.sort compare vt in
+            if List.length vs <> List.length vt then ok := false
+            else
+              List.iter2 (fun a b -> pairs := (a, b) :: !pairs) vs vt)
+        gs;
+    if not !ok then None
+    else begin
+      begin
+        (* functional + injective merge *)
+        let dom = Hashtbl.create 16 and img = Hashtbl.create 16 in
+        List.iter
+          (fun (a, b) ->
+            match Hashtbl.find_opt dom a with
+            | Some b' -> if b' <> b then ok := false
+            | None ->
+              if Hashtbl.mem img b then ok := false
+              else begin
+                Hashtbl.add dom a b;
+                Hashtbl.add img b ()
+              end)
+          !pairs;
+        let amb = ref None in
+        (match Hashtbl.find_opt dom init.(r) with
+        | Some b when b = init.(t) -> ()
+        | Some _ ->
+          (* the initial value is also a written value whose alignment
+             image is not the target's initial value: keys cannot tell
+             the two provenances apart, so the value maps only where
+             provenance is manifest (a write observation) and is
+             ambiguous everywhere else *)
+          amb := Some init.(r)
+        | None ->
+          if not (Hashtbl.mem img init.(t)) then begin
+            Hashtbl.add dom init.(r) init.(t);
+            Hashtbl.add img init.(t) ()
+          end
+          (* else: leave init unmapped — states holding it keep their
+             raw key (Inapplicable at runtime), which is sound *));
+        if not !ok then None
+        else begin
+          let items =
+            Hashtbl.fold (fun a b acc -> (a, b) :: acc) dom []
+            |> List.sort compare
+          in
+          let vm_dom = Array.of_list (List.map fst items)
+          and vm_img = Array.of_list (List.map snd items) in
+          Some (Some { vm_dom; vm_img; vm_amb = !amb })
+        end
+      end
+    end
+  end
+
+let of_report ~init (report : Cfc_analysis.Analyze.report) =
+  let variants = report.Cfc_analysis.Analyze.variants in
+  let n = List.length variants in
+  let nregs = Array.length init in
+  if n < 2 || n > 6 then None
+  else
+    match collect_reg_info nregs variants with
+    | None -> None
+    | Some info ->
+      let widths r = info.(r).ri_width in
+      let paths =
+        Array.of_list
+          (List.map (fun vr -> vr.Cfc_analysis.Analyze.vr_completed) variants)
+      in
+      let node_tbl =
+        Array.of_list
+          (List.map
+             (fun vr ->
+               vr.Cfc_analysis.Analyze.vr_graph.Cfc_analysis.Analyze.g_nodes)
+             variants)
+      in
+      let sigma_cache = Hashtbl.create 16 in
+      let sigma_pq p q =
+        match Hashtbl.find_opt sigma_cache (p, q) with
+        | Some s -> s
+        | None ->
+          let s = sigma widths paths.(p) paths.(q) in
+          Hashtbl.add sigma_cache (p, q) s;
+          s
+      in
+      let build_perm pi =
+        let rho = Array.make nregs (-1) in
+        let ok = ref true in
+        for p = 0 to n - 1 do
+          if !ok then
+            match sigma_pq p pi.(p) with
+            | None -> ok := false
+            | Some map ->
+              Hashtbl.iter
+                (fun r1 r2 ->
+                  if rho.(r1) = -1 then rho.(r1) <- r2
+                  else if rho.(r1) <> r2 then ok := false)
+                map
+        done;
+        if not !ok then None
+        else begin
+          (* complete with identity; require a register bijection *)
+          for r = 0 to nregs - 1 do
+            if rho.(r) = -1 then rho.(r) <- r
+          done;
+          let seen = Array.make nregs false in
+          Array.iter
+            (fun t ->
+              if t < 0 || t >= nregs || seen.(t) then ok := false
+              else seen.(t) <- true)
+            rho;
+          if not !ok then None
+          else begin
+            (* A register where some variant's single static access
+               writes >= 2 distinct values (the written value varies
+               with the path taken) admits no trustworthy static value
+               correspondence IF another variant can observe it (the
+               value may be computed from an observation — Kessels'
+               turn bits, where one side copies the other's bit and the
+               other negates it).  Such a register poisons any
+               permutation that moves it or moves a variant touching
+               it; a permutation fixing both leaves the values' meaning
+               untouched.  A multi-valued register nobody else observes
+               (a crash-recovery hint re-armed on restart) is harmless:
+               the per-position constants are pinned by the node
+               correspondence check below. *)
+            let variants_idx = Array.init n Fun.id in
+            for r = 0 to nregs - 1 do
+              let ri = info.(r) in
+              let cross =
+                Array.exists
+                  (fun p ->
+                    ri.ri_multi.(p)
+                    && Array.exists
+                         (fun q -> q <> p && ri.ri_obs.(q))
+                         variants_idx)
+                  variants_idx
+              in
+              if
+                cross
+                && (rho.(r) <> r
+                   || Array.exists
+                        (fun p ->
+                          pi.(p) <> p && (ri.ri_multi.(p) || ri.ri_obs.(p)))
+                        variants_idx)
+              then ok := false
+            done;
+            let regs =
+              Array.init nregs (fun r ->
+                  match derive_vmap ~init ~pi info r rho.(r) with
+                  | Some vm -> { rm_rho = rho.(r); rm_vmap = vm }
+                  | None ->
+                    ok := false;
+                    { rm_rho = r; rm_vmap = None })
+            in
+            (* Matched-node write-value correspondence: variant [p]'s
+               write at static position (r, cls, occ) must become
+               variant [pi(p)]'s write at (rho r, cls, occ) with exactly
+               the image value set — pinning the per-position constants
+               the set-level alignment above cannot see. *)
+            if !ok then
+              for p = 0 to n - 1 do
+                if !ok then
+                  Hashtbl.iter
+                    (fun _ (nd : Cfc_analysis.Analyze.node) ->
+                      if !ok && nd.n_write && nd.n_wvals <> [] then
+                        let tgt_key =
+                          (rho.(nd.n_reg), nd.n_class, nd.n_occ)
+                        in
+                        match Hashtbl.find_opt node_tbl.(pi.(p)) tgt_key with
+                        | None -> ok := false
+                        | Some nd2 ->
+                          if not nd2.n_write then ok := false
+                          else begin
+                            let vm = regs.(nd.n_reg).rm_vmap in
+                            match
+                              List.sort_uniq compare
+                                (List.map (apply_vmap vm) nd.n_wvals)
+                            with
+                            | imgs ->
+                              if imgs <> List.sort_uniq compare nd2.n_wvals
+                              then ok := false
+                            | exception Inapplicable -> ok := false
+                          end)
+                    node_tbl.(p)
+              done;
+            if !ok then Some { r_pi = pi; r_regs = regs } else None
+          end
+        end
+      in
+      let perms = List.filter_map build_perm (pid_perms n) in
+      if perms = [] then None
+      else
+        Some
+          { s_nprocs = n; s_pure = false; s_perms = Array.of_list perms }
+
+let build ?config subject_opt ~init =
+  match subject_opt with
+  | None -> None
+  | Some subject -> (
+    match Cfc_analysis.Analyze.analyze ?config subject with
+    | report ->
+      (* [Memory.values] is in reverse allocation order; [of_report]
+         wants register-id indexing *)
+      let v = init () in
+      let nregs = Array.length v in
+      let by_id = Array.init nregs (fun r -> v.(nregs - 1 - r)) in
+      of_report ~init:by_id report
+    | exception _ -> None)
+
+let mutex ?config alg (p : Cfc_mutex.Mutex_intf.params) =
+  build ?config
+    (Cfc_analysis.Subjects.of_mutex_checked ~l:p.Cfc_mutex.Mutex_intf.l
+       ~n:p.Cfc_mutex.Mutex_intf.n alg)
+    ~init:(fun () ->
+      Memory.values (fst (Cfc_core.Mutex_harness.system alg p ())))
+
+let detector ?config det (p : Cfc_mutex.Mutex_intf.params) =
+  build ?config
+    (Cfc_analysis.Subjects.of_detector ~n:p.Cfc_mutex.Mutex_intf.n det)
+    ~init:(fun () ->
+      Memory.values (fst (Cfc_core.Detect_harness.system det p ())))

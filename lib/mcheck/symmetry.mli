@@ -1,0 +1,96 @@
+(** Pid-symmetry reduction as a canonicalisation pass on
+    {!State_key.t}: the exploration memoises [canon key] instead of
+    [key], so states that are pid-renamings of each other merge.
+    Because the reduction acts on the {e key} rather than on the
+    candidate schedule (the previous [symmetric] mode pruned
+    candidates), it composes with the partial-order reduction: the memo
+    payload (sleep set, step vector) is carried into canonical pid
+    space by the witness permutation returned alongside the key.
+
+    Two constructors:
+
+    - {!identical} — the processes run literally the same closure (the
+      naming harness): permuting pids permutes the per-process records
+      and nothing else, so the canonical form sorts [k_procs].
+
+    - {!of_report} / {!mutex} — pid-specialised code: each admissible
+      pid permutation π carries a register bijection ρ (derived by
+      positionally matching the analyzer's exact completed-path
+      witnesses of variant [p] against variant [π(p)]) and per-register
+      value maps (derived by aligning written-value sets: values only
+      [p] writes must correspond to values only [π(p)] writes).
+      Permutations with no consistent (ρ, value maps) are excluded —
+      the tournament locks at n=4 get their order-8 tree-automorphism
+      group, not S₄.  A state holding a value outside a partial value
+      map keeps its raw key (sound: fewer merges, never a wrong one).
+
+    Soundness is anchored empirically, like the partial-order
+    reduction: a qcheck congruence property (permuting the pids of a
+    live system yields the identical canonical key) and registry-wide
+    verdict-equivalence sweeps against the unreduced engine — see
+    [test_mcheck]. *)
+
+type t
+
+val identical : nprocs:int -> t
+(** The full symmetric group on identical processes (naming): canon
+    sorts the per-process records; registers are untouched (anonymous
+    processes cannot index memory by pid). *)
+
+val of_report : init:int array -> Cfc_analysis.Analyze.report -> t option
+(** Derive the symmetry group from an analyzer report over the {e
+    checked} subject (the arena the model checker explores, witness
+    register included) and the initial register values of that arena,
+    indexed by {e register id} (allocation order — note
+    [Memory.values] lists them reversed; {!mutex} and {!detector} do
+    the flip).
+    [None] when no non-identity permutation admits a consistent
+    register/value correspondence, or when [n] is outside [2..6]
+    (the n! enumeration guard). *)
+
+val mutex :
+  ?config:Cfc_analysis.Analyze.config ->
+  Cfc_mutex.Registry.alg ->
+  Cfc_mutex.Mutex_intf.params ->
+  t option
+(** {!of_report} over {!Cfc_analysis.Subjects.of_mutex_checked} with the
+    initial values of a freshly instantiated checked arena. *)
+
+val detector :
+  ?config:Cfc_analysis.Analyze.config ->
+  Cfc_mutex.Registry.detector ->
+  Cfc_mutex.Mutex_intf.params ->
+  t option
+(** {!of_report} over {!Cfc_analysis.Subjects.of_detector} with the
+    initial values of a fresh detector arena. *)
+
+val nprocs : t -> int
+
+val is_pure : t -> bool
+(** [true] for {!identical} — the exploration may additionally restrict
+    fresh-process candidates to the lowest pid (the old candidate-level
+    pruning), which is sound for anonymous identical processes and is
+    still gated off under POR. *)
+
+val group_order : t -> int
+(** Number of admissible permutations including the identity. *)
+
+val perms : t -> int array list
+(** The non-identity pid permutations of the group — exposed for the
+    congruence tests. *)
+
+val canon : t -> State_key.t -> State_key.t * int array option
+(** [canon t key] is the canonical representative of [key]'s orbit (the
+    minimum, by structural comparison, over all applicable remapped
+    images) together with the witness permutation π that produced it —
+    [None] when the key is its own canonical form.  The witness maps
+    raw pid [p] to canonical slot [π.(p)]; the exploration uses it to
+    carry sleep sets and step vectors into canonical space. *)
+
+val remap_key : t -> int array -> State_key.t -> State_key.t
+(** Apply one group member (identified by its pid permutation, which
+    must come from {!perms}) to a key — exposed for the congruence
+    tests.  Raises [Inapplicable] on values outside a partial value
+    map.  For a pure group this permutes [k_procs] only. *)
+
+exception Inapplicable

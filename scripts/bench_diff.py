@@ -6,15 +6,20 @@ Usage: bench_diff.py BASELINE CURRENT [--delta OUT.json]
 Both inputs must carry the same kind of schema; the mode is picked from
 it automatically.
 
-cfc-mcheck-bench (BENCH_mcheck.json): verdicts, state counts and prune
-counts are deterministic (seeded exploration, fixed configs), so against
-a committed baseline:
+cfc-mcheck-bench (BENCH_mcheck.json, schema /4): verdicts, state counts
+and prune counts are deterministic (seeded exploration, fixed configs),
+so against a committed baseline:
 
   - a verdict change on any (name, kind, engine, n, extra) entry fails;
-  - growth in states explored fails (the memoization or the
-    partial-order reduction lost ground);
+  - growth in states explored fails (the memoization, the partial-order
+    reduction or the symmetry canonicalisation lost ground) — except on
+    share_seen=1 rows, whose state counts depend on worker timing (the
+    verdict does not) and are only noted;
   - an entry present in the baseline but missing from the current run
     fails (a silent sweep cap crept back in);
+  - an exhaustive baseline entry coming back truncated fails — this is
+    the n=4 tournament-lock headline gate (the bench itself also
+    refuses to write such a row);
   - new entries and wall-time changes are reported, never asserted
     (CI runners are noisy).
 
@@ -102,7 +107,11 @@ def key(entry):
                 "states",
                 "pruned",
                 "pruned_dedup",
+                "pruned_sym",
                 "pruned_por",
+                "fp_collisions",
+                "seen_pop",
+                "seen_cap",
                 "truncated",
                 "trunc_reason",
                 "wall_s",
@@ -141,7 +150,8 @@ def diff_mcheck(base_doc, cur_doc, regressions, changes):
             regressions.append(
                 f"{label}: verdict {b['verdict']} -> {c['verdict']}"
             )
-        if c["states"] > b["states"]:
+        pooled = c.get("share_seen") == 1
+        if c["states"] > b["states"] and not pooled:
             regressions.append(
                 f"{label}: states explored grew {b['states']} -> {c['states']}"
             )

@@ -427,9 +427,11 @@ let test_finds_naming_race () =
 
 let pp_stats ppf (s : Explore.stats) =
   Format.fprintf ppf
-    "{runs=%d; states=%d; pruned_dedup=%d; pruned_por=%d; truncated=%b}"
-    s.Explore.runs s.Explore.states s.Explore.pruned_dedup s.Explore.pruned_por
-    s.Explore.truncated
+    "{runs=%d; states=%d; pruned_dedup=%d; pruned_sym=%d; pruned_por=%d; \
+     fp_collisions=%d; seen_pop=%d; seen_cap=%d; truncated=%b}"
+    s.Explore.runs s.Explore.states s.Explore.pruned_dedup s.Explore.pruned_sym
+    s.Explore.pruned_por s.Explore.fp_collisions s.Explore.seen_pop
+    s.Explore.seen_cap s.Explore.truncated
 
 let pp_gen_result pp_schedule ppf = function
   | Explore.Ok s -> Format.fprintf ppf "Ok %a" pp_stats s
@@ -451,7 +453,8 @@ let fault_result_t : Explore.fault_result Alcotest.testable =
   Alcotest.testable (pp_gen_result pp_action_schedule) ( = )
 
 (* Verdict + schedule only (parallel stats legitimately differ from the
-   sequential engine's; DESIGN.md §2 records the deviation). *)
+   sequential engine's, and with the shared seen set they additionally
+   vary run to run — only the verdict and schedule are guaranteed). *)
 let drop_stats = function
   | Explore.Ok _ -> None
   | Explore.Violation { schedule; violation; _ } -> Some (schedule, violation)
@@ -499,24 +502,26 @@ let test_engine_equivalence_broken () =
        ~n:2)
 
 let test_domains_equivalence () =
+  (* With private per-branch tables ([share_seen:false]) the parallel
+     stats are deterministic: any domains>1 gives the same result, bit
+     for bit. *)
   let check_alg name run =
     let seq = run 1 and par2 = run 2 and par3 = run 3 in
     Alcotest.(check bool)
       (name ^ ": domains=2 verdict+schedule = sequential")
       true
       (drop_stats par2 = drop_stats seq);
-    (* Parallel stats are deterministic: any domains>1 gives the same
-       result, bit for bit. *)
     Alcotest.(check bool) (name ^ ": domains=2 = domains=3") true (par2 = par3)
   in
   let p2 = Mutex_intf.params 2 in
   List.iter
     (fun alg ->
       let (module A : Mutex_intf.ALG) = alg in
-      check_alg A.name (fun domains -> Props.check_mutex ~domains alg p2))
+      check_alg A.name (fun domains ->
+          Props.check_mutex ~domains ~share_seen:false alg p2))
     [ Registry.lamport_fast; Registry.tas_lock; Registry.peterson_tournament ];
   check_alg "broken-lock" (fun domains ->
-      Props.check_mutex ~domains (module Broken_lock) p2);
+      Props.check_mutex ~domains ~share_seen:false (module Broken_lock) p2);
   let fault_check name run =
     let seq = run 1 and par2 = run 2 and par3 = run 3 in
     Alcotest.(check bool)
@@ -526,10 +531,69 @@ let test_domains_equivalence () =
     Alcotest.(check bool) (name ^ ": domains=2 = domains=3") true (par2 = par3)
   in
   fault_check "recoverable-tas pairs=1" (fun domains ->
-      Props.check_mutex_recoverable ~domains ~pairs:1 Registry.rec_tas p2);
+      Props.check_mutex_recoverable ~domains ~share_seen:false ~pairs:1
+        Registry.rec_tas p2);
   fault_check "broken-recovery pairs=1" (fun domains ->
-      Props.check_mutex_recoverable ~domains ~pairs:1 (module Broken_recovery)
-        p2)
+      Props.check_mutex_recoverable ~domains ~share_seen:false ~pairs:1
+        (module Broken_recovery) p2)
+
+(* The shared (pooled) seen set must leave the verdict and the reported
+   counterexample schedule exactly equal to the sequential search's, for
+   every domain count and on every repetition — completion-gated
+   cross-branch pruning makes pruning timing-invisible to the DFS.  The
+   stats are explicitly allowed to vary, so only verdict+schedule are
+   compared. *)
+let test_shared_seen_determinism () =
+  let p2 = Mutex_intf.params 2 in
+  let check name seq run =
+    let expected = drop_stats seq in
+    List.iter
+      (fun domains ->
+        List.iter
+          (fun rep ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s: shared-seen domains=%d rep=%d" name domains
+                 rep)
+              true
+              (drop_stats (run domains) = expected))
+          [ 1; 2 ])
+      [ 1; 2; 4 ]
+  in
+  List.iter
+    (fun alg ->
+      let (module A : Mutex_intf.ALG) = alg in
+      check A.name
+        (Props.check_mutex alg p2)
+        (fun domains -> Props.check_mutex ~domains ~share_seen:true alg p2))
+    [ Registry.lamport_fast; Registry.peterson_tournament ];
+  check "broken-lock"
+    (Props.check_mutex (module Broken_lock) p2)
+    (fun domains ->
+      Props.check_mutex ~domains ~share_seen:true (module Broken_lock) p2);
+  (* and composed with POR, where the shared entries carry sleep/step
+     payloads *)
+  let independence =
+    Option.get (Independence.mutex Registry.peterson_tournament p2)
+  in
+  check "peterson-tournament por"
+    (Props.check_mutex ~independence Registry.peterson_tournament p2)
+    (fun domains ->
+      Props.check_mutex ~domains ~share_seen:true ~independence
+        Registry.peterson_tournament p2);
+  (* fault injection: the violating branch and schedule stay fixed *)
+  let seq =
+    Props.check_mutex_recoverable ~pairs:1 (module Broken_recovery) p2
+  in
+  List.iter
+    (fun domains ->
+      Alcotest.(check bool)
+        (Printf.sprintf "broken-recovery: shared-seen domains=%d" domains)
+        true
+        (drop_stats
+           (Props.check_mutex_recoverable ~domains ~share_seen:true ~pairs:1
+              (module Broken_recovery) p2)
+        = drop_stats seq))
+    [ 2; 4 ]
 
 let test_symmetric_still_refutes () =
   List.iter
@@ -731,7 +795,9 @@ let test_por_domains_equivalence () =
     (fun alg ->
       let (module A : Mutex_intf.ALG) = alg in
       let independence = Option.get (Independence.mutex alg p) in
-      let run domains = Props.check_mutex ~domains ~independence alg p in
+      let run domains =
+        Props.check_mutex ~domains ~share_seen:false ~independence alg p
+      in
       let seq = run 1 and par2 = run 2 and par3 = run 3 in
       check_bool (A.name ^ ": por domains=2 verdict+schedule = sequential")
         true
@@ -747,19 +813,287 @@ let test_por_domains_equivalence () =
   check_bool "broken-lock: por domains=2 verdict+schedule = sequential" true
     (drop_stats (run 2) = drop_stats (run 1))
 
-(* [seen_hint] pre-sizes the memo table; it must be invisible in the
-   result, reduced or not. *)
+(* [seen_hint] pre-sizes the memo table; apart from the reported capacity
+   ([seen_cap], which is exactly what the hint overrides) it must be
+   invisible in the result, reduced or not. *)
 let test_seen_hint_invisible () =
   let p = Mutex_intf.params 2 in
   let alg = Registry.lamport_fast in
   let (module A : Mutex_intf.ALG) = alg in
+  let scrub_cap = function
+    | Explore.Ok s -> Explore.Ok { s with Explore.seen_cap = 0 }
+    | Explore.Violation v ->
+      Explore.Violation
+        { v with stats = { v.stats with Explore.seen_cap = 0 } }
+  in
   Alcotest.check result_t "seen_hint invisible (unreduced)"
-    (Props.check_mutex alg p)
-    (Props.check_mutex ~seen_hint:4096 alg p);
+    (scrub_cap (Props.check_mutex alg p))
+    (scrub_cap (Props.check_mutex ~seen_hint:4096 alg p));
   let independence = Option.get (Independence.mutex alg p) in
   Alcotest.check result_t "seen_hint invisible (por)"
-    (Props.check_mutex ~independence alg p)
-    (Props.check_mutex ~independence ~seen_hint:4096 alg p)
+    (scrub_cap (Props.check_mutex ~independence alg p))
+    (scrub_cap (Props.check_mutex ~independence ~seen_hint:4096 alg p))
+
+(* ------------------------------------------------------------------ *)
+(* Symmetry reduction: the canonicalisation is anchored exactly like the
+   other reductions — a qcheck congruence property (permuting the pids
+   of an execution permutes the state key, and both executions share one
+   canonical form), registry-wide verdict-equivalence sweeps against the
+   unreduced engine (alone, composed with POR, and composed with POR and
+   the compact seen set), and regressions that the broken fixtures stay
+   refuted under the full composition. *)
+
+(* The registry algorithms whose derived symmetry group is non-trivial,
+   paired with their checked system.  The derivation is expected to
+   succeed on the structurally symmetric algorithms — pin a few by name
+   so a silent analysis regression cannot empty this list. *)
+let sym_subjects =
+  List.filter_map
+    (fun (module A : Mutex_intf.ALG) ->
+      let p = Mutex_intf.params 2 in
+      if not (A.supports p) then None
+      else
+        match Symmetry.mutex (module A) p with
+        | Some s when Symmetry.group_order s > 1 ->
+          Some (A.name, Cfc_core.Mutex_harness.system (module A) p, s)
+        | Some _ | None -> None)
+    Registry.all
+
+let test_symmetry_groups_exist () =
+  let names = List.map (fun (n, _, _) -> n) sym_subjects in
+  List.iter
+    (fun expected ->
+      check_bool
+        (Printf.sprintf "%s n=2 has a non-trivial symmetry group" expected)
+        true
+        (List.mem expected names))
+    [ "peterson-2p-tournament"; "tas-lock"; "mcs-lock" ];
+  (* Two must-NOT-derive pins (if either ever derives a group, the
+     derivation got laxer and needs a fresh soundness argument):
+     tree-lamport's scan loop reads the per-pid flag registers in fixed
+     index order in every variant, so a pid renaming does not map traces
+     to traces; kessels' turn bits are written context-dependently (one
+     side copies the other's bit, the other negates it), so no static
+     value correspondence exists. *)
+  List.iter
+    (fun (alg, why) ->
+      let (module A : Mutex_intf.ALG) = alg in
+      match Symmetry.mutex alg (Mutex_intf.params 2) with
+      | None -> ()
+      | Some s ->
+        check_bool
+          (Printf.sprintf "%s n=2 derives no group (%s)" A.name why)
+          true
+          (Symmetry.group_order s <= 1))
+    [ (Registry.tree, "pid-ordered scan");
+      (Registry.kessels_tournament, "context-dependent turn writes") ];
+  (* beyond n=2: peterson's tournament at n=4 must get the order-8
+     tree-automorphism group — this is the headline n=4 configuration —
+     not all of S4 (cross-subtree swaps do not preserve the bracket) *)
+  (match Symmetry.mutex Registry.peterson_tournament { Mutex_intf.n = 4; l = 2 }
+   with
+  | Some s ->
+    Alcotest.(check int)
+      "peterson-2p-tournament n=4 tree-automorphism group order" 8
+      (Symmetry.group_order s)
+  | None -> Alcotest.fail "peterson-2p-tournament n=4: no symmetry group")
+
+(* Permuting the pids of a whole execution: schedule [pi . sigma] instead
+   of [sigma].  The reached state's key must be exactly [remap_key pi]
+   of the original key (whenever the permutation's partial value maps
+   cover the values in play), and both keys must canonicalise to the
+   same representative — this is the congruence the memoization rests
+   on, checked against real executions. *)
+let congruence_sample ~seed ~subject ~len =
+  let _, system, s = subject in
+  let n = Symmetry.nprocs s in
+  let rng = Random.State.make [| seed |] in
+  let schedule = List.init len (fun _ -> Random.State.int rng n) in
+  let key sched =
+    let out = Explore.replay ~system ~schedule:sched in
+    State_key.of_system out.Runner.memory out.Runner.scheduler
+      out.Runner.trace
+  in
+  let key1 = key schedule in
+  List.fold_left
+    (fun acc pi ->
+      match acc with
+      | Error _ -> acc
+      | Ok tested -> (
+        match Symmetry.remap_key s pi key1 with
+        | exception Symmetry.Inapplicable -> acc
+        | mapped ->
+          let key2 = key (List.map (fun p -> pi.(p)) schedule) in
+          if not (State_key.equal mapped key2) then
+            Error "remapped key <> permuted execution's key"
+          else if
+            not
+              (State_key.equal
+                 (fst (Symmetry.canon s key1))
+                 (fst (Symmetry.canon s key2)))
+          then Error "canonical forms differ across a pid permutation"
+          else Ok (tested + 1)))
+    (Ok 0) (Symmetry.perms s)
+
+let prop_symmetry_congruence =
+  QCheck.Test.make ~count:200
+    ~name:"pid-permuted executions share one canonical key"
+    QCheck.(triple (int_bound 100_000) (int_bound 1_000) (int_bound 40))
+    (fun (seed, pick, len) ->
+      sym_subjects = []
+      ||
+      let subject = List.nth sym_subjects (pick mod List.length sym_subjects) in
+      match congruence_sample ~seed ~subject ~len with
+      | Ok _ -> true
+      | Error _ -> false)
+
+(* The qcheck property is vacuous if every permutation hits a value
+   outside its partial maps; this deterministic sweep pins a floor on how
+   many (schedule, permutation) pairs are actually compared. *)
+let test_symmetry_congruence_coverage () =
+  let tested = ref 0 in
+  List.iteri
+    (fun i subject ->
+      let name, _, _ = subject in
+      for seed = 0 to 24 do
+        List.iter
+          (fun len ->
+            match
+              congruence_sample ~seed:((1000 * i) + seed) ~subject ~len
+            with
+            | Ok t -> tested := !tested + t
+            | Error what -> Alcotest.failf "%s: %s" name what)
+          [ 0; 5; 13; 29; 41 ]
+      done)
+    sym_subjects;
+  check_bool
+    (Printf.sprintf "enough permuted executions compared (%d)" !tested)
+    true (!tested >= 25)
+
+(* Verdict equivalence at n=2 over the whole registry: symmetry alone,
+   symmetry x POR, and symmetry x POR x compact must all agree with the
+   unreduced search; the compact run must report no collisions and be
+   bit-identical to its exact twin. *)
+let test_sym_equivalence_registry () =
+  let total_sym = ref 0 in
+  List.iter
+    (fun (module A : Mutex_intf.ALG) ->
+      let p = Mutex_intf.params 2 in
+      if A.supports p then
+        match Symmetry.mutex (module A) p with
+        | None -> ()
+        | Some symmetry ->
+          let off = Props.check_mutex (module A) p in
+          let s = Props.check_mutex ~symmetry (module A) p in
+          Alcotest.(check string)
+            (A.name ^ " n=2 sym verdict") (verdict_of off) (verdict_of s);
+          let stats_of_r = function
+            | Explore.Ok st | Explore.Violation { stats = st; _ } -> st
+          in
+          check_bool (A.name ^ " n=2 sym explores no more states") true
+            ((stats_of_r s).Explore.states
+            <= (stats_of_r off).Explore.states);
+          total_sym := !total_sym + (stats_of_r s).Explore.pruned_sym;
+          (match Independence.mutex (module A) p with
+          | None -> ()
+          | Some independence ->
+            let sp = Props.check_mutex ~symmetry ~independence (module A) p in
+            Alcotest.(check string)
+              (A.name ^ " n=2 sym x por verdict")
+              (verdict_of off) (verdict_of sp);
+            let spc =
+              Props.check_mutex ~symmetry ~independence ~compact:true
+                (module A) p
+            in
+            Alcotest.check result_t (A.name ^ " n=2 compact = exact") sp spc;
+            check_bool (A.name ^ " n=2 compact: no collisions") true
+              ((stats_of_r spc).Explore.fp_collisions = 0)))
+    Registry.all;
+  check_bool
+    (Printf.sprintf "symmetry actually merged states somewhere (%d)"
+       !total_sym)
+    true (!total_sym > 0)
+
+let test_sym_equivalence_n3 () =
+  let config =
+    { Explore.max_depth = 90; max_steps_per_proc = 25; max_states = 150_000 }
+  in
+  List.iter
+    (fun (alg, p) ->
+      let (module A : Mutex_intf.ALG) = alg in
+      if A.supports p then
+        match Symmetry.mutex alg p with
+        | None -> Alcotest.failf "%s n=3: no symmetry group" A.name
+        | Some symmetry ->
+          let off = Props.check_mutex ~config alg p in
+          let s = Props.check_mutex ~config ~symmetry alg p in
+          Alcotest.(check string)
+            (A.name ^ " n=3 sym verdict") (verdict_of off) (verdict_of s);
+          (match Independence.mutex alg p with
+          | None -> ()
+          | Some independence ->
+            let sp =
+              Props.check_mutex ~config ~symmetry ~independence alg p
+            in
+            Alcotest.(check string)
+              (A.name ^ " n=3 sym x por verdict")
+              (verdict_of off) (verdict_of sp);
+            let spc =
+              Props.check_mutex ~config ~symmetry ~independence ~compact:true
+                alg p
+            in
+            Alcotest.check result_t (A.name ^ " n=3 compact = exact") sp spc))
+    [ (Registry.peterson_tournament, Mutex_intf.params 3);
+      (Registry.tas_lock, Mutex_intf.params 3) ]
+
+(* The broken fixtures must stay refuted under the full composition —
+   a reduction that can only verify cannot be trusted to verify. *)
+let test_sym_refutes_fixtures () =
+  let p2 = Mutex_intf.params 2 in
+  (match Symmetry.mutex (module Broken_lock) p2 with
+  | None -> Alcotest.fail "broken-lock: no symmetry group"
+  | Some symmetry -> (
+    let independence = Option.get (Independence.mutex (module Broken_lock) p2) in
+    match
+      Props.check_mutex ~symmetry ~independence ~compact:true
+        (module Broken_lock) p2
+    with
+    | Explore.Ok _ -> Alcotest.fail "sym x por x compact hid the planted race"
+    | Explore.Violation { schedule; _ } ->
+      let out =
+        Explore.replay
+          ~system:(Cfc_core.Mutex_harness.system (module Broken_lock) p2)
+          ~schedule
+      in
+      check_bool "sym counterexample replays to violation" true
+        (Cfc_core.Spec.mutual_exclusion out.Runner.trace ~nprocs:2 <> None)));
+  let p31 = { Mutex_intf.n = 3; l = 1 } in
+  (match Symmetry.detector (module Broken_chunked) p31 with
+  | None -> Alcotest.fail "broken-chunked: no symmetry group"
+  | Some symmetry -> (
+    let independence =
+      Option.get (Independence.detector (module Broken_chunked) p31)
+    in
+    match
+      Props.check_detector ~symmetry ~independence (module Broken_chunked) p31
+    with
+    | Explore.Ok _ ->
+      Alcotest.fail "sym x por hid the chunked-splitter bug at n=3"
+    | Explore.Violation _ -> ()));
+  match Symmetry.mutex (module Broken_recovery) p2 with
+  | None -> Alcotest.fail "broken-recovery: no symmetry group"
+  | Some symmetry -> (
+    match
+      Props.check_mutex_recoverable ~symmetry ~pairs:1
+        (module Broken_recovery) p2
+    with
+    | Explore.Ok _ ->
+      Alcotest.fail "symmetry hid the stale-hint recovery bug"
+    | Explore.Violation { schedule; _ } ->
+      check_bool "sym fault counterexample has a crash" true
+        (List.exists
+           (function Explore.Crash _ -> true | _ -> false)
+           schedule))
 
 (* --- static independence vs dynamic commutation ------------------- *)
 
@@ -993,8 +1327,22 @@ let () =
             test_engine_equivalence_broken;
           Alcotest.test_case "domains=1 vs domains>1" `Slow
             test_domains_equivalence;
+          Alcotest.test_case "shared seen set deterministic" `Slow
+            test_shared_seen_determinism;
           Alcotest.test_case "symmetric still refutes" `Quick
             test_symmetric_still_refutes ] );
+      ( "symmetry",
+        [ Alcotest.test_case "groups derived for the symmetric algorithms"
+            `Quick test_symmetry_groups_exist;
+          QCheck_alcotest.to_alcotest prop_symmetry_congruence;
+          Alcotest.test_case "congruence coverage floor" `Slow
+            test_symmetry_congruence_coverage;
+          Alcotest.test_case "registry n=2 sym/por/compact = unreduced" `Slow
+            test_sym_equivalence_registry;
+          Alcotest.test_case "n=3 sym/por/compact = unreduced" `Slow
+            test_sym_equivalence_n3;
+          Alcotest.test_case "broken fixtures survive the composition" `Quick
+            test_sym_refutes_fixtures ] );
       ( "state-key",
         [ Alcotest.test_case "access kinds never alias (regression)" `Quick
             test_state_key_kinds_distinct;
